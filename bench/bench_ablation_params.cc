@@ -1,0 +1,79 @@
+// Ablation: PSDA error versus the privacy parameters, with the Theorem 4.5
+// analytical bound alongside the measured error. Two sweeps on landmark:
+//   (1) uniform epsilon for all users (safe regions from S2),
+//   (2) the confidence parameter beta.
+// The measured MAE should sit below the bound and follow its shape
+// (~ c_eps * sqrt(n)), demonstrating how loose/tight the theory is - useful
+// when choosing parameters for a deployment.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "core/error_model.h"
+#include "core/psda.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace pldp;
+  using namespace pldp::bench;
+
+  const BenchProfile profile = GetBenchProfile();
+  PrintProfileBanner("Ablation: epsilon and beta sweeps", profile);
+
+  const auto setup =
+      PrepareExperiment("landmark", DatasetScale(profile, "landmark"), 2016);
+  PLDP_CHECK(setup.ok()) << setup.status();
+  const size_t n = setup->cells.size();
+
+  std::printf("(1) uniform-epsilon sweep (S2 safe regions, beta = 0.1)\n");
+  std::printf("%8s %12s %12s %14s\n", "eps", "MAE", "KL",
+              "Thm4.5 (1 cluster)");
+  for (const double eps : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    EpsilonDistribution uniform_eps{"uniform", {eps}};
+    const auto users = AssignSpecs(setup->taxonomy, setup->cells,
+                                   SafeRegionsS2(), uniform_eps, 91);
+    PLDP_CHECK(users.ok()) << users.status();
+    double mae = 0.0, kl = 0.0;
+    for (int run = 0; run < profile.runs; ++run) {
+      PsdaOptions options;
+      options.seed = 10000 + run;
+      const auto result = RunPsda(setup->taxonomy, users.value(), options);
+      PLDP_CHECK(result.ok()) << result.status();
+      mae += MaxAbsoluteError(setup->true_histogram, result->counts).value();
+      kl += KlDivergence(setup->true_histogram, result->counts).value();
+    }
+    // Reference: one protocol over the whole universe at this epsilon.
+    const double bound = PcepErrorBound(
+        0.1, static_cast<double>(n),
+        static_cast<double>(setup->taxonomy.grid().num_cells()),
+        static_cast<double>(n) * PrivacyFactorTerm(eps));
+    std::printf("%8.2f %12.1f %12.4f %14.1f\n", eps, mae / profile.runs,
+                kl / profile.runs, bound);
+  }
+
+  std::printf("\n(2) beta sweep (S2/E2 cohort)\n");
+  std::printf("%8s %12s %12s\n", "beta", "MAE", "KL");
+  const auto users = AssignSpecs(setup->taxonomy, setup->cells,
+                                 SafeRegionsS2(), EpsilonsE2(), 91);
+  PLDP_CHECK(users.ok()) << users.status();
+  for (const double beta : {0.01, 0.05, 0.1, 0.2, 0.5}) {
+    double mae = 0.0, kl = 0.0;
+    for (int run = 0; run < profile.runs; ++run) {
+      PsdaOptions options;
+      options.beta = beta;
+      options.seed = 11000 + run;
+      const auto result = RunPsda(setup->taxonomy, users.value(), options);
+      PLDP_CHECK(result.ok()) << result.status();
+      mae += MaxAbsoluteError(setup->true_histogram, result->counts).value();
+      kl += KlDivergence(setup->true_histogram, result->counts).value();
+    }
+    std::printf("%8.2f %12.1f %12.4f\n", beta, mae / profile.runs,
+                kl / profile.runs);
+  }
+  std::printf("\n(beta only moves the reduced dimension m and the clustering "
+              "objective; the measured error is nearly flat in it, while "
+              "epsilon drives the error through c_eps ~ 2/eps)\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 3: relative errors of range queries on road.
+#include "common.h"
+
+int main() {
+  return pldp::bench::RunRangeFigure("Figure 3: range queries on road",
+                                     "road");
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 4: relative errors of range queries on checkin.
+#include "common.h"
+
+int main() {
+  return pldp::bench::RunRangeFigure("Figure 4: range queries on checkin",
+                                     "checkin");
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 5: relative errors of range queries on landmark.
+#include "common.h"
+
+int main() {
+  return pldp::bench::RunRangeFigure("Figure 5: range queries on landmark",
+                                     "landmark");
+}

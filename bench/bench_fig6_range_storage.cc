@@ -1,0 +1,7 @@
+// Reproduces Figure 6: relative errors of range queries on storage.
+#include "common.h"
+
+int main() {
+  return pldp::bench::RunRangeFigure("Figure 6: range queries on storage",
+                                     "storage");
+}

@@ -1,0 +1,95 @@
+// Reproduces Figure 7: server-side runtime of PSDA (a) versus the number of
+// users and (b) versus the size of the location universe.
+//
+// The paper extracts 25/50/75/100% of users and locations from each dataset;
+// here (a) subsamples users and (b) crops the spatial domain to the matching
+// fraction of cells (keeping every user by clamping, so only |L| varies).
+// Absolute seconds differ from the paper's 2013-era i7; the linear trend is
+// the reproduced claim.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "core/psda.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace pldp;
+using namespace pldp::bench;
+
+double TimePsda(const SpatialTaxonomy& taxonomy,
+                const std::vector<UserRecord>& users, int runs) {
+  double total = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    PsdaOptions options;
+    options.seed = 31337 + run;
+    const auto result = RunPsda(taxonomy, users, options);
+    PLDP_CHECK(result.ok()) << result.status();
+    total += result->server_seconds;
+  }
+  return total / runs;
+}
+
+}  // namespace
+
+int main() {
+  const BenchProfile profile = GetBenchProfile();
+  PrintProfileBanner("Figure 7: PSDA server runtime", profile);
+  const double fractions[] = {0.25, 0.50, 0.75, 1.00};
+
+  std::printf("(a) runtime (seconds) vs. percentage of users\n");
+  std::printf("%-10s %8s %8s %8s %8s\n", "Dataset", "25%", "50%", "75%",
+              "100%");
+  for (const std::string& name : BenchmarkDatasetNames()) {
+    const auto setup =
+        PrepareExperiment(name, DatasetScale(profile, name), 2016);
+    PLDP_CHECK(setup.ok()) << setup.status();
+    const auto all_users =
+        AssignSpecs(setup->taxonomy, setup->cells, SafeRegionsS2(),
+                    EpsilonsE2(), 41);
+    PLDP_CHECK(all_users.ok()) << all_users.status();
+
+    std::printf("%-10s", name.c_str());
+    for (const double fraction : fractions) {
+      const size_t n = std::max<size_t>(
+          1, static_cast<size_t>(all_users->size() * fraction));
+      const std::vector<UserRecord> subset(all_users->begin(),
+                                           all_users->begin() + n);
+      std::printf(" %8.3f", TimePsda(setup->taxonomy, subset, profile.runs));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) runtime (seconds) vs. percentage of locations\n");
+  std::printf("%-10s %8s %8s %8s %8s\n", "Dataset", "25%", "50%", "75%",
+              "100%");
+  for (const std::string& name : BenchmarkDatasetNames()) {
+    std::printf("%-10s", name.c_str());
+    for (const double fraction : fractions) {
+      // Crop the domain so the universe holds ~fraction of the cells; users
+      // are clamped into the cropped domain, keeping n constant.
+      auto dataset =
+          GenerateByName(name, DatasetScale(profile, name), 2016).value();
+      const double side = std::sqrt(fraction);
+      dataset.domain.max_lon =
+          dataset.domain.min_lon + dataset.domain.Width() * side;
+      dataset.domain.max_lat =
+          dataset.domain.min_lat + dataset.domain.Height() * side;
+      const auto grid = dataset.MakeGrid();
+      PLDP_CHECK(grid.ok()) << grid.status();
+      const auto taxonomy = SpatialTaxonomy::Build(grid.value(), 4);
+      PLDP_CHECK(taxonomy.ok()) << taxonomy.status();
+      const auto users = AssignSpecs(taxonomy.value(),
+                                     dataset.ToCells(grid.value()),
+                                     SafeRegionsS2(), EpsilonsE2(), 41);
+      PLDP_CHECK(users.ok()) << users.status();
+      std::printf(" %8.3f",
+                  TimePsda(taxonomy.value(), users.value(), profile.runs));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

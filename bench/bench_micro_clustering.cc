@@ -1,0 +1,69 @@
+// Micro-benchmark for Algorithm 3: clustering runtime versus the number of
+// user groups (the paper's complexity analysis is O(l * k^2 * h^2)).
+
+#include <benchmark/benchmark.h>
+
+#include "core/clustering.h"
+#include "core/error_model.h"
+#include "geo/taxonomy.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+std::vector<UserGroup> RandomGroups(const SpatialTaxonomy& taxonomy,
+                                    size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<UserGroup> groups;
+  std::vector<bool> used(taxonomy.num_nodes(), false);
+  while (groups.size() < count) {
+    const auto node =
+        static_cast<NodeId>(rng.NextUint64(taxonomy.num_nodes()));
+    if (used[node]) continue;
+    used[node] = true;
+    UserGroup group;
+    group.region = node;
+    group.members.resize(100 + rng.NextUint64(20000));
+    group.varsigma =
+        static_cast<double>(group.members.size()) * PrivacyFactorTerm(1.0);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+void BM_ClusterUserGroups(benchmark::State& state) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 32, 32}, 1, 1).value();
+  const SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+  const size_t k = state.range(0);
+  const auto groups = RandomGroups(taxonomy, k, 1234);
+  ClusteringOptions options;
+  uint32_t merges = 0;
+  for (auto _ : state) {
+    const auto result = ClusterUserGroups(taxonomy, groups, options).value();
+    merges = result.merges;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["merges"] = merges;
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_ClusterUserGroups)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MaxPathError(benchmark::State& state) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 32, 32}, 1, 1).value();
+  const SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+  const auto groups = RandomGroups(taxonomy, state.range(0), 99);
+  const auto trivial =
+      TrivialClusters(taxonomy, groups, ClusteringOptions()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaxPathError(taxonomy, trivial.clusters, 0.1));
+  }
+}
+BENCHMARK(BM_MaxPathError)->Arg(32)->Arg(256);
+
+}  // namespace
+}  // namespace pldp
+
+BENCHMARK_MAIN();

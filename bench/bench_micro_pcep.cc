@@ -1,0 +1,120 @@
+// Micro-benchmarks for the PCEP building blocks (Section IV-A complexity):
+// O(1) client-side perturbation, row generation, and the server-side decode.
+
+#include <benchmark/benchmark.h>
+
+#include "core/local_randomizer.h"
+#include "core/pcep.h"
+#include "core/sign_matrix.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+void BM_LocalRandomize(benchmark::State& state) {
+  Rng rng(1);
+  const double epsilon = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LocalRandomize(true, 1 << 20, epsilon, &rng).value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalRandomize)->Arg(25)->Arg(100);
+
+void BM_SignMatrixRowWord(benchmark::State& state) {
+  const SignMatrix matrix(7, 1 << 20, 4096);
+  uint64_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matrix.RowWord(row, row & 63));
+    ++row;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SignMatrixRowWord);
+
+void BM_SignMatrixRow(benchmark::State& state) {
+  const uint64_t width = state.range(0);
+  const SignMatrix matrix(7, 1 << 20, width);
+  uint64_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matrix.Row(row++));
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_SignMatrixRow)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PcepClientPath(benchmark::State& state) {
+  // The full on-device work: pick own bit from the row, randomize it.
+  const uint64_t width = state.range(0);
+  const SignMatrix matrix(7, 1 << 16, width);
+  const BitVector row = matrix.Row(42);
+  Rng rng(3);
+  uint64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LocalRandomizeRow(row, index++ % width, 1 << 16, 1.0, &rng).value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PcepClientPath)->Arg(64)->Arg(4096);
+
+void BM_PcepServerDecode(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const uint64_t tau = state.range(1);
+  PcepParams params;
+  PcepServer server = PcepServer::Create(tau, n, params).value();
+  Rng rng(5);
+  for (uint64_t i = 0; i < n; ++i) {
+    server.Accumulate(server.AssignRow(&rng), rng.Bernoulli(0.5) ? 3.0 : -3.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["m"] = static_cast<double>(server.m());
+}
+BENCHMARK(BM_PcepServerDecode)
+    ->Args({1000, 64})
+    ->Args({10000, 64})
+    ->Args({10000, 1024})
+    ->Args({50000, 4096});
+
+void BM_PcepServerDecodeParallel(benchmark::State& state) {
+  const uint64_t n = 50000;
+  const uint64_t tau = 4096;
+  PcepParams params;
+  PcepServer server = PcepServer::Create(tau, n, params).value();
+  Rng rng(5);
+  for (uint64_t i = 0; i < n; ++i) {
+    server.Accumulate(server.AssignRow(&rng), rng.Bernoulli(0.5) ? 3.0 : -3.0);
+  }
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.EstimateParallel(threads));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PcepServerDecodeParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RunPcepEndToEnd(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const uint64_t tau = state.range(1);
+  std::vector<PcepUser> users;
+  users.reserve(n);
+  Rng rng(9);
+  for (uint64_t i = 0; i < n; ++i) {
+    users.push_back({static_cast<uint32_t>(rng.NextUint64(tau)), 1.0});
+  }
+  PcepParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPcep(users, tau, params).value());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RunPcepEndToEnd)->Args({10000, 64})->Args({50000, 1024});
+
+}  // namespace
+}  // namespace pldp
+
+BENCHMARK_MAIN();

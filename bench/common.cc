@@ -1,0 +1,126 @@
+#include "common.h"
+
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "eval/metrics.h"
+#include "eval/range_query.h"
+#include "util/logging.h"
+
+namespace pldp {
+namespace bench {
+
+std::vector<SpecSetting> AllSpecSettings() {
+  return {
+      {SafeRegionsS1(), EpsilonsE1()},
+      {SafeRegionsS1(), EpsilonsE2()},
+      {SafeRegionsS2(), EpsilonsE1()},
+      {SafeRegionsS2(), EpsilonsE2()},
+  };
+}
+
+void PrintProfileBanner(const char* bench_name, const BenchProfile& profile) {
+  std::printf("=== %s ===\n", bench_name);
+  std::printf(
+      "profile: %s (scale %.3g, %d runs; set PLDP_BENCH_PROFILE=paper for "
+      "full-size)\n\n",
+      profile.name.c_str(), profile.scale, profile.runs);
+}
+
+double MeanOverRuns(Scheme scheme, const SpatialTaxonomy& taxonomy,
+                    const std::vector<UserRecord>& users, double beta,
+                    int runs, uint64_t seed_base,
+                    const std::function<double(const std::vector<double>&)>&
+                        metric) {
+  PLDP_CHECK(runs > 0);
+  double total = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    const auto counts =
+        RunScheme(scheme, taxonomy, users, beta, seed_base + 1000 * run);
+    PLDP_CHECK(counts.ok()) << SchemeName(scheme) << ": "
+                            << counts.status().ToString();
+    total += metric(counts.value());
+  }
+  return total / runs;
+}
+
+int RunRangeFigure(const char* figure_name, const std::string& dataset_name) {
+  const BenchProfile profile = GetBenchProfile();
+  PrintProfileBanner(figure_name, profile);
+
+  const auto setup =
+      PrepareExperiment(dataset_name, DatasetScale(profile, dataset_name),
+                        2016);
+  PLDP_CHECK(setup.ok()) << setup.status();
+  const UniformGrid& grid = setup->taxonomy.grid();
+  const double sanity =
+      setup->dataset.sanity_fraction * setup->dataset.num_users();
+
+  // The six query sizes: q1 from the dataset, each 1.5x larger per side.
+  // Queries and their exact answers are computed once (the point scan is the
+  // expensive part); every scheme/run reuses them.
+  struct QuerySet {
+    std::vector<BoundingBox> queries;
+    std::vector<double> truths;
+  };
+  std::vector<QuerySet> query_sets;
+  {
+    double w = setup->dataset.q1_width, h = setup->dataset.q1_height;
+    for (int qi = 0; qi < 6; ++qi, w *= 1.5, h *= 1.5) {
+      QuerySet set;
+      const auto queries =
+          GenerateRangeQueries(setup->dataset.domain, w, h,
+                               profile.queries_per_size, /*seed=*/555 + qi);
+      PLDP_CHECK(queries.ok()) << queries.status();
+      set.queries = queries.value();
+      set.truths.reserve(set.queries.size());
+      for (const BoundingBox& query : set.queries) {
+        set.truths.push_back(AnswerFromPoints(setup->dataset.points, query));
+      }
+      query_sets.push_back(std::move(set));
+    }
+  }
+  const size_t num_sizes = query_sets.size();
+
+  for (const SpecSetting& setting : AllSpecSettings()) {
+    std::printf("%s on %s\n", setting.Name().c_str(), dataset_name.c_str());
+    const auto users =
+        AssignSpecs(setup->taxonomy, setup->cells, setting.safe_regions,
+                    setting.epsilons, /*seed=*/37);
+    PLDP_CHECK(users.ok()) << users.status();
+
+    std::printf("%-8s", "scheme");
+    for (int qi = 1; qi <= 6; ++qi) std::printf("       q%d", qi);
+    std::printf("\n");
+
+    for (const Scheme scheme : AllSchemes()) {
+      std::vector<double> errors(num_sizes, 0.0);
+      for (int run = 0; run < profile.runs; ++run) {
+        const auto counts = RunScheme(scheme, setup->taxonomy, users.value(),
+                                      /*beta=*/0.1, 4000 + 1000 * run);
+        PLDP_CHECK(counts.ok()) << counts.status();
+        for (size_t qi = 0; qi < num_sizes; ++qi) {
+          const QuerySet& set = query_sets[qi];
+          double total = 0.0;
+          for (size_t q = 0; q < set.queries.size(); ++q) {
+            const double estimate =
+                AnswerFromCells(grid, counts.value(), set.queries[q]);
+            total += RelativeError(set.truths[q], estimate, sanity);
+          }
+          errors[qi] += total / set.queries.size();
+        }
+      }
+      std::printf("%-8s", SchemeName(scheme));
+      for (const double total : errors) {
+        std::printf(" %8.3f", total / profile.runs);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace pldp

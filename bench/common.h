@@ -1,0 +1,49 @@
+#ifndef PLDP_BENCH_COMMON_H_
+#define PLDP_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/spec_assignment.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+namespace pldp {
+namespace bench {
+
+/// The paper's four privacy-specification settings, in Table II order:
+/// (S1,E1), (S1,E2), (S2,E1), (S2,E2).
+struct SpecSetting {
+  SafeRegionDistribution safe_regions;
+  EpsilonDistribution epsilons;
+
+  std::string Name() const {
+    return "(" + safe_regions.name + "," + epsilons.name + ")";
+  }
+};
+
+std::vector<SpecSetting> AllSpecSettings();
+
+/// Prints the profile banner every bench starts with.
+void PrintProfileBanner(const char* bench_name, const BenchProfile& profile);
+
+/// Runs `scheme` `runs` times with distinct seeds and returns the mean of
+/// `metric(counts)` over the runs. Aborts the process on setup errors (bench
+/// binaries are leaf programs).
+double MeanOverRuns(Scheme scheme, const SpatialTaxonomy& taxonomy,
+                    const std::vector<UserRecord>& users, double beta,
+                    int runs, uint64_t seed_base,
+                    const std::function<double(const std::vector<double>&)>&
+                        metric);
+
+/// Shared driver for Figures 3-6: mean relative error of range queries of 6
+/// growing sizes (q1 per dataset, x1.5 linear per step, `queries_per_size`
+/// random rectangles each) for every scheme under every spec setting.
+int RunRangeFigure(const char* figure_name, const std::string& dataset_name);
+
+}  // namespace bench
+}  // namespace pldp
+
+#endif  // PLDP_BENCH_COMMON_H_

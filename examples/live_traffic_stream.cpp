@@ -1,0 +1,90 @@
+// Continuous aggregation: a day of Waze-style traffic, one PSDA round per
+// epoch, with participation rate-limiting and EWMA smoothing.
+//
+// The population drifts over six epochs (night -> morning commute ->
+// midday -> evening commute -> night); the server tracks the distribution
+// while every individual report stays (tau, eps)-PLDP and no pseudonym
+// reports more than once per two epochs.
+//
+// Build & run:  ./build/examples/live_traffic_stream
+
+#include <cmath>
+#include <cstdio>
+
+#include "eval/metrics.h"
+#include "geo/grid.h"
+#include "geo/taxonomy.h"
+#include "stream/continuous.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace pldp;
+
+/// Population snapshot for an epoch: commuters concentrate around either the
+/// residential west side or the downtown east side.
+std::vector<StreamUser> Snapshot(const SpatialTaxonomy& tax, double downtown,
+                                 uint64_t epoch, std::vector<double>* truth) {
+  const UniformGrid& grid = tax.grid();
+  truth->assign(grid.num_cells(), 0.0);
+  Rng rng(1000 + epoch);
+  std::vector<StreamUser> users;
+  for (int i = 0; i < 30000; ++i) {
+    const bool east = rng.Bernoulli(downtown);
+    const uint32_t col = east ? 12 + rng.NextUint64(4) : rng.NextUint64(4);
+    const uint32_t row = static_cast<uint32_t>(rng.NextUint64(16));
+    const CellId cell = grid.IdOf(row, col);
+    (*truth)[cell] += 1.0;
+
+    StreamUser user;
+    // Two pseudonym pools alternate across epochs, exercising rate limiting.
+    user.user_id = (epoch % 2) * 1'000'000 + i;
+    user.record.cell = cell;
+    user.record.spec.safe_region =
+        tax.AncestorAbove(tax.LeafNodeOfCell(cell), 1 + rng.NextUint64(2));
+    user.record.spec.epsilon = 1.0;
+    users.push_back(user);
+  }
+  return users;
+}
+
+}  // namespace
+
+int main() {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 16, 16}, 1, 1).value();
+  const SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+
+  StreamOptions options;
+  options.smoothing = 0.6;             // favor fresh traffic
+  options.participation_period = 2;    // a pseudonym reports every 2nd epoch
+  ContinuousAggregator aggregator(&taxonomy, options);
+
+  const char* epoch_names[] = {"night", "early commute", "rush hour",
+                               "midday", "evening rush", "late night"};
+  const double downtown_share[] = {0.15, 0.5, 0.85, 0.6, 0.8, 0.2};
+
+  std::printf("%-15s %12s %12s %10s %10s %10s\n", "epoch", "participants",
+              "rate-limited", "KL", "west", "downtown");
+  for (uint64_t epoch = 0; epoch < 6; ++epoch) {
+    std::vector<double> truth;
+    const auto users =
+        Snapshot(taxonomy, downtown_share[epoch], epoch, &truth);
+    const auto estimate = aggregator.ProcessEpoch(users).value();
+    const EpochStats& stats = aggregator.last_stats();
+
+    double west = 0.0, east = 0.0;
+    for (CellId cell = 0; cell < grid.num_cells(); ++cell) {
+      (grid.ColOf(cell) < 8 ? west : east) += estimate[cell];
+    }
+    std::printf("%-15s %12zu %12zu %10.4f %9.0f%% %9.0f%%\n",
+                epoch_names[epoch], stats.participated, stats.rate_limited,
+                KlDivergence(truth, estimate).value(),
+                100.0 * west / (west + east), 100.0 * east / (west + east));
+  }
+  std::printf(
+      "\nThe estimated mass tracks the commute wave with one epoch of EWMA "
+      "lag;\nevery report was sanitized on-device and no pseudonym reported "
+      "twice\nwithin the participation window.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Personalized privacy: why PLDP beats one-size-fits-all LDP.
+//
+// Runs the same cohort under the paper's four privacy-specification settings
+// (S1/S2 x E1/E2) and compares PSDA against the SR baseline (a single
+// protocol over the whole universe, i.e. plain LDP with personalized
+// epsilons). The gap is the utility bought by letting each user declare a
+// safe region - the core argument of the paper.
+//
+// Build & run:  ./build/examples/personalized_privacy
+
+#include <cstdio>
+
+#include "baselines/sr.h"
+#include "core/psda.h"
+#include "data/spec_assignment.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "geo/taxonomy.h"
+
+int main() {
+  using namespace pldp;
+
+  // A scaled-down landmark-like dataset (continental US, 1-degree cells).
+  const Dataset dataset = GenerateLandmark(/*scale=*/0.05, /*seed=*/9);
+  const UniformGrid grid = dataset.MakeGrid().value();
+  const SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+  const std::vector<CellId> cells = dataset.ToCells(grid);
+  const std::vector<double> truth = dataset.TrueHistogram(grid);
+
+  std::printf("dataset: %s-like, %zu users, %u cells\n\n",
+              dataset.name.c_str(), dataset.num_users(), grid.num_cells());
+  std::printf("%-10s %-14s %-14s %-10s\n", "setting", "PSDA (PLDP)",
+              "SR (plain LDP)", "SR/PSDA");
+
+  const SafeRegionDistribution safe_regions[] = {SafeRegionsS1(),
+                                                 SafeRegionsS2()};
+  const EpsilonDistribution epsilon_menus[] = {EpsilonsE1(), EpsilonsE2()};
+
+  for (const auto& s : safe_regions) {
+    for (const auto& e : epsilon_menus) {
+      const std::vector<UserRecord> users =
+          AssignSpecs(taxonomy, cells, s, e, /*seed=*/31).value();
+
+      PsdaOptions options;
+      options.seed = 1001;
+      const PsdaResult psda = RunPsda(taxonomy, users, options).value();
+      const double kl_psda = KlDivergence(truth, psda.counts).value();
+
+      const std::vector<double> sr = RunSr(taxonomy, users, options).value();
+      const double kl_sr = KlDivergence(truth, sr).value();
+
+      std::printf("(%s, %s)   %-14.4f %-14.4f %.1fx\n", s.name.c_str(),
+                  e.name.c_str(), kl_psda, kl_sr, kl_sr / kl_psda);
+    }
+  }
+
+  std::printf(
+      "\nTakeaway: with safe regions (PLDP), accuracy improves by an order\n"
+      "of magnitude while each user's chosen indistinguishability guarantee\n"
+      "within their safe region is untouched.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "baselines/cloak.h"
+
+#include "util/random.h"
+
+namespace pldp {
+
+StatusOr<std::vector<double>> RunCloak(const SpatialTaxonomy& taxonomy,
+                                       const std::vector<UserRecord>& users,
+                                       uint64_t seed) {
+  if (users.empty()) {
+    return Status::InvalidArgument("Cloak needs at least one user");
+  }
+  PLDP_RETURN_IF_ERROR(ValidateUsers(taxonomy, users));
+  Rng rng(seed);
+  std::vector<double> counts(taxonomy.grid().num_cells(), 0.0);
+  for (const UserRecord& user : users) {
+    const std::vector<CellId> region =
+        taxonomy.RegionCells(user.spec.safe_region);
+    const CellId reported = region[rng.NextUint64(region.size())];
+    counts[reported] += 1.0;
+  }
+  return counts;
+}
+
+}  // namespace pldp

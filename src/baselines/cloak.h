@@ -1,0 +1,25 @@
+#ifndef PLDP_BASELINES_CLOAK_H_
+#define PLDP_BASELINES_CLOAK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/privacy_spec.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// The Cloak baseline of Section V-A: spatial cloaking in the spirit of
+/// Gruteser & Grunwald. Each user reports a uniformly random location inside
+/// their safe region (the epsilon -> 0 analog of PCEP, where the report is
+/// independent of the true location), and the server simply tallies the
+/// reports. Users' epsilon values are ignored by construction, which is why
+/// the paper's Table II shows Cloak unchanged between E1 and E2.
+StatusOr<std::vector<double>> RunCloak(const SpatialTaxonomy& taxonomy,
+                                       const std::vector<UserRecord>& users,
+                                       uint64_t seed);
+
+}  // namespace pldp
+
+#endif  // PLDP_BASELINES_CLOAK_H_

@@ -1,0 +1,244 @@
+#include "baselines/kdtree.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/error_model.h"
+#include "core/pcep.h"
+#include "core/user_group.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+/// A rectangle of grid cells [r0, r1) x [c0, c1) in one kd-tree level.
+struct Rect {
+  uint32_t r0, r1, c0, c1;
+  /// Index of the parent rectangle in the previous level.
+  uint32_t parent;
+
+  uint64_t CellCount() const {
+    return static_cast<uint64_t>(r1 - r0) * (c1 - c0);
+  }
+  bool IsUnit() const { return CellCount() == 1; }
+  bool ContainsCell(uint32_t row, uint32_t col) const {
+    return row >= r0 && row < r1 && col >= c0 && col < c1;
+  }
+};
+
+/// Splits `rect` at the midpoint of its longer side; unit rectangles pass
+/// through unchanged (a single self-child), keeping every level a partition
+/// of the group's region.
+std::vector<Rect> SplitRect(const Rect& rect, uint32_t parent_index) {
+  std::vector<Rect> children;
+  const uint32_t height = rect.r1 - rect.r0;
+  const uint32_t width = rect.c1 - rect.c0;
+  if (height <= 1 && width <= 1) {
+    Rect self = rect;
+    self.parent = parent_index;
+    children.push_back(self);
+    return children;
+  }
+  if (height >= width) {
+    const uint32_t mid = rect.r0 + height / 2;
+    children.push_back(Rect{rect.r0, mid, rect.c0, rect.c1, parent_index});
+    children.push_back(Rect{mid, rect.r1, rect.c0, rect.c1, parent_index});
+  } else {
+    const uint32_t mid = rect.c0 + width / 2;
+    children.push_back(Rect{rect.r0, rect.r1, rect.c0, mid, parent_index});
+    children.push_back(Rect{rect.r0, rect.r1, mid, rect.c1, parent_index});
+  }
+  return children;
+}
+
+/// The kd decomposition of one group's region: levels[0] is the region
+/// itself; levels[t] partitions it into at most 2^t rectangles.
+std::vector<std::vector<Rect>> BuildLevels(const Rect& region,
+                                           uint32_t max_depth) {
+  std::vector<std::vector<Rect>> levels;
+  levels.push_back({region});
+  while (levels.size() <= max_depth) {
+    const std::vector<Rect>& prev = levels.back();
+    if (std::all_of(prev.begin(), prev.end(),
+                    [](const Rect& r) { return r.IsUnit(); })) {
+      break;
+    }
+    std::vector<Rect> next;
+    for (uint32_t i = 0; i < prev.size(); ++i) {
+      std::vector<Rect> children = SplitRect(prev[i], i);
+      next.insert(next.end(), children.begin(), children.end());
+    }
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+/// Maps every cell of `region` (by row-major rank within the region) to the
+/// index of the level rectangle covering it. O(region size) once per level,
+/// O(1) per user afterwards.
+std::vector<uint32_t> BuildCellToRect(const Rect& region,
+                                      const std::vector<Rect>& rects) {
+  const uint32_t width = region.c1 - region.c0;
+  std::vector<uint32_t> map(region.CellCount(), 0);
+  for (uint32_t i = 0; i < rects.size(); ++i) {
+    const Rect& rect = rects[i];
+    for (uint32_t r = rect.r0; r < rect.r1; ++r) {
+      for (uint32_t c = rect.c0; c < rect.c1; ++c) {
+        map[static_cast<size_t>(r - region.r0) * width + (c - region.c0)] = i;
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> RunKdTree(const SpatialTaxonomy& taxonomy,
+                                        const std::vector<UserRecord>& users,
+                                        const KdTreeOptions& options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("kdTree needs at least one user");
+  }
+  if (options.max_depth == 0) {
+    return Status::InvalidArgument("kdTree needs max_depth >= 1");
+  }
+  PLDP_ASSIGN_OR_RETURN(std::vector<UserGroup> groups,
+                        GroupUsersBySafeRegion(taxonomy, users));
+  const UniformGrid& grid = taxonomy.grid();
+
+  // Precompute each group's decomposition to know the total number of PCEP
+  // instances (for the beta split).
+  std::vector<std::vector<std::vector<Rect>>> group_levels(groups.size());
+  uint64_t total_instances = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const std::vector<CellId> cells = taxonomy.RegionCells(groups[g].region);
+    Rect region;
+    region.r0 = grid.RowOf(cells.front());
+    region.c0 = grid.ColOf(cells.front());
+    region.r1 = grid.RowOf(cells.back()) + 1;
+    region.c1 = grid.ColOf(cells.back()) + 1;
+    region.parent = 0;
+    group_levels[g] = BuildLevels(region, options.max_depth);
+    total_instances += group_levels[g].size() - 1;
+  }
+  const double beta_each =
+      total_instances == 0
+          ? options.beta
+          : options.beta / static_cast<double>(total_instances);
+
+  std::vector<double> counts(grid.num_cells(), 0.0);
+  uint64_t instance = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const UserGroup& group = groups[g];
+    const std::vector<std::vector<Rect>>& levels = group_levels[g];
+    const auto h = static_cast<uint32_t>(levels.size() - 1);
+
+    // refined[t][i]: consistent estimate of the users in levels[t][i];
+    // refined_var[t][i] tracks its (relative) variance for the optional
+    // inverse-variance blending.
+    std::vector<std::vector<double>> refined(levels.size());
+    std::vector<std::vector<double>> refined_var(levels.size());
+    refined[0] = {static_cast<double>(group.n())};  // group size is public
+    refined_var[0] = {0.0};
+
+    const Rect& region = levels[0][0];
+    const uint32_t region_width = region.c1 - region.c0;
+    for (uint32_t t = 1; t <= h; ++t) {
+      const std::vector<Rect>& rects = levels[t];
+      const std::vector<uint32_t> cell_to_rect = BuildCellToRect(region, rects);
+      std::vector<PcepUser> pcep_users;
+      pcep_users.reserve(group.members.size());
+      for (const uint32_t user_index : group.members) {
+        const UserRecord& user = users[user_index];
+        const size_t rank =
+            static_cast<size_t>(grid.RowOf(user.cell) - region.r0) *
+                region_width +
+            (grid.ColOf(user.cell) - region.c0);
+        PcepUser pcep_user;
+        pcep_user.location_index = cell_to_rect[rank];
+        // Sequential composition: epsilon_i split evenly over the h levels.
+        pcep_user.epsilon = user.spec.epsilon / static_cast<double>(h);
+        pcep_users.push_back(pcep_user);
+      }
+      PcepParams params;
+      params.beta = beta_each;
+      params.seed = SplitMix64(options.seed ^
+                               ((instance + 1) * 0x9E3779B97F4A7C15ULL));
+      params.max_reduced_dimension = options.max_reduced_dimension;
+      ++instance;
+      PLDP_ASSIGN_OR_RETURN(std::vector<double> raw,
+                            RunPcep(pcep_users, rects.size(), params));
+
+      // Per-rect raw variance at this level: every group member reports, so
+      // Var[raw] ~ sum_i c^2_{eps_i / h} (uniform across the level's rects).
+      double raw_var = 0.0;
+      for (const uint32_t user_index : group.members) {
+        raw_var += PrivacyFactorTerm(users[user_index].spec.epsilon /
+                                     static_cast<double>(h));
+      }
+
+      refined[t].assign(rects.size(), 0.0);
+      refined_var[t].assign(rects.size(), raw_var);
+      std::vector<double> child_sum(levels[t - 1].size(), 0.0);
+      std::vector<uint32_t> child_count(levels[t - 1].size(), 0);
+      for (size_t i = 0; i < rects.size(); ++i) {
+        child_sum[rects[i].parent] += raw[i];
+        ++child_count[rects[i].parent];
+      }
+
+      if (options.weighted_averaging) {
+        // Blend raw with the parent-implied estimate (parent minus the raw
+        // siblings) by inverse variance, then restore sum-consistency.
+        for (size_t i = 0; i < rects.size(); ++i) {
+          const uint32_t p = rects[i].parent;
+          const double implied =
+              refined[t - 1][p] - (child_sum[p] - raw[i]);
+          const double implied_var =
+              refined_var[t - 1][p] +
+              (child_count[p] - 1) * raw_var;
+          const double denom = raw_var + implied_var;
+          const double w = denom > 0.0 ? implied_var / denom : 1.0;
+          refined[t][i] = w * raw[i] + (1.0 - w) * implied;
+          refined_var[t][i] =
+              denom > 0.0 ? raw_var * implied_var / denom : 0.0;
+        }
+        // Mean-consistency on the blended values.
+        std::vector<double> blended_sum(levels[t - 1].size(), 0.0);
+        for (size_t i = 0; i < rects.size(); ++i) {
+          blended_sum[rects[i].parent] += refined[t][i];
+        }
+        for (size_t i = 0; i < rects.size(); ++i) {
+          const uint32_t p = rects[i].parent;
+          refined[t][i] += (refined[t - 1][p] - blended_sum[p]) /
+                           static_cast<double>(child_count[p]);
+        }
+      } else {
+        // Top-down mean consistency against the refined parent level: each
+        // parent's children are shifted equally so they sum to the parent.
+        for (size_t i = 0; i < rects.size(); ++i) {
+          const uint32_t p = rects[i].parent;
+          const double adjust = (refined[t - 1][p] - child_sum[p]) /
+                                static_cast<double>(child_count[p]);
+          refined[t][i] = raw[i] + adjust;
+        }
+      }
+    }
+
+    // Spread the deepest level uniformly over its grid cells.
+    const std::vector<Rect>& leaves = levels[h];
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      const Rect& rect = leaves[i];
+      const double per_cell =
+          refined[h][i] / static_cast<double>(rect.CellCount());
+      for (uint32_t r = rect.r0; r < rect.r1; ++r) {
+        for (uint32_t c = rect.c0; c < rect.c1; ++c) {
+          counts[grid.IdOf(r, c)] += per_cell;
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace pldp

@@ -1,0 +1,41 @@
+#include "baselines/sr.h"
+
+#include "core/pcep.h"
+#include "util/logging.h"
+
+namespace pldp {
+
+StatusOr<std::vector<double>> RunSr(const SpatialTaxonomy& taxonomy,
+                                    const std::vector<UserRecord>& users,
+                                    const PsdaOptions& options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("SR needs at least one user");
+  }
+  PLDP_RETURN_IF_ERROR(ValidateUsers(taxonomy, users));
+  const NodeId root = taxonomy.root();
+  std::vector<PcepUser> pcep_users;
+  pcep_users.reserve(users.size());
+  for (const UserRecord& user : users) {
+    PLDP_ASSIGN_OR_RETURN(const uint64_t rank,
+                          taxonomy.RegionRankOfCell(root, user.cell));
+    PcepUser pcep_user;
+    pcep_user.location_index = static_cast<uint32_t>(rank);
+    pcep_user.epsilon = user.spec.epsilon;
+    pcep_users.push_back(pcep_user);
+  }
+  PcepParams params;
+  params.beta = options.beta;
+  params.seed = options.seed;
+  params.max_reduced_dimension = options.max_reduced_dimension;
+  PLDP_ASSIGN_OR_RETURN(
+      std::vector<double> estimates,
+      RunPcep(pcep_users, taxonomy.RegionSize(root), params));
+
+  // Scatter from root-region ranks back to cell ids.
+  const std::vector<CellId> region = taxonomy.RegionCells(root);
+  std::vector<double> counts(taxonomy.grid().num_cells(), 0.0);
+  for (size_t k = 0; k < region.size(); ++k) counts[region[k]] = estimates[k];
+  return counts;
+}
+
+}  // namespace pldp

@@ -1,0 +1,27 @@
+#ifndef PLDP_BASELINES_SR_H_
+#define PLDP_BASELINES_SR_H_
+
+#include <vector>
+
+#include "core/privacy_spec.h"
+#include "core/psda.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// The SR baseline of Section V-A: every user is fed into a single PCEP whose
+/// region is the whole location universe L, keeping personalized epsilon_i
+/// values but discarding safe regions. This is plain LDP with personalized
+/// epsilons; the gap between SR and PSDA quantifies the utility the safe-
+/// region notion buys (i.e., it justifies PLDP over LDP).
+///
+/// Returns per-cell estimates. Only `beta`, `seed`, and
+/// `max_reduced_dimension` of `options` are honored.
+StatusOr<std::vector<double>> RunSr(const SpatialTaxonomy& taxonomy,
+                                    const std::vector<UserRecord>& users,
+                                    const PsdaOptions& options);
+
+}  // namespace pldp
+
+#endif  // PLDP_BASELINES_SR_H_

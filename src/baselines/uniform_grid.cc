@@ -1,0 +1,265 @@
+#include "baselines/uniform_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pcep.h"
+#include "core/user_group.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pldp {
+
+StatusOr<std::vector<double>> RunUniformGridBaseline(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users,
+    const UniformGridBaselineOptions& options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("UG baseline needs at least one user");
+  }
+  if (options.guideline_c0 <= 0.0) {
+    return Status::InvalidArgument("guideline constant must be positive");
+  }
+  PLDP_ASSIGN_OR_RETURN(std::vector<UserGroup> groups,
+                        GroupUsersBySafeRegion(taxonomy, users));
+  const UniformGrid& grid = taxonomy.grid();
+  const double beta_each = options.beta / static_cast<double>(groups.size());
+
+  std::vector<double> counts(grid.num_cells(), 0.0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const UserGroup& group = groups[g];
+    const std::vector<CellId> cells = taxonomy.RegionCells(group.region);
+    const uint32_t rows0 = grid.RowOf(cells.front());
+    const uint32_t cols0 = grid.ColOf(cells.front());
+    const uint32_t region_rows = grid.RowOf(cells.back()) - rows0 + 1;
+    const uint32_t region_cols = grid.ColOf(cells.back()) - cols0 + 1;
+
+    // Qardaji guideline: g = ceil(sqrt(n * avg_eps / c0)), clamped to the
+    // region's leaf resolution.
+    double eps_total = 0.0;
+    for (const uint32_t user_index : group.members) {
+      eps_total += users[user_index].spec.epsilon;
+    }
+    const double avg_eps = eps_total / static_cast<double>(group.n());
+    const double g_real = std::sqrt(static_cast<double>(group.n()) * avg_eps /
+                                    options.guideline_c0);
+    const uint32_t grid_rows = static_cast<uint32_t>(std::clamp<double>(
+        std::ceil(g_real), 1.0, static_cast<double>(region_rows)));
+    const uint32_t grid_cols = static_cast<uint32_t>(std::clamp<double>(
+        std::ceil(g_real), 1.0, static_cast<double>(region_cols)));
+
+    // Coarse block of a leaf cell: proportional split of the region rect.
+    auto block_of = [&](uint32_t row, uint32_t col) {
+      const uint32_t br = static_cast<uint32_t>(
+          static_cast<uint64_t>(row - rows0) * grid_rows / region_rows);
+      const uint32_t bc = static_cast<uint32_t>(
+          static_cast<uint64_t>(col - cols0) * grid_cols / region_cols);
+      return br * grid_cols + bc;
+    };
+
+    std::vector<PcepUser> pcep_users;
+    pcep_users.reserve(group.members.size());
+    for (const uint32_t user_index : group.members) {
+      const UserRecord& user = users[user_index];
+      PcepUser pcep_user;
+      pcep_user.location_index =
+          block_of(grid.RowOf(user.cell), grid.ColOf(user.cell));
+      pcep_user.epsilon = user.spec.epsilon;
+      pcep_users.push_back(pcep_user);
+    }
+
+    PcepParams params;
+    params.beta = beta_each;
+    params.seed =
+        SplitMix64(options.seed ^ ((g + 1) * 0xD1B54A32D192ED03ULL));
+    params.max_reduced_dimension = options.max_reduced_dimension;
+    const uint64_t num_blocks =
+        static_cast<uint64_t>(grid_rows) * grid_cols;
+    PLDP_ASSIGN_OR_RETURN(std::vector<double> block_counts,
+                          RunPcep(pcep_users, num_blocks, params));
+
+    // Spread each block uniformly over its leaf cells.
+    std::vector<uint32_t> block_sizes(num_blocks, 0);
+    for (const CellId cell : cells) {
+      ++block_sizes[block_of(grid.RowOf(cell), grid.ColOf(cell))];
+    }
+    for (const CellId cell : cells) {
+      const uint32_t block = block_of(grid.RowOf(cell), grid.ColOf(cell));
+      counts[cell] += block_counts[block] / block_sizes[block];
+    }
+  }
+  return counts;
+}
+
+namespace {
+
+/// A rectangle of grid cells [r0, r1) x [c0, c1).
+struct CellRect {
+  uint32_t r0, r1, c0, c1;
+  uint64_t CellCount() const {
+    return static_cast<uint64_t>(r1 - r0) * (c1 - c0);
+  }
+};
+
+/// Splits `rect` into an at-most g x g partition (proportional cuts; cuts
+/// collapse when the rectangle is narrower than g).
+std::vector<CellRect> SplitRectGrid(const CellRect& rect, uint32_t g) {
+  const uint32_t height = rect.r1 - rect.r0;
+  const uint32_t width = rect.c1 - rect.c0;
+  const uint32_t g_rows = std::min(g, height);
+  const uint32_t g_cols = std::min(g, width);
+  std::vector<CellRect> blocks;
+  blocks.reserve(static_cast<size_t>(g_rows) * g_cols);
+  for (uint32_t br = 0; br < g_rows; ++br) {
+    for (uint32_t bc = 0; bc < g_cols; ++bc) {
+      CellRect block;
+      block.r0 = rect.r0 + static_cast<uint32_t>(
+                               static_cast<uint64_t>(br) * height / g_rows);
+      block.r1 = rect.r0 + static_cast<uint32_t>(
+                               static_cast<uint64_t>(br + 1) * height / g_rows);
+      block.c0 = rect.c0 + static_cast<uint32_t>(
+                               static_cast<uint64_t>(bc) * width / g_cols);
+      block.c1 = rect.c0 + static_cast<uint32_t>(
+                               static_cast<uint64_t>(bc + 1) * width / g_cols);
+      blocks.push_back(block);
+    }
+  }
+  return blocks;
+}
+
+/// Maps every cell of `region` (row-major rank) to its block index.
+std::vector<uint32_t> MapCellsToBlocks(const CellRect& region,
+                                       const std::vector<CellRect>& blocks) {
+  const uint32_t width = region.c1 - region.c0;
+  std::vector<uint32_t> map(region.CellCount(), 0);
+  for (uint32_t b = 0; b < blocks.size(); ++b) {
+    for (uint32_t r = blocks[b].r0; r < blocks[b].r1; ++r) {
+      for (uint32_t c = blocks[b].c0; c < blocks[b].c1; ++c) {
+        map[static_cast<size_t>(r - region.r0) * width + (c - region.c0)] = b;
+      }
+    }
+  }
+  return map;
+}
+
+uint32_t GuidelineGranularity(double n, double avg_eps, double c) {
+  const double g = std::sqrt(std::max(n, 0.0) * avg_eps / c);
+  return static_cast<uint32_t>(std::max(1.0, std::ceil(g)));
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> RunAdaptiveGridBaseline(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users,
+    const AdaptiveGridBaselineOptions& options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("AG baseline needs at least one user");
+  }
+  if (options.guideline_c1 <= 0.0 || options.guideline_c2 <= 0.0) {
+    return Status::InvalidArgument("guideline constants must be positive");
+  }
+  PLDP_ASSIGN_OR_RETURN(std::vector<UserGroup> groups,
+                        GroupUsersBySafeRegion(taxonomy, users));
+  const UniformGrid& grid = taxonomy.grid();
+  // Up to two PCEP instances per group share the confidence budget.
+  const double beta_each =
+      options.beta / (2.0 * static_cast<double>(groups.size()));
+
+  std::vector<double> counts(grid.num_cells(), 0.0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const UserGroup& group = groups[g];
+    const std::vector<CellId> cells = taxonomy.RegionCells(group.region);
+    CellRect region;
+    region.r0 = grid.RowOf(cells.front());
+    region.c0 = grid.ColOf(cells.front());
+    region.r1 = grid.RowOf(cells.back()) + 1;
+    region.c1 = grid.ColOf(cells.back()) + 1;
+    const uint32_t region_width = region.c1 - region.c0;
+
+    double eps_total = 0.0;
+    for (const uint32_t user_index : group.members) {
+      eps_total += users[user_index].spec.epsilon;
+    }
+    const double avg_eps = eps_total / static_cast<double>(group.n());
+
+    // Wave split: even member positions answer level 1, odd ones level 2.
+    std::vector<uint32_t> wave1, wave2;
+    for (size_t i = 0; i < group.members.size(); ++i) {
+      (i % 2 == 0 ? wave1 : wave2).push_back(group.members[i]);
+    }
+
+    auto rank_of = [&](CellId cell) {
+      return static_cast<size_t>(grid.RowOf(cell) - region.r0) * region_width +
+             (grid.ColOf(cell) - region.c0);
+    };
+    auto run_wave = [&](const std::vector<uint32_t>& wave,
+                        const std::vector<CellRect>& blocks,
+                        const std::vector<uint32_t>& cell_to_block,
+                        uint64_t salt) -> StatusOr<std::vector<double>> {
+      std::vector<PcepUser> pcep_users;
+      pcep_users.reserve(wave.size());
+      for (const uint32_t user_index : wave) {
+        const UserRecord& user = users[user_index];
+        PcepUser pcep_user;
+        pcep_user.location_index = cell_to_block[rank_of(user.cell)];
+        pcep_user.epsilon = user.spec.epsilon;
+        pcep_users.push_back(pcep_user);
+      }
+      PcepParams params;
+      params.beta = beta_each;
+      params.seed = SplitMix64(options.seed ^
+                               ((g + 1) * 0xD1B54A32D192ED03ULL) ^ salt);
+      params.max_reduced_dimension = options.max_reduced_dimension;
+      return RunPcep(pcep_users, blocks.size(), params);
+    };
+    auto spread = [&](const std::vector<CellRect>& blocks,
+                      const std::vector<double>& block_counts, double scale) {
+      for (uint32_t b = 0; b < blocks.size(); ++b) {
+        const double per_cell = scale * block_counts[b] /
+                                static_cast<double>(blocks[b].CellCount());
+        for (uint32_t r = blocks[b].r0; r < blocks[b].r1; ++r) {
+          for (uint32_t c = blocks[b].c0; c < blocks[b].c1; ++c) {
+            counts[grid.IdOf(r, c)] += per_cell;
+          }
+        }
+      }
+    };
+
+    // Level 1: coarse grid from the n/2 guideline.
+    const uint32_t g1 = GuidelineGranularity(
+        static_cast<double>(wave1.size()), avg_eps, options.guideline_c1);
+    const std::vector<CellRect> level1 = SplitRectGrid(region, g1);
+    const std::vector<uint32_t> cell_to_l1 = MapCellsToBlocks(region, level1);
+    if (wave2.empty()) {
+      // Tiny group: only a single wave; use level 1 directly.
+      PLDP_ASSIGN_OR_RETURN(const std::vector<double> level1_counts,
+                            run_wave(wave1, level1, cell_to_l1, 0x11));
+      spread(level1, level1_counts, 1.0);
+      continue;
+    }
+    PLDP_ASSIGN_OR_RETURN(const std::vector<double> level1_counts,
+                          run_wave(wave1, level1, cell_to_l1, 0x11));
+
+    // Level 2: each coarse block adapts its granularity to the (noisy,
+    // already-sanitized) wave-1 count, scaled to the full group size.
+    std::vector<CellRect> level2;
+    for (uint32_t b = 0; b < level1.size(); ++b) {
+      const double projected = level1_counts[b] *
+                               static_cast<double>(group.n()) /
+                               static_cast<double>(wave1.size());
+      const uint32_t g2 =
+          GuidelineGranularity(projected, avg_eps, options.guideline_c2);
+      const std::vector<CellRect> blocks = SplitRectGrid(level1[b], g2);
+      level2.insert(level2.end(), blocks.begin(), blocks.end());
+    }
+    const std::vector<uint32_t> cell_to_l2 = MapCellsToBlocks(region, level2);
+    PLDP_ASSIGN_OR_RETURN(const std::vector<double> level2_counts,
+                          run_wave(wave2, level2, cell_to_l2, 0x22));
+    // Wave 2 saw half the users; rescale to the full group.
+    spread(level2, level2_counts,
+           static_cast<double>(group.n()) /
+               static_cast<double>(wave2.size()));
+  }
+  return counts;
+}
+
+}  // namespace pldp

@@ -1,0 +1,229 @@
+#include "cli/cli.h"
+
+#include <iomanip>
+
+#include "baselines/uniform_grid.h"
+#include "core/psda.h"
+#include "data/loader.h"
+#include "data/spec_assignment.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "geo/taxonomy.h"
+#include "util/csv.h"
+
+namespace pldp {
+namespace {
+
+StatusOr<double> FlagDouble(const std::string& flag, const std::string& value) {
+  const StatusOr<double> parsed = ParseDouble(value);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(flag + ": " + parsed.status().message());
+  }
+  return parsed.value();
+}
+
+Status ParseCsvDoubles(const std::string& flag, const std::string& value,
+                       size_t count, double* out) {
+  const std::vector<std::string> fields = SplitCsvLine(value);
+  if (fields.size() != count) {
+    return Status::InvalidArgument(flag + ": expected " +
+                                   std::to_string(count) + " comma-separated "
+                                   "values");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    PLDP_ASSIGN_OR_RETURN(out[i], FlagDouble(flag, fields[i]));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<UserRecord>> BuildCohort(const CliOptions& options,
+                                              const SpatialTaxonomy& taxonomy,
+                                              const std::vector<CellId>& cells) {
+  SafeRegionDistribution safe_regions;
+  EpsilonDistribution epsilons;
+  if (options.setting == "S1E1") {
+    safe_regions = SafeRegionsS1();
+    epsilons = EpsilonsE1();
+  } else if (options.setting == "S1E2") {
+    safe_regions = SafeRegionsS1();
+    epsilons = EpsilonsE2();
+  } else if (options.setting == "S2E1") {
+    safe_regions = SafeRegionsS2();
+    epsilons = EpsilonsE1();
+  } else if (options.setting == "S2E2") {
+    safe_regions = SafeRegionsS2();
+    epsilons = EpsilonsE2();
+  } else {
+    return Status::InvalidArgument("unknown --setting: " + options.setting);
+  }
+  return AssignSpecs(taxonomy, cells, safe_regions, epsilons,
+                     options.seed ^ 0x5E771265);
+}
+
+StatusOr<std::vector<double>> RunNamedScheme(const CliOptions& options,
+                                             const SpatialTaxonomy& taxonomy,
+                                             const std::vector<UserRecord>& users) {
+  if (options.scheme == "ug") {
+    UniformGridBaselineOptions ug;
+    ug.beta = options.beta;
+    ug.seed = options.seed;
+    return RunUniformGridBaseline(taxonomy, users, ug);
+  }
+  Scheme scheme = Scheme::kPsda;
+  if (options.scheme == "psda") {
+    scheme = Scheme::kPsda;
+  } else if (options.scheme == "kdtree") {
+    scheme = Scheme::kKdTree;
+  } else if (options.scheme == "cloak") {
+    scheme = Scheme::kCloak;
+  } else if (options.scheme == "sr") {
+    scheme = Scheme::kSr;
+  } else {
+    return Status::InvalidArgument("unknown --scheme: " + options.scheme);
+  }
+  return RunScheme(scheme, taxonomy, users, options.beta, options.seed);
+}
+
+Status RunCommand(const CliOptions& options, std::ostream& out) {
+  Dataset dataset;
+  if (!options.input_csv.empty()) {
+    PLDP_ASSIGN_OR_RETURN(dataset.points, LoadPointsCsv(options.input_csv));
+    dataset.name = options.input_csv;
+    dataset.domain = BoundingBox{options.domain[0], options.domain[1],
+                                 options.domain[2], options.domain[3]};
+    if (!dataset.domain.IsValid()) {
+      return Status::InvalidArgument(
+          "--input requires a valid --domain min_lon,min_lat,max_lon,max_lat");
+    }
+    dataset.cell_width = options.cell_width;
+    dataset.cell_height = options.cell_height;
+  } else if (!options.dataset.empty()) {
+    PLDP_ASSIGN_OR_RETURN(
+        dataset, GenerateByName(options.dataset, options.scale, options.seed));
+  } else {
+    return Status::InvalidArgument("run needs --dataset or --input");
+  }
+
+  PLDP_ASSIGN_OR_RETURN(UniformGrid grid, dataset.MakeGrid());
+  PLDP_ASSIGN_OR_RETURN(SpatialTaxonomy taxonomy,
+                        SpatialTaxonomy::Build(grid, 4));
+  const std::vector<CellId> cells = dataset.ToCells(grid);
+  const std::vector<double> truth = dataset.TrueHistogram(grid);
+  PLDP_ASSIGN_OR_RETURN(std::vector<UserRecord> users,
+                        BuildCohort(options, taxonomy, cells));
+
+  out << "dataset: " << dataset.name << " (" << dataset.num_users()
+      << " users, " << grid.num_cells() << " cells)\n";
+  out << "scheme: " << options.scheme << ", setting: " << options.setting
+      << ", beta: " << options.beta << ", seed: " << options.seed << "\n";
+
+  PLDP_ASSIGN_OR_RETURN(std::vector<double> counts,
+                        RunNamedScheme(options, taxonomy, users));
+
+  PLDP_ASSIGN_OR_RETURN(const double mae, MaxAbsoluteError(truth, counts));
+  PLDP_ASSIGN_OR_RETURN(const double kl, KlDivergence(truth, counts));
+  out << std::fixed << std::setprecision(4);
+  out << "max absolute error: " << mae << "\n";
+  out << "KL divergence:      " << kl << "\n";
+
+  if (!options.output_csv.empty()) {
+    PLDP_RETURN_IF_ERROR(WriteCountsCsv(options.output_csv, grid, counts));
+    out << "estimate written to " << options.output_csv << "\n";
+  }
+  if (!options.truth_output_csv.empty()) {
+    PLDP_RETURN_IF_ERROR(
+        WriteCountsCsv(options.truth_output_csv, grid, truth));
+    out << "truth written to " << options.truth_output_csv << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return "usage: pldp_cli <datasets|schemes|run> [flags]\n"
+         "  run --dataset road --scheme psda --setting S2E2 --scale 0.05 \\\n"
+         "      --output counts.csv\n"
+         "  run --input points.csv --domain -125,25,-65,50 --cell 1,1 \\\n"
+         "      --scheme psda --output counts.csv\n";
+}
+
+StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("missing command\n" + CliUsage());
+  }
+  CliOptions options;
+  options.command = args[0];
+  if (options.command != "datasets" && options.command != "schemes" &&
+      options.command != "run") {
+    return Status::InvalidArgument("unknown command: " + options.command +
+                                   "\n" + CliUsage());
+  }
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return args[++i];
+    };
+    if (flag == "--dataset") {
+      PLDP_ASSIGN_OR_RETURN(options.dataset, next());
+    } else if (flag == "--input") {
+      PLDP_ASSIGN_OR_RETURN(options.input_csv, next());
+    } else if (flag == "--domain") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_RETURN_IF_ERROR(
+          ParseCsvDoubles(flag, value, 4, options.domain));
+    } else if (flag == "--cell") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      double wh[2];
+      PLDP_RETURN_IF_ERROR(ParseCsvDoubles(flag, value, 2, wh));
+      options.cell_width = wh[0];
+      options.cell_height = wh[1];
+    } else if (flag == "--scheme") {
+      PLDP_ASSIGN_OR_RETURN(options.scheme, next());
+    } else if (flag == "--setting") {
+      PLDP_ASSIGN_OR_RETURN(options.setting, next());
+    } else if (flag == "--scale") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.scale, FlagDouble(flag, value));
+    } else if (flag == "--beta") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.beta, FlagDouble(flag, value));
+    } else if (flag == "--seed") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.seed, ParseUint64(value));
+    } else if (flag == "--output") {
+      PLDP_ASSIGN_OR_RETURN(options.output_csv, next());
+    } else if (flag == "--truth-output") {
+      PLDP_ASSIGN_OR_RETURN(options.truth_output_csv, next());
+    } else {
+      return Status::InvalidArgument("unknown flag: " + flag + "\n" +
+                                     CliUsage());
+    }
+  }
+  return options;
+}
+
+Status RunCli(const CliOptions& options, std::ostream& out) {
+  if (options.command == "datasets") {
+    out << "built-in synthetic datasets (Table I analogs):\n";
+    for (const std::string& name : BenchmarkDatasetNames()) {
+      const Dataset dataset = GenerateByName(name, 0.001, 1).value();
+      out << "  " << name << "  domain " << dataset.domain.ToString()
+          << "  cell " << dataset.cell_width << "x" << dataset.cell_height
+          << "\n";
+    }
+    return Status::OK();
+  }
+  if (options.command == "schemes") {
+    out << "schemes: psda kdtree cloak sr ug\n";
+    return Status::OK();
+  }
+  return RunCommand(options, out);
+}
+
+}  // namespace pldp

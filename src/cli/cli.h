@@ -1,0 +1,60 @@
+#ifndef PLDP_CLI_CLI_H_
+#define PLDP_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Parsed command line of the `pldp_cli` tool.
+///
+/// Commands:
+///   datasets                     list the built-in synthetic datasets
+///   schemes                      list the available aggregation schemes
+///   run                          run one scheme end-to-end
+///
+/// `run` flags:
+///   --dataset <road|checkin|landmark|storage>   synthetic input, or
+///   --input <points.csv> --domain <min_lon,min_lat,max_lon,max_lat>
+///           --cell <w,h>                        real CSV input
+///   --scheme <psda|kdtree|cloak|sr|ug>          (default psda)
+///   --setting <S1E1|S1E2|S2E1|S2E2>             privacy workload (S2E2)
+///   --scale <0..1]                              synthetic cohort scale (0.05)
+///   --beta <b>  --seed <s>                      protocol parameters
+///   --output <counts.csv>                       private estimate dump
+///   --truth-output <counts.csv>                 exact histogram dump
+struct CliOptions {
+  std::string command;
+
+  std::string dataset;
+  std::string input_csv;
+  double domain[4] = {0, 0, 0, 0};
+  double cell_width = 1.0;
+  double cell_height = 1.0;
+
+  std::string scheme = "psda";
+  std::string setting = "S2E2";
+  double scale = 0.05;
+  double beta = 0.1;
+  uint64_t seed = 2016;
+
+  std::string output_csv;
+  std::string truth_output_csv;
+};
+
+/// Parses argv (without the program name). Returns a descriptive
+/// InvalidArgument status on any unknown or malformed flag.
+StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
+
+/// One-line usage text.
+std::string CliUsage();
+
+/// Executes the parsed command; human-readable output goes to `out`.
+Status RunCli(const CliOptions& options, std::ostream& out);
+
+}  // namespace pldp
+
+#endif  // PLDP_CLI_CLI_H_

@@ -1,0 +1,308 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "core/error_model.h"
+#include "util/logging.h"
+
+namespace pldp {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+Cluster MakeSingletonCluster(const SpatialTaxonomy& taxonomy,
+                             const std::vector<UserGroup>& groups,
+                             uint32_t group_index) {
+  const UserGroup& group = groups[group_index];
+  Cluster cluster;
+  cluster.groups = {group_index};
+  cluster.top_region = group.region;
+  cluster.n = group.n();
+  cluster.region_size = taxonomy.RegionSize(group.region);
+  cluster.varsigma = group.varsigma;
+  return cluster;
+}
+
+double ClusterError(const Cluster& cluster, double beta_per_cluster) {
+  return PcepErrorBound(beta_per_cluster, static_cast<double>(cluster.n),
+                        static_cast<double>(cluster.region_size),
+                        cluster.varsigma);
+}
+
+/// The cluster forest and the per-iteration quantities of Algorithm 3.
+///
+/// Every valid path is represented by its deepest cluster d: the path's
+/// cluster set is exactly the clusters whose top regions contain d's top
+/// region (a chain, since all contain d). Stale representatives (d fully
+/// covered by deeper clusters) only contribute subset-sums of real paths and
+/// never affect the maximum. All maxima below are over these per-cluster
+/// path errors:
+///
+///   err_path[c]  - error of the path represented by c (sum along its chain)
+///   max_in[c]    - max err_path over the cluster subtree rooted at c
+///   max_out[c]   - max err_path over everything outside c's subtree
+///
+/// which lets a candidate merge (outer, inner) be evaluated in O(chain)
+/// instead of O(k): paths outside outer's subtree are unchanged; paths under
+/// inner gain (merged - err_outer - err_inner); paths under outer but not
+/// inner gain (merged - err_outer).
+struct IterationState {
+  std::vector<uint32_t> order;        // alive clusters, parents before kids
+  std::vector<int64_t> parent;        // -1 for forest roots
+  std::vector<std::vector<uint32_t>> children;
+  std::vector<double> errs;
+  std::vector<double> err_path;
+  std::vector<double> max_in;
+  std::vector<double> max_out;
+};
+
+/// Builds the forest and all per-path quantities in O(k * (h + log k)).
+IterationState BuildIterationState(const SpatialTaxonomy& taxonomy,
+                                   const std::vector<Cluster>& clusters,
+                                   const std::vector<bool>& alive,
+                                   double beta_each) {
+  const size_t k = clusters.size();
+  IterationState state;
+  state.parent.assign(k, -1);
+  state.children.assign(k, {});
+  state.errs.assign(k, 0.0);
+  state.err_path.assign(k, 0.0);
+  state.max_in.assign(k, kNegInf);
+  state.max_out.assign(k, kNegInf);
+
+  // Tops are unique among alive clusters; map taxonomy node -> cluster.
+  std::vector<int64_t> cluster_at_node(taxonomy.num_nodes(), -1);
+  for (size_t c = 0; c < k; ++c) {
+    if (alive[c]) {
+      PLDP_DCHECK(cluster_at_node[clusters[c].top_region] == -1)
+          << "two alive clusters share a top region";
+      cluster_at_node[clusters[c].top_region] = static_cast<int64_t>(c);
+    }
+  }
+
+  // Parent = nearest strictly-enclosing alive cluster (walk taxonomy chain).
+  for (size_t c = 0; c < k; ++c) {
+    if (!alive[c]) continue;
+    NodeId node = clusters[c].top_region;
+    while (node != taxonomy.root()) {
+      node = taxonomy.parent(node);
+      if (cluster_at_node[node] >= 0) {
+        state.parent[c] = cluster_at_node[node];
+        state.children[cluster_at_node[node]].push_back(
+            static_cast<uint32_t>(c));
+        break;
+      }
+    }
+  }
+
+  // Parents-before-children order: sort by taxonomy level of the top.
+  for (size_t c = 0; c < k; ++c) {
+    if (alive[c]) state.order.push_back(static_cast<uint32_t>(c));
+  }
+  std::sort(state.order.begin(), state.order.end(),
+            [&](uint32_t a, uint32_t b) {
+              const uint32_t la = taxonomy.level(clusters[a].top_region);
+              const uint32_t lb = taxonomy.level(clusters[b].top_region);
+              return la != lb ? la < lb : a < b;
+            });
+
+  for (const uint32_t c : state.order) {
+    state.errs[c] = ClusterError(clusters[c], beta_each);
+    state.err_path[c] =
+        state.errs[c] +
+        (state.parent[c] >= 0 ? state.err_path[state.parent[c]] : 0.0);
+  }
+  for (auto it = state.order.rbegin(); it != state.order.rend(); ++it) {
+    const uint32_t c = *it;
+    state.max_in[c] = state.err_path[c];
+    for (const uint32_t child : state.children[c]) {
+      state.max_in[c] = std::max(state.max_in[c], state.max_in[child]);
+    }
+  }
+
+  // max_out, top-down. For a root r: the best of the other roots' subtrees.
+  // For a child z of x: outside z = outside x, plus path x itself, plus the
+  // subtrees of z's siblings.
+  double best_root = kNegInf, second_root = kNegInf;
+  for (const uint32_t c : state.order) {
+    if (state.parent[c] >= 0) continue;
+    if (state.max_in[c] > best_root) {
+      second_root = best_root;
+      best_root = state.max_in[c];
+    } else {
+      second_root = std::max(second_root, state.max_in[c]);
+    }
+  }
+  for (const uint32_t c : state.order) {
+    if (state.parent[c] < 0) {
+      state.max_out[c] =
+          state.max_in[c] == best_root ? second_root : best_root;
+    }
+    double best_child = kNegInf, second_child = kNegInf;
+    for (const uint32_t child : state.children[c]) {
+      if (state.max_in[child] > best_child) {
+        second_child = best_child;
+        best_child = state.max_in[child];
+      } else {
+        second_child = std::max(second_child, state.max_in[child]);
+      }
+    }
+    for (const uint32_t child : state.children[c]) {
+      const double siblings =
+          state.max_in[child] == best_child ? second_child : best_child;
+      state.max_out[child] = std::max(
+          {state.max_out[c], state.err_path[c], siblings});
+    }
+  }
+  return state;
+}
+
+Status ValidateGroups(const SpatialTaxonomy& taxonomy,
+                      const std::vector<UserGroup>& groups) {
+  std::set<NodeId> seen;
+  for (const UserGroup& group : groups) {
+    if (group.region == kInvalidNode || group.region >= taxonomy.num_nodes()) {
+      return Status::InvalidArgument("group region is not a taxonomy node");
+    }
+    if (group.n() == 0) {
+      return Status::InvalidArgument("empty user group");
+    }
+    if (!seen.insert(group.region).second) {
+      return Status::InvalidArgument(
+          "two user groups share a safe region; merge them first");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double MaxPathError(const SpatialTaxonomy& taxonomy,
+                    const std::vector<Cluster>& clusters, double beta) {
+  if (clusters.empty()) return 0.0;
+  const std::vector<bool> alive(clusters.size(), true);
+  const IterationState state = BuildIterationState(
+      taxonomy, clusters, alive, beta / static_cast<double>(clusters.size()));
+  double max_err = 0.0;
+  for (const uint32_t c : state.order) {
+    max_err = std::max(max_err, state.err_path[c]);
+  }
+  return max_err;
+}
+
+StatusOr<ClusteringResult> TrivialClusters(const SpatialTaxonomy& taxonomy,
+                                           const std::vector<UserGroup>& groups,
+                                           const ClusteringOptions& options) {
+  if (!(options.beta > 0.0 && options.beta < 1.0)) {
+    return Status::InvalidArgument("beta must be in (0, 1)");
+  }
+  PLDP_RETURN_IF_ERROR(ValidateGroups(taxonomy, groups));
+  ClusteringResult result;
+  result.clusters.reserve(groups.size());
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    result.clusters.push_back(MakeSingletonCluster(taxonomy, groups, g));
+  }
+  result.initial_max_path_error =
+      MaxPathError(taxonomy, result.clusters, options.beta);
+  result.final_max_path_error = result.initial_max_path_error;
+  return result;
+}
+
+StatusOr<ClusteringResult> ClusterUserGroups(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserGroup>& groups,
+    const ClusteringOptions& options) {
+  PLDP_ASSIGN_OR_RETURN(ClusteringResult result,
+                        TrivialClusters(taxonomy, groups, options));
+  std::vector<Cluster>& clusters = result.clusters;
+  const size_t k = clusters.size();
+  if (k <= 1) return result;
+
+  std::vector<bool> alive(k, true);
+  size_t num_alive = k;
+  double lmax = result.initial_max_path_error;  // Lines 1-4 of Algorithm 3.
+
+  // Scratch: the ancestor chain of the current inner cluster.
+  std::vector<uint32_t> chain;
+
+  while (num_alive > 1 && result.merges < options.max_iterations) {
+    // Lines 6-7: all quantities at the post-merge confidence beta/(|C|-1).
+    const double beta_each =
+        options.beta / static_cast<double>(num_alive - 1);
+    const IterationState state =
+        BuildIterationState(taxonomy, clusters, alive, beta_each);
+
+    // Lines 8-17: evaluate every comparable (same-path) pair once. Pairs are
+    // exactly (inner, one of its cluster-forest ancestors).
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_outer = k, best_inner = k;
+    for (const uint32_t inner : state.order) {
+      chain.clear();
+      for (int64_t a = state.parent[inner]; a >= 0; a = state.parent[a]) {
+        chain.push_back(static_cast<uint32_t>(a));
+      }
+      // Walking outward: maintain the max over paths that are under the
+      // current outer but outside inner's branch (term B, without deltas).
+      double branch_max = kNegInf;
+      uint32_t below = inner;  // the chain node whose subtree holds inner
+      for (const uint32_t outer : chain) {
+        // Paths based at outer itself, plus subtrees of outer's children
+        // other than the branch toward inner.
+        branch_max = std::max(branch_max, state.err_path[outer]);
+        for (const uint32_t child : state.children[outer]) {
+          if (child != below) {
+            branch_max = std::max(branch_max, state.max_in[child]);
+          }
+        }
+        below = outer;
+
+        Cluster merged;
+        merged.top_region = clusters[outer].top_region;
+        merged.n = clusters[outer].n + clusters[inner].n;
+        merged.region_size = clusters[outer].region_size;
+        merged.varsigma = clusters[outer].varsigma + clusters[inner].varsigma;
+        const double delta_outer =
+            ClusterError(merged, beta_each) - state.errs[outer];
+        const double delta_inner = -state.errs[inner];
+
+        double worst = state.max_out[outer];  // unchanged paths
+        worst = std::max(worst, branch_max + delta_outer);
+        worst = std::max(worst,
+                         state.max_in[inner] + delta_outer + delta_inner);
+        if (worst < best) {
+          best = worst;
+          best_outer = outer;
+          best_inner = inner;
+        }
+      }
+    }
+
+    // Lines 18-23: merge only if the best merge improves the objective.
+    if (best_outer == k || best >= lmax) break;
+    Cluster& outer = clusters[best_outer];
+    Cluster& inner = clusters[best_inner];
+    outer.groups.insert(outer.groups.end(), inner.groups.begin(),
+                        inner.groups.end());
+    outer.n += inner.n;
+    outer.varsigma += inner.varsigma;
+    alive[best_inner] = false;
+    --num_alive;
+    ++result.merges;
+    lmax = best;
+  }
+
+  // Compact the surviving clusters.
+  std::vector<Cluster> survivors;
+  survivors.reserve(num_alive);
+  for (size_t c = 0; c < k; ++c) {
+    if (alive[c]) survivors.push_back(std::move(clusters[c]));
+  }
+  clusters = std::move(survivors);
+  result.final_max_path_error =
+      MaxPathError(taxonomy, clusters, options.beta);
+  return result;
+}
+
+}  // namespace pldp

@@ -1,0 +1,145 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace pldp {
+
+StatusOr<std::vector<double>> EnforceConsistency(
+    const SpatialTaxonomy& taxonomy, const std::vector<double>& leaf_counts,
+    const std::vector<UserGroup>& groups) {
+  const size_t num_nodes = taxonomy.num_nodes();
+  if (leaf_counts.size() != taxonomy.grid().num_cells()) {
+    return Status::InvalidArgument(
+        "leaf_counts size does not match the grid's cell count");
+  }
+
+  // Public group size attached to each node (0 if no group there).
+  std::vector<double> group_n(num_nodes, 0.0);
+  for (const UserGroup& group : groups) {
+    if (group.region >= num_nodes) {
+      return Status::InvalidArgument("group region is not a taxonomy node");
+    }
+    group_n[group.region] += static_cast<double>(group.n());
+  }
+
+  // Bottom-up passes. BuildRecursive assigns children larger ids than their
+  // parent, so a reverse id sweep visits children first.
+  std::vector<double> estimate(num_nodes, 0.0);
+  std::vector<double> subtree_n(num_nodes, 0.0);  // dt(v)
+  for (size_t v = num_nodes; v-- > 0;) {
+    const auto node = static_cast<NodeId>(v);
+    subtree_n[v] = group_n[v];
+    if (taxonomy.IsLeaf(node)) {
+      estimate[v] = leaf_counts[taxonomy.LeafCell(node)];
+    } else {
+      for (const NodeId child : taxonomy.children(node)) {
+        estimate[v] += estimate[child];
+        subtree_n[v] += subtree_n[child];
+      }
+    }
+  }
+
+  // Ancestor group mass at(v), via a forward (parents-first) sweep.
+  std::vector<double> ancestor_n(num_nodes, 0.0);
+  for (size_t v = 0; v < num_nodes; ++v) {
+    for (const NodeId child : taxonomy.children(static_cast<NodeId>(v))) {
+      ancestor_n[child] = ancestor_n[v] + group_n[v];
+    }
+  }
+
+  // The root's count is public: the total number of participants.
+  estimate[taxonomy.root()] = subtree_n[taxonomy.root()];
+
+  // Top-down adjustment. For each node, project the children onto the
+  // feasible set {y : lb_i <= y_i <= ub_i, sum y_i = parent} by a uniform
+  // shift: find t with sum_i clamp(x_i + t, lb_i, ub_i) = parent. This is
+  // the paper's "distribute the difference uniformly over the siblings that
+  // do not require an adjustment", made exact in the corner cases where a
+  // naive pass would strand residual on children pinned at a bound. The
+  // shifted sum is monotone in t and the feasible set is non-empty (the sum
+  // of child bounds brackets the parent's clamped value), so a bisection on
+  // t converges; already-consistent children get t = 0 and stay put.
+  for (size_t v = 0; v < num_nodes; ++v) {
+    const auto node = static_cast<NodeId>(v);
+    const std::vector<NodeId>& children = taxonomy.children(node);
+    if (children.empty()) continue;
+
+    const double target = estimate[v];
+    auto shifted_sum = [&](double t) {
+      double total = 0.0;
+      for (const NodeId child : children) {
+        const double lb = subtree_n[child];
+        const double ub = subtree_n[child] + ancestor_n[child];
+        total += std::clamp(estimate[child] + t, lb, ub);
+      }
+      return total;
+    };
+
+    // Bracket t: shifting by +/- (|target| + sum |x_i| + sum bounds) pins
+    // every child at a bound.
+    double lo = 0.0, hi = 0.0;
+    for (const NodeId child : children) {
+      const double lb = subtree_n[child];
+      const double ub = subtree_n[child] + ancestor_n[child];
+      lo = std::min(lo, lb - estimate[child]);
+      hi = std::max(hi, ub - estimate[child]);
+    }
+    if (shifted_sum(lo) > target) {
+      // Parent below the children's joint lower bound (possible only through
+      // floating-point slack at the parent's own clamp): pin at bounds.
+      hi = lo;
+    } else if (shifted_sum(hi) < target) {
+      lo = hi;
+    } else {
+      for (int iter = 0; iter < 128 && hi - lo > 1e-12; ++iter) {
+        const double mid = lo + (hi - lo) / 2.0;
+        if (shifted_sum(mid) < target) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+    }
+    const double t = lo + (hi - lo) / 2.0;
+    for (const NodeId child : children) {
+      const double lb = subtree_n[child];
+      const double ub = subtree_n[child] + ancestor_n[child];
+      estimate[child] = std::clamp(estimate[child] + t, lb, ub);
+    }
+    // Spread any residual (saturation slack) over the strictly interior
+    // children so the subtree keeps summing to the parent exactly.
+    double child_sum = 0.0;
+    size_t interior = 0;
+    for (const NodeId child : children) {
+      child_sum += estimate[child];
+      const double lb = subtree_n[child];
+      const double ub = subtree_n[child] + ancestor_n[child];
+      if (estimate[child] > lb + 1e-9 && estimate[child] < ub - 1e-9) {
+        ++interior;
+      }
+    }
+    const double residual = target - child_sum;
+    if (std::fabs(residual) > 0.0 && interior > 0) {
+      const double share = residual / static_cast<double>(interior);
+      for (const NodeId child : children) {
+        const double lb = subtree_n[child];
+        const double ub = subtree_n[child] + ancestor_n[child];
+        if (estimate[child] > lb + 1e-9 && estimate[child] < ub - 1e-9) {
+          estimate[child] = std::clamp(estimate[child] + share, lb, ub);
+        }
+      }
+    }
+  }
+
+  std::vector<double> adjusted(leaf_counts.size(), 0.0);
+  for (CellId cell = 0; cell < adjusted.size(); ++cell) {
+    adjusted[cell] = estimate[taxonomy.LeafNodeOfCell(cell)];
+  }
+  return adjusted;
+}
+
+}  // namespace pldp

@@ -1,0 +1,32 @@
+#ifndef PLDP_CORE_CONSISTENCY_H_
+#define PLDP_CORE_CONSISTENCY_H_
+
+#include <vector>
+
+#include "core/user_group.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// The consistency post-processing of Algorithm 4 (line 10).
+///
+/// Using only public information (group sizes per safe region), each taxonomy
+/// node's true user count is bounded by
+///   lb(v) = sum of group sizes at v's descendants (incl. v)
+///   ub(v) = lb(v) + sum of group sizes at v's proper ancestors
+/// The procedure (i) aggregates the estimated leaf counts bottom-up, (ii)
+/// pins the root to the exact total user count, and (iii) walks top-down
+/// clamping every node into [lb, ub] while redistributing the residual among
+/// unclamped siblings so children always sum to their parent.
+///
+/// `leaf_counts` holds one estimate per grid cell; the returned vector is the
+/// adjusted per-cell estimates. Because it touches no private data, this step
+/// costs no privacy (Theorem 4.7).
+StatusOr<std::vector<double>> EnforceConsistency(
+    const SpatialTaxonomy& taxonomy, const std::vector<double>& leaf_counts,
+    const std::vector<UserGroup>& groups);
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_CONSISTENCY_H_

@@ -1,0 +1,31 @@
+#include "core/error_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pldp {
+
+double CEpsilon(double epsilon) {
+  PLDP_CHECK(epsilon > 0.0) << "CEpsilon requires epsilon > 0";
+  // expm1 keeps the denominator accurate for small epsilon.
+  return (std::exp(epsilon) + 1.0) / std::expm1(epsilon);
+}
+
+double PrivacyFactorTerm(double epsilon) {
+  const double c = CEpsilon(epsilon);
+  return c * c;
+}
+
+double PcepErrorBound(double beta, double n, double region_size,
+                      double varsigma) {
+  PLDP_CHECK(beta > 0.0 && beta < 1.0) << "beta must be in (0, 1)";
+  PLDP_CHECK(region_size >= 1.0) << "region size must be at least 1";
+  if (n <= 0.0) return 0.0;
+  const double sampling_term =
+      std::sqrt(2.0 * varsigma * std::log(4.0 * region_size / beta));
+  const double jl_term = std::sqrt(n * std::log(2.0 * region_size / beta));
+  return sampling_term + jl_term;
+}
+
+}  // namespace pldp

@@ -1,0 +1,31 @@
+#ifndef PLDP_CORE_ERROR_MODEL_H_
+#define PLDP_CORE_ERROR_MODEL_H_
+
+#include <cstdint>
+
+namespace pldp {
+
+/// c_eps = (e^eps + 1) / (e^eps - 1), the debiasing constant of the local
+/// randomizer (Algorithm 2). Diverges as eps -> 0. Requires eps > 0.
+double CEpsilon(double epsilon);
+
+/// The user's contribution c_eps^2 to a protocol's privacy factor
+/// (the paper's varsigma = sum_i c_{eps_i}^2).
+double PrivacyFactorTerm(double epsilon);
+
+/// The Theorem 4.5 high-probability bound on PCEP's maximum absolute error:
+///
+///   err(beta, n, d, varsigma) = sqrt(2 * varsigma * ln(4d / beta))
+///                             + sqrt(n * ln(2d / beta))
+///
+/// where n is the number of participating users, d the safe-region size
+/// |tau|, and varsigma the privacy factor. This analytical model is what the
+/// user-group clustering objective (Definition 4.1) optimizes.
+///
+/// Degenerate inputs (n == 0) yield 0; beta must be in (0, 1).
+double PcepErrorBound(double beta, double n, double region_size,
+                      double varsigma);
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_ERROR_MODEL_H_

@@ -1,0 +1,107 @@
+#ifndef PLDP_CORE_FREQUENCY_ORACLE_H_
+#define PLDP_CORE_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pcep.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// A local-differential-privacy frequency oracle: every client holds one
+/// item (an index into a width-sized domain) and a personal epsilon, sends
+/// one sanitized report, and the server estimates the count of every item.
+///
+/// PCEP (the paper's building block, after Bassily-Smith) is one such
+/// oracle; RAPPOR [8] and generalized randomized response [14] are the
+/// alternatives the paper's related-work section weighs it against. The
+/// PSDA framework is parameterized over this interface
+/// (RunPsdaWithOracle), so the comparison can be made end-to-end.
+///
+/// Implementations must be deterministic in (users, width, seed) and
+/// (tau, epsilon_i)-PLDP for each user when run over a safe region tau of
+/// `width` locations.
+class FrequencyOracle {
+ public:
+  virtual ~FrequencyOracle() = default;
+
+  /// Short human-readable name ("PCEP", "RAPPOR", "kRR").
+  virtual std::string Name() const = 0;
+
+  /// Runs the whole protocol over `users` (each holding `location_index` in
+  /// [0, width)). `beta` is the confidence parameter (oracles without a
+  /// tunable confidence ignore it); `seed` drives all randomness.
+  virtual StatusOr<std::vector<double>> EstimateCounts(
+      const std::vector<PcepUser>& users, uint64_t width, double beta,
+      uint64_t seed) const = 0;
+};
+
+/// The paper's oracle: Algorithm 1 (PCEP).
+class PcepOracle final : public FrequencyOracle {
+ public:
+  explicit PcepOracle(uint64_t max_reduced_dimension = uint64_t{1} << 26)
+      : max_reduced_dimension_(max_reduced_dimension) {}
+
+  std::string Name() const override { return "PCEP"; }
+
+  StatusOr<std::vector<double>> EstimateCounts(
+      const std::vector<PcepUser>& users, uint64_t width, double beta,
+      uint64_t seed) const override;
+
+ private:
+  uint64_t max_reduced_dimension_;
+};
+
+/// Generalized (k-ary) randomized response, the "extremal mechanism" of
+/// Kairouz et al. [14]: report the true item with probability
+/// e^eps / (e^eps + k - 1), otherwise a uniformly random other item. The
+/// server debiases per epsilon value (personalization makes the inversion
+/// per-group). Communication: O(log k) bits up, nothing down - cheaper than
+/// PCEP - but the estimate variance grows linearly in k, which is the
+/// utility collapse the paper alludes to for large universes.
+class KrrOracle final : public FrequencyOracle {
+ public:
+  std::string Name() const override { return "kRR"; }
+
+  StatusOr<std::vector<double>> EstimateCounts(
+      const std::vector<PcepUser>& users, uint64_t width, double beta,
+      uint64_t seed) const override;
+};
+
+/// Basic one-time RAPPOR [8]: each client hashes its item into a Bloom
+/// filter of `num_bloom_bits` bits with `num_hashes` hash functions and
+/// perturbs every bit with a binary randomized response at budget
+/// eps / (2 * num_hashes) (changing the item flips at most 2*num_hashes
+/// bits, so sequential composition gives eps-LDP). The server debiases each
+/// bit position per epsilon value and scores an item by the mean of its bit
+/// positions' debiased counts.
+///
+/// This is RAPPOR without the regression-based decoding step, which is the
+/// form comparable to a plain frequency oracle; Bloom collisions bias the
+/// estimates upward, one of the reasons the paper prefers the
+/// Bassily-Smith construction.
+class RapporOracle final : public FrequencyOracle {
+ public:
+  explicit RapporOracle(uint32_t num_bloom_bits = 128,
+                        uint32_t num_hashes = 2)
+      : num_bloom_bits_(num_bloom_bits), num_hashes_(num_hashes) {}
+
+  std::string Name() const override { return "RAPPOR"; }
+
+  StatusOr<std::vector<double>> EstimateCounts(
+      const std::vector<PcepUser>& users, uint64_t width, double beta,
+      uint64_t seed) const override;
+
+  uint32_t num_bloom_bits() const { return num_bloom_bits_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+
+ private:
+  uint32_t num_bloom_bits_;
+  uint32_t num_hashes_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_FREQUENCY_ORACLE_H_

@@ -1,0 +1,127 @@
+#include "core/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+/// log2 of a power of two, or 0 when `value` is not one.
+uint32_t Log2Exact(uint32_t value) {
+  if (value < 2 || (value & (value - 1)) != 0) return 0;
+  uint32_t bits = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+StatusOr<std::vector<HeavyHitter>> FindHeavyHitters(
+    const std::vector<PcepUser>& users, uint64_t width,
+    const HeavyHittersOptions& options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("heavy hitters need at least one user");
+  }
+  if (width == 0 || width > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("width must be in [1, 2^32]");
+  }
+  if (options.max_results == 0 || options.frontier_factor == 0) {
+    return Status::InvalidArgument("max_results/frontier_factor must be > 0");
+  }
+  const uint32_t bits_per_level = Log2Exact(options.branching);
+  if (bits_per_level == 0) {
+    return Status::InvalidArgument("branching must be a power of two >= 2");
+  }
+  for (const PcepUser& user : users) {
+    if (user.location_index >= width) {
+      return Status::InvalidArgument("user item outside the domain");
+    }
+  }
+
+  // Number of levels so that branching^levels covers the domain.
+  uint32_t domain_bits = 0;
+  while ((uint64_t{1} << domain_bits) < width) ++domain_bits;
+  const uint32_t levels =
+      (domain_bits + bits_per_level - 1) / bits_per_level;
+  if (levels == 0) {
+    // Singleton domain.
+    return std::vector<HeavyHitter>{{0, static_cast<double>(users.size())}};
+  }
+  const uint32_t padded_bits = levels * bits_per_level;
+
+  // Split users across levels; each reports once (full epsilon).
+  std::vector<std::vector<PcepUser>> level_users(levels);
+  for (size_t i = 0; i < users.size(); ++i) {
+    level_users[i % levels].push_back(users[i]);
+  }
+  const double n_total = static_cast<double>(users.size());
+  const double beta_each = options.beta / static_cast<double>(levels);
+  const size_t frontier_cap = options.frontier_factor * options.max_results;
+
+  // Frontier of surviving prefixes, starting from the empty prefix.
+  std::vector<HeavyHitter> frontier = {{0, n_total}};
+  for (uint32_t t = 1; t <= levels; ++t) {
+    const std::vector<PcepUser>& cohort = level_users[t - 1];
+    if (cohort.empty()) {
+      return Status::FailedPrecondition(
+          "too few users to populate every prefix-tree level");
+    }
+    // Level-t domain: all prefixes of t * bits_per_level bits (only
+    // candidates get decoded, so the width may be astronomically large).
+    const uint32_t shift = padded_bits - t * bits_per_level;
+    const uint64_t level_width = uint64_t{1} << (t * bits_per_level);
+    std::vector<PcepUser> reports;
+    reports.reserve(cohort.size());
+    for (const PcepUser& user : cohort) {
+      PcepUser report;
+      report.location_index =
+          static_cast<uint32_t>(user.location_index >> shift);
+      report.epsilon = user.epsilon;
+      reports.push_back(report);
+    }
+    PcepParams params;
+    params.beta = beta_each;
+    params.seed = SplitMix64(options.seed ^ (t * 0x9E3779B97F4A7C15ULL));
+    params.max_reduced_dimension = options.max_reduced_dimension;
+    PLDP_ASSIGN_OR_RETURN(const PcepServer server,
+                          RunPcepCollection(reports, level_width, params));
+
+    // Expand the frontier: decode every child of each surviving prefix,
+    // rescaled from the level subsample to the whole cohort.
+    const double scale = n_total / static_cast<double>(cohort.size());
+    std::vector<HeavyHitter> next;
+    next.reserve(frontier.size() * options.branching);
+    for (const HeavyHitter& prefix : frontier) {
+      for (uint64_t branch = 0; branch < options.branching; ++branch) {
+        const uint64_t child = (prefix.item << bits_per_level) | branch;
+        if ((child << shift) >= width) continue;  // padding prefix
+        const double estimate = server.EstimateItem(child) * scale;
+        if (options.threshold_fraction > 0.0 &&
+            estimate < options.threshold_fraction * n_total) {
+          continue;
+        }
+        next.push_back({child, estimate});
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const HeavyHitter& a, const HeavyHitter& b) {
+                return a.estimated_count > b.estimated_count;
+              });
+    if (next.size() > frontier_cap) next.resize(frontier_cap);
+    if (next.empty()) return std::vector<HeavyHitter>{};
+    frontier = std::move(next);
+  }
+
+  if (frontier.size() > options.max_results) {
+    frontier.resize(options.max_results);
+  }
+  return frontier;
+}
+
+}  // namespace pldp

@@ -1,0 +1,70 @@
+#ifndef PLDP_CORE_HEAVY_HITTERS_H_
+#define PLDP_CORE_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pcep.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+struct HeavyHittersOptions {
+  /// Confidence parameter, split over the tree levels' PCEP instances.
+  double beta = 0.1;
+
+  uint64_t seed = 0x8EA47B17735ULL;
+
+  /// Maximum number of heavy hitters returned.
+  size_t max_results = 10;
+
+  /// Candidate prefixes whose estimated count falls below
+  /// `threshold_fraction * n` are pruned (0 disables threshold pruning; the
+  /// candidate cap below still bounds the frontier).
+  double threshold_fraction = 0.0;
+
+  /// The per-level candidate frontier is capped at
+  /// `frontier_factor * max_results` surviving prefixes.
+  size_t frontier_factor = 4;
+
+  /// Prefix-tree arity; must be a power of two. Wider trees mean fewer
+  /// levels, hence larger per-level cohorts and less noise per estimate, at
+  /// the cost of a proportionally larger frontier expansion per level.
+  /// 16 is a good default for spatial grids (a 16M-cell universe needs only
+  /// 6 levels).
+  uint32_t branching = 16;
+
+  uint64_t max_reduced_dimension = uint64_t{1} << 26;
+};
+
+struct HeavyHitter {
+  uint64_t item = 0;
+  double estimated_count = 0.0;
+};
+
+/// Succinct heavy-hitter discovery in the local model - the headline
+/// capability of Bassily-Smith [3], whose frequency oracle PCEP adapts.
+///
+/// Finds the (approximately) most frequent items of a domain of `width`
+/// items WITHOUT ever enumerating the domain: users are split across the
+/// ceil(log2(width)) levels of a binary prefix tree (each user reports
+/// once, at full epsilon, so eps-LDP is preserved); level t's group answers
+/// a PCEP whose domain is all t-bit prefixes, but the server only decodes
+/// the children of the surviving frontier (PcepServer::EstimateItem makes a
+/// single count O(reports)). Estimated counts are rescaled from the level's
+/// subsample to the full cohort.
+///
+/// The returned hitters are sorted by estimated count, descending. Expect
+/// useful results only for items whose frequency clears the sampling noise
+/// of an n/log2(width) subsample - the same caveat as [3].
+///
+/// `width` may exceed the grid sizes this library otherwise handles (up to
+/// 2^32); items are plain integers, so the same routine serves categorical
+/// domains.
+StatusOr<std::vector<HeavyHitter>> FindHeavyHitters(
+    const std::vector<PcepUser>& users, uint64_t width,
+    const HeavyHittersOptions& options);
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_HEAVY_HITTERS_H_

@@ -1,0 +1,39 @@
+#include "core/local_randomizer.h"
+
+#include <cmath>
+
+#include "core/error_model.h"
+
+namespace pldp {
+
+double LrKeepProbability(double epsilon) {
+  PLDP_CHECK(epsilon > 0.0);
+  const double e = std::exp(epsilon);
+  return e / (e + 1.0);
+}
+
+StatusOr<double> LocalRandomize(bool positive_sign, uint64_t m, double epsilon,
+                                Rng* rng) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("local randomizer requires epsilon > 0");
+  }
+  if (m == 0) {
+    return Status::InvalidArgument("reduced dimension m must be positive");
+  }
+  PLDP_CHECK(rng != nullptr);
+  const double magnitude = CEpsilon(epsilon) * std::sqrt(static_cast<double>(m));
+  const bool keep = rng->Bernoulli(LrKeepProbability(epsilon));
+  const double sign = positive_sign == keep ? 1.0 : -1.0;
+  return sign * magnitude;
+}
+
+StatusOr<double> LocalRandomizeRow(const BitVector& row_bits,
+                                   uint64_t local_index, uint64_t m,
+                                   double epsilon, Rng* rng) {
+  if (local_index >= row_bits.size()) {
+    return Status::OutOfRange("location index beyond the received row");
+  }
+  return LocalRandomize(row_bits.Get(local_index), m, epsilon, rng);
+}
+
+}  // namespace pldp

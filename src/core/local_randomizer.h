@@ -1,0 +1,41 @@
+#ifndef PLDP_CORE_LOCAL_RANDOMIZER_H_
+#define PLDP_CORE_LOCAL_RANDOMIZER_H_
+
+#include <cstdint>
+
+#include "util/bit_vector.h"
+#include "util/random.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Probability that Algorithm 2 keeps the sign of the true bit:
+/// e^eps / (e^eps + 1).
+double LrKeepProbability(double epsilon);
+
+/// The on-device local randomizer LR (Algorithm 2).
+///
+/// Given the sign bit x_l of the user's location encoding (true => +1/sqrt(m))
+/// it returns the sanitized value
+///
+///   z = +c_eps * sqrt(m) * sign(x_l)  with probability e^eps/(e^eps+1)
+///   z = -c_eps * sqrt(m) * sign(x_l)  otherwise
+///
+/// (c_eps * m * x_l has magnitude c_eps * sqrt(m) since |x_l| = 1/sqrt(m)).
+/// The output is (tau, eps)-PLDP for the user (Theorem 4.2) and an unbiased
+/// estimator of x_l after the 1/m row-sampling correction (Theorem 4.3).
+///
+/// Fails if eps <= 0 or m == 0.
+StatusOr<double> LocalRandomize(bool positive_sign, uint64_t m, double epsilon,
+                                Rng* rng);
+
+/// Convenience wrapper matching Algorithm 2's signature: selects the user's
+/// bit x_{l_i} from the received row and randomizes it. `local_index` is the
+/// user's location index within the safe region's cell ordering.
+StatusOr<double> LocalRandomizeRow(const BitVector& row_bits,
+                                   uint64_t local_index, uint64_t m,
+                                   double epsilon, Rng* rng);
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_LOCAL_RANDOMIZER_H_

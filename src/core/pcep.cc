@@ -1,0 +1,163 @@
+#include "core/pcep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "core/local_randomizer.h"
+#include "util/logging.h"
+
+namespace pldp {
+
+StatusOr<PcepDimensions> ComputePcepDimensions(uint64_t n, uint64_t tau_size,
+                                               double beta, uint64_t max_m) {
+  if (n == 0) return Status::InvalidArgument("PCEP needs at least one user");
+  if (tau_size == 0) {
+    return Status::InvalidArgument("PCEP needs a non-empty region");
+  }
+  if (!(beta > 0.0 && beta < 1.0)) {
+    return Status::InvalidArgument("beta must be in (0, 1), got " +
+                                   std::to_string(beta));
+  }
+  if (max_m == 0) return Status::InvalidArgument("max_reduced_dimension == 0");
+
+  PcepDimensions dims;
+  const double d = static_cast<double>(tau_size);
+  dims.delta = std::sqrt(std::log(2.0 * d / beta) / static_cast<double>(n));
+  const double m_real = std::log(d + 1.0) * std::log(2.0 / beta) /
+                        (dims.delta * dims.delta);
+  const double m_ceil = std::ceil(m_real);
+  dims.m = m_ceil < 1.0 ? 1 : static_cast<uint64_t>(m_ceil);
+  if (dims.m > max_m) dims.m = max_m;
+  return dims;
+}
+
+StatusOr<PcepServer> PcepServer::Create(uint64_t tau_size, uint64_t n_expected,
+                                        const PcepParams& params) {
+  PcepDimensions dims;
+  PLDP_ASSIGN_OR_RETURN(
+      dims, ComputePcepDimensions(n_expected, tau_size, params.beta,
+                                  params.max_reduced_dimension));
+  const PcepSeeds seeds(params.seed);
+  return PcepServer(tau_size, dims, seeds.matrix);
+}
+
+void PcepServer::Accumulate(uint64_t row, double z) {
+  PLDP_CHECK(row < z_.size()) << "row index out of range";
+  if (z_[row] == 0.0) touched_rows_.push_back(row);
+  z_[row] += z;
+  ++num_reports_;
+}
+
+namespace {
+
+/// Accumulates the decode contributions of touched rows [begin, end) into
+/// `counts` (sized tau_size).
+void DecodeRowRange(const SignMatrix& matrix, const std::vector<double>& z,
+                    const std::vector<uint64_t>& touched_rows, size_t begin,
+                    size_t end, uint64_t tau_size,
+                    std::vector<double>* counts) {
+  const double scale = matrix.scale();
+  const size_t words = (tau_size + 63) / 64;
+  for (size_t i = begin; i < end; ++i) {
+    const uint64_t row = touched_rows[i];
+    const double zj = z[row];
+    if (zj == 0.0) continue;  // reports on this row cancelled exactly
+    const double contribution = zj * scale;
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t bits = matrix.RowWord(row, w);
+      const size_t base = w * 64;
+      const size_t limit = std::min<size_t>(64, tau_size - base);
+      for (size_t b = 0; b < limit; ++b) {
+        (*counts)[base + b] += (bits & 1) ? contribution : -contribution;
+        bits >>= 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> PcepServer::Estimate() const {
+  std::vector<double> counts(tau_size_, 0.0);
+  DecodeRowRange(matrix_, z_, touched_rows_, 0, touched_rows_.size(),
+                 tau_size_, &counts);
+  return counts;
+}
+
+std::vector<double> PcepServer::EstimateParallel(unsigned num_threads) const {
+  if (num_threads <= 1 || touched_rows_.size() < 2 * num_threads) {
+    return Estimate();
+  }
+  const size_t total = touched_rows_.size();
+  std::vector<std::vector<double>> partials(
+      num_threads, std::vector<double>(tau_size_, 0.0));
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const size_t begin = total * t / num_threads;
+    const size_t end = total * (t + 1) / num_threads;
+    workers.emplace_back([this, begin, end, &partials, t] {
+      DecodeRowRange(matrix_, z_, touched_rows_, begin, end, tau_size_,
+                     &partials[t]);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Combine in worker order (deterministic for a fixed thread count).
+  std::vector<double> counts(tau_size_, 0.0);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    for (uint64_t k = 0; k < tau_size_; ++k) counts[k] += partials[t][k];
+  }
+  return counts;
+}
+
+double PcepServer::EstimateItem(uint64_t item) const {
+  PLDP_CHECK(item < tau_size_) << "item outside the region";
+  const double scale = matrix_.scale();
+  double count = 0.0;
+  for (const uint64_t row : touched_rows_) {
+    const double zj = z_[row];
+    if (zj == 0.0) continue;
+    count += matrix_.SignAt(row, item) ? zj * scale : -zj * scale;
+  }
+  return count;
+}
+
+StatusOr<PcepServer> RunPcepCollection(const std::vector<PcepUser>& users,
+                                       uint64_t tau_size,
+                                       const PcepParams& params) {
+  PLDP_ASSIGN_OR_RETURN(PcepServer server,
+                        PcepServer::Create(tau_size, users.size(), params));
+  const PcepSeeds seeds(params.seed);
+  Rng row_rng(seeds.row_assignment);
+  const SignMatrix& matrix = server.sign_matrix();
+
+  for (size_t i = 0; i < users.size(); ++i) {
+    const PcepUser& user = users[i];
+    if (user.location_index >= tau_size) {
+      return Status::InvalidArgument("user location index outside the region");
+    }
+    const uint64_t row = server.AssignRow(&row_rng);
+    // Fast path: the client's bit x_{l_i} is one entry of the shared implicit
+    // matrix; O(1) on-device work as analyzed in Section IV-A.
+    const bool sign = matrix.SignAt(row, user.location_index);
+    Rng client_rng(seeds.ClientSeed(i));
+    double z = 0.0;
+    PLDP_ASSIGN_OR_RETURN(
+        z, LocalRandomize(sign, server.m(), user.epsilon, &client_rng));
+    server.Accumulate(row, z);
+  }
+  return server;
+}
+
+StatusOr<std::vector<double>> RunPcep(const std::vector<PcepUser>& users,
+                                      uint64_t tau_size,
+                                      const PcepParams& params) {
+  PLDP_ASSIGN_OR_RETURN(const PcepServer server,
+                        RunPcepCollection(users, tau_size, params));
+  return server.Estimate();
+}
+
+}  // namespace pldp

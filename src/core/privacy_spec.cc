@@ -1,0 +1,48 @@
+#include "core/privacy_spec.h"
+
+#include <cmath>
+#include <string>
+
+namespace pldp {
+
+Status ValidatePrivacySpec(const SpatialTaxonomy& taxonomy,
+                           const PrivacySpec& spec) {
+  if (spec.safe_region == kInvalidNode ||
+      spec.safe_region >= taxonomy.num_nodes()) {
+    return Status::InvalidArgument("safe region is not a taxonomy node");
+  }
+  if (!(spec.epsilon > 0.0) || !std::isfinite(spec.epsilon)) {
+    return Status::InvalidArgument(
+        "epsilon must be positive and finite, got " +
+        std::to_string(spec.epsilon));
+  }
+  return Status::OK();
+}
+
+Status ValidateUserRecord(const SpatialTaxonomy& taxonomy,
+                          const UserRecord& user) {
+  PLDP_RETURN_IF_ERROR(ValidatePrivacySpec(taxonomy, user.spec));
+  if (user.cell >= taxonomy.grid().num_cells()) {
+    return Status::InvalidArgument("user cell outside the location universe");
+  }
+  const NodeId leaf = taxonomy.LeafNodeOfCell(user.cell);
+  if (!taxonomy.Contains(user.spec.safe_region, leaf)) {
+    return Status::InvalidArgument(
+        "safe region does not contain the user's true location");
+  }
+  return Status::OK();
+}
+
+Status ValidateUsers(const SpatialTaxonomy& taxonomy,
+                     const std::vector<UserRecord>& users) {
+  for (size_t i = 0; i < users.size(); ++i) {
+    const Status s = ValidateUserRecord(taxonomy, users[i]);
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "user " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pldp

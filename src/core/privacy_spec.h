@@ -1,0 +1,46 @@
+#ifndef PLDP_CORE_PRIVACY_SPEC_H_
+#define PLDP_CORE_PRIVACY_SPEC_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/taxonomy.h"
+#include "util/status.h"
+
+namespace pldp {
+
+/// A user's personalized privacy specification (tau, epsilon) per
+/// Definition 3.2: `safe_region` is a taxonomy node the user is comfortable
+/// disclosing; `epsilon` bounds an adversary's ability to distinguish any two
+/// locations within that region.
+struct PrivacySpec {
+  NodeId safe_region = kInvalidNode;
+  double epsilon = 1.0;
+};
+
+/// One participating user as seen by the aggregation pipeline: the private
+/// location (already snapped to its leaf cell) plus the public privacy
+/// specification.
+struct UserRecord {
+  CellId cell = 0;
+  PrivacySpec spec;
+};
+
+/// Checks that a specification is well-formed for `taxonomy`: a real node and
+/// a positive, finite epsilon (epsilon = 0 admits no unbiased estimator; the
+/// Cloak baseline is the epsilon = 0 analog).
+Status ValidatePrivacySpec(const SpatialTaxonomy& taxonomy,
+                           const PrivacySpec& spec);
+
+/// Validates a user record: a valid spec whose safe region covers the user's
+/// true cell (a spec that excludes the true location cannot protect it).
+Status ValidateUserRecord(const SpatialTaxonomy& taxonomy,
+                          const UserRecord& user);
+
+/// Validates a whole cohort; returns the first violation with its index.
+Status ValidateUsers(const SpatialTaxonomy& taxonomy,
+                     const std::vector<UserRecord>& users);
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_PRIVACY_SPEC_H_

@@ -1,0 +1,76 @@
+#ifndef PLDP_CORE_PSDA_H_
+#define PLDP_CORE_PSDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/pcep.h"
+#include "core/privacy_spec.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Configuration of one PSDA run (Algorithm 4).
+struct PsdaOptions {
+  /// Overall confidence level; each of the |C| clusters' PCEPs runs at
+  /// beta / |C|.
+  double beta = 0.1;
+
+  /// Root seed; all protocol randomness derives from it deterministically.
+  uint64_t seed = 0x243F6A8885A308D3ULL;
+
+  /// Ablation hook: when false, skips Algorithm 3 and runs one PCEP per user
+  /// group (the "finest" extreme of Section IV-B).
+  bool enable_clustering = true;
+
+  /// Ablation hook: when false, skips the consistency post-processing.
+  bool enforce_consistency = true;
+
+  /// Memory guard forwarded to every PCEP instance.
+  uint64_t max_reduced_dimension = uint64_t{1} << 26;
+};
+
+/// Output of a PSDA run.
+struct PsdaResult {
+  /// Final per-cell estimates (after consistency post-processing when
+  /// enabled).
+  std::vector<double> counts;
+
+  /// Per-cell estimates straight out of the per-cluster PCEPs.
+  std::vector<double> raw_counts;
+
+  /// The user-group clustering that drove the run.
+  ClusteringResult clustering;
+
+  /// Server-side wall-clock seconds (grouping + clustering + PCEP decode +
+  /// post-processing), the quantity reported in Figure 7.
+  double server_seconds = 0.0;
+};
+
+/// The unified private spatial data aggregation framework (Algorithm 4):
+/// groups users by safe region, clusters the groups (Algorithm 3), runs one
+/// PCEP per cluster at confidence beta/|C|, combines the estimates over the
+/// location universe, and enforces the public consistency constraints.
+///
+/// Guarantees (tau_i, eps_i)-PLDP for every user (Theorem 4.7).
+StatusOr<PsdaResult> RunPsda(const SpatialTaxonomy& taxonomy,
+                             const std::vector<UserRecord>& users,
+                             const PsdaOptions& options);
+
+class FrequencyOracle;
+
+/// Same framework with the per-cluster count-estimation protocol swapped
+/// out: any FrequencyOracle (kRR, RAPPOR, ...) can stand in for PCEP. The
+/// grouping, clustering, and consistency machinery is oracle-agnostic; the
+/// PLDP guarantee holds as long as the oracle is PLDP over its region
+/// (which every oracle in core/frequency_oracle.h is).
+StatusOr<PsdaResult> RunPsdaWithOracle(const SpatialTaxonomy& taxonomy,
+                                       const std::vector<UserRecord>& users,
+                                       const PsdaOptions& options,
+                                       const FrequencyOracle& oracle);
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_PSDA_H_

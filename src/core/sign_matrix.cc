@@ -1,0 +1,12 @@
+#include "core/sign_matrix.h"
+
+#include <cmath>
+
+namespace pldp {
+
+double SignMatrix::ComputeScale(uint64_t m) {
+  PLDP_CHECK(m > 0) << "sign matrix needs at least one row";
+  return 1.0 / std::sqrt(static_cast<double>(m));
+}
+
+}  // namespace pldp

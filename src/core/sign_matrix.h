@@ -1,0 +1,74 @@
+#ifndef PLDP_CORE_SIGN_MATRIX_H_
+#define PLDP_CORE_SIGN_MATRIX_H_
+
+#include <cstdint>
+
+#include "util/bit_vector.h"
+#include "util/random.h"
+
+namespace pldp {
+
+/// The implicit Johnson-Lindenstrauss projection matrix
+/// Phi in {-1/sqrt(m), +1/sqrt(m)}^{m x width} of Algorithm 1.
+///
+/// Entries are derived from a counter-based hash of (seed, row, word), so the
+/// matrix is never materialized: the server regenerates rows on demand during
+/// decoding, and a client holding the same seed can reproduce its assigned row
+/// locally (the protocol simulation still ships rows over the transport to
+/// account for the paper's O(|tau|) per-user communication).
+///
+/// Bit convention: bit 1 encodes +1/sqrt(m), bit 0 encodes -1/sqrt(m).
+class SignMatrix {
+ public:
+  SignMatrix(uint64_t seed, uint64_t m, uint64_t width)
+      : seed_(seed), m_(m), width_(width), scale_(ComputeScale(m)) {}
+
+  uint64_t m() const { return m_; }
+  uint64_t width() const { return width_; }
+
+  /// 1/sqrt(m): the magnitude of every entry.
+  double scale() const { return scale_; }
+
+  /// The 64 packed sign bits of row `row`, words [64*word, 64*word+63].
+  uint64_t RowWord(uint64_t row, uint64_t word) const {
+    return SplitMix64(RowSeed(row) + word);
+  }
+
+  /// Sign bit of entry (row, col); true means +1/sqrt(m).
+  bool SignAt(uint64_t row, uint64_t col) const {
+    PLDP_DCHECK(row < m_ && col < width_);
+    return (RowWord(row, col >> 6) >> (col & 63)) & 1;
+  }
+
+  /// Numeric entry (row, col) in {-scale, +scale}.
+  double Entry(uint64_t row, uint64_t col) const {
+    return SignAt(row, col) ? scale_ : -scale_;
+  }
+
+  /// Materializes one packed row of `width` sign bits (what the server sends
+  /// to a user in Algorithm 1, line 7).
+  BitVector Row(uint64_t row) const {
+    BitVector bits(width_);
+    for (size_t w = 0; w < bits.word_count(); ++w) {
+      bits.SetWord(w, RowWord(row, w));
+    }
+    return bits;
+  }
+
+ private:
+  static double ComputeScale(uint64_t m);
+
+  /// Per-row stream seed; the +1 on row decorrelates row 0 from the raw seed.
+  uint64_t RowSeed(uint64_t row) const {
+    return SplitMix64(seed_ ^ ((row + 1) * 0x9E3779B97F4A7C15ULL));
+  }
+
+  uint64_t seed_;
+  uint64_t m_;
+  uint64_t width_;
+  double scale_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_SIGN_MATRIX_H_

@@ -1,0 +1,50 @@
+#include "core/user_group.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "core/error_model.h"
+
+namespace pldp {
+namespace {
+
+std::vector<UserGroup> GroupByRegion(const std::vector<PrivacySpec>& specs) {
+  std::map<NodeId, UserGroup> by_region;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    UserGroup& group = by_region[specs[i].safe_region];
+    group.region = specs[i].safe_region;
+    group.members.push_back(static_cast<uint32_t>(i));
+    group.varsigma += PrivacyFactorTerm(specs[i].epsilon);
+  }
+  std::vector<UserGroup> groups;
+  groups.reserve(by_region.size());
+  for (auto& [region, group] : by_region) {
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace
+
+StatusOr<std::vector<UserGroup>> GroupUsersBySafeRegion(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users) {
+  PLDP_RETURN_IF_ERROR(ValidateUsers(taxonomy, users));
+  std::vector<PrivacySpec> specs;
+  specs.reserve(users.size());
+  for (const UserRecord& user : users) specs.push_back(user.spec);
+  return GroupByRegion(specs);
+}
+
+StatusOr<std::vector<UserGroup>> GroupSpecsBySafeRegion(
+    const SpatialTaxonomy& taxonomy, const std::vector<PrivacySpec>& specs) {
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Status s = ValidatePrivacySpec(taxonomy, specs[i]);
+    if (!s.ok()) {
+      return Status(s.code(), "spec " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  return GroupByRegion(specs);
+}
+
+}  // namespace pldp

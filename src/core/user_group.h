@@ -1,0 +1,44 @@
+#ifndef PLDP_CORE_USER_GROUP_H_
+#define PLDP_CORE_USER_GROUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/privacy_spec.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// A user group: all users who declared the same taxonomy node as their safe
+/// region (Section IV-B). Group membership and sizes are public information
+/// because privacy specifications are sent to the server in the clear.
+struct UserGroup {
+  /// The shared safe region.
+  NodeId region = kInvalidNode;
+
+  /// Indices into the cohort's user array.
+  std::vector<uint32_t> members;
+
+  /// The group's privacy factor: sum over members of c_{eps_i}^2.
+  double varsigma = 0.0;
+
+  uint64_t n() const { return members.size(); }
+};
+
+/// Partitions a cohort into user groups keyed by safe region. Groups are
+/// returned sorted by region node id (deterministic order). Fails if any user
+/// record is invalid.
+StatusOr<std::vector<UserGroup>> GroupUsersBySafeRegion(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users);
+
+/// Same partition computed from public specifications only - what the
+/// untrusted server can do (it never sees locations, so it cannot check that
+/// safe regions cover them; dishonest specs only hurt the submitting user's
+/// utility, Section III-C).
+StatusOr<std::vector<UserGroup>> GroupSpecsBySafeRegion(
+    const SpatialTaxonomy& taxonomy, const std::vector<PrivacySpec>& specs);
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_USER_GROUP_H_

@@ -1,0 +1,22 @@
+#include "data/dataset.h"
+
+namespace pldp {
+
+std::vector<CellId> Dataset::ToCells(const UniformGrid& grid) const {
+  std::vector<CellId> cells;
+  cells.reserve(points.size());
+  for (const GeoPoint& point : points) {
+    cells.push_back(grid.CellOfClamped(point));
+  }
+  return cells;
+}
+
+std::vector<double> Dataset::TrueHistogram(const UniformGrid& grid) const {
+  std::vector<double> histogram(grid.num_cells(), 0.0);
+  for (const GeoPoint& point : points) {
+    histogram[grid.CellOfClamped(point)] += 1.0;
+  }
+  return histogram;
+}
+
+}  // namespace pldp

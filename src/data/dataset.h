@@ -1,0 +1,53 @@
+#ifndef PLDP_DATA_DATASET_H_
+#define PLDP_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/geo_point.h"
+#include "geo/grid.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// A spatial dataset: one point per user plus the evaluation metadata the
+/// paper fixes per dataset (Table I and Section V-B).
+struct Dataset {
+  std::string name;
+  std::vector<GeoPoint> points;
+
+  /// The coordinate range of Table I (the grid domain).
+  BoundingBox domain;
+
+  /// The smallest granularity of Table I (leaf cell size in degrees).
+  double cell_width = 1.0;
+  double cell_height = 1.0;
+
+  /// Side length of the smallest range query q1 (Section V-B).
+  double q1_width = 1.0;
+  double q1_height = 1.0;
+
+  /// Sanity-bound fraction s / |D| for relative error (0.001, or 0.01 for
+  /// storage).
+  double sanity_fraction = 0.001;
+
+  size_t num_users() const { return points.size(); }
+
+  /// The leaf grid implied by domain and granularity.
+  StatusOr<UniformGrid> MakeGrid() const {
+    return UniformGrid::Create(domain, cell_width, cell_height);
+  }
+
+  /// Each user's leaf cell (points outside the domain are clamped; synthetic
+  /// generators never produce such points, but real CSV data may).
+  std::vector<CellId> ToCells(const UniformGrid& grid) const;
+
+  /// Exact per-cell histogram of the points.
+  std::vector<double> TrueHistogram(const UniformGrid& grid) const;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_DATA_DATASET_H_

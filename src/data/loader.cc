@@ -1,0 +1,67 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace pldp {
+
+StatusOr<std::vector<GeoPoint>> LoadPointsCsv(const std::string& path,
+                                              int lon_column, int lat_column) {
+  if (lon_column < 0 || lat_column < 0 || lon_column == lat_column) {
+    return Status::InvalidArgument("invalid CSV column indices");
+  }
+  PLDP_ASSIGN_OR_RETURN(const std::string contents, ReadFileToString(path));
+
+  std::vector<GeoPoint> points;
+  const size_t needed =
+      static_cast<size_t>(std::max(lon_column, lat_column)) + 1;
+  size_t line_number = 0;
+  size_t start = 0;
+  bool first_data_line = true;
+  while (start <= contents.size()) {
+    size_t end = contents.find('\n', start);
+    if (end == std::string::npos) end = contents.size();
+    std::string_view line(contents.data() + start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() < needed) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": too few columns");
+    }
+    const StatusOr<double> lon = ParseDouble(fields[lon_column]);
+    const StatusOr<double> lat = ParseDouble(fields[lat_column]);
+    if (!lon.ok() || !lat.ok()) {
+      if (first_data_line) {
+        // Tolerate one header line.
+        first_data_line = false;
+        continue;
+      }
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": non-numeric coordinates");
+    }
+    first_data_line = false;
+    points.push_back(GeoPoint{*lon, *lat});
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("no points in " + path);
+  }
+  return points;
+}
+
+Status SavePointsCsv(const std::string& path,
+                     const std::vector<GeoPoint>& points) {
+  std::ostringstream out;
+  out.precision(10);
+  for (const GeoPoint& p : points) {
+    out << p.lon << "," << p.lat << "\n";
+  }
+  return WriteStringToFile(path, out.str());
+}
+
+}  // namespace pldp

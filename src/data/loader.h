@@ -1,0 +1,26 @@
+#ifndef PLDP_DATA_LOADER_H_
+#define PLDP_DATA_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Loads points from a CSV file with longitude and latitude columns (0-based
+/// indices; default columns 0 and 1). Lines starting with '#' and a single
+/// leading header line of non-numeric fields are skipped. Use this to run the
+/// benchmark suite on the paper's real datasets if you have them.
+StatusOr<std::vector<GeoPoint>> LoadPointsCsv(const std::string& path,
+                                              int lon_column = 0,
+                                              int lat_column = 1);
+
+/// Writes points as "lon,lat" lines.
+Status SavePointsCsv(const std::string& path,
+                     const std::vector<GeoPoint>& points);
+
+}  // namespace pldp
+
+#endif  // PLDP_DATA_LOADER_H_

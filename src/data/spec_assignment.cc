@@ -1,0 +1,79 @@
+#include "data/spec_assignment.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace pldp {
+
+SafeRegionDistribution SafeRegionsS1() {
+  return SafeRegionDistribution{"S1", {0.10, 0.20, 0.40, 0.30}};
+}
+
+SafeRegionDistribution SafeRegionsS2() {
+  return SafeRegionDistribution{"S2", {0.30, 0.40, 0.20, 0.10}};
+}
+
+EpsilonDistribution EpsilonsE1() {
+  return EpsilonDistribution{"E1", {0.25, 0.5, 0.75}};
+}
+
+EpsilonDistribution EpsilonsE2() {
+  return EpsilonDistribution{"E2", {0.75, 1.0, 1.25}};
+}
+
+StatusOr<std::vector<UserRecord>> AssignSpecs(
+    const SpatialTaxonomy& taxonomy, const std::vector<CellId>& cells,
+    const SafeRegionDistribution& safe_regions,
+    const EpsilonDistribution& epsilons, uint64_t seed) {
+  double total = 0.0;
+  for (const double fraction : safe_regions.level_fractions) {
+    if (fraction < 0.0) {
+      return Status::InvalidArgument("negative safe-region fraction");
+    }
+    total += fraction;
+  }
+  if (std::fabs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("safe-region fractions must sum to 1");
+  }
+  if (epsilons.choices.empty()) {
+    return Status::InvalidArgument("epsilon menu is empty");
+  }
+  for (const double eps : epsilons.choices) {
+    if (!(eps > 0.0)) {
+      return Status::InvalidArgument("epsilon menu entries must be positive");
+    }
+  }
+
+  Rng rng(SplitMix64(seed ^ 0x5AFE5EED));
+  std::vector<UserRecord> users;
+  users.reserve(cells.size());
+  for (const CellId cell : cells) {
+    if (cell >= taxonomy.grid().num_cells()) {
+      return Status::InvalidArgument("cell outside the location universe");
+    }
+    // Pick the ancestor level from p1..p4 (level k => k steps above the
+    // user's leaf node; clamped at the root for shallow taxonomies).
+    const double u = rng.NextDouble();
+    uint32_t level = 0;
+    double mass = 0.0;
+    for (uint32_t k = 0; k < 4; ++k) {
+      mass += safe_regions.level_fractions[k];
+      if (u < mass) {
+        level = k;
+        break;
+      }
+      level = k;  // numerical tail falls into the last bucket
+    }
+    UserRecord user;
+    user.cell = cell;
+    user.spec.safe_region =
+        taxonomy.AncestorAbove(taxonomy.LeafNodeOfCell(cell), level);
+    user.spec.epsilon =
+        epsilons.choices[rng.NextUint64(epsilons.choices.size())];
+    users.push_back(user);
+  }
+  return users;
+}
+
+}  // namespace pldp

@@ -1,0 +1,52 @@
+#ifndef PLDP_DATA_SPEC_ASSIGNMENT_H_
+#define PLDP_DATA_SPEC_ASSIGNMENT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/privacy_spec.h"
+#include "geo/grid.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// How users pick safe regions (Section V): users are randomly split into 4
+/// groups that declare, respectively, their true leaf location, its parent,
+/// its grandparent, and its great-grandparent as the safe region.
+struct SafeRegionDistribution {
+  std::string name;
+  /// Fractions p1..p4 over the four ancestor levels; must sum to 1.
+  std::array<double, 4> level_fractions{};
+};
+
+/// S1 = {10%, 20%, 40%, 30%}: the more stringent safe-region setting.
+SafeRegionDistribution SafeRegionsS1();
+
+/// S2 = {30%, 40%, 20%, 10%}: the more relaxed safe-region setting.
+SafeRegionDistribution SafeRegionsS2();
+
+/// How users pick epsilon: uniformly from a small public menu (Section V).
+struct EpsilonDistribution {
+  std::string name;
+  std::vector<double> choices;
+};
+
+/// E1 = {0.25, 0.5, 0.75}: the more stringent epsilon setting.
+EpsilonDistribution EpsilonsE1();
+
+/// E2 = {0.75, 1.0, 1.25}: the more relaxed epsilon setting.
+EpsilonDistribution EpsilonsE2();
+
+/// Builds the full user cohort: each user's cell plus a privacy
+/// specification drawn from (S, E). Deterministic given `seed`.
+StatusOr<std::vector<UserRecord>> AssignSpecs(
+    const SpatialTaxonomy& taxonomy, const std::vector<CellId>& cells,
+    const SafeRegionDistribution& safe_regions,
+    const EpsilonDistribution& epsilons, uint64_t seed);
+
+}  // namespace pldp
+
+#endif  // PLDP_DATA_SPEC_ASSIGNMENT_H_

@@ -1,0 +1,63 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace pldp {
+
+StatusOr<DatasetStats> ComputeDatasetStats(const Dataset& dataset) {
+  if (dataset.points.empty()) {
+    return Status::InvalidArgument("dataset has no points");
+  }
+  PLDP_ASSIGN_OR_RETURN(const UniformGrid grid, dataset.MakeGrid());
+  std::vector<double> histogram = dataset.TrueHistogram(grid);
+
+  DatasetStats stats;
+  stats.num_users = dataset.num_users();
+  stats.num_cells = grid.num_cells();
+  for (const double count : histogram) {
+    if (count > 0.0) ++stats.populated_cells;
+  }
+
+  std::sort(histogram.begin(), histogram.end(), std::greater<>());
+  stats.max_cell_count = histogram.front();
+  const double total =
+      std::accumulate(histogram.begin(), histogram.end(), 0.0);
+  auto top_mass = [&](double fraction) {
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(fraction * histogram.size()));
+    return std::accumulate(histogram.begin(), histogram.begin() + k, 0.0) /
+           total;
+  };
+  stats.top1pct_mass = top_mass(0.01);
+  stats.top10pct_mass = top_mass(0.10);
+
+  // Gini over per-cell counts (including empty cells):
+  // G = 2 * sum_i rank_i * y_i / (N * total) - (N + 1) / N with ascending
+  // ranks 1..N. The histogram is sorted descending, so element i has
+  // ascending rank N - i.
+  const size_t cells = histogram.size();
+  double weighted = 0.0;
+  for (size_t i = 0; i < cells; ++i) {
+    weighted += static_cast<double>(cells - i) * histogram[i];
+  }
+  const double n_cells = static_cast<double>(cells);
+  stats.gini = 2.0 * weighted / (n_cells * total) - (n_cells + 1.0) / n_cells;
+  return stats;
+}
+
+std::string FormatDatasetStats(const std::string& name,
+                               const DatasetStats& stats) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-10s %9zu users %6u/%u cells populated  top1%%=%4.1f%% "
+                "top10%%=%4.1f%%  gini=%.3f  max-cell=%.0f",
+                name.c_str(), stats.num_users, stats.populated_cells,
+                stats.num_cells, 100.0 * stats.top1pct_mass,
+                100.0 * stats.top10pct_mass, stats.gini,
+                stats.max_cell_count);
+  return buffer;
+}
+
+}  // namespace pldp

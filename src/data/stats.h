@@ -1,0 +1,45 @@
+#ifndef PLDP_DATA_STATS_H_
+#define PLDP_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Spatial-skew statistics of a dataset over its leaf grid. These are the
+/// properties the synthetic Table I analogs must reproduce for the paper's
+/// relative comparisons to transfer (DESIGN.md section 2): the mechanisms
+/// are data-independent, but KL / range-query metrics are driven by exactly
+/// this shape.
+struct DatasetStats {
+  size_t num_users = 0;
+  uint32_t num_cells = 0;
+
+  /// Cells containing at least one user.
+  uint32_t populated_cells = 0;
+
+  /// Fraction of all users in the busiest 1% / 10% of cells.
+  double top1pct_mass = 0.0;
+  double top10pct_mass = 0.0;
+
+  /// Gini coefficient of the per-cell counts (0 = uniform, -> 1 = all mass
+  /// in one cell).
+  double gini = 0.0;
+
+  /// Largest single-cell count.
+  double max_cell_count = 0.0;
+};
+
+/// Computes the statistics of `dataset` over its own grid.
+StatusOr<DatasetStats> ComputeDatasetStats(const Dataset& dataset);
+
+/// One-line human-readable rendering.
+std::string FormatDatasetStats(const std::string& name,
+                               const DatasetStats& stats);
+
+}  // namespace pldp
+
+#endif  // PLDP_DATA_STATS_H_

@@ -1,0 +1,242 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+/// Parameters of the shared cluster-mixture generator.
+struct ShapeSpec {
+  /// Sub-areas population concentrates in (with relative weights); points are
+  /// also clamped into the enclosing dataset domain.
+  std::vector<BoundingBox> areas;
+  std::vector<double> area_weights;
+
+  size_t num_clusters = 200;
+  double min_sigma = 0.2;
+  double max_sigma = 1.0;
+
+  /// Fraction of points drawn uniformly over the whole domain (background
+  /// noise); the rest comes from the Gaussian clusters.
+  double uniform_fraction = 0.1;
+
+  /// Cluster popularity follows weight(i) ~ (i+1)^-zipf.
+  double zipf = 0.8;
+};
+
+double SampleGaussian(Rng* rng) {
+  // Box-Muller; u1 in (0, 1] to avoid log(0).
+  const double u1 = 1.0 - rng->NextDouble();
+  const double u2 = rng->NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+GeoPoint ClampInto(const BoundingBox& box, GeoPoint p) {
+  // Keep strictly inside the closed domain (max edges are clamped into the
+  // last cell anyway, but avoid drifting outside entirely).
+  p.lon = std::clamp(p.lon, box.min_lon, box.max_lon);
+  p.lat = std::clamp(p.lat, box.min_lat, box.max_lat);
+  return p;
+}
+
+GeoPoint UniformIn(const BoundingBox& box, Rng* rng) {
+  return GeoPoint{box.min_lon + rng->NextDouble() * box.Width(),
+                  box.min_lat + rng->NextDouble() * box.Height()};
+}
+
+size_t SampleIndex(const std::vector<double>& cumulative, Rng* rng) {
+  const double u = rng->NextDouble() * cumulative.back();
+  const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  return std::min<size_t>(it - cumulative.begin(), cumulative.size() - 1);
+}
+
+std::vector<double> Cumulate(const std::vector<double>& weights) {
+  std::vector<double> cumulative(weights.size(), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    total += weights[i];
+    cumulative[i] = total;
+  }
+  return cumulative;
+}
+
+std::vector<GeoPoint> GeneratePoints(size_t n, const BoundingBox& domain,
+                                     const ShapeSpec& spec, Rng* rng) {
+  PLDP_CHECK(!spec.areas.empty());
+  PLDP_CHECK(spec.areas.size() == spec.area_weights.size());
+  const std::vector<double> area_cumulative = Cumulate(spec.area_weights);
+
+  struct ClusterCenter {
+    GeoPoint center;
+    double sigma;
+  };
+  std::vector<ClusterCenter> clusters(spec.num_clusters);
+  std::vector<double> cluster_weights(spec.num_clusters);
+  for (size_t i = 0; i < spec.num_clusters; ++i) {
+    const BoundingBox& area = spec.areas[SampleIndex(area_cumulative, rng)];
+    clusters[i].center = UniformIn(area, rng);
+    clusters[i].sigma =
+        spec.min_sigma + rng->NextDouble() * (spec.max_sigma - spec.min_sigma);
+    cluster_weights[i] = std::pow(static_cast<double>(i + 1), -spec.zipf);
+  }
+  const std::vector<double> cluster_cumulative = Cumulate(cluster_weights);
+
+  std::vector<GeoPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(spec.uniform_fraction)) {
+      points.push_back(UniformIn(domain, rng));
+      continue;
+    }
+    const ClusterCenter& cluster =
+        clusters[SampleIndex(cluster_cumulative, rng)];
+    GeoPoint p;
+    p.lon = cluster.center.lon + SampleGaussian(rng) * cluster.sigma;
+    p.lat = cluster.center.lat + SampleGaussian(rng) * cluster.sigma;
+    points.push_back(ClampInto(domain, p));
+  }
+  return points;
+}
+
+size_t ScaledCount(uint64_t paper_count, double scale) {
+  const double n = static_cast<double>(paper_count) * scale;
+  return std::max<size_t>(1, static_cast<size_t>(std::llround(n)));
+}
+
+}  // namespace
+
+Dataset GenerateRoad(double scale, uint64_t seed) {
+  Dataset dataset;
+  dataset.name = "road";
+  dataset.domain = BoundingBox{-124.8, 31.3, -103.0, 49.0};
+  dataset.cell_width = 1.0;
+  dataset.cell_height = 1.0;
+  dataset.q1_width = 1.0;
+  dataset.q1_height = 1.0;
+  dataset.sanity_fraction = 0.001;
+
+  // Road intersections of Washington and New Mexico: two dense state-sized
+  // regions with street-network-like clusters, little background noise.
+  ShapeSpec spec;
+  spec.areas = {BoundingBox{-124.8, 45.5, -116.9, 49.0},
+                BoundingBox{-109.05, 31.3, -103.0, 37.0}};
+  spec.area_weights = {0.55, 0.45};
+  spec.num_clusters = 300;
+  spec.min_sigma = 0.05;
+  spec.max_sigma = 0.35;
+  spec.uniform_fraction = 0.03;
+  spec.zipf = 1.0;
+
+  Rng rng(SplitMix64(seed ^ 0x01));
+  dataset.points =
+      GeneratePoints(ScaledCount(1'634'165, scale), dataset.domain, spec, &rng);
+  return dataset;
+}
+
+Dataset GenerateCheckin(double scale, uint64_t seed) {
+  Dataset dataset;
+  dataset.name = "checkin";
+  dataset.domain = BoundingBox{-176.3, -48.2, 177.46, 90.0};
+  dataset.cell_width = 2.0;
+  dataset.cell_height = 2.0;
+  dataset.q1_width = 4.0;
+  dataset.q1_height = 4.0;
+  dataset.sanity_fraction = 0.001;
+
+  // Gowalla-like: world-wide with heavy-tailed city clusters concentrated in
+  // North America, Europe and East Asia.
+  ShapeSpec spec;
+  spec.areas = {BoundingBox{-125.0, 25.0, -65.0, 50.0},
+                BoundingBox{-10.0, 35.0, 30.0, 60.0},
+                BoundingBox{95.0, -10.0, 145.0, 45.0}};
+  spec.area_weights = {0.45, 0.33, 0.22};
+  spec.num_clusters = 400;
+  spec.min_sigma = 0.15;
+  spec.max_sigma = 1.0;
+  spec.uniform_fraction = 0.03;
+  spec.zipf = 1.1;
+
+  Rng rng(SplitMix64(seed ^ 0x02));
+  dataset.points =
+      GeneratePoints(ScaledCount(1'000'000, scale), dataset.domain, spec, &rng);
+  return dataset;
+}
+
+Dataset GenerateLandmark(double scale, uint64_t seed) {
+  Dataset dataset;
+  dataset.name = "landmark";
+  dataset.domain = BoundingBox{-124.4, 24.6, -67.0, 49.0};
+  dataset.cell_width = 1.0;
+  dataset.cell_height = 1.0;
+  dataset.q1_width = 2.0;
+  dataset.q1_height = 2.0;
+  dataset.sanity_fraction = 0.001;
+
+  ShapeSpec spec;
+  spec.areas = {dataset.domain};
+  spec.area_weights = {1.0};
+  spec.num_clusters = 300;
+  spec.min_sigma = 0.08;
+  spec.max_sigma = 0.5;
+  spec.uniform_fraction = 0.06;
+  spec.zipf = 1.25;
+
+  Rng rng(SplitMix64(seed ^ 0x03));
+  dataset.points =
+      GeneratePoints(ScaledCount(870'051, scale), dataset.domain, spec, &rng);
+  return dataset;
+}
+
+Dataset GenerateStorage(double scale, uint64_t seed) {
+  Dataset dataset;
+  dataset.name = "storage";
+  dataset.domain = BoundingBox{-123.2, 25.7, -70.3, 48.8};
+  dataset.cell_width = 1.0;
+  dataset.cell_height = 1.0;
+  dataset.q1_width = 2.0;
+  dataset.q1_height = 2.0;
+  dataset.sanity_fraction = 0.01;  // compensates the tiny cohort (Section V-B)
+
+  ShapeSpec spec;
+  spec.areas = {dataset.domain};
+  spec.area_weights = {1.0};
+  // Storage facilities cluster tightly around metro areas: few points per
+  // rural cell, spikes in cities - the heterogeneity that makes safe-region
+  // diffusion (Cloak) expensive on this dataset in the paper.
+  spec.num_clusters = 250;
+  spec.min_sigma = 0.04;
+  spec.max_sigma = 0.25;
+  spec.uniform_fraction = 0.03;
+  spec.zipf = 1.3;
+
+  Rng rng(SplitMix64(seed ^ 0x04));
+  dataset.points =
+      GeneratePoints(ScaledCount(8'938, scale), dataset.domain, spec, &rng);
+  return dataset;
+}
+
+StatusOr<Dataset> GenerateByName(const std::string& name, double scale,
+                                 uint64_t seed) {
+  if (!(scale > 0.0 && scale <= 1.0)) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  if (name == "road") return GenerateRoad(scale, seed);
+  if (name == "checkin") return GenerateCheckin(scale, seed);
+  if (name == "landmark") return GenerateLandmark(scale, seed);
+  if (name == "storage") return GenerateStorage(scale, seed);
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+const std::vector<std::string>& BenchmarkDatasetNames() {
+  static const auto& names =
+      *new std::vector<std::string>{"road", "checkin", "landmark", "storage"};
+  return names;
+}
+
+}  // namespace pldp

@@ -1,0 +1,43 @@
+#ifndef PLDP_DATA_SYNTHETIC_H_
+#define PLDP_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Seeded synthetic analogs of the paper's four benchmark datasets.
+///
+/// The real datasets (TIGER/Line road intersections, Gowalla check-ins, US
+/// landmarks, US storage facilities) are not redistributable; these
+/// generators reproduce each dataset's Table I statistics - bounding box,
+/// leaf granularity, cardinality - and its qualitative spatial skew, which is
+/// what the KL-divergence and range-query metrics are sensitive to (the
+/// mechanisms themselves are data-independent). See DESIGN.md section 2.
+///
+/// `scale` in (0, 1] multiplies the paper's user count (benchmarks default to
+/// scaled-down cohorts); `seed` makes generation reproducible.
+Dataset GenerateRoad(double scale, uint64_t seed);
+
+/// Gowalla-like: world-wide, heavy-tailed (Zipf) city clusters, 2x2 cells.
+Dataset GenerateCheckin(double scale, uint64_t seed);
+
+/// US landmarks-like: continental US, moderate clustering.
+Dataset GenerateLandmark(double scale, uint64_t seed);
+
+/// US storage-facility-like: continental US, only ~9k users.
+Dataset GenerateStorage(double scale, uint64_t seed);
+
+/// Dispatch by dataset name ("road", "checkin", "landmark", "storage").
+StatusOr<Dataset> GenerateByName(const std::string& name, double scale,
+                                 uint64_t seed);
+
+/// The four benchmark dataset names in the paper's order.
+const std::vector<std::string>& BenchmarkDatasetNames();
+
+}  // namespace pldp
+
+#endif  // PLDP_DATA_SYNTHETIC_H_

@@ -1,0 +1,100 @@
+#include "eval/attack.h"
+
+#include <cmath>
+
+#include "core/error_model.h"
+#include "core/local_randomizer.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+/// Runs one protocol execution; the first `honest.size()` participants are
+/// honest, the rest follow the attack strategy.
+StatusOr<std::vector<double>> RunPolluted(const std::vector<PcepUser>& honest,
+                                          uint64_t tau_size,
+                                          const PollutionConfig& config,
+                                          const PcepParams& params,
+                                          bool include_malicious) {
+  const size_t total =
+      honest.size() + (include_malicious ? config.num_malicious : 0);
+  PLDP_ASSIGN_OR_RETURN(PcepServer server,
+                        PcepServer::Create(tau_size, total, params));
+  const PcepSeeds seeds(params.seed);
+  Rng row_rng(seeds.row_assignment);
+  const SignMatrix& matrix = server.sign_matrix();
+
+  for (size_t i = 0; i < honest.size(); ++i) {
+    const PcepUser& user = honest[i];
+    const uint64_t row = server.AssignRow(&row_rng);
+    const bool sign = matrix.SignAt(row, user.location_index);
+    Rng client_rng(seeds.ClientSeed(i));
+    PLDP_ASSIGN_OR_RETURN(
+        const double z,
+        LocalRandomize(sign, server.m(), user.epsilon, &client_rng));
+    server.Accumulate(row, z);
+  }
+  if (include_malicious) {
+    const double magnitude = CEpsilon(config.claimed_epsilon) *
+                             std::sqrt(static_cast<double>(server.m()));
+    for (size_t i = 0; i < config.num_malicious; ++i) {
+      const uint64_t row = server.AssignRow(&row_rng);
+      if (config.strategy == PollutionStrategy::kOptimalBias) {
+        // Deviate: align the report with the target's bit in this row, so
+        // the decode credits +magnitude/sqrt(m) * sqrt(m) = +c_eps to the
+        // target, every time.
+        const bool target_sign = matrix.SignAt(row, config.target);
+        server.Accumulate(row, target_sign ? magnitude : -magnitude);
+      } else {
+        // Honest protocol, fake location.
+        const bool sign = matrix.SignAt(row, config.target);
+        Rng client_rng(seeds.ClientSeed(honest.size() + i));
+        PLDP_ASSIGN_OR_RETURN(
+            const double z, LocalRandomize(sign, server.m(),
+                                           config.claimed_epsilon,
+                                           &client_rng));
+        server.Accumulate(row, z);
+      }
+    }
+  }
+  return server.Estimate();
+}
+
+}  // namespace
+
+StatusOr<PollutionOutcome> SimulatePcepPollution(
+    const std::vector<PcepUser>& honest, uint64_t tau_size,
+    const PollutionConfig& config, const PcepParams& params) {
+  if (honest.empty()) {
+    return Status::InvalidArgument("attack simulation needs honest users");
+  }
+  if (config.target >= tau_size) {
+    return Status::InvalidArgument("attack target outside the region");
+  }
+  if (config.num_malicious == 0) {
+    return Status::InvalidArgument("attack needs at least one attacker");
+  }
+  if (!(config.claimed_epsilon > 0.0)) {
+    return Status::InvalidArgument("claimed epsilon must be positive");
+  }
+
+  PollutionOutcome outcome;
+  for (const PcepUser& user : honest) {
+    if (user.location_index == config.target) outcome.target_true += 1.0;
+  }
+  PLDP_ASSIGN_OR_RETURN(
+      const std::vector<double> clean,
+      RunPolluted(honest, tau_size, config, params, /*include_malicious=*/false));
+  PLDP_ASSIGN_OR_RETURN(
+      const std::vector<double> attacked,
+      RunPolluted(honest, tau_size, config, params, /*include_malicious=*/true));
+  outcome.target_clean = clean[config.target];
+  outcome.target_attacked = attacked[config.target];
+  outcome.amplification_per_attacker =
+      (outcome.target_attacked - outcome.target_clean) /
+      static_cast<double>(config.num_malicious);
+  return outcome;
+}
+
+}  // namespace pldp

@@ -1,0 +1,64 @@
+#ifndef PLDP_EVAL_ATTACK_H_
+#define PLDP_EVAL_ATTACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pcep.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// How a coalition of malicious users pollutes a PCEP instance.
+enum class PollutionStrategy {
+  /// Malicious users follow the protocol honestly but lie about their
+  /// location (report the target). Injects ~1 count per attacker.
+  kFakeLocation,
+
+  /// Malicious users deviate from the protocol: each sends the report sign
+  /// that maximally inflates the target's decoded count, and declares a tiny
+  /// epsilon so the server applies the largest debiasing magnitude
+  /// c_eps * sqrt(m). Injects ~c_eps counts per attacker - the
+  /// privacy-parameter self-declaration is the amplification lever.
+  kOptimalBias,
+};
+
+struct PollutionConfig {
+  PollutionStrategy strategy = PollutionStrategy::kFakeLocation;
+
+  /// Number of colluding users appended to the honest cohort.
+  size_t num_malicious = 0;
+
+  /// The location whose count the coalition inflates.
+  uint32_t target = 0;
+
+  /// The epsilon malicious users declare (kOptimalBias exploits small
+  /// values; kFakeLocation uses it as the honest perturbation budget).
+  double claimed_epsilon = 1.0;
+};
+
+struct PollutionOutcome {
+  /// True count of the target among honest users.
+  double target_true = 0.0;
+
+  /// Target estimate from the honest cohort alone.
+  double target_clean = 0.0;
+
+  /// Target estimate with the coalition participating.
+  double target_attacked = 0.0;
+
+  /// (attacked - clean) per malicious user.
+  double amplification_per_attacker = 0.0;
+};
+
+/// Simulates a data-pollution attack on one PCEP instance (the threat that
+/// Section III-C explicitly declares out of scope - this quantifies why it
+/// matters and what the amplification lever is). The honest users' privacy
+/// is never affected; only the aggregate utility is.
+StatusOr<PollutionOutcome> SimulatePcepPollution(
+    const std::vector<PcepUser>& honest, uint64_t tau_size,
+    const PollutionConfig& config, const PcepParams& params);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_ATTACK_H_

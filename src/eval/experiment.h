@@ -1,0 +1,71 @@
+#ifndef PLDP_EVAL_EXPERIMENT_H_
+#define PLDP_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/privacy_spec.h"
+#include "data/dataset.h"
+#include "data/spec_assignment.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// The four schemes compared throughout Section V.
+enum class Scheme {
+  kPsda,
+  kKdTree,
+  kCloak,
+  kSr,
+};
+
+const char* SchemeName(Scheme scheme);
+
+/// Paper order: PSDA, kdTree, Cloak, SR.
+const std::vector<Scheme>& AllSchemes();
+
+/// A dataset instantiated against its grid and taxonomy, ready to run.
+struct ExperimentSetup {
+  Dataset dataset;
+  SpatialTaxonomy taxonomy;
+  std::vector<CellId> cells;            // per-user leaf cells
+  std::vector<double> true_histogram;   // exact per-cell counts
+};
+
+/// Generates the named synthetic dataset at `scale` and builds its grid and
+/// fanout-4 taxonomy (the paper's setting; other fanouts behave similarly).
+StatusOr<ExperimentSetup> PrepareExperiment(const std::string& dataset_name,
+                                            double scale, uint64_t seed,
+                                            uint32_t fanout = 4);
+
+/// Runs one scheme end-to-end and returns per-cell estimates. `beta` is the
+/// confidence parameter (the paper fixes 0.1); `seed` drives all protocol
+/// randomness.
+StatusOr<std::vector<double>> RunScheme(Scheme scheme,
+                                        const SpatialTaxonomy& taxonomy,
+                                        const std::vector<UserRecord>& users,
+                                        double beta, uint64_t seed);
+
+/// Benchmark sizing, controlled by environment variables:
+///   PLDP_BENCH_PROFILE = smoke | default | paper
+///   PLDP_BENCH_RUNS    = override number of repetitions
+/// "paper" uses full Table I cohort sizes, 10 runs, and 600 queries per size;
+/// "default" scales cohorts down ~20x so the whole suite finishes in minutes.
+struct BenchProfile {
+  std::string name = "default";
+  double scale = 0.05;
+  int runs = 3;
+  size_t queries_per_size = 200;
+};
+
+BenchProfile GetBenchProfile();
+
+/// Per-dataset scale: the tiny storage dataset is never scaled below its
+/// paper size times 20 * scale (it is already small enough to run fully).
+double DatasetScale(const BenchProfile& profile, const std::string& dataset);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_EXPERIMENT_H_

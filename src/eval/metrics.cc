@@ -1,0 +1,75 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pldp {
+namespace {
+
+Status CheckSameSize(const std::vector<double>& truth,
+                     const std::vector<double>& estimate) {
+  if (truth.size() != estimate.size()) {
+    return Status::InvalidArgument("truth/estimate size mismatch");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("empty histograms");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> MaxAbsoluteError(const std::vector<double>& truth,
+                                  const std::vector<double>& estimate) {
+  PLDP_RETURN_IF_ERROR(CheckSameSize(truth, estimate));
+  double max_err = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(truth[i] - estimate[i]));
+  }
+  return max_err;
+}
+
+StatusOr<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                   const std::vector<double>& estimate) {
+  PLDP_RETURN_IF_ERROR(CheckSameSize(truth, estimate));
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    total += std::fabs(truth[i] - estimate[i]);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+StatusOr<double> KlDivergence(const std::vector<double>& truth,
+                              const std::vector<double>& estimate,
+                              double smoothing) {
+  PLDP_RETURN_IF_ERROR(CheckSameSize(truth, estimate));
+  if (smoothing <= 0.0) {
+    return Status::InvalidArgument("smoothing must be positive");
+  }
+  double truth_total = 0.0;
+  double estimate_total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0.0) {
+      return Status::InvalidArgument("true counts must be non-negative");
+    }
+    truth_total += truth[i];
+    estimate_total += std::max(estimate[i], 0.0) + smoothing;
+  }
+  if (truth_total <= 0.0) {
+    return Status::InvalidArgument("true histogram is all zero");
+  }
+  double kl = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] <= 0.0) continue;
+    const double p = truth[i] / truth_total;
+    const double q = (std::max(estimate[i], 0.0) + smoothing) / estimate_total;
+    kl += p * std::log(p / q);
+  }
+  return kl;
+}
+
+double RelativeError(double truth, double estimate, double sanity_bound) {
+  return std::fabs(truth - estimate) / std::max(truth, sanity_bound);
+}
+
+}  // namespace pldp

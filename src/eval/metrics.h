@@ -1,0 +1,34 @@
+#ifndef PLDP_EVAL_METRICS_H_
+#define PLDP_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// max_l |est_l - true_l|, the utility measure of Section III-D.
+StatusOr<double> MaxAbsoluteError(const std::vector<double>& truth,
+                                  const std::vector<double>& estimate);
+
+/// (1/|L|) * sum_l |est_l - true_l|.
+StatusOr<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                   const std::vector<double>& estimate);
+
+/// KL divergence D(P || Q) between the true user distribution P and the
+/// estimated distribution Q (Section V-B).
+///
+/// Estimates may be negative or zero, so Q is formed by clamping the
+/// estimated counts at zero and additive smoothing (`smoothing` pseudo-counts
+/// per location) before normalizing; cells with true count 0 contribute 0.
+StatusOr<double> KlDivergence(const std::vector<double>& truth,
+                              const std::vector<double>& estimate,
+                              double smoothing = 1.0);
+
+/// Relative error of one range query with sanity bound s (Section V-B):
+/// |true - est| / max(true, s).
+double RelativeError(double truth, double estimate, double sanity_bound);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_METRICS_H_

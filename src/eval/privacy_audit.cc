@@ -1,0 +1,68 @@
+#include "eval/privacy_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/random.h"
+
+namespace pldp {
+
+StatusOr<PrivacyAuditResult> AuditRandomizer(
+    const std::function<uint64_t(size_t input_index, uint64_t trial_seed)>&
+        randomizer,
+    size_t num_inputs, uint64_t trials, uint64_t seed, uint64_t min_count) {
+  if (!randomizer) {
+    return Status::InvalidArgument("audit needs a randomizer");
+  }
+  if (num_inputs < 2) {
+    return Status::InvalidArgument("audit needs at least two inputs");
+  }
+  if (trials < 100) {
+    return Status::InvalidArgument("audit needs at least 100 trials");
+  }
+
+  // Output histograms per input.
+  std::vector<std::map<uint64_t, uint64_t>> histograms(num_inputs);
+  for (size_t input = 0; input < num_inputs; ++input) {
+    for (uint64_t t = 0; t < trials; ++t) {
+      const uint64_t trial_seed =
+          SplitMix64(seed ^ (input * 0x9E3779B97F4A7C15ULL + t + 1));
+      ++histograms[input][randomizer(input, trial_seed)];
+    }
+  }
+
+  PrivacyAuditResult result;
+  result.trials = trials;
+  std::map<uint64_t, bool> outputs;
+  for (const auto& histogram : histograms) {
+    for (const auto& [output, count] : histogram) outputs[output] = true;
+  }
+  result.num_outputs = outputs.size();
+
+  const double n = static_cast<double>(trials);
+  for (size_t a = 0; a < num_inputs; ++a) {
+    for (size_t b = a + 1; b < num_inputs; ++b) {
+      for (const auto& [output, unused] : outputs) {
+        const auto ita = histograms[a].find(output);
+        const auto itb = histograms[b].find(output);
+        const uint64_t ca = ita == histograms[a].end() ? 0 : ita->second;
+        const uint64_t cb = itb == histograms[b].end() ? 0 : itb->second;
+        if (ca < min_count || cb < min_count) continue;  // too rare to judge
+        const double pa = static_cast<double>(ca) / n;
+        const double pb = static_cast<double>(cb) / n;
+        const double log_ratio = std::fabs(std::log(pa / pb));
+        result.max_log_ratio = std::max(result.max_log_ratio, log_ratio);
+        // Bernoulli standard error folded into a ~3-sigma upper bound.
+        const double se =
+            3.0 * (std::sqrt(pa * (1 - pa) / n) / pa +
+                   std::sqrt(pb * (1 - pb) / n) / pb);
+        result.max_log_ratio_upper =
+            std::max(result.max_log_ratio_upper, log_ratio + se);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pldp

@@ -1,0 +1,48 @@
+#ifndef PLDP_EVAL_PRIVACY_AUDIT_H_
+#define PLDP_EVAL_PRIVACY_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Result of an empirical differential-privacy audit of a randomizer.
+struct PrivacyAuditResult {
+  /// Largest empirical log-ratio max_o |ln(P[A(x)=o] / P[A(x')=o])| observed
+  /// over all probed input pairs and outputs.
+  double max_log_ratio = 0.0;
+
+  /// Upper end of a (1 - failure_probability) confidence interval on the
+  /// log-ratio, via independent Bernoulli concentration per output.
+  double max_log_ratio_upper = 0.0;
+
+  /// Number of distinct outputs observed.
+  size_t num_outputs = 0;
+
+  /// Trials per input.
+  uint64_t trials = 0;
+};
+
+/// Empirically audits a discrete randomizer A for eps-indistinguishability:
+/// runs `trials` executions of A on each of the `inputs` (A maps an input
+/// index and a trial RNG seed to a discrete output id), estimates every
+/// output probability, and reports the worst pairwise log-ratio.
+///
+/// Use this to sanity-check that an implementation does not leak more than
+/// its epsilon (e.g. the local randomizer, kRR, or RAPPOR's per-bit
+/// response). The audit can only catch violations at the resolution allowed
+/// by `trials`: ratios are computed on outputs observed at least
+/// `min_count` times in both inputs, so vanishing-probability outputs need
+/// proportionally more trials.
+StatusOr<PrivacyAuditResult> AuditRandomizer(
+    const std::function<uint64_t(size_t input_index, uint64_t trial_seed)>&
+        randomizer,
+    size_t num_inputs, uint64_t trials, uint64_t seed,
+    uint64_t min_count = 50);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_PRIVACY_AUDIT_H_

@@ -1,0 +1,84 @@
+#include "eval/range_query.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "util/random.h"
+
+namespace pldp {
+
+StatusOr<std::vector<BoundingBox>> GenerateRangeQueries(
+    const BoundingBox& domain, double width, double height, size_t count,
+    uint64_t seed) {
+  if (!domain.IsValid()) {
+    return Status::InvalidArgument("invalid query domain");
+  }
+  if (width <= 0.0 || height <= 0.0) {
+    return Status::InvalidArgument("query size must be positive");
+  }
+  if (count == 0) return Status::InvalidArgument("need at least one query");
+  // Queries larger than the domain are clamped to it (the paper's larger
+  // query sizes can exceed small datasets' extents).
+  const double w = std::min(width, domain.Width());
+  const double h = std::min(height, domain.Height());
+
+  Rng rng(SplitMix64(seed ^ 0x9E3779B97F4A7C15ULL));
+  std::vector<BoundingBox> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    BoundingBox query;
+    query.min_lon = domain.min_lon + rng.NextDouble() * (domain.Width() - w);
+    query.min_lat = domain.min_lat + rng.NextDouble() * (domain.Height() - h);
+    query.max_lon = query.min_lon + w;
+    query.max_lat = query.min_lat + h;
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+double AnswerFromPoints(const std::vector<GeoPoint>& points,
+                        const BoundingBox& query) {
+  double count = 0.0;
+  for (const GeoPoint& p : points) {
+    if (query.Contains(p)) count += 1.0;
+  }
+  return count;
+}
+
+double AnswerFromCells(const UniformGrid& grid,
+                       const std::vector<double>& counts,
+                       const BoundingBox& query) {
+  const double cell_area = grid.cell_width() * grid.cell_height();
+  double answer = 0.0;
+  for (const CellId cell : grid.CellsIntersecting(query)) {
+    const double overlap = grid.CellBox(cell).IntersectionArea(query);
+    if (overlap <= 0.0) continue;
+    answer += counts[cell] * (overlap / cell_area);
+  }
+  return answer;
+}
+
+StatusOr<double> MeanRangeQueryError(const UniformGrid& grid,
+                                     const std::vector<double>& counts,
+                                     const std::vector<GeoPoint>& points,
+                                     const std::vector<BoundingBox>& queries,
+                                     double sanity) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries to evaluate");
+  }
+  if (counts.size() != grid.num_cells()) {
+    return Status::InvalidArgument("counts size does not match the grid");
+  }
+  if (sanity <= 0.0) {
+    return Status::InvalidArgument("sanity bound must be positive");
+  }
+  double total = 0.0;
+  for (const BoundingBox& query : queries) {
+    const double truth = AnswerFromPoints(points, query);
+    const double estimate = AnswerFromCells(grid, counts, query);
+    total += RelativeError(truth, estimate, sanity);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+}  // namespace pldp

@@ -1,0 +1,40 @@
+#ifndef PLDP_EVAL_RANGE_QUERY_H_
+#define PLDP_EVAL_RANGE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/geo_point.h"
+#include "geo/grid.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Generates `count` axis-aligned query rectangles of size `width` x `height`
+/// placed uniformly at random within `domain` (clamped so queries fit).
+StatusOr<std::vector<BoundingBox>> GenerateRangeQueries(
+    const BoundingBox& domain, double width, double height, size_t count,
+    uint64_t seed);
+
+/// Exact answer: number of points inside `query` (half-open on max edges).
+double AnswerFromPoints(const std::vector<GeoPoint>& points,
+                        const BoundingBox& query);
+
+/// Answer from per-cell counts under the uniformity assumption: each
+/// intersecting cell contributes count * overlapArea / cellArea.
+double AnswerFromCells(const UniformGrid& grid,
+                       const std::vector<double>& counts,
+                       const BoundingBox& query);
+
+/// Mean relative error of `queries` answered from `counts` against the exact
+/// point answers, with sanity bound `sanity` (Section V-B).
+StatusOr<double> MeanRangeQueryError(const UniformGrid& grid,
+                                     const std::vector<double>& counts,
+                                     const std::vector<GeoPoint>& points,
+                                     const std::vector<BoundingBox>& queries,
+                                     double sanity);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_RANGE_QUERY_H_

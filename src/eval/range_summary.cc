@@ -1,0 +1,77 @@
+#include "eval/range_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pldp {
+
+StatusOr<RangeSummary> RangeSummary::Build(const UniformGrid& grid,
+                                           const std::vector<double>& counts) {
+  if (counts.size() != grid.num_cells()) {
+    return Status::InvalidArgument("counts size does not match the grid");
+  }
+  const uint32_t rows = grid.rows();
+  const uint32_t cols = grid.cols();
+  std::vector<double> prefix(static_cast<size_t>(rows + 1) * (cols + 1), 0.0);
+  for (uint32_t r = 0; r < rows; ++r) {
+    double row_total = 0.0;
+    for (uint32_t c = 0; c < cols; ++c) {
+      row_total += counts[grid.IdOf(r, c)];
+      prefix[static_cast<size_t>(r + 1) * (cols + 1) + (c + 1)] =
+          prefix[static_cast<size_t>(r) * (cols + 1) + (c + 1)] + row_total;
+    }
+  }
+  return RangeSummary(grid, std::move(prefix));
+}
+
+double RangeSummary::FractionalSum(double min_col, double min_row,
+                                   double max_col, double max_row) const {
+  // F(x, y): mass of [0, x] x [0, y] in cell units. Density is constant per
+  // cell, so F decomposes into whole cells + two fractional strips + one
+  // fractional corner, all derived from the prefix table.
+  const uint32_t rows = grid_.rows();
+  const uint32_t cols = grid_.cols();
+  auto cell_count = [&](uint32_t r, uint32_t c) {
+    return WholeCellSum(r + 1, c + 1) - WholeCellSum(r + 1, c) -
+           WholeCellSum(r, c + 1) + WholeCellSum(r, c);
+  };
+  auto F = [&](double x, double y) {
+    const double cx = std::clamp(x, 0.0, static_cast<double>(cols));
+    const double cy = std::clamp(y, 0.0, static_cast<double>(rows));
+    uint32_t c = static_cast<uint32_t>(std::floor(cx));
+    uint32_t r = static_cast<uint32_t>(std::floor(cy));
+    double fx = cx - c;
+    double fy = cy - r;
+    if (c >= cols) {
+      c = cols - 1;
+      fx = 1.0;
+    }
+    if (r >= rows) {
+      r = rows - 1;
+      fy = 1.0;
+    }
+    // Whole block, bottom strip (rows [0, r), fractional column c),
+    // left strip (cols [0, c), fractional row r), fractional corner.
+    const double whole = WholeCellSum(r, c);
+    const double col_strip = WholeCellSum(r, c + 1) - WholeCellSum(r, c);
+    const double row_strip = WholeCellSum(r + 1, c) - WholeCellSum(r, c);
+    return whole + fx * col_strip + fy * row_strip +
+           fx * fy * cell_count(r, c);
+  };
+  return F(max_col, max_row) - F(min_col, max_row) - F(max_col, min_row) +
+         F(min_col, min_row);
+}
+
+double RangeSummary::Answer(const BoundingBox& query) const {
+  if (!query.IsValid()) return 0.0;
+  const BoundingBox& domain = grid_.domain();
+  const double min_col = (query.min_lon - domain.min_lon) / grid_.cell_width();
+  const double max_col = (query.max_lon - domain.min_lon) / grid_.cell_width();
+  const double min_row =
+      (query.min_lat - domain.min_lat) / grid_.cell_height();
+  const double max_row =
+      (query.max_lat - domain.min_lat) / grid_.cell_height();
+  return FractionalSum(min_col, min_row, max_col, max_row);
+}
+
+}  // namespace pldp

@@ -1,0 +1,55 @@
+#ifndef PLDP_EVAL_RANGE_SUMMARY_H_
+#define PLDP_EVAL_RANGE_SUMMARY_H_
+
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/grid.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// O(1) rectangular range queries over a per-cell count vector via a 2-D
+/// prefix-sum (summed-area) table, with area-weighted edge handling that
+/// matches AnswerFromCells exactly.
+///
+/// Build once per estimate (O(|L|)), then serve any number of range queries
+/// in constant time each - the serving-side structure a deployment would
+/// put behind its query API (the naive AnswerFromCells walks every
+/// intersecting cell, which for country-sized queries is the whole grid).
+class RangeSummary {
+ public:
+  /// `counts` must have one entry per grid cell.
+  static StatusOr<RangeSummary> Build(const UniformGrid& grid,
+                                      const std::vector<double>& counts);
+
+  /// Estimated number of users inside `query`, under the within-cell
+  /// uniformity assumption. Equals AnswerFromCells(grid, counts, query) up
+  /// to floating-point rounding.
+  double Answer(const BoundingBox& query) const;
+
+  const UniformGrid& grid() const { return grid_; }
+
+ private:
+  RangeSummary(UniformGrid grid, std::vector<double> prefix)
+      : grid_(std::move(grid)), prefix_(std::move(prefix)) {}
+
+  /// Sum of whole cells in rows [0, r) x cols [0, c); the table has
+  /// (rows+1) x (cols+1) entries.
+  double WholeCellSum(uint32_t r, uint32_t c) const {
+    return prefix_[static_cast<size_t>(r) * (grid_.cols() + 1) + c];
+  }
+
+  /// Fractional-area-weighted mass of the sub-rectangle of `query`
+  /// clamped to the grid, computed from the prefix table and the four
+  /// fractional edges.
+  double FractionalSum(double min_col, double min_row, double max_col,
+                       double max_row) const;
+
+  UniformGrid grid_;
+  std::vector<double> prefix_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_RANGE_SUMMARY_H_

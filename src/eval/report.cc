@@ -1,0 +1,50 @@
+#include "eval/report.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace pldp {
+
+Status WriteCountsCsv(const std::string& path, const UniformGrid& grid,
+                      const std::vector<double>& counts) {
+  if (counts.size() != grid.num_cells()) {
+    return Status::InvalidArgument("counts size does not match the grid");
+  }
+  std::ostringstream out;
+  out.precision(10);
+  out << "cell,row,col,min_lon,min_lat,max_lon,max_lat,count\n";
+  for (CellId cell = 0; cell < grid.num_cells(); ++cell) {
+    const BoundingBox box = grid.CellBox(cell);
+    out << cell << ',' << grid.RowOf(cell) << ',' << grid.ColOf(cell) << ','
+        << box.min_lon << ',' << box.min_lat << ',' << box.max_lon << ','
+        << box.max_lat << ',' << counts[cell] << '\n';
+  }
+  return WriteStringToFile(path, out.str());
+}
+
+Status WriteTableCsv(const std::string& path,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows) {
+  if (header.empty()) {
+    return Status::InvalidArgument("table needs a header");
+  }
+  std::ostringstream out;
+  auto write_row = [&out](const std::vector<std::string>& fields) {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out << ',';
+      out << fields[i];
+    }
+    out << '\n';
+  };
+  write_row(header);
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("row width does not match the header");
+    }
+    write_row(row);
+  }
+  return WriteStringToFile(path, out.str());
+}
+
+}  // namespace pldp

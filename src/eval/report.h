@@ -1,0 +1,26 @@
+#ifndef PLDP_EVAL_REPORT_H_
+#define PLDP_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "util/status.h"
+
+namespace pldp {
+
+/// Writes per-cell counts as CSV with georeferencing:
+/// `cell,row,col,min_lon,min_lat,max_lon,max_lat,count` - directly loadable
+/// into pandas/QGIS for plotting the paper's heatmaps.
+Status WriteCountsCsv(const std::string& path, const UniformGrid& grid,
+                      const std::vector<double>& counts);
+
+/// Writes a generic table (header + rows) as CSV; used by the CLI to dump
+/// metric tables.
+Status WriteTableCsv(const std::string& path,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_REPORT_H_

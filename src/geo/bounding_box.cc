@@ -1,0 +1,14 @@
+#include "geo/bounding_box.h"
+
+#include <sstream>
+
+namespace pldp {
+
+std::string BoundingBox::ToString() const {
+  std::ostringstream os;
+  os << "[" << min_lon << ", " << max_lon << "] x [" << min_lat << ", "
+     << max_lat << "]";
+  return os.str();
+}
+
+}  // namespace pldp

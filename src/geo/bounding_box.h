@@ -1,0 +1,69 @@
+#ifndef PLDP_GEO_BOUNDING_BOX_H_
+#define PLDP_GEO_BOUNDING_BOX_H_
+
+#include <algorithm>
+#include <string>
+
+#include "geo/geo_point.h"
+
+namespace pldp {
+
+/// Axis-aligned rectangle [min_lon, max_lon] x [min_lat, max_lat].
+///
+/// Containment follows the half-open convention on the max edges so that a
+/// partition of a box into cells assigns every point to exactly one cell;
+/// ContainsClosed is provided for query rectangles.
+struct BoundingBox {
+  double min_lon = 0.0;
+  double min_lat = 0.0;
+  double max_lon = 0.0;
+  double max_lat = 0.0;
+
+  double Width() const { return max_lon - min_lon; }
+  double Height() const { return max_lat - min_lat; }
+  double Area() const { return Width() * Height(); }
+
+  bool IsValid() const { return max_lon > min_lon && max_lat > min_lat; }
+
+  /// Half-open containment: [min, max).
+  bool Contains(const GeoPoint& p) const {
+    return p.lon >= min_lon && p.lon < max_lon && p.lat >= min_lat &&
+           p.lat < max_lat;
+  }
+
+  /// Closed containment: [min, max].
+  bool ContainsClosed(const GeoPoint& p) const {
+    return p.lon >= min_lon && p.lon <= max_lon && p.lat >= min_lat &&
+           p.lat <= max_lat;
+  }
+
+  bool Intersects(const BoundingBox& other) const {
+    return min_lon < other.max_lon && other.min_lon < max_lon &&
+           min_lat < other.max_lat && other.min_lat < max_lat;
+  }
+
+  /// Area of the intersection with `other` (0 when disjoint).
+  double IntersectionArea(const BoundingBox& other) const {
+    const double w = std::min(max_lon, other.max_lon) -
+                     std::max(min_lon, other.min_lon);
+    const double h = std::min(max_lat, other.max_lat) -
+                     std::max(min_lat, other.min_lat);
+    if (w <= 0.0 || h <= 0.0) return 0.0;
+    return w * h;
+  }
+
+  GeoPoint Center() const {
+    return GeoPoint{(min_lon + max_lon) / 2.0, (min_lat + max_lat) / 2.0};
+  }
+
+  std::string ToString() const;
+};
+
+inline bool operator==(const BoundingBox& a, const BoundingBox& b) {
+  return a.min_lon == b.min_lon && a.min_lat == b.min_lat &&
+         a.max_lon == b.max_lon && a.max_lat == b.max_lat;
+}
+
+}  // namespace pldp
+
+#endif  // PLDP_GEO_BOUNDING_BOX_H_

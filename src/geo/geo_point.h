@@ -1,0 +1,22 @@
+#ifndef PLDP_GEO_GEO_POINT_H_
+#define PLDP_GEO_GEO_POINT_H_
+
+namespace pldp {
+
+/// A point on the (planar-approximated) spatial domain, in degrees.
+///
+/// The paper's datasets are all continental-scale bounding boxes over which
+/// the evaluation treats coordinates as planar, so no great-circle math is
+/// needed anywhere in the pipeline.
+struct GeoPoint {
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+inline bool operator==(const GeoPoint& a, const GeoPoint& b) {
+  return a.lon == b.lon && a.lat == b.lat;
+}
+
+}  // namespace pldp
+
+#endif  // PLDP_GEO_GEO_POINT_H_

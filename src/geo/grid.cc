@@ -1,0 +1,87 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pldp {
+
+StatusOr<UniformGrid> UniformGrid::Create(const BoundingBox& domain,
+                                          double cell_width,
+                                          double cell_height) {
+  if (!domain.IsValid()) {
+    return Status::InvalidArgument("grid domain is empty: " +
+                                   domain.ToString());
+  }
+  if (cell_width <= 0.0 || cell_height <= 0.0) {
+    return Status::InvalidArgument("cell granularity must be positive");
+  }
+  const double cols_f = std::ceil(domain.Width() / cell_width - 1e-9);
+  const double rows_f = std::ceil(domain.Height() / cell_height - 1e-9);
+  if (cols_f < 1.0 || rows_f < 1.0) {
+    return Status::InvalidArgument("grid has no cells");
+  }
+  if (rows_f * cols_f > 16e6) {
+    return Status::InvalidArgument(
+        "grid too fine: more than 16M cells; coarsen the granularity");
+  }
+  return UniformGrid(domain, cell_width, cell_height,
+                     static_cast<uint32_t>(rows_f),
+                     static_cast<uint32_t>(cols_f));
+}
+
+StatusOr<CellId> UniformGrid::CellOf(const GeoPoint& p) const {
+  if (!domain_.ContainsClosed(p)) {
+    return Status::OutOfRange("point outside grid domain");
+  }
+  return CellOfClamped(p);
+}
+
+CellId UniformGrid::CellOfClamped(const GeoPoint& p) const {
+  auto clamp_index = [](double offset, double step, uint32_t count) {
+    const auto raw = static_cast<int64_t>(std::floor(offset / step));
+    const int64_t clamped =
+        std::clamp<int64_t>(raw, 0, static_cast<int64_t>(count) - 1);
+    return static_cast<uint32_t>(clamped);
+  };
+  const uint32_t col = clamp_index(p.lon - domain_.min_lon, cell_width_, cols_);
+  const uint32_t row = clamp_index(p.lat - domain_.min_lat, cell_height_, rows_);
+  return IdOf(row, col);
+}
+
+BoundingBox UniformGrid::CellBox(CellId id) const {
+  const uint32_t row = RowOf(id);
+  const uint32_t col = ColOf(id);
+  BoundingBox box;
+  box.min_lon = domain_.min_lon + col * cell_width_;
+  box.max_lon = box.min_lon + cell_width_;
+  box.min_lat = domain_.min_lat + row * cell_height_;
+  box.max_lat = box.min_lat + cell_height_;
+  return box;
+}
+
+std::vector<CellId> UniformGrid::CellsIntersecting(
+    const BoundingBox& query) const {
+  std::vector<CellId> cells;
+  if (!query.IsValid()) return cells;
+  auto range = [](double lo, double hi, double origin, double step,
+                  uint32_t count) {
+    auto first = static_cast<int64_t>(std::floor((lo - origin) / step));
+    // The cell starting exactly at `hi` has empty overlap; back off one.
+    auto last = static_cast<int64_t>(std::ceil((hi - origin) / step)) - 1;
+    first = std::max<int64_t>(first, 0);
+    last = std::min<int64_t>(last, static_cast<int64_t>(count) - 1);
+    return std::pair<int64_t, int64_t>(first, last);
+  };
+  const auto [c0, c1] = range(query.min_lon, query.max_lon, domain_.min_lon,
+                              cell_width_, cols_);
+  const auto [r0, r1] = range(query.min_lat, query.max_lat, domain_.min_lat,
+                              cell_height_, rows_);
+  for (int64_t r = r0; r <= r1; ++r) {
+    for (int64_t c = c0; c <= c1; ++c) {
+      cells.push_back(IdOf(static_cast<uint32_t>(r), static_cast<uint32_t>(c)));
+    }
+  }
+  return cells;
+}
+
+}  // namespace pldp

@@ -1,0 +1,74 @@
+#ifndef PLDP_GEO_GRID_H_
+#define PLDP_GEO_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/geo_point.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Index of a leaf cell in a UniformGrid; cells are the paper's "locations"
+/// (the location universe L is the set of all cells).
+using CellId = uint32_t;
+
+/// A uniform grid partitioning a bounding box into rectangular leaf cells of
+/// a fixed granularity (Table I's "smallest granularity", e.g. 1deg x 1deg).
+///
+/// Cell (row, col) covers
+///   [min_lon + col*cell_w, min_lon + (col+1)*cell_w) x
+///   [min_lat + row*cell_h, min_lat + (row+1)*cell_h)
+/// and has id row * cols + col. Points on the domain's max edges are clamped
+/// into the last row/column so the grid partitions the closed domain.
+class UniformGrid {
+ public:
+  /// Builds a grid over `domain` with the given cell granularity. The last
+  /// row/column may extend past the domain if the extent is not an exact
+  /// multiple of the granularity (matching how the paper's taxonomies pad).
+  static StatusOr<UniformGrid> Create(const BoundingBox& domain,
+                                      double cell_width, double cell_height);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint32_t num_cells() const { return rows_ * cols_; }
+  const BoundingBox& domain() const { return domain_; }
+  double cell_width() const { return cell_width_; }
+  double cell_height() const { return cell_height_; }
+
+  /// Cell containing `p`. Fails if `p` is outside the (closed) domain.
+  StatusOr<CellId> CellOf(const GeoPoint& p) const;
+
+  /// Like CellOf but clamps out-of-domain points to the nearest cell.
+  CellId CellOfClamped(const GeoPoint& p) const;
+
+  uint32_t RowOf(CellId id) const { return id / cols_; }
+  uint32_t ColOf(CellId id) const { return id % cols_; }
+  CellId IdOf(uint32_t row, uint32_t col) const { return row * cols_ + col; }
+
+  /// Geographic extent of a cell.
+  BoundingBox CellBox(CellId id) const;
+
+  /// Cells whose rectangle intersects `query` (used by range queries).
+  std::vector<CellId> CellsIntersecting(const BoundingBox& query) const;
+
+ private:
+  UniformGrid(BoundingBox domain, double cell_width, double cell_height,
+              uint32_t rows, uint32_t cols)
+      : domain_(domain),
+        cell_width_(cell_width),
+        cell_height_(cell_height),
+        rows_(rows),
+        cols_(cols) {}
+
+  BoundingBox domain_;
+  double cell_width_ = 1.0;
+  double cell_height_ = 1.0;
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_GEO_GRID_H_

@@ -1,0 +1,159 @@
+#include "geo/taxonomy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pldp {
+
+StatusOr<SpatialTaxonomy> SpatialTaxonomy::Build(const UniformGrid& grid,
+                                                 uint32_t fanout) {
+  const auto branch = static_cast<uint32_t>(std::lround(std::sqrt(fanout)));
+  if (branch < 2 || branch * branch != fanout) {
+    return Status::InvalidArgument(
+        "taxonomy fanout must be a perfect square >= 4");
+  }
+  SpatialTaxonomy tax(grid, branch);
+
+  // Minimal height such that branch^height covers both grid dimensions.
+  uint64_t span = 1;
+  uint32_t height = 0;
+  const uint64_t need = std::max(grid.rows(), grid.cols());
+  while (span < need) {
+    span *= branch;
+    ++height;
+  }
+  tax.height_ = height;
+
+  Node root;
+  root.parent = kInvalidNode;
+  root.level = 0;
+  root.row_begin = 0;
+  root.row_end = grid.rows();
+  root.col_begin = 0;
+  root.col_end = grid.cols();
+  tax.nodes_.push_back(root);
+  tax.leaf_of_cell_.assign(grid.num_cells(), kInvalidNode);
+  tax.BuildRecursive(/*node=*/0, /*pad_row=*/0, /*pad_col=*/0, span);
+
+  for (NodeId leaf : tax.leaf_of_cell_) {
+    PLDP_CHECK(leaf != kInvalidNode) << "taxonomy build left a cell uncovered";
+  }
+  return tax;
+}
+
+void SpatialTaxonomy::BuildRecursive(NodeId node, uint64_t pad_row,
+                                     uint64_t pad_col, uint64_t span) {
+  if (span == 1) {
+    const CellId cell = grid_.IdOf(static_cast<uint32_t>(pad_row),
+                                   static_cast<uint32_t>(pad_col));
+    leaf_of_cell_[cell] = node;
+    return;
+  }
+  const uint64_t child_span = span / branch_;
+  const uint32_t child_level = nodes_[node].level + 1;
+  for (uint32_t br = 0; br < branch_; ++br) {
+    for (uint32_t bc = 0; bc < branch_; ++bc) {
+      const uint64_t r0 = pad_row + br * child_span;
+      const uint64_t c0 = pad_col + bc * child_span;
+      // Skip children that live entirely in the padding.
+      if (r0 >= grid_.rows() || c0 >= grid_.cols()) continue;
+      Node child;
+      child.parent = node;
+      child.level = child_level;
+      child.row_begin = static_cast<uint32_t>(r0);
+      child.row_end = static_cast<uint32_t>(
+          std::min<uint64_t>(r0 + child_span, grid_.rows()));
+      child.col_begin = static_cast<uint32_t>(c0);
+      child.col_end = static_cast<uint32_t>(
+          std::min<uint64_t>(c0 + child_span, grid_.cols()));
+      const auto child_id = static_cast<NodeId>(nodes_.size());
+      nodes_.push_back(child);
+      nodes_[node].children.push_back(child_id);
+      BuildRecursive(child_id, r0, c0, child_span);
+    }
+  }
+}
+
+CellId SpatialTaxonomy::LeafCell(NodeId node) const {
+  const Node& n = nodes_[node];
+  PLDP_CHECK(IsLeaf(node));
+  return grid_.IdOf(n.row_begin, n.col_begin);
+}
+
+uint64_t SpatialTaxonomy::RegionSize(NodeId node) const {
+  const Node& n = nodes_[node];
+  return static_cast<uint64_t>(n.row_end - n.row_begin) *
+         (n.col_end - n.col_begin);
+}
+
+std::vector<CellId> SpatialTaxonomy::RegionCells(NodeId node) const {
+  const Node& n = nodes_[node];
+  std::vector<CellId> cells;
+  cells.reserve(RegionSize(node));
+  for (uint32_t r = n.row_begin; r < n.row_end; ++r) {
+    for (uint32_t c = n.col_begin; c < n.col_end; ++c) {
+      cells.push_back(grid_.IdOf(r, c));
+    }
+  }
+  return cells;
+}
+
+StatusOr<uint64_t> SpatialTaxonomy::RegionRankOfCell(NodeId node,
+                                                     CellId cell) const {
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument("invalid taxonomy node");
+  }
+  if (cell >= grid_.num_cells()) {
+    return Status::InvalidArgument("invalid grid cell");
+  }
+  const Node& n = nodes_[node];
+  const uint32_t row = grid_.RowOf(cell);
+  const uint32_t col = grid_.ColOf(cell);
+  if (row < n.row_begin || row >= n.row_end || col < n.col_begin ||
+      col >= n.col_end) {
+    return Status::OutOfRange("cell not covered by the taxonomy node");
+  }
+  return static_cast<uint64_t>(row - n.row_begin) * (n.col_end - n.col_begin) +
+         (col - n.col_begin);
+}
+
+bool SpatialTaxonomy::Contains(NodeId ancestor, NodeId descendant) const {
+  const Node& a = nodes_[ancestor];
+  const Node& d = nodes_[descendant];
+  return a.level <= d.level && a.row_begin <= d.row_begin &&
+         d.row_end <= a.row_end && a.col_begin <= d.col_begin &&
+         d.col_end <= a.col_end;
+}
+
+NodeId SpatialTaxonomy::AncestorAbove(NodeId node, uint32_t steps) const {
+  NodeId current = node;
+  while (steps > 0 && nodes_[current].parent != kInvalidNode) {
+    current = nodes_[current].parent;
+    --steps;
+  }
+  return current;
+}
+
+std::vector<NodeId> SpatialTaxonomy::PathFromRoot(NodeId node) const {
+  std::vector<NodeId> path;
+  for (NodeId cur = node; cur != kInvalidNode; cur = nodes_[cur].parent) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+BoundingBox SpatialTaxonomy::NodeBox(NodeId node) const {
+  const Node& n = nodes_[node];
+  const BoundingBox& domain = grid_.domain();
+  BoundingBox box;
+  box.min_lon = domain.min_lon + n.col_begin * grid_.cell_width();
+  box.max_lon = domain.min_lon + n.col_end * grid_.cell_width();
+  box.min_lat = domain.min_lat + n.row_begin * grid_.cell_height();
+  box.max_lat = domain.min_lat + n.row_end * grid_.cell_height();
+  return box;
+}
+
+}  // namespace pldp

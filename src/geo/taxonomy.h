@@ -1,0 +1,111 @@
+#ifndef PLDP_GEO_TAXONOMY_H_
+#define PLDP_GEO_TAXONOMY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/grid.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Index of a node in a SpatialTaxonomy.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// The public spatial taxonomy of the paper (Figure 2): a fixed-fanout
+/// hierarchy over the leaf grid, built independently of any user's data.
+///
+/// The fanout must be a perfect square (the paper's experiments use 4); each
+/// internal node splits its rectangle into sqrt(fanout) x sqrt(fanout)
+/// children. Grids whose dimensions are not powers of the branching factor
+/// are conceptually padded; padding-only children are omitted, so every node
+/// in the taxonomy covers at least one real cell.
+///
+/// Users pick a node as their safe region tau; a node's "region" is the set
+/// of leaf cells it covers, enumerated in ascending CellId order (this fixed
+/// order is the shared location indexing that PCEP clients and the server
+/// both derive locally).
+class SpatialTaxonomy {
+ public:
+  /// Builds the taxonomy for `grid`. `fanout` must be a perfect square >= 4.
+  static StatusOr<SpatialTaxonomy> Build(const UniformGrid& grid,
+                                         uint32_t fanout);
+
+  SpatialTaxonomy(const SpatialTaxonomy&) = default;
+  SpatialTaxonomy& operator=(const SpatialTaxonomy&) = default;
+  SpatialTaxonomy(SpatialTaxonomy&&) noexcept = default;
+  SpatialTaxonomy& operator=(SpatialTaxonomy&&) noexcept = default;
+
+  const UniformGrid& grid() const { return grid_; }
+  uint32_t fanout() const { return branch_ * branch_; }
+
+  NodeId root() const { return 0; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Number of levels below the root (root has level 0; leaves level height).
+  uint32_t height() const { return height_; }
+
+  bool IsLeaf(NodeId node) const { return nodes_[node].children.empty(); }
+  NodeId parent(NodeId node) const { return nodes_[node].parent; }
+  uint32_t level(NodeId node) const { return nodes_[node].level; }
+  const std::vector<NodeId>& children(NodeId node) const {
+    return nodes_[node].children;
+  }
+
+  /// The single grid cell of a leaf node.
+  CellId LeafCell(NodeId node) const;
+
+  /// The leaf node covering a grid cell.
+  NodeId LeafNodeOfCell(CellId cell) const { return leaf_of_cell_[cell]; }
+
+  /// Number of real grid cells covered by `node` (the paper's |R|).
+  uint64_t RegionSize(NodeId node) const;
+
+  /// All cells covered by `node`, in ascending CellId order.
+  std::vector<CellId> RegionCells(NodeId node) const;
+
+  /// Rank of `cell` within RegionCells(node), in O(1) (regions are
+  /// rectangles). Fails if the node does not cover the cell. This is the
+  /// shared location indexing both PCEP endpoints derive locally.
+  StatusOr<uint64_t> RegionRankOfCell(NodeId node, CellId cell) const;
+
+  /// True iff `ancestor` is `descendant` or one of its proper ancestors.
+  bool Contains(NodeId ancestor, NodeId descendant) const;
+
+  /// Walks `steps` levels toward the root (stops at the root).
+  NodeId AncestorAbove(NodeId node, uint32_t steps) const;
+
+  /// Node chain root -> ... -> node.
+  std::vector<NodeId> PathFromRoot(NodeId node) const;
+
+  /// Geographic extent of the node's real-cell rectangle.
+  BoundingBox NodeBox(NodeId node) const;
+
+ private:
+  struct Node {
+    NodeId parent = kInvalidNode;
+    uint32_t level = 0;
+    // Real-grid rectangle [row_begin, row_end) x [col_begin, col_end).
+    uint32_t row_begin = 0, row_end = 0, col_begin = 0, col_end = 0;
+    std::vector<NodeId> children;
+  };
+
+  SpatialTaxonomy(UniformGrid grid, uint32_t branch)
+      : grid_(std::move(grid)), branch_(branch) {}
+
+  void BuildRecursive(NodeId node, uint64_t pad_row, uint64_t pad_col,
+                      uint64_t span);
+
+  UniformGrid grid_;
+  uint32_t branch_ = 2;
+  uint32_t height_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> leaf_of_cell_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_GEO_TAXONOMY_H_

@@ -1,0 +1,48 @@
+#include "protocol/client.h"
+
+#include "core/local_randomizer.h"
+#include "protocol/messages.h"
+
+namespace pldp {
+
+std::vector<uint8_t> DeviceClient::UploadSpec() const {
+  SpecUploadMsg msg;
+  msg.safe_region = spec_.safe_region;
+  msg.epsilon = spec_.epsilon;
+  return msg.Serialize();
+}
+
+StatusOr<std::vector<uint8_t>> DeviceClient::HandleRowAssignment(
+    const std::vector<uint8_t>& message) {
+  PLDP_ASSIGN_OR_RETURN(RowAssignmentMsg assignment,
+                        RowAssignmentMsg::Parse(message));
+  if (assignment.region >= taxonomy_->num_nodes()) {
+    return Status::InvalidArgument("row assignment names an unknown region");
+  }
+  // The device only participates in protocols whose region covers its safe
+  // region; otherwise its PLDP guarantee over tau would not follow from the
+  // protocol's indistinguishability over the cluster region (Theorem 4.7).
+  if (!taxonomy_->Contains(assignment.region, spec_.safe_region)) {
+    return Status::FailedPrecondition(
+        "assigned protocol region does not cover this device's safe region");
+  }
+  // The row must span exactly the protocol region: a truncated or padded row
+  // signals a corrupted (or dishonest) server.
+  if (assignment.row_bits.size() !=
+      taxonomy_->RegionSize(assignment.region)) {
+    return Status::InvalidArgument("row length does not match the region");
+  }
+  PLDP_ASSIGN_OR_RETURN(
+      const uint64_t rank,
+      taxonomy_->RegionRankOfCell(assignment.region, location_));
+  PLDP_ASSIGN_OR_RETURN(
+      const double z,
+      LocalRandomizeRow(assignment.row_bits, rank, assignment.m,
+                        spec_.epsilon, &rng_));
+  // Only the sign travels; |z| = c_eps * sqrt(m) is public.
+  ReportMsg report;
+  report.positive = z > 0.0;
+  return report.Serialize();
+}
+
+}  // namespace pldp

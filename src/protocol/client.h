@@ -1,0 +1,51 @@
+#ifndef PLDP_PROTOCOL_CLIENT_H_
+#define PLDP_PROTOCOL_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/privacy_spec.h"
+#include "geo/taxonomy.h"
+#include "util/random.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// A user's device in the Figure 1 architecture.
+///
+/// Holds the only copy of the private location; everything that leaves this
+/// class is either the public privacy specification or a bit sanitized by the
+/// local randomizer, so the (tau, eps)-PLDP guarantee is enforced at the
+/// trust boundary the paper postulates. The device keeps its own RNG - the
+/// server never influences client randomness.
+class DeviceClient {
+ public:
+  /// `taxonomy` must outlive the client (it is the public spatial taxonomy
+  /// shared by everyone).
+  DeviceClient(const SpatialTaxonomy* taxonomy, CellId location,
+               PrivacySpec spec, uint64_t seed)
+      : taxonomy_(taxonomy), location_(location), spec_(spec), rng_(seed) {}
+
+  const PrivacySpec& spec() const { return spec_; }
+
+  /// Serialized spec upload (Algorithm 4, line 2).
+  std::vector<uint8_t> UploadSpec() const;
+
+  /// Handles a serialized RowAssignmentMsg: locates the device's own bit in
+  /// the received row, perturbs it with the local randomizer, and returns the
+  /// serialized ReportMsg. Fails if the assigned region does not cover the
+  /// device's safe region (a dishonest server cannot trick the device into a
+  /// weaker perturbation - it would simply get garbage).
+  StatusOr<std::vector<uint8_t>> HandleRowAssignment(
+      const std::vector<uint8_t>& message);
+
+ private:
+  const SpatialTaxonomy* taxonomy_;
+  CellId location_;
+  PrivacySpec spec_;
+  Rng rng_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_PROTOCOL_CLIENT_H_

@@ -1,0 +1,79 @@
+#include "protocol/messages.h"
+
+#include "protocol/serialization.h"
+
+namespace pldp {
+
+std::vector<uint8_t> SpecUploadMsg::Serialize() const {
+  Writer writer;
+  writer.PutVarint64(safe_region);
+  writer.PutDouble(epsilon);
+  return std::move(writer.bytes());
+}
+
+StatusOr<SpecUploadMsg> SpecUploadMsg::Parse(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SpecUploadMsg msg;
+  PLDP_ASSIGN_OR_RETURN(uint64_t region, reader.GetVarint64());
+  msg.safe_region = static_cast<NodeId>(region);
+  PLDP_ASSIGN_OR_RETURN(msg.epsilon, reader.GetDouble());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in SpecUploadMsg");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> RowAssignmentMsg::Serialize() const {
+  Writer writer;
+  writer.PutVarint64(region);
+  writer.PutVarint64(m);
+  writer.PutVarint64(row_index);
+  writer.PutVarint64(row_bits.size());
+  row_bits.AppendBytes(&writer.bytes());
+  return std::move(writer.bytes());
+}
+
+StatusOr<RowAssignmentMsg> RowAssignmentMsg::Parse(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  RowAssignmentMsg msg;
+  PLDP_ASSIGN_OR_RETURN(uint64_t region, reader.GetVarint64());
+  msg.region = static_cast<NodeId>(region);
+  PLDP_ASSIGN_OR_RETURN(msg.m, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(msg.row_index, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(uint64_t width, reader.GetVarint64());
+  if (width > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("row width implausibly large");
+  }
+  const size_t consumed = msg.row_bits.ParseBytes(
+      reader.Remaining(), reader.RemainingSize(), width);
+  if (consumed == 0 && width != 0) {
+    return Status::InvalidArgument("truncated row bits");
+  }
+  reader.Skip(consumed);
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in RowAssignmentMsg");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> ReportMsg::Serialize() const {
+  Writer writer;
+  writer.PutByte(positive ? 1 : 0);
+  return std::move(writer.bytes());
+}
+
+StatusOr<ReportMsg> ReportMsg::Parse(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  ReportMsg msg;
+  PLDP_ASSIGN_OR_RETURN(uint8_t value, reader.GetByte());
+  if (value > 1) return Status::InvalidArgument("report byte must be 0/1");
+  msg.positive = value == 1;
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in ReportMsg");
+  }
+  return msg;
+}
+
+}  // namespace pldp

@@ -1,0 +1,96 @@
+#ifndef PLDP_PROTOCOL_SERIALIZATION_H_
+#define PLDP_PROTOCOL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Minimal byte-level codec used by the protocol simulation so that the
+/// communication-cost accounting (Section IV-A: O(|tau|) bits down, O(1) bits
+/// up per user) reflects real message sizes, not C++ object sizes.
+///
+/// Varints are LEB128; doubles are little-endian IEEE-754 bit patterns.
+class Writer {
+ public:
+  void PutVarint64(uint64_t value) {
+    while (value >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(value) | 0x80);
+      value >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(value));
+  }
+
+  void PutDouble(double value) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(bits));
+    std::memcpy(bytes_.data() + offset, &bits, sizeof(bits));
+  }
+
+  void PutByte(uint8_t value) { bytes_.push_back(value); }
+
+  void PutRaw(const uint8_t* data, size_t len) {
+    bytes_.insert(bytes_.end(), data, data + len);
+  }
+
+  std::vector<uint8_t>& bytes() { return bytes_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit Reader(const std::vector<uint8_t>& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  StatusOr<uint64_t> GetVarint64() {
+    uint64_t value = 0;
+    int shift = 0;
+    while (pos_ < len_ && shift <= 63) {
+      const uint8_t byte = data_[pos_++];
+      value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+    return Status::InvalidArgument("truncated or overlong varint");
+  }
+
+  StatusOr<double> GetDouble() {
+    if (len_ - pos_ < sizeof(uint64_t)) {
+      return Status::InvalidArgument("truncated double");
+    }
+    uint64_t bits = 0;
+    std::memcpy(&bits, data_ + pos_, sizeof(bits));
+    pos_ += sizeof(bits);
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  StatusOr<uint8_t> GetByte() {
+    if (pos_ >= len_) return Status::InvalidArgument("truncated byte");
+    return data_[pos_++];
+  }
+
+  const uint8_t* Remaining() const { return data_ + pos_; }
+  size_t RemainingSize() const { return len_ - pos_; }
+  void Skip(size_t n) { pos_ += std::min(n, RemainingSize()); }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_PROTOCOL_SERIALIZATION_H_

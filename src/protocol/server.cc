@@ -1,0 +1,126 @@
+#include "protocol/server.h"
+
+#include <cmath>
+
+#include "core/consistency.h"
+#include "core/error_model.h"
+#include "core/user_group.h"
+#include "protocol/messages.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace pldp {
+
+StatusOr<PsdaResult> AggregationServer::Collect(
+    std::vector<DeviceClient>* clients, ProtocolStats* stats) const {
+  PLDP_CHECK(clients != nullptr);
+  if (clients->empty()) {
+    return Status::InvalidArgument("protocol needs at least one client");
+  }
+  ProtocolStats local_stats;
+  Stopwatch timer;
+
+  // Algorithm 4, lines 1-3: collect the public specifications.
+  std::vector<PrivacySpec> specs;
+  specs.reserve(clients->size());
+  for (const DeviceClient& client : *clients) {
+    const std::vector<uint8_t> bytes = client.UploadSpec();
+    local_stats.bytes_to_server += bytes.size();
+    ++local_stats.messages_to_server;
+    PLDP_ASSIGN_OR_RETURN(SpecUploadMsg msg, SpecUploadMsg::Parse(bytes));
+    specs.push_back(PrivacySpec{msg.safe_region, msg.epsilon});
+  }
+
+  // Line 4: group by safe region (public data only).
+  PLDP_ASSIGN_OR_RETURN(std::vector<UserGroup> groups,
+                        GroupSpecsBySafeRegion(*taxonomy_, specs));
+
+  // Line 5: cluster the groups.
+  ClusteringOptions cluster_options;
+  cluster_options.beta = options_.beta;
+  PLDP_ASSIGN_OR_RETURN(
+      ClusteringResult clustering,
+      options_.enable_clustering
+          ? ClusterUserGroups(*taxonomy_, groups, cluster_options)
+          : TrivialClusters(*taxonomy_, groups, cluster_options));
+
+  // Lines 6-9: one message-level PCEP per cluster.
+  PsdaResult result;
+  result.raw_counts.assign(taxonomy_->grid().num_cells(), 0.0);
+  const double beta_each =
+      options_.beta / static_cast<double>(clustering.clusters.size());
+  for (size_t c = 0; c < clustering.clusters.size(); ++c) {
+    const Cluster& cluster = clustering.clusters[c];
+    const std::vector<CellId> region =
+        taxonomy_->RegionCells(cluster.top_region);
+
+    PcepParams params;
+    params.beta = beta_each;
+    params.seed =
+        SplitMix64(options_.seed ^ ((c + 1) * 0x9E3779B97F4A7C15ULL));
+    params.max_reduced_dimension = options_.max_reduced_dimension;
+
+    uint64_t cluster_n = 0;
+    for (const uint32_t g : cluster.groups) cluster_n += groups[g].n();
+    PLDP_ASSIGN_OR_RETURN(PcepServer pcep,
+                          PcepServer::Create(region.size(), cluster_n, params));
+    const PcepSeeds seeds(params.seed);
+    Rng row_rng(seeds.row_assignment);
+
+    for (const uint32_t g : cluster.groups) {
+      for (const uint32_t user_index : groups[g].members) {
+        DeviceClient& client = (*clients)[user_index];
+        const uint64_t row = pcep.AssignRow(&row_rng);
+
+        RowAssignmentMsg assignment;
+        assignment.region = cluster.top_region;
+        assignment.m = pcep.m();
+        assignment.row_index = row;
+        assignment.row_bits = pcep.sign_matrix().Row(row);
+        const std::vector<uint8_t> down = assignment.Serialize();
+        local_stats.bytes_to_clients += down.size();
+        ++local_stats.messages_to_clients;
+
+        const StatusOr<std::vector<uint8_t>> up =
+            client.HandleRowAssignment(down);
+        if (!up.ok()) {
+          ++local_stats.dropped_clients;
+          continue;
+        }
+        local_stats.bytes_to_server += up.value().size();
+        ++local_stats.messages_to_server;
+        const StatusOr<ReportMsg> report = ReportMsg::Parse(up.value());
+        if (!report.ok()) {
+          ++local_stats.dropped_clients;
+          continue;
+        }
+        const double magnitude =
+            CEpsilon(specs[user_index].epsilon) *
+            std::sqrt(static_cast<double>(pcep.m()));
+        pcep.Accumulate(row, report->positive ? magnitude : -magnitude);
+      }
+    }
+
+    const std::vector<double> estimates = pcep.Estimate();
+    for (size_t k = 0; k < region.size(); ++k) {
+      result.raw_counts[region[k]] += estimates[k];
+    }
+  }
+
+  // Line 10: consistency post-processing on public constraints.
+  if (options_.enforce_consistency) {
+    PLDP_ASSIGN_OR_RETURN(result.counts, EnforceConsistency(
+                                             *taxonomy_, result.raw_counts,
+                                             groups));
+  } else {
+    result.counts = result.raw_counts;
+  }
+
+  result.clustering = std::move(clustering);
+  result.server_seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+}  // namespace pldp

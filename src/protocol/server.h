@@ -1,0 +1,52 @@
+#ifndef PLDP_PROTOCOL_SERVER_H_
+#define PLDP_PROTOCOL_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/psda.h"
+#include "geo/taxonomy.h"
+#include "protocol/client.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Communication accounting for one protocol execution.
+struct ProtocolStats {
+  uint64_t bytes_to_clients = 0;
+  uint64_t bytes_to_server = 0;
+  uint64_t messages_to_clients = 0;
+  uint64_t messages_to_server = 0;
+
+  /// Clients whose responses failed to parse or who refused the assignment;
+  /// their reports are dropped (utility loss only, never a privacy loss).
+  uint64_t dropped_clients = 0;
+};
+
+/// The untrusted aggregation server of Figure 1, executing Algorithm 4 at the
+/// message level: every interaction with a DeviceClient goes through the
+/// serialized wire format so that ProtocolStats measures the real
+/// communication cost (O(|tau|) bytes down, O(1) bytes up per user).
+///
+/// The computation is identical to RunPsda (grouping, Algorithm 3 clustering,
+/// one PCEP per cluster, consistency post-processing); only the client
+/// exchange differs. The server never touches a client's location or RNG.
+class AggregationServer {
+ public:
+  /// `taxonomy` must outlive the server.
+  AggregationServer(const SpatialTaxonomy* taxonomy, PsdaOptions options)
+      : taxonomy_(taxonomy), options_(options) {}
+
+  /// Runs the full protocol over `clients`. Client RNG state advances, so the
+  /// vector is mutable. `stats` may be null.
+  StatusOr<PsdaResult> Collect(std::vector<DeviceClient>* clients,
+                               ProtocolStats* stats) const;
+
+ private:
+  const SpatialTaxonomy* taxonomy_;
+  PsdaOptions options_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_PROTOCOL_SERVER_H_

@@ -1,0 +1,66 @@
+#include "stream/continuous.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pldp {
+
+ContinuousAggregator::ContinuousAggregator(const SpatialTaxonomy* taxonomy,
+                                           StreamOptions options)
+    : taxonomy_(taxonomy), options_(options) {
+  PLDP_CHECK(taxonomy_ != nullptr);
+  PLDP_CHECK(options_.smoothing > 0.0 && options_.smoothing <= 1.0)
+      << "smoothing must be in (0, 1]";
+  PLDP_CHECK(options_.participation_period >= 1);
+  estimate_.assign(taxonomy_->grid().num_cells(), 0.0);
+}
+
+StatusOr<std::vector<double>> ContinuousAggregator::ProcessEpoch(
+    const std::vector<StreamUser>& users) {
+  ++epoch_;
+  last_stats_ = EpochStats{};
+  last_stats_.epoch = epoch_;
+  last_stats_.offered = users.size();
+
+  std::vector<UserRecord> eligible;
+  std::vector<uint64_t> eligible_ids;
+  eligible.reserve(users.size());
+  for (const StreamUser& user : users) {
+    const auto it = last_participation_.find(user.user_id);
+    if (it != last_participation_.end() &&
+        epoch_ - it->second < options_.participation_period) {
+      ++last_stats_.rate_limited;
+      continue;
+    }
+    eligible.push_back(user.record);
+    eligible_ids.push_back(user.user_id);
+  }
+
+  if (eligible.empty()) {
+    // Nothing to learn this epoch; the previous estimate stands.
+    return estimate_;
+  }
+
+  PsdaOptions epoch_options = options_.psda;
+  epoch_options.seed =
+      SplitMix64(options_.psda.seed ^ (epoch_ * 0x9E3779B97F4A7C15ULL));
+  PLDP_ASSIGN_OR_RETURN(const PsdaResult result,
+                        RunPsda(*taxonomy_, eligible, epoch_options));
+
+  // Only commit participation accounting once the round succeeded.
+  for (const uint64_t id : eligible_ids) last_participation_[id] = epoch_;
+  last_stats_.participated = eligible.size();
+
+  if (!has_estimate_) {
+    estimate_ = result.counts;
+    has_estimate_ = true;
+  } else {
+    const double alpha = options_.smoothing;
+    for (size_t i = 0; i < estimate_.size(); ++i) {
+      estimate_[i] = alpha * result.counts[i] + (1.0 - alpha) * estimate_[i];
+    }
+  }
+  return estimate_;
+}
+
+}  // namespace pldp

@@ -1,0 +1,81 @@
+#ifndef PLDP_STREAM_CONTINUOUS_H_
+#define PLDP_STREAM_CONTINUOUS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/psda.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// One user's report in an epoch, with a stable id for cross-epoch
+/// participation accounting. The id is pseudonymous transport identity (the
+/// server needs *some* handle to rate-limit participation); it carries no
+/// location information.
+struct StreamUser {
+  uint64_t user_id = 0;
+  UserRecord record;
+};
+
+struct StreamOptions {
+  /// Per-epoch PSDA configuration; the epoch index is folded into the seed.
+  PsdaOptions psda;
+
+  /// EWMA weight of the newest epoch in (0, 1]: 1 = no smoothing.
+  double smoothing = 0.5;
+
+  /// A user participates at most once per this many epochs. In the paper's
+  /// single-shot model every participation costs the user a fresh
+  /// (tau, eps); rotation bounds each user's total exposure per window to
+  /// one (tau, eps) rather than relying on composition across epochs.
+  uint32_t participation_period = 1;
+};
+
+/// Epoch-level statistics.
+struct EpochStats {
+  uint64_t epoch = 0;
+  size_t offered = 0;       ///< users present in the epoch
+  size_t participated = 0;  ///< users actually fed into PSDA
+  size_t rate_limited = 0;  ///< users skipped by the participation period
+};
+
+/// Continuous private aggregation: the Waze-style deployment loop. Each
+/// call to ProcessEpoch runs one full PSDA round over the eligible users
+/// and folds the result into an exponentially smoothed running estimate.
+///
+/// Privacy: every report inside an epoch is (tau, eps)-PLDP by Theorem 4.7,
+/// and the participation period guarantees a user contributes at most one
+/// report per window, so the per-window guarantee equals the single-shot
+/// one. The smoothing operates on sanitized aggregates only.
+class ContinuousAggregator {
+ public:
+  /// `taxonomy` must outlive the aggregator.
+  ContinuousAggregator(const SpatialTaxonomy* taxonomy, StreamOptions options);
+
+  /// Processes one epoch. Returns the smoothed per-cell estimate (also
+  /// retrievable via current_estimate()). An epoch where every user is
+  /// rate-limited (or `users` is empty) keeps the previous estimate.
+  StatusOr<std::vector<double>> ProcessEpoch(
+      const std::vector<StreamUser>& users);
+
+  const std::vector<double>& current_estimate() const { return estimate_; }
+  uint64_t epochs_processed() const { return epoch_; }
+  const EpochStats& last_stats() const { return last_stats_; }
+
+ private:
+  const SpatialTaxonomy* taxonomy_;
+  StreamOptions options_;
+  uint64_t epoch_ = 0;
+  std::vector<double> estimate_;
+  bool has_estimate_ = false;
+  EpochStats last_stats_;
+  /// user_id -> last epoch (1-based) the user participated in.
+  std::unordered_map<uint64_t, uint64_t> last_participation_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_STREAM_CONTINUOUS_H_

@@ -1,0 +1,101 @@
+#ifndef PLDP_UTIL_BIT_VECTOR_H_
+#define PLDP_UTIL_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pldp {
+
+/// A fixed-size packed bit vector.
+///
+/// Used to represent one row of the implicit JL sign matrix: bit b=1 encodes
+/// the entry +1/sqrt(m), b=0 encodes -1/sqrt(m). Word-level access lets the
+/// PCEP decode loop process 64 signs per iteration.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates `size` bits, all zero.
+  explicit BitVector(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+  size_t word_count() const { return words_.size(); }
+
+  bool Get(size_t i) const {
+    PLDP_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i, bool value) {
+    PLDP_DCHECK(i < size_);
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Raw word access. Bits beyond size() in the last word are kept zero by
+  /// SetWord's masking, so popcount-style scans need no special casing.
+  uint64_t Word(size_t w) const {
+    PLDP_DCHECK(w < words_.size());
+    return words_[w];
+  }
+
+  /// Overwrites word `w`; trailing bits past size() are masked off.
+  void SetWord(size_t w, uint64_t value) {
+    PLDP_DCHECK(w < words_.size());
+    if (w + 1 == words_.size() && (size_ & 63) != 0) {
+      value &= (uint64_t{1} << (size_ & 63)) - 1;
+    }
+    words_[w] = value;
+  }
+
+  /// Number of set bits.
+  size_t PopCount() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  /// Byte size of the packed payload (for communication accounting).
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Serializes the packed words (little-endian) into `out`.
+  void AppendBytes(std::vector<uint8_t>* out) const {
+    const size_t offset = out->size();
+    out->resize(offset + ByteSize());
+    std::memcpy(out->data() + offset, words_.data(), ByteSize());
+  }
+
+  /// Restores a bit vector of `size` bits from packed bytes; returns the number
+  /// of bytes consumed, or 0 if `len` is too small.
+  size_t ParseBytes(const uint8_t* data, size_t len, size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+    const size_t need = ByteSize();
+    if (len < need) return 0;
+    std::memcpy(words_.data(), data, need);
+    if ((size_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size_ & 63)) - 1;
+    }
+    return need;
+  }
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_UTIL_BIT_VECTOR_H_

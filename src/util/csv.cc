@@ -1,0 +1,67 @@
+#include "util/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pldp {
+
+std::vector<std::string> SplitCsvLine(std::string_view line, char delim) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+StatusOr<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty numeric field");
+  const std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("cannot parse double: '" + buf + "'");
+  }
+  return value;
+}
+
+StatusOr<uint64_t> ParseUint64(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty numeric field");
+  const std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("cannot parse uint64: '" + buf + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Status::IoError("error reading file: " + path);
+  return contents.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open file for write: " + path);
+  out << contents;
+  out.flush();
+  if (!out) return Status::IoError("error writing file: " + path);
+  return Status::OK();
+}
+
+}  // namespace pldp

@@ -1,0 +1,31 @@
+#ifndef PLDP_UTIL_CSV_H_
+#define PLDP_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Splits one CSV line on `delim`. Quoting is not supported: the spatial
+/// datasets this library consumes are plain numeric columns.
+std::vector<std::string> SplitCsvLine(std::string_view line, char delim = ',');
+
+/// Parses `text` as a double; fails on trailing garbage or empty input.
+StatusOr<double> ParseDouble(std::string_view text);
+
+/// Parses `text` as a non-negative integer.
+StatusOr<uint64_t> ParseUint64(std::string_view text);
+
+/// Reads a whole file into memory.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, truncating.
+Status WriteStringToFile(const std::string& path, const std::string& contents);
+
+}  // namespace pldp
+
+#endif  // PLDP_UTIL_CSV_H_

@@ -1,0 +1,85 @@
+#ifndef PLDP_UTIL_LOGGING_H_
+#define PLDP_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pldp {
+
+/// Severity levels for PLDP_LOG. kFatal aborts the process after logging.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal_logging {
+
+/// Minimum level actually emitted; configurable at runtime (default kInfo).
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a log statement is compiled out/disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Allows the ternary in PLDP_CHECK to have a consistent type.
+struct Voidify {
+  void operator&&(std::ostream&) const {}
+  void operator&&(NullStream&) const {}
+};
+
+}  // namespace internal_logging
+
+#define PLDP_LOG(level)                                                   \
+  ::pldp::internal_logging::LogMessage(::pldp::LogLevel::k##level,        \
+                                       __FILE__, __LINE__)                \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// invariant violations in a privacy library should never be silent.
+#define PLDP_CHECK(condition)                                             \
+  (condition) ? (void)0                                                   \
+              : ::pldp::internal_logging::Voidify() &&                    \
+                    ::pldp::internal_logging::LogMessage(                 \
+                        ::pldp::LogLevel::kFatal, __FILE__, __LINE__)     \
+                            .stream()                                     \
+                        << "Check failed: " #condition " "
+
+#define PLDP_CHECK_EQ(a, b) PLDP_CHECK((a) == (b))
+#define PLDP_CHECK_NE(a, b) PLDP_CHECK((a) != (b))
+#define PLDP_CHECK_LT(a, b) PLDP_CHECK((a) < (b))
+#define PLDP_CHECK_LE(a, b) PLDP_CHECK((a) <= (b))
+#define PLDP_CHECK_GT(a, b) PLDP_CHECK((a) > (b))
+#define PLDP_CHECK_GE(a, b) PLDP_CHECK((a) >= (b))
+
+#define PLDP_DCHECK(condition) PLDP_CHECK(condition)
+
+}  // namespace pldp
+
+#endif  // PLDP_UTIL_LOGGING_H_

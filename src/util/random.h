@@ -1,0 +1,84 @@
+#ifndef PLDP_UTIL_RANDOM_H_
+#define PLDP_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace pldp {
+
+/// Stateless 64-bit mixing function (SplitMix64 finalizer). Used both for
+/// seeding and as a counter-based hash: `SplitMix64(seed ^ counter)` yields
+/// independent-looking streams, which is how the implicit JL sign matrix
+/// derives its entries reproducibly on the server and every client.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256** PRNG. Fast, high-quality, and a valid
+/// UniformRandomBitGenerator for <random> distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four lanes from SplitMix64(seed), per the reference seeding.
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    for (auto& lane : state_) {
+      seed = SplitMix64(seed + 0x9E3779B97F4A7C15ULL);
+      lane = seed;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// nearly-divisionless rejection method.
+  uint64_t NextUint64(uint64_t bound) {
+    PLDP_DCHECK(bound > 0);
+    __uint128_t product = static_cast<__uint128_t>((*this)()) * bound;
+    auto low = static_cast<uint64_t>(product);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        product = static_cast<__uint128_t>((*this)()) * bound;
+        low = static_cast<uint64_t>(product);
+      }
+    }
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  /// True with probability p (p outside [0,1] saturates).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_UTIL_RANDOM_H_

@@ -1,0 +1,75 @@
+#ifndef PLDP_UTIL_STATUS_OR_H_
+#define PLDP_UTIL_STATUS_OR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace pldp {
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. Accessing the value of an error-holding StatusOr aborts (CHECK).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr ergonomics).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status; must not be OK.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    PLDP_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PLDP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PLDP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PLDP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates a StatusOr expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs`.
+#define PLDP_ASSIGN_OR_RETURN(lhs, expr)                        \
+  PLDP_ASSIGN_OR_RETURN_IMPL_(                                  \
+      PLDP_STATUS_MACRO_CONCAT_(_pldp_statusor, __LINE__), lhs, expr)
+
+#define PLDP_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define PLDP_STATUS_MACRO_CONCAT_(x, y) PLDP_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#define PLDP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace pldp
+
+#endif  // PLDP_UTIL_STATUS_OR_H_

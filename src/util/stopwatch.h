@@ -1,0 +1,29 @@
+#ifndef PLDP_UTIL_STOPWATCH_H_
+#define PLDP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pldp {
+
+/// Wall-clock stopwatch used by the scalability experiments (Figure 7).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_UTIL_STOPWATCH_H_

@@ -1,0 +1,197 @@
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cloak.h"
+#include "baselines/kdtree.h"
+#include "baselines/sr.h"
+#include "geo/taxonomy.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 8) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+std::vector<UserRecord> SkewedCohort(const SpatialTaxonomy& tax, size_t n,
+                                     uint64_t seed, uint32_t max_level = 3) {
+  Rng rng(seed);
+  std::vector<UserRecord> users;
+  users.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // 70% of users in cell 0, the rest uniform.
+    const CellId cell =
+        rng.Bernoulli(0.7)
+            ? 0
+            : static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    UserRecord user;
+    user.cell = cell;
+    user.spec.safe_region = tax.AncestorAbove(
+        tax.LeafNodeOfCell(cell),
+        static_cast<uint32_t>(rng.NextUint64(max_level + 1)));
+    user.spec.epsilon = 1.0;
+    users.push_back(user);
+  }
+  return users;
+}
+
+std::vector<double> Truth(const SpatialTaxonomy& tax,
+                          const std::vector<UserRecord>& users) {
+  std::vector<double> histogram(tax.grid().num_cells(), 0.0);
+  for (const UserRecord& user : users) histogram[user.cell] += 1.0;
+  return histogram;
+}
+
+TEST(SrTest, EstimatesTrackSkew) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 30000;
+  const auto users = SkewedCohort(tax, n, 3);
+  const auto counts = RunSr(tax, users, PsdaOptions()).value();
+  ASSERT_EQ(counts.size(), tax.grid().num_cells());
+  // Cell 0 holds ~70% of users; SR should see most of that mass.
+  EXPECT_GT(counts[0], 0.4 * n);
+  EXPECT_LT(counts[0], 1.0 * n);
+}
+
+TEST(SrTest, RejectsEmptyAndInvalid) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  EXPECT_FALSE(RunSr(tax, {}, PsdaOptions()).ok());
+  std::vector<UserRecord> bad = {{0, {tax.root(), 0.0}}};
+  EXPECT_FALSE(RunSr(tax, bad, PsdaOptions()).ok());
+}
+
+TEST(CloakTest, ReportsStayInSafeRegionAndPreserveTotals) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  // Every user in cell 0 with the root's first child as safe region.
+  const NodeId child0 = tax.children(tax.root())[0];
+  std::vector<UserRecord> users;
+  for (int i = 0; i < 5000; ++i) users.push_back({0, {child0, 1.0}});
+  const auto counts = RunCloak(tax, users, 9).value();
+
+  double inside = 0.0, outside = 0.0;
+  const auto region = tax.RegionCells(child0);
+  std::vector<bool> in_region(tax.grid().num_cells(), false);
+  for (const CellId cell : region) in_region[cell] = true;
+  for (CellId cell = 0; cell < counts.size(); ++cell) {
+    (in_region[cell] ? inside : outside) += counts[cell];
+  }
+  EXPECT_DOUBLE_EQ(outside, 0.0);
+  EXPECT_DOUBLE_EQ(inside, 5000.0);
+  // ...and spread roughly uniformly: cell 0 gets ~ n/|region|.
+  EXPECT_NEAR(counts[0], 5000.0 / region.size(),
+              5 * std::sqrt(5000.0 / region.size()) + 20);
+}
+
+TEST(CloakTest, IndependentOfEpsilon) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  auto users_a = SkewedCohort(tax, 2000, 5);
+  auto users_b = users_a;
+  for (auto& user : users_b) user.spec.epsilon = 0.25;
+  const auto a = RunCloak(tax, users_a, 11).value();
+  const auto b = RunCloak(tax, users_b, 11).value();
+  EXPECT_EQ(a, b);
+}
+
+TEST(KdTreeTest, EstimatesSumApproximatelyToN) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 20000;
+  const auto users = SkewedCohort(tax, n, 7);
+  const auto counts = RunKdTree(tax, users, KdTreeOptions()).value();
+  const double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  // Mean consistency pins each group's total to its public size.
+  EXPECT_NEAR(total, static_cast<double>(n), 1e-6);
+}
+
+TEST(KdTreeTest, TracksSkewedMass) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 30000;
+  // Groups at leaf level only would be exact; use coarse safe regions to
+  // exercise the tree.
+  std::vector<UserRecord> users;
+  Rng rng(13);
+  for (size_t i = 0; i < n; ++i) {
+    const CellId cell =
+        rng.Bernoulli(0.7)
+            ? 0
+            : static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    users.push_back({cell, {tax.root(), 1.0}});
+  }
+  const auto counts = RunKdTree(tax, users, KdTreeOptions()).value();
+  const auto truth = Truth(tax, users);
+  EXPECT_NEAR(counts[0], truth[0], 0.6 * truth[0]);
+}
+
+TEST(KdTreeTest, SingleCellRegionsAreExact) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<UserRecord> users;
+  for (int i = 0; i < 100; ++i) {
+    users.push_back({5, {tax.LeafNodeOfCell(5), 1.0}});
+  }
+  const auto counts = RunKdTree(tax, users, KdTreeOptions()).value();
+  EXPECT_DOUBLE_EQ(counts[5], 100.0);
+}
+
+TEST(KdTreeTest, DepthCapLimitsResolution) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = SkewedCohort(tax, 5000, 17);
+  KdTreeOptions shallow;
+  shallow.max_depth = 1;
+  const auto counts = RunKdTree(tax, users, shallow).value();
+  const double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  EXPECT_NEAR(total, 5000.0, 1e-6);
+}
+
+TEST(KdTreeTest, WeightedAveragingPreservesTotalsAndHelps) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 30000;
+  std::vector<UserRecord> users;
+  Rng rng(21);
+  for (size_t i = 0; i < n; ++i) {
+    const CellId cell =
+        rng.Bernoulli(0.7)
+            ? 0
+            : static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    users.push_back({cell, {tax.root(), 0.5}});
+  }
+  const auto truth = Truth(tax, users);
+
+  KdTreeOptions plain;
+  KdTreeOptions weighted;
+  weighted.weighted_averaging = true;
+  double plain_mae = 0.0, weighted_mae = 0.0;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    plain.seed = weighted.seed = 5000 + seed;
+    const auto a = RunKdTree(tax, users, plain).value();
+    const auto b = RunKdTree(tax, users, weighted).value();
+    const double total_b = std::accumulate(b.begin(), b.end(), 0.0);
+    EXPECT_NEAR(total_b, static_cast<double>(n), 1e-6);
+    for (size_t k = 0; k < truth.size(); ++k) {
+      plain_mae = std::max(plain_mae, std::fabs(a[k] - truth[k]));
+      weighted_mae = std::max(weighted_mae, std::fabs(b[k] - truth[k]));
+    }
+  }
+  // Inverse-variance blending should not be (meaningfully) worse than plain
+  // mean-consistency; at small epsilon it is typically clearly better.
+  EXPECT_LT(weighted_mae, 1.25 * plain_mae);
+}
+
+TEST(KdTreeTest, RejectsBadOptions) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = SkewedCohort(tax, 100, 19);
+  KdTreeOptions bad;
+  bad.max_depth = 0;
+  EXPECT_FALSE(RunKdTree(tax, users, bad).ok());
+  EXPECT_FALSE(RunKdTree(tax, {}, KdTreeOptions()).ok());
+}
+
+}  // namespace
+}  // namespace pldp

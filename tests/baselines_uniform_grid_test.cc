@@ -1,0 +1,159 @@
+#include "baselines/uniform_grid.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "geo/taxonomy.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 8) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+std::vector<UserRecord> MakeCohort(const SpatialTaxonomy& tax, size_t n,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<UserRecord> users;
+  for (size_t i = 0; i < n; ++i) {
+    const CellId cell =
+        rng.Bernoulli(0.6)
+            ? 0
+            : static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    UserRecord user;
+    user.cell = cell;
+    user.spec.safe_region = tax.AncestorAbove(
+        tax.LeafNodeOfCell(cell), static_cast<uint32_t>(rng.NextUint64(3)));
+    user.spec.epsilon = 1.0;
+    users.push_back(user);
+  }
+  return users;
+}
+
+TEST(UniformGridBaselineTest, RejectsBadInputs) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  EXPECT_FALSE(
+      RunUniformGridBaseline(tax, {}, UniformGridBaselineOptions()).ok());
+  UniformGridBaselineOptions bad;
+  bad.guideline_c0 = 0.0;
+  const auto users = MakeCohort(tax, 100, 1);
+  EXPECT_FALSE(RunUniformGridBaseline(tax, users, bad).ok());
+}
+
+TEST(UniformGridBaselineTest, DeterministicAndSized) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = MakeCohort(tax, 2000, 3);
+  UniformGridBaselineOptions options;
+  const auto a = RunUniformGridBaseline(tax, users, options).value();
+  const auto b = RunUniformGridBaseline(tax, users, options).value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), tax.grid().num_cells());
+}
+
+TEST(UniformGridBaselineTest, MassStaysWithinSafeRegions) {
+  // All users share one safe region; estimates outside it must be zero.
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const NodeId child0 = tax.children(tax.root())[0];
+  const CellId inside = tax.RegionCells(child0)[0];
+  std::vector<UserRecord> users(3000, UserRecord{inside, {child0, 1.0}});
+  const auto counts =
+      RunUniformGridBaseline(tax, users, UniformGridBaselineOptions()).value();
+  std::vector<bool> in_region(tax.grid().num_cells(), false);
+  for (const CellId cell : tax.RegionCells(child0)) in_region[cell] = true;
+  for (CellId cell = 0; cell < counts.size(); ++cell) {
+    if (!in_region[cell]) {
+      EXPECT_DOUBLE_EQ(counts[cell], 0.0) << "cell " << cell;
+    }
+  }
+}
+
+TEST(UniformGridBaselineTest, TracksSkewAtCoarseResolution) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 30000;
+  const auto users = MakeCohort(tax, n, 7);
+  const auto counts =
+      RunUniformGridBaseline(tax, users, UniformGridBaselineOptions()).value();
+  const double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  // PCEP is unbiased; totals should land near n (no consistency step here).
+  EXPECT_NEAR(total, static_cast<double>(n), 0.25 * n);
+  // The hot corner (cell 0 has ~60% of users) should show up even after
+  // coarse-block spreading.
+  EXPECT_GT(counts[0], 0.05 * n);
+}
+
+TEST(AdaptiveGridBaselineTest, RejectsBadInputs) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  EXPECT_FALSE(
+      RunAdaptiveGridBaseline(tax, {}, AdaptiveGridBaselineOptions()).ok());
+  AdaptiveGridBaselineOptions bad;
+  bad.guideline_c2 = -1.0;
+  const auto users = MakeCohort(tax, 100, 1);
+  EXPECT_FALSE(RunAdaptiveGridBaseline(tax, users, bad).ok());
+}
+
+TEST(AdaptiveGridBaselineTest, DeterministicAndPreservesTotals) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 20000;
+  const auto users = MakeCohort(tax, n, 5);
+  AdaptiveGridBaselineOptions options;
+  const auto a = RunAdaptiveGridBaseline(tax, users, options).value();
+  const auto b = RunAdaptiveGridBaseline(tax, users, options).value();
+  EXPECT_EQ(a, b);
+  const double total = std::accumulate(a.begin(), a.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(n), 0.3 * n);
+}
+
+TEST(AdaptiveGridBaselineTest, HandlesSingleMemberGroups) {
+  // Groups of one user exercise the single-wave fallback.
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<UserRecord> users = {
+      {0, {tax.LeafNodeOfCell(0), 1.0}},
+      {5, {tax.LeafNodeOfCell(5), 1.0}},
+  };
+  const auto counts =
+      RunAdaptiveGridBaseline(tax, users, AdaptiveGridBaselineOptions());
+  ASSERT_TRUE(counts.ok()) << counts.status();
+  EXPECT_EQ(counts->size(), tax.grid().num_cells());
+}
+
+TEST(AdaptiveGridBaselineTest, MassStaysWithinSafeRegions) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const NodeId child0 = tax.children(tax.root())[0];
+  const CellId inside = tax.RegionCells(child0)[0];
+  std::vector<UserRecord> users(4000, UserRecord{inside, {child0, 1.0}});
+  const auto counts =
+      RunAdaptiveGridBaseline(tax, users, AdaptiveGridBaselineOptions())
+          .value();
+  std::vector<bool> in_region(tax.grid().num_cells(), false);
+  for (const CellId cell : tax.RegionCells(child0)) in_region[cell] = true;
+  for (CellId cell = 0; cell < counts.size(); ++cell) {
+    if (!in_region[cell]) {
+      EXPECT_DOUBLE_EQ(counts[cell], 0.0) << "cell " << cell;
+    }
+  }
+}
+
+TEST(UniformGridBaselineTest, GuidelineCapsAtLeafResolution) {
+  // A huge c0 forces 1x1 coarse grids (everything in one block); a tiny c0
+  // reaches leaf resolution. Both must still run and return sane sizes.
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = MakeCohort(tax, 1000, 9);
+  for (const double c0 : {1e-3, 1e6}) {
+    UniformGridBaselineOptions options;
+    options.guideline_c0 = c0;
+    const auto counts = RunUniformGridBaseline(tax, users, options);
+    ASSERT_TRUE(counts.ok()) << "c0 " << c0;
+    EXPECT_EQ(counts->size(), tax.grid().num_cells());
+  }
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,140 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace pldp {
+namespace {
+
+TEST(CliParseTest, RejectsEmptyAndUnknown) {
+  EXPECT_FALSE(ParseCliArgs({}).ok());
+  EXPECT_FALSE(ParseCliArgs({"frobnicate"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"run", "--bogus"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"run", "--dataset"}).ok());  // missing value
+}
+
+TEST(CliParseTest, ParsesRunFlags) {
+  const CliOptions options =
+      ParseCliArgs({"run", "--dataset", "road", "--scheme", "kdtree",
+                    "--setting", "S1E2", "--scale", "0.01", "--beta", "0.2",
+                    "--seed", "99", "--output", "/tmp/x.csv"})
+          .value();
+  EXPECT_EQ(options.command, "run");
+  EXPECT_EQ(options.dataset, "road");
+  EXPECT_EQ(options.scheme, "kdtree");
+  EXPECT_EQ(options.setting, "S1E2");
+  EXPECT_DOUBLE_EQ(options.scale, 0.01);
+  EXPECT_DOUBLE_EQ(options.beta, 0.2);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_EQ(options.output_csv, "/tmp/x.csv");
+}
+
+TEST(CliParseTest, ParsesDomainAndCell) {
+  const CliOptions options =
+      ParseCliArgs({"run", "--input", "p.csv", "--domain", "-125,25,-65,50",
+                    "--cell", "1,0.5"})
+          .value();
+  EXPECT_EQ(options.input_csv, "p.csv");
+  EXPECT_DOUBLE_EQ(options.domain[0], -125);
+  EXPECT_DOUBLE_EQ(options.domain[3], 50);
+  EXPECT_DOUBLE_EQ(options.cell_width, 1.0);
+  EXPECT_DOUBLE_EQ(options.cell_height, 0.5);
+  EXPECT_FALSE(
+      ParseCliArgs({"run", "--domain", "1,2,3"}).ok());  // wrong arity
+  EXPECT_FALSE(ParseCliArgs({"run", "--cell", "a,b"}).ok());
+}
+
+TEST(CliRunTest, ListsDatasetsAndSchemes) {
+  std::ostringstream out;
+  CliOptions datasets;
+  datasets.command = "datasets";
+  ASSERT_TRUE(RunCli(datasets, out).ok());
+  EXPECT_NE(out.str().find("road"), std::string::npos);
+  EXPECT_NE(out.str().find("storage"), std::string::npos);
+
+  std::ostringstream out2;
+  CliOptions schemes;
+  schemes.command = "schemes";
+  ASSERT_TRUE(RunCli(schemes, out2).ok());
+  EXPECT_NE(out2.str().find("psda"), std::string::npos);
+  EXPECT_NE(out2.str().find("ug"), std::string::npos);
+}
+
+TEST(CliRunTest, EndToEndSyntheticRunWritesCsv) {
+  const std::string output = ::testing::TempDir() + "/pldp_cli_counts.csv";
+  const CliOptions options =
+      ParseCliArgs({"run", "--dataset", "storage", "--scale", "0.5",
+                    "--scheme", "psda", "--setting", "S2E2", "--output",
+                    output})
+          .value();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+  EXPECT_NE(out.str().find("KL divergence"), std::string::npos);
+
+  const auto contents = ReadFileToString(output);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("cell,row,col"), std::string::npos);
+  std::remove(output.c_str());
+}
+
+TEST(CliRunTest, EndToEndCsvInputRun) {
+  // Round-trip: write a tiny points file, aggregate it through the CLI.
+  const std::string input = ::testing::TempDir() + "/pldp_cli_points.csv";
+  std::string points;
+  for (int i = 0; i < 200; ++i) {
+    points += std::to_string(-120.0 + (i % 10)) + "," +
+              std::to_string(30.0 + (i % 5)) + "\n";
+  }
+  ASSERT_TRUE(WriteStringToFile(input, points).ok());
+
+  const CliOptions options =
+      ParseCliArgs({"run", "--input", input, "--domain", "-121,29,-109,36",
+                    "--cell", "1,1", "--scheme", "cloak"})
+          .value();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+  EXPECT_NE(out.str().find("200 users"), std::string::npos);
+  std::remove(input.c_str());
+}
+
+TEST(CliRunTest, AllSchemesRunThroughCli) {
+  for (const char* scheme : {"kdtree", "sr", "ug"}) {
+    const CliOptions options =
+        ParseCliArgs({"run", "--dataset", "storage", "--scale", "0.2",
+                      "--scheme", scheme, "--setting", "S1E2"})
+            .value();
+    std::ostringstream out;
+    EXPECT_TRUE(RunCli(options, out).ok()) << scheme << ": " << out.str();
+    EXPECT_NE(out.str().find("KL divergence"), std::string::npos) << scheme;
+  }
+}
+
+TEST(CliRunTest, RejectsInvalidCombinations) {
+  std::ostringstream out;
+  CliOptions no_input;
+  no_input.command = "run";
+  EXPECT_FALSE(RunCli(no_input, out).ok());
+
+  CliOptions bad_scheme =
+      ParseCliArgs({"run", "--dataset", "storage", "--scale", "0.1",
+                    "--scheme", "magic"})
+          .value();
+  EXPECT_FALSE(RunCli(bad_scheme, out).ok());
+
+  CliOptions bad_setting =
+      ParseCliArgs({"run", "--dataset", "storage", "--scale", "0.1",
+                    "--setting", "S9E9"})
+          .value();
+  EXPECT_FALSE(RunCli(bad_setting, out).ok());
+
+  CliOptions missing_domain =
+      ParseCliArgs({"run", "--input", "/nonexistent.csv"}).value();
+  EXPECT_FALSE(RunCli(missing_domain, out).ok());
+}
+
+}  // namespace
+}  // namespace pldp

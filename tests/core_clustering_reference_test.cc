@@ -1,0 +1,183 @@
+// Equivalence check: the optimized cluster-forest implementation of
+// Algorithm 3 must produce exactly the same merge decisions as a
+// straightforward O(k^2)-per-pair reference implementation, across many
+// randomized group configurations.
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.h"
+#include "core/error_model.h"
+#include "geo/taxonomy.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+double RefClusterError(const SpatialTaxonomy& taxonomy, const Cluster& cluster,
+                       double beta_each) {
+  (void)taxonomy;
+  return PcepErrorBound(beta_each, static_cast<double>(cluster.n),
+                        static_cast<double>(cluster.region_size),
+                        cluster.varsigma);
+}
+
+/// Literal transcription of Algorithm 3: paths are represented by every
+/// cluster as a base, path membership is decided by top-region containment,
+/// and every comparable pair is evaluated with a full O(paths) sweep.
+ClusteringResult ReferenceCluster(const SpatialTaxonomy& taxonomy,
+                                  const std::vector<UserGroup>& groups,
+                                  double beta) {
+  ClusteringResult result =
+      TrivialClusters(taxonomy, groups, ClusteringOptions{beta}).value();
+  std::vector<Cluster>& clusters = result.clusters;
+  const size_t k = clusters.size();
+  if (k <= 1) return result;
+
+  std::vector<bool> alive(k, true);
+  size_t num_alive = k;
+  double lmax = result.initial_max_path_error;
+
+  while (num_alive > 1) {
+    const double beta_each = beta / static_cast<double>(num_alive - 1);
+    std::vector<double> errors(k, 0.0), path_errors(k, 0.0);
+    for (size_t c = 0; c < k; ++c) {
+      if (alive[c]) {
+        errors[c] = RefClusterError(taxonomy, clusters[c], beta_each);
+      }
+    }
+    for (size_t base = 0; base < k; ++base) {
+      if (!alive[base]) continue;
+      for (size_t c = 0; c < k; ++c) {
+        if (alive[c] && taxonomy.Contains(clusters[c].top_region,
+                                          clusters[base].top_region)) {
+          path_errors[base] += errors[c];
+        }
+      }
+    }
+
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_outer = k, best_inner = k;
+    for (size_t outer = 0; outer < k; ++outer) {
+      if (!alive[outer]) continue;
+      for (size_t inner = 0; inner < k; ++inner) {
+        if (!alive[inner] || inner == outer) continue;
+        if (!taxonomy.Contains(clusters[outer].top_region,
+                               clusters[inner].top_region)) {
+          continue;
+        }
+        Cluster merged;
+        merged.top_region = clusters[outer].top_region;
+        merged.n = clusters[outer].n + clusters[inner].n;
+        merged.region_size = clusters[outer].region_size;
+        merged.varsigma = clusters[outer].varsigma + clusters[inner].varsigma;
+        const double merged_error =
+            RefClusterError(taxonomy, merged, beta_each);
+
+        double worst = 0.0;
+        for (size_t p = 0; p < k; ++p) {
+          if (!alive[p]) continue;
+          double err = path_errors[p];
+          if (taxonomy.Contains(clusters[outer].top_region,
+                                clusters[p].top_region)) {
+            err += merged_error - errors[outer];
+          }
+          if (taxonomy.Contains(clusters[inner].top_region,
+                                clusters[p].top_region)) {
+            err -= errors[inner];
+          }
+          worst = std::max(worst, err);
+        }
+        if (worst < best) {
+          best = worst;
+          best_outer = outer;
+          best_inner = inner;
+        }
+      }
+    }
+    if (best_outer == k || best >= lmax) break;
+    clusters[best_outer].groups.insert(clusters[best_outer].groups.end(),
+                                       clusters[best_inner].groups.begin(),
+                                       clusters[best_inner].groups.end());
+    clusters[best_outer].n += clusters[best_inner].n;
+    clusters[best_outer].varsigma += clusters[best_inner].varsigma;
+    alive[best_inner] = false;
+    --num_alive;
+    ++result.merges;
+    lmax = best;
+  }
+
+  std::vector<Cluster> survivors;
+  for (size_t c = 0; c < k; ++c) {
+    if (alive[c]) survivors.push_back(clusters[c]);
+  }
+  result.clusters = std::move(survivors);
+  result.final_max_path_error = MaxPathError(taxonomy, result.clusters, beta);
+  return result;
+}
+
+std::vector<UserGroup> RandomGroups(const SpatialTaxonomy& taxonomy,
+                                    size_t count, Rng* rng) {
+  std::vector<UserGroup> groups;
+  std::set<NodeId> used;
+  while (groups.size() < count) {
+    const auto node =
+        static_cast<NodeId>(rng->NextUint64(taxonomy.num_nodes()));
+    if (!used.insert(node).second) continue;
+    UserGroup group;
+    group.region = node;
+    group.members.resize(1 + rng->NextUint64(30000));
+    const double eps = 0.25 + 0.25 * rng->NextUint64(5);
+    group.varsigma =
+        static_cast<double>(group.members.size()) * PrivacyFactorTerm(eps);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+/// Canonical form for comparing clusterings: sorted group sets per cluster.
+std::set<std::vector<uint32_t>> Canonical(const ClusteringResult& result) {
+  std::set<std::vector<uint32_t>> canonical;
+  for (const Cluster& cluster : result.clusters) {
+    std::vector<uint32_t> groups = cluster.groups;
+    std::sort(groups.begin(), groups.end());
+    canonical.insert(std::move(groups));
+  }
+  return canonical;
+}
+
+class ClusteringEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusteringEquivalenceTest, OptimizedMatchesReference) {
+  const int scenario = GetParam();
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 16, 16}, 1, 1).value();
+  const SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+  Rng rng(1000 + scenario);
+  const size_t count = 2 + rng.NextUint64(24);
+  const std::vector<UserGroup> groups = RandomGroups(taxonomy, count, &rng);
+  const double beta = 0.1;
+
+  const ClusteringResult reference = ReferenceCluster(taxonomy, groups, beta);
+  const ClusteringResult optimized =
+      ClusterUserGroups(taxonomy, groups, ClusteringOptions{beta}).value();
+
+  EXPECT_EQ(optimized.merges, reference.merges) << "scenario " << scenario;
+  EXPECT_EQ(Canonical(optimized), Canonical(reference))
+      << "scenario " << scenario;
+  EXPECT_NEAR(optimized.final_max_path_error,
+              reference.final_max_path_error,
+              1e-6 * (1.0 + reference.final_max_path_error))
+      << "scenario " << scenario;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigurations, ClusteringEquivalenceTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pldp

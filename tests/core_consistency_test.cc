@@ -1,0 +1,203 @@
+#include "core/consistency.h"
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "geo/taxonomy.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 4) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+UserGroup MakeGroup(const SpatialTaxonomy& tax, NodeId region, uint64_t n) {
+  UserGroup group;
+  group.region = region;
+  group.members.resize(n);
+  group.varsigma = static_cast<double>(n);
+  (void)tax;
+  return group;
+}
+
+TEST(ConsistencyTest, RejectsSizeMismatch) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const std::vector<double> wrong(3, 0.0);
+  EXPECT_FALSE(EnforceConsistency(tax, wrong, {}).ok());
+}
+
+TEST(ConsistencyTest, AdjustedCountsSumToTotalUsers) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const uint64_t n = 1000;
+  const std::vector<UserGroup> groups = {MakeGroup(tax, tax.root(), n)};
+  // Noisy leaf counts that sum to something else entirely.
+  std::vector<double> noisy(tax.grid().num_cells(), 0.0);
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] = 100.0 * static_cast<double>(i % 5) - 120.0;
+  }
+  const auto adjusted = EnforceConsistency(tax, noisy, groups).value();
+  const double total = std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(n), 1e-6);
+}
+
+TEST(ConsistencyTest, LeafCountsRespectPublicLowerBounds) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  // A group of 50 users at a specific leaf: that leaf's true count is at
+  // least 50, so its adjusted estimate must be >= 50 even if the raw
+  // estimate was negative.
+  const NodeId leaf = tax.LeafNodeOfCell(5);
+  const std::vector<UserGroup> groups = {MakeGroup(tax, leaf, 50),
+                                         MakeGroup(tax, tax.root(), 100)};
+  std::vector<double> noisy(tax.grid().num_cells(), 0.0);
+  noisy[5] = -40.0;
+  const auto adjusted = EnforceConsistency(tax, noisy, groups).value();
+  EXPECT_GE(adjusted[5], 50.0 - 1e-9);
+  const double total = std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+  EXPECT_NEAR(total, 150.0, 1e-6);
+}
+
+TEST(ConsistencyTest, LeafCountsRespectPublicUpperBounds) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  // All 80 users are in the subtree of child 0; any leaf outside it has
+  // upper bound 0 no matter how large its raw estimate was.
+  const NodeId child0 = tax.children(tax.root())[0];
+  const std::vector<UserGroup> groups = {MakeGroup(tax, child0, 80)};
+  std::vector<double> noisy(tax.grid().num_cells(), 0.0);
+  const auto outside_cells = tax.RegionCells(tax.children(tax.root())[1]);
+  noisy[outside_cells[0]] = 500.0;
+  const auto adjusted = EnforceConsistency(tax, noisy, groups).value();
+  for (const CellId cell : outside_cells) {
+    EXPECT_NEAR(adjusted[cell], 0.0, 1e-9) << "cell " << cell;
+  }
+}
+
+TEST(ConsistencyTest, PerfectInputPassesThrough) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  // 16 leaves, one user group of 16 at the root, raw counts exactly 1 each:
+  // already consistent, so nothing should change.
+  const std::vector<UserGroup> groups = {MakeGroup(tax, tax.root(), 16)};
+  const std::vector<double> exact(tax.grid().num_cells(), 1.0);
+  const auto adjusted = EnforceConsistency(tax, exact, groups).value();
+  for (const double v : adjusted) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(ConsistencyTest, ImprovesErrorOnAverage) {
+  // Post-processing should not hurt: against heavy synthetic noise the
+  // adjusted estimates are closer to the truth in max-error.
+  const SpatialTaxonomy tax = MakeTaxonomy(8);
+  const size_t cells = tax.grid().num_cells();
+  std::vector<double> truth(cells, 0.0);
+  std::vector<UserGroup> groups;
+  // 640 users at the root; truth: 10 per cell.
+  groups.push_back(MakeGroup(tax, tax.root(), 10 * cells));
+  for (size_t i = 0; i < cells; ++i) truth[i] = 10.0;
+
+  std::vector<double> noisy(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    noisy[i] = truth[i] + ((i * 2654435761u) % 100 - 49.5);
+  }
+  const auto adjusted = EnforceConsistency(tax, noisy, groups).value();
+
+  auto max_error = [&](const std::vector<double>& est) {
+    double max_err = 0.0;
+    for (size_t i = 0; i < cells; ++i) {
+      max_err = std::max(max_err, std::fabs(est[i] - truth[i]));
+    }
+    return max_err;
+  };
+  EXPECT_LE(max_error(adjusted), max_error(noisy) + 1e-9);
+  // Negative estimates are impossible after adjustment (lb >= 0).
+  for (const double v : adjusted) EXPECT_GE(v, -1e-9);
+}
+
+TEST(ConsistencyTest, Idempotent) {
+  // Applying the projection twice must not move the estimates again.
+  const SpatialTaxonomy tax = MakeTaxonomy(8);
+  const NodeId child0 = tax.children(tax.root())[0];
+  const std::vector<UserGroup> groups = {MakeGroup(tax, tax.root(), 500),
+                                         MakeGroup(tax, child0, 200)};
+  std::vector<double> noisy(tax.grid().num_cells(), 0.0);
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] = 30.0 * static_cast<double>((i * 7) % 11) - 100.0;
+  }
+  const auto once = EnforceConsistency(tax, noisy, groups).value();
+  const auto twice = EnforceConsistency(tax, once, groups).value();
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(twice[i], once[i], 1e-6) << "cell " << i;
+  }
+}
+
+TEST(ConsistencyTest, EveryNodeWithinPublicBounds) {
+  // Property: after adjustment, the implied count of every taxonomy node
+  // lies within [lb, ub] computed from the public group sizes.
+  const SpatialTaxonomy tax = MakeTaxonomy(8);
+  const NodeId child0 = tax.children(tax.root())[0];
+  const NodeId grandchild = tax.children(child0)[1];
+  const std::vector<UserGroup> groups = {MakeGroup(tax, tax.root(), 300),
+                                         MakeGroup(tax, child0, 120),
+                                         MakeGroup(tax, grandchild, 45)};
+  std::vector<double> noisy(tax.grid().num_cells(), 0.0);
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] = ((i * 2654435761u) % 200) - 130.0;
+  }
+  const auto adjusted = EnforceConsistency(tax, noisy, groups).value();
+
+  // Recompute per-node sums from leaves and the public bounds directly.
+  std::map<NodeId, double> group_n;
+  for (const auto& group : groups) group_n[group.region] = group.n();
+  for (NodeId node = 0; node < tax.num_nodes(); ++node) {
+    double node_sum = 0.0;
+    double lb = 0.0;
+    for (const CellId cell : tax.RegionCells(node)) {
+      node_sum += adjusted[cell];
+    }
+    for (NodeId other = 0; other < tax.num_nodes(); ++other) {
+      const auto it = group_n.find(other);
+      if (it == group_n.end()) continue;
+      if (tax.Contains(node, other)) lb += it->second;
+    }
+    double ancestors = 0.0;
+    for (const NodeId anc : tax.PathFromRoot(node)) {
+      if (anc == node) continue;
+      const auto it = group_n.find(anc);
+      if (it != group_n.end()) ancestors += it->second;
+    }
+    EXPECT_GE(node_sum, lb - 1e-6) << "node " << node;
+    EXPECT_LE(node_sum, lb + ancestors + 1e-6) << "node " << node;
+  }
+}
+
+TEST(ConsistencyTest, MultipleGroupsBoundsCombine) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const NodeId child0 = tax.children(tax.root())[0];
+  const NodeId leaf_in_child0 = tax.LeafNodeOfCell(tax.RegionCells(child0)[0]);
+  const std::vector<UserGroup> groups = {
+      MakeGroup(tax, tax.root(), 100), MakeGroup(tax, child0, 40),
+      MakeGroup(tax, leaf_in_child0, 10)};
+  std::vector<double> noisy(tax.grid().num_cells(), 0.0);
+  const auto adjusted = EnforceConsistency(tax, noisy, groups).value();
+  const double total = std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+  EXPECT_NEAR(total, 150.0, 1e-6);
+  // The pinned leaf carries at least its own group.
+  EXPECT_GE(adjusted[tax.RegionCells(child0)[0]], 10.0 - 1e-9);
+  // child0's subtree carries at least 50 users.
+  double child0_total = 0.0;
+  for (const CellId cell : tax.RegionCells(child0)) {
+    child0_total += adjusted[cell];
+  }
+  EXPECT_GE(child0_total, 50.0 - 1e-6);
+  // ...and at most 50 + 100 (the root group could all be inside).
+  EXPECT_LE(child0_total, 150.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace pldp

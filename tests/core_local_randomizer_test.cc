@@ -1,0 +1,104 @@
+#include "core/local_randomizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/error_model.h"
+
+namespace pldp {
+namespace {
+
+TEST(LocalRandomizerTest, RejectsInvalidInputs) {
+  Rng rng(1);
+  EXPECT_FALSE(LocalRandomize(true, 100, 0.0, &rng).ok());
+  EXPECT_FALSE(LocalRandomize(true, 100, -1.0, &rng).ok());
+  EXPECT_FALSE(LocalRandomize(true, 0, 1.0, &rng).ok());
+}
+
+TEST(LocalRandomizerTest, OutputHasFixedMagnitude) {
+  Rng rng(2);
+  const uint64_t m = 256;
+  const double eps = 0.7;
+  const double magnitude = CEpsilon(eps) * std::sqrt(static_cast<double>(m));
+  for (int i = 0; i < 1000; ++i) {
+    const double z = LocalRandomize(i % 2 == 0, m, eps, &rng).value();
+    EXPECT_NEAR(std::fabs(z), magnitude, 1e-9);
+  }
+}
+
+TEST(LocalRandomizerTest, RowWrapperSelectsCorrectBit) {
+  Rng rng(3);
+  BitVector row(10);
+  row.Set(3, true);
+  // With a huge epsilon the randomizer keeps the sign almost surely.
+  const double z_pos = LocalRandomizeRow(row, 3, 64, 30.0, &rng).value();
+  const double z_neg = LocalRandomizeRow(row, 4, 64, 30.0, &rng).value();
+  EXPECT_GT(z_pos, 0.0);
+  EXPECT_LT(z_neg, 0.0);
+  EXPECT_FALSE(LocalRandomizeRow(row, 10, 64, 1.0, &rng).ok());
+}
+
+/// Property sweep over the paper's epsilon menu (E1 union E2).
+class LocalRandomizerPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LocalRandomizerPropertyTest, KeepProbabilityMatchesTheory) {
+  const double eps = GetParam();
+  Rng rng(42);
+  const uint64_t m = 128;
+  const int n = 200000;
+  int kept = 0;
+  for (int i = 0; i < n; ++i) {
+    if (LocalRandomize(true, m, eps, &rng).value() > 0) ++kept;
+  }
+  const double expected = std::exp(eps) / (std::exp(eps) + 1.0);
+  EXPECT_NEAR(static_cast<double>(kept) / n, expected, 0.005) << "eps " << eps;
+  EXPECT_NEAR(LrKeepProbability(eps), expected, 1e-12);
+}
+
+TEST_P(LocalRandomizerPropertyTest, SatisfiesPldpRatioEmpirically) {
+  // Definition 3.2 applied to LR (Theorem 4.2): for the two possible inputs
+  // (the bit of location l vs the bit of location l'), the probability of any
+  // output must differ by at most e^eps. The worst case is opposite bits.
+  const double eps = GetParam();
+  Rng rng_a(7), rng_b(8);
+  const uint64_t m = 128;
+  const int n = 400000;
+  int positive_a = 0, positive_b = 0;
+  for (int i = 0; i < n; ++i) {
+    if (LocalRandomize(true, m, eps, &rng_a).value() > 0) ++positive_a;
+    if (LocalRandomize(false, m, eps, &rng_b).value() > 0) ++positive_b;
+  }
+  const double pa = static_cast<double>(positive_a) / n;
+  const double pb = static_cast<double>(positive_b) / n;
+  // Two-sided bound with a small sampling slack.
+  EXPECT_LE(pa / pb, std::exp(eps) * 1.05) << "eps " << eps;
+  EXPECT_LE((1 - pb) / (1 - pa), std::exp(eps) * 1.05) << "eps " << eps;
+  // And the ratio should be essentially tight (LR uses the whole budget).
+  EXPECT_GE(pa / pb, std::exp(eps) * 0.95) << "eps " << eps;
+}
+
+TEST_P(LocalRandomizerPropertyTest, UnbiasedAfterDebiasing) {
+  // E[z] = sqrt(m) * sign = m * x (Theorem 4.3 before the 1/m row-sampling
+  // correction).
+  const double eps = GetParam();
+  Rng rng(11);
+  const uint64_t m = 64;
+  const int n = 400000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += LocalRandomize(true, m, eps, &rng).value();
+  }
+  const double mean = total / n;
+  const double expected = std::sqrt(static_cast<double>(m));
+  // Standard error ~ c_eps * sqrt(m) / sqrt(n).
+  const double slack =
+      4.0 * CEpsilon(eps) * std::sqrt(static_cast<double>(m) / n);
+  EXPECT_NEAR(mean, expected, slack) << "eps " << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonMenu, LocalRandomizerPropertyTest,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0, 1.25, 2.0));
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,78 @@
+// Cross-dataset property sweep of the full PSDA pipeline: for every
+// benchmark dataset analog and spec setting combination, the framework's
+// structural invariants must hold regardless of the data realization.
+
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/psda.h"
+#include "data/spec_assignment.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+namespace pldp {
+namespace {
+
+using PsdaParam = std::tuple<std::string, int>;
+
+class PsdaDatasetPropertyTest : public ::testing::TestWithParam<PsdaParam> {};
+
+TEST_P(PsdaDatasetPropertyTest, PipelineInvariants) {
+  const auto [dataset_name, setting_index] = GetParam();
+  const auto setup = PrepareExperiment(dataset_name, 0.005, 77).value();
+  const SafeRegionDistribution safe_regions =
+      setting_index / 2 == 0 ? SafeRegionsS1() : SafeRegionsS2();
+  const EpsilonDistribution epsilons =
+      setting_index % 2 == 0 ? EpsilonsE1() : EpsilonsE2();
+  const auto users =
+      AssignSpecs(setup.taxonomy, setup.cells, safe_regions, epsilons, 13)
+          .value();
+
+  PsdaOptions options;
+  options.seed = 4096 + setting_index;
+  const PsdaResult result = RunPsda(setup.taxonomy, users, options).value();
+
+  // 1. Exactly one estimate per cell.
+  ASSERT_EQ(result.counts.size(), setup.taxonomy.grid().num_cells());
+
+  // 2. Consistency pins the total to the cohort size.
+  const double total =
+      std::accumulate(result.counts.begin(), result.counts.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(users.size()),
+              1e-6 * users.size() + 1e-6);
+
+  // 3. No negative estimates survive the public lower bounds.
+  for (const double count : result.counts) {
+    EXPECT_GE(count, -1e-9);
+  }
+
+  // 4. The clustering never worsens its own objective.
+  EXPECT_LE(result.clustering.final_max_path_error,
+            result.clustering.initial_max_path_error * (1 + 1e-9));
+
+  // 5. Every cluster's top region must cover all its groups (checked by the
+  //    clustering tests in depth; here we just sanity-check the count).
+  EXPECT_GE(result.clustering.clusters.size(), 1u);
+
+  // 6. Deterministic re-run.
+  const PsdaResult again = RunPsda(setup.taxonomy, users, options).value();
+  EXPECT_EQ(result.counts, again.counts);
+}
+
+std::string PsdaParamName(const ::testing::TestParamInfo<PsdaParam>& info) {
+  static const char* const kSettings[] = {"S1E1", "S1E2", "S2E1", "S2E2"};
+  return std::get<0>(info.param) + "_" + kSettings[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasetsAllSettings, PsdaDatasetPropertyTest,
+    ::testing::Combine(::testing::Values("road", "checkin", "landmark",
+                                         "storage"),
+                       ::testing::Range(0, 4)),
+    PsdaParamName);
+
+}  // namespace
+}  // namespace pldp

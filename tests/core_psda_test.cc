@@ -1,0 +1,169 @@
+#include "core/psda.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "geo/taxonomy.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 8) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+/// Builds a skewed cohort: users concentrated in a few cells, with safe
+/// regions at mixed taxonomy levels and mixed epsilons.
+std::vector<UserRecord> MakeCohort(const SpatialTaxonomy& tax, size_t n,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t cells = tax.grid().num_cells();
+  std::vector<UserRecord> users;
+  users.reserve(n);
+  const double epsilons[] = {0.5, 0.75, 1.0};
+  for (size_t i = 0; i < n; ++i) {
+    // Zipf-ish cell choice.
+    const auto cell = static_cast<CellId>(
+        static_cast<uint32_t>(cells * std::pow(rng.NextDouble(), 2.5)) %
+        cells);
+    const uint32_t level = static_cast<uint32_t>(rng.NextUint64(4));
+    UserRecord user;
+    user.cell = cell;
+    user.spec.safe_region =
+        tax.AncestorAbove(tax.LeafNodeOfCell(cell), level);
+    user.spec.epsilon = epsilons[rng.NextUint64(3)];
+    users.push_back(user);
+  }
+  return users;
+}
+
+std::vector<double> TrueHistogram(const SpatialTaxonomy& tax,
+                                  const std::vector<UserRecord>& users) {
+  std::vector<double> histogram(tax.grid().num_cells(), 0.0);
+  for (const UserRecord& user : users) histogram[user.cell] += 1.0;
+  return histogram;
+}
+
+TEST(PsdaTest, RejectsEmptyCohort) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  EXPECT_FALSE(RunPsda(tax, {}, PsdaOptions()).ok());
+}
+
+TEST(PsdaTest, RejectsInvalidUser) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<UserRecord> users = {{0, {tax.root(), -1.0}}};
+  EXPECT_FALSE(RunPsda(tax, users, PsdaOptions()).ok());
+}
+
+TEST(PsdaTest, DeterministicForFixedSeed) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = MakeCohort(tax, 2000, 5);
+  PsdaOptions options;
+  options.seed = 99;
+  const auto a = RunPsda(tax, users, options).value();
+  const auto b = RunPsda(tax, users, options).value();
+  EXPECT_EQ(a.counts, b.counts);
+  options.seed = 100;
+  const auto c = RunPsda(tax, users, options).value();
+  EXPECT_NE(a.counts, c.counts);
+}
+
+TEST(PsdaTest, CountsSumToCohortSize) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = MakeCohort(tax, 5000, 7);
+  const auto result = RunPsda(tax, users, PsdaOptions()).value();
+  const double total =
+      std::accumulate(result.counts.begin(), result.counts.end(), 0.0);
+  // Consistency pins the root to the exact total.
+  EXPECT_NEAR(total, 5000.0, 1e-6);
+}
+
+TEST(PsdaTest, EstimatesTrackTrueDistribution) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 40000;
+  const auto users = MakeCohort(tax, n, 11);
+  const auto truth = TrueHistogram(tax, users);
+  const auto result = RunPsda(tax, users, PsdaOptions()).value();
+
+  double mae = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    mae = std::max(mae, std::fabs(truth[i] - result.counts[i]));
+  }
+  // Very coarse sanity bound: max error well under the cohort size and the
+  // busiest cell's estimate within 50% of the truth.
+  EXPECT_LT(mae, 0.2 * n);
+  const size_t busiest =
+      std::max_element(truth.begin(), truth.end()) - truth.begin();
+  EXPECT_NEAR(result.counts[busiest], truth[busiest], 0.5 * truth[busiest]);
+}
+
+TEST(PsdaTest, ClusteringReducesOrKeepsObjective) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = MakeCohort(tax, 8000, 13);
+  PsdaOptions options;
+  const auto result = RunPsda(tax, users, options).value();
+  EXPECT_LE(result.clustering.final_max_path_error,
+            result.clustering.initial_max_path_error * (1 + 1e-9));
+  EXPECT_GE(result.clustering.clusters.size(), 1u);
+}
+
+TEST(PsdaTest, AblationFlagsChangeBehavior) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = MakeCohort(tax, 3000, 17);
+
+  PsdaOptions no_clustering;
+  no_clustering.enable_clustering = false;
+  const auto finest = RunPsda(tax, users, no_clustering).value();
+  EXPECT_EQ(finest.clustering.merges, 0u);
+
+  PsdaOptions no_consistency;
+  no_consistency.enforce_consistency = false;
+  const auto raw = RunPsda(tax, users, no_consistency).value();
+  EXPECT_EQ(raw.counts, raw.raw_counts);
+}
+
+TEST(PsdaTest, AllUsersAtRootMatchesSingleProtocol) {
+  // When every user declares the universe, PSDA degenerates to one cluster.
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<UserRecord> users;
+  for (int i = 0; i < 2000; ++i) {
+    users.push_back({static_cast<CellId>(i % 64), {tax.root(), 1.0}});
+  }
+  const auto result = RunPsda(tax, users, PsdaOptions()).value();
+  EXPECT_EQ(result.clustering.clusters.size(), 1u);
+  EXPECT_EQ(result.clustering.clusters[0].region_size, 64u);
+}
+
+TEST(PsdaTest, SingleLeafSafeRegionsAreNearExactAfterConsistency) {
+  // Users who declare their exact location as safe region form groups whose
+  // counts are publicly known; consistency should pin those leaves.
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<UserRecord> users;
+  for (int i = 0; i < 500; ++i) {
+    const CellId cell = static_cast<CellId>(i % 3);
+    users.push_back({cell, {tax.LeafNodeOfCell(cell), 1.0}});
+  }
+  const auto result = RunPsda(tax, users, PsdaOptions()).value();
+  // Cells 0..2 carry ~167 users each, all public: estimates within the lb.
+  for (CellId cell = 0; cell < 3; ++cell) {
+    EXPECT_GE(result.counts[cell], std::floor(500.0 / 3) - 1e-6);
+  }
+}
+
+TEST(PsdaTest, ServerSecondsPopulated) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = MakeCohort(tax, 1000, 23);
+  const auto result = RunPsda(tax, users, PsdaOptions()).value();
+  EXPECT_GT(result.server_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,105 @@
+#include "core/user_group.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error_model.h"
+#include "geo/taxonomy.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy() {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 8, 8}, 1, 1).value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+TEST(UserGroupTest, GroupsByRegionWithVarsigma) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const NodeId leaf0 = tax.LeafNodeOfCell(0);
+  const NodeId parent0 = tax.parent(leaf0);
+  std::vector<UserRecord> users = {
+      {0, {leaf0, 1.0}},
+      {0, {parent0, 0.5}},
+      {1, {parent0, 0.5}},
+  };
+  // Cell 1 must lie under parent0 for the third record to be valid.
+  ASSERT_TRUE(tax.Contains(parent0, tax.LeafNodeOfCell(1)));
+
+  const auto groups = GroupUsersBySafeRegion(tax, users).value();
+  ASSERT_EQ(groups.size(), 2u);
+  // Deterministic order: sorted by node id; parent was created before leaf.
+  EXPECT_EQ(groups[0].region, parent0);
+  EXPECT_EQ(groups[0].n(), 2u);
+  EXPECT_NEAR(groups[0].varsigma, 2 * PrivacyFactorTerm(0.5), 1e-9);
+  EXPECT_EQ(groups[1].region, leaf0);
+  EXPECT_EQ(groups[1].n(), 1u);
+  EXPECT_NEAR(groups[1].varsigma, PrivacyFactorTerm(1.0), 1e-9);
+}
+
+TEST(UserGroupTest, MembersIndexOriginalArray) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const NodeId root = tax.root();
+  std::vector<UserRecord> users = {
+      {5, {root, 1.0}}, {9, {root, 0.25}}, {0, {root, 0.75}}};
+  const auto groups = GroupUsersBySafeRegion(tax, users).value();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(UserGroupTest, RejectsSpecNotCoveringLocation) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const NodeId leaf0 = tax.LeafNodeOfCell(0);
+  const CellId far_cell = tax.grid().num_cells() - 1;
+  std::vector<UserRecord> users = {{far_cell, {leaf0, 1.0}}};
+  const auto groups = GroupUsersBySafeRegion(tax, users);
+  ASSERT_FALSE(groups.ok());
+  EXPECT_EQ(groups.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UserGroupTest, RejectsInvalidEpsilon) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<UserRecord> users = {{0, {tax.root(), 0.0}}};
+  EXPECT_FALSE(GroupUsersBySafeRegion(tax, users).ok());
+  users = {{0, {tax.root(), -1.0}}};
+  EXPECT_FALSE(GroupUsersBySafeRegion(tax, users).ok());
+}
+
+TEST(UserGroupTest, SpecsOnlyVariantSkipsLocationCheck) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const NodeId leaf0 = tax.LeafNodeOfCell(0);
+  std::vector<PrivacySpec> specs = {{leaf0, 1.0}, {tax.root(), 0.5}};
+  const auto groups = GroupSpecsBySafeRegion(tax, specs).value();
+  EXPECT_EQ(groups.size(), 2u);
+  // But invalid epsilon is still rejected.
+  specs.push_back({leaf0, 0.0});
+  EXPECT_FALSE(GroupSpecsBySafeRegion(tax, specs).ok());
+}
+
+TEST(PrivacySpecTest, ValidateRejectsUnknownNode) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  EXPECT_FALSE(ValidatePrivacySpec(tax, {kInvalidNode, 1.0}).ok());
+  EXPECT_FALSE(
+      ValidatePrivacySpec(tax, {static_cast<NodeId>(tax.num_nodes()), 1.0})
+          .ok());
+  EXPECT_TRUE(ValidatePrivacySpec(tax, {tax.root(), 1.0}).ok());
+}
+
+TEST(PrivacySpecTest, ValidateUserRejectsBadCell) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  UserRecord user{static_cast<CellId>(tax.grid().num_cells()),
+                  {tax.root(), 1.0}};
+  EXPECT_FALSE(ValidateUserRecord(tax, user).ok());
+}
+
+TEST(PrivacySpecTest, ValidateUsersReportsIndex) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<UserRecord> users = {{0, {tax.root(), 1.0}},
+                                   {0, {tax.root(), -2.0}}};
+  const Status status = ValidateUsers(tax, users);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("user 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,76 @@
+#include "data/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace pldp {
+namespace {
+
+Dataset UniformDataset(size_t per_cell) {
+  Dataset dataset;
+  dataset.name = "uniform";
+  dataset.domain = BoundingBox{0, 0, 4, 4};
+  dataset.cell_width = 1.0;
+  dataset.cell_height = 1.0;
+  for (uint32_t r = 0; r < 4; ++r) {
+    for (uint32_t c = 0; c < 4; ++c) {
+      for (size_t i = 0; i < per_cell; ++i) {
+        dataset.points.push_back(
+            GeoPoint{c + 0.5, r + 0.5});
+      }
+    }
+  }
+  return dataset;
+}
+
+TEST(DatasetStatsTest, RejectsEmpty) {
+  Dataset empty;
+  empty.domain = BoundingBox{0, 0, 1, 1};
+  EXPECT_FALSE(ComputeDatasetStats(empty).ok());
+}
+
+TEST(DatasetStatsTest, UniformDataHasZeroGini) {
+  const DatasetStats stats =
+      ComputeDatasetStats(UniformDataset(10)).value();
+  EXPECT_EQ(stats.num_users, 160u);
+  EXPECT_EQ(stats.populated_cells, 16u);
+  EXPECT_NEAR(stats.gini, 0.0, 1e-9);
+  EXPECT_NEAR(stats.top10pct_mass, 1.0 / 16.0, 1e-9);  // 1 cell of 16
+  EXPECT_DOUBLE_EQ(stats.max_cell_count, 10.0);
+}
+
+TEST(DatasetStatsTest, PointMassHasMaximalGini) {
+  Dataset dataset;
+  dataset.name = "point";
+  dataset.domain = BoundingBox{0, 0, 4, 4};
+  for (int i = 0; i < 100; ++i) dataset.points.push_back(GeoPoint{0.5, 0.5});
+  const DatasetStats stats = ComputeDatasetStats(dataset).value();
+  EXPECT_EQ(stats.populated_cells, 1u);
+  EXPECT_NEAR(stats.gini, 15.0 / 16.0, 1e-9);  // (N-1)/N for one hot cell
+  EXPECT_NEAR(stats.top1pct_mass, 1.0, 1e-9);
+}
+
+TEST(DatasetStatsTest, SyntheticAnalogsAreHeavilySkewed) {
+  // The property the substitution argument leans on: the analogs must be
+  // strongly concentrated, like the real datasets.
+  for (const std::string& name : BenchmarkDatasetNames()) {
+    const Dataset dataset = GenerateByName(name, 0.02, 5).value();
+    const DatasetStats stats = ComputeDatasetStats(dataset).value();
+    EXPECT_GT(stats.gini, 0.8) << name;
+    EXPECT_GT(stats.top10pct_mass, 0.6) << name;
+    EXPECT_LT(stats.populated_cells, stats.num_cells) << name;
+  }
+}
+
+TEST(DatasetStatsTest, FormatContainsKeyNumbers) {
+  const DatasetStats stats =
+      ComputeDatasetStats(UniformDataset(5)).value();
+  const std::string line = FormatDatasetStats("uniform", stats);
+  EXPECT_NE(line.find("uniform"), std::string::npos);
+  EXPECT_NE(line.find("80 users"), std::string::npos);
+  EXPECT_NE(line.find("16/16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/loader.h"
+#include "data/spec_assignment.h"
+#include "data/synthetic.h"
+#include "util/csv.h"
+
+namespace pldp {
+namespace {
+
+TEST(SyntheticTest, GeneratorsMatchTableOneMetadata) {
+  const Dataset road = GenerateRoad(0.01, 1);
+  EXPECT_EQ(road.name, "road");
+  EXPECT_EQ(road.domain, (BoundingBox{-124.8, 31.3, -103.0, 49.0}));
+  EXPECT_DOUBLE_EQ(road.cell_width, 1.0);
+  EXPECT_EQ(road.num_users(), 16342u);  // 1,634,165 * 0.01 rounded
+
+  const Dataset checkin = GenerateCheckin(0.01, 1);
+  EXPECT_DOUBLE_EQ(checkin.cell_width, 2.0);
+  EXPECT_DOUBLE_EQ(checkin.q1_width, 4.0);
+  EXPECT_EQ(checkin.num_users(), 10000u);
+
+  const Dataset storage = GenerateStorage(1.0, 1);
+  EXPECT_EQ(storage.num_users(), 8938u);
+  EXPECT_DOUBLE_EQ(storage.sanity_fraction, 0.01);
+}
+
+TEST(SyntheticTest, AllPointsInsideDomain) {
+  for (const std::string& name : BenchmarkDatasetNames()) {
+    const Dataset dataset = GenerateByName(name, 0.01, 7).value();
+    for (const GeoPoint& p : dataset.points) {
+      EXPECT_TRUE(dataset.domain.ContainsClosed(p)) << name;
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  const Dataset a = GenerateLandmark(0.005, 3);
+  const Dataset b = GenerateLandmark(0.005, 3);
+  const Dataset c = GenerateLandmark(0.005, 4);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_TRUE(std::equal(a.points.begin(), a.points.end(), b.points.begin()));
+  EXPECT_FALSE(std::equal(a.points.begin(), a.points.end(), c.points.begin()));
+}
+
+TEST(SyntheticTest, DistributionIsSkewed) {
+  // The whole point of the cluster mixture: mass concentrates in few cells.
+  const Dataset dataset = GenerateRoad(0.02, 5);
+  const UniformGrid grid = dataset.MakeGrid().value();
+  auto histogram = dataset.TrueHistogram(grid);
+  std::sort(histogram.begin(), histogram.end(), std::greater<>());
+  const double total =
+      std::accumulate(histogram.begin(), histogram.end(), 0.0);
+  const size_t top = histogram.size() / 10;
+  const double top_mass =
+      std::accumulate(histogram.begin(), histogram.begin() + top, 0.0);
+  EXPECT_GT(top_mass / total, 0.5) << "top 10% of cells hold < 50% of mass";
+}
+
+TEST(SyntheticTest, GenerateByNameRejectsUnknown) {
+  EXPECT_FALSE(GenerateByName("moon", 1.0, 1).ok());
+  EXPECT_FALSE(GenerateByName("road", 0.0, 1).ok());
+  EXPECT_FALSE(GenerateByName("road", 1.5, 1).ok());
+}
+
+TEST(DatasetTest, HistogramMatchesCells) {
+  const Dataset dataset = GenerateStorage(0.5, 9);
+  const UniformGrid grid = dataset.MakeGrid().value();
+  const auto cells = dataset.ToCells(grid);
+  const auto histogram = dataset.TrueHistogram(grid);
+  std::vector<double> recount(grid.num_cells(), 0.0);
+  for (const CellId cell : cells) recount[cell] += 1.0;
+  EXPECT_EQ(recount, histogram);
+  const double total =
+      std::accumulate(histogram.begin(), histogram.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(dataset.num_users()));
+}
+
+TEST(SpecAssignmentTest, DistributionsMatchFractions) {
+  const Dataset dataset = GenerateLandmark(0.02, 11);
+  const UniformGrid grid = dataset.MakeGrid().value();
+  const SpatialTaxonomy tax = SpatialTaxonomy::Build(grid, 4).value();
+  const auto cells = dataset.ToCells(grid);
+  const auto users =
+      AssignSpecs(tax, cells, SafeRegionsS1(), EpsilonsE1(), 13).value();
+  ASSERT_EQ(users.size(), cells.size());
+
+  // Count users per ancestor level and epsilon choice.
+  std::array<size_t, 4> level_counts{};
+  std::array<size_t, 3> eps_counts{};
+  const auto menu = EpsilonsE1().choices;
+  for (const auto& user : users) {
+    const NodeId leaf = tax.LeafNodeOfCell(user.cell);
+    const uint32_t level = tax.level(leaf) - tax.level(user.spec.safe_region);
+    ASSERT_LT(level, 4u);
+    ++level_counts[level];
+    const auto it = std::find(menu.begin(), menu.end(), user.spec.epsilon);
+    ASSERT_NE(it, menu.end());
+    ++eps_counts[it - menu.begin()];
+  }
+  const double n = static_cast<double>(users.size());
+  EXPECT_NEAR(level_counts[0] / n, 0.10, 0.02);
+  EXPECT_NEAR(level_counts[1] / n, 0.20, 0.02);
+  EXPECT_NEAR(level_counts[2] / n, 0.40, 0.02);
+  EXPECT_NEAR(level_counts[3] / n, 0.30, 0.02);
+  for (const size_t count : eps_counts) {
+    EXPECT_NEAR(count / n, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(SpecAssignmentTest, ProducesValidUsers) {
+  const Dataset dataset = GenerateStorage(1.0, 15);
+  const UniformGrid grid = dataset.MakeGrid().value();
+  const SpatialTaxonomy tax = SpatialTaxonomy::Build(grid, 4).value();
+  const auto users =
+      AssignSpecs(tax, dataset.ToCells(grid), SafeRegionsS2(), EpsilonsE2(), 17)
+          .value();
+  EXPECT_TRUE(ValidateUsers(tax, users).ok());
+}
+
+TEST(SpecAssignmentTest, RejectsBadInputs) {
+  const Dataset dataset = GenerateStorage(0.1, 15);
+  const UniformGrid grid = dataset.MakeGrid().value();
+  const SpatialTaxonomy tax = SpatialTaxonomy::Build(grid, 4).value();
+  const auto cells = dataset.ToCells(grid);
+
+  SafeRegionDistribution bad_fractions{"bad", {0.5, 0.5, 0.5, 0.5}};
+  EXPECT_FALSE(AssignSpecs(tax, cells, bad_fractions, EpsilonsE1(), 1).ok());
+
+  EpsilonDistribution empty_menu{"empty", {}};
+  EXPECT_FALSE(AssignSpecs(tax, cells, SafeRegionsS1(), empty_menu, 1).ok());
+
+  EpsilonDistribution zero_eps{"zero", {0.0}};
+  EXPECT_FALSE(AssignSpecs(tax, cells, SafeRegionsS1(), zero_eps, 1).ok());
+}
+
+TEST(LoaderTest, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pldp_points.csv";
+  const std::vector<GeoPoint> points = {{-122.3, 47.6}, {-104.9, 39.7}};
+  ASSERT_TRUE(SavePointsCsv(path, points).ok());
+  const auto loaded = LoadPointsCsv(path).value();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_NEAR(loaded[0].lon, -122.3, 1e-9);
+  EXPECT_NEAR(loaded[1].lat, 39.7, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, ToleratesHeaderAndComments) {
+  const std::string path = ::testing::TempDir() + "/pldp_header.csv";
+  ASSERT_TRUE(WriteStringToFile(
+                  path, "# comment\nlon,lat\n-1.5,2.5\n\n-3.5,4.5\n")
+                  .ok());
+  const auto loaded = LoadPointsCsv(path).value();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[1].lon, -3.5);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, RejectsMalformedData) {
+  const std::string path = ::testing::TempDir() + "/pldp_bad.csv";
+  ASSERT_TRUE(WriteStringToFile(path, "1.0,2.0\nnot,numbers\n").ok());
+  EXPECT_FALSE(LoadPointsCsv(path).ok());
+  ASSERT_TRUE(WriteStringToFile(path, "1.0\n").ok());
+  EXPECT_FALSE(LoadPointsCsv(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadPointsCsv("/no/such/file.csv").ok());
+  EXPECT_FALSE(LoadPointsCsv(path, 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,85 @@
+#include "eval/attack.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error_model.h"
+
+namespace pldp {
+namespace {
+
+std::vector<PcepUser> HonestCohort(int n, int width) {
+  std::vector<PcepUser> users;
+  users.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    users.push_back({static_cast<uint32_t>(i % width), 1.0});
+  }
+  return users;
+}
+
+TEST(PollutionAttackTest, RejectsBadConfigs) {
+  const auto honest = HonestCohort(100, 8);
+  PollutionConfig config;
+  config.num_malicious = 10;
+  config.target = 8;  // out of range
+  EXPECT_FALSE(
+      SimulatePcepPollution(honest, 8, config, PcepParams()).ok());
+  config.target = 0;
+  config.num_malicious = 0;
+  EXPECT_FALSE(
+      SimulatePcepPollution(honest, 8, config, PcepParams()).ok());
+  config.num_malicious = 10;
+  config.claimed_epsilon = 0.0;
+  EXPECT_FALSE(
+      SimulatePcepPollution(honest, 8, config, PcepParams()).ok());
+  EXPECT_FALSE(
+      SimulatePcepPollution({}, 8, config, PcepParams()).ok());
+}
+
+TEST(PollutionAttackTest, FakeLocationInjectsAboutOnePerAttacker) {
+  const auto honest = HonestCohort(20000, 8);
+  PollutionConfig config;
+  config.strategy = PollutionStrategy::kFakeLocation;
+  config.num_malicious = 2000;
+  config.target = 3;
+  config.claimed_epsilon = 1.0;
+  const auto outcome =
+      SimulatePcepPollution(honest, 8, config, PcepParams()).value();
+  EXPECT_GT(outcome.target_attacked, outcome.target_clean);
+  EXPECT_NEAR(outcome.amplification_per_attacker, 1.0, 0.5);
+}
+
+TEST(PollutionAttackTest, OptimalBiasAmplifiesByCEpsilon) {
+  // Deviating attackers inject ~c_eps per report; with a small claimed
+  // epsilon (0.1 -> c ~ 20) a 1% coalition dominates the histogram.
+  const auto honest = HonestCohort(20000, 8);
+  PollutionConfig config;
+  config.strategy = PollutionStrategy::kOptimalBias;
+  config.num_malicious = 200;
+  config.target = 5;
+  config.claimed_epsilon = 0.1;
+  const auto outcome =
+      SimulatePcepPollution(honest, 8, config, PcepParams()).value();
+  const double c = CEpsilon(0.1);
+  EXPECT_NEAR(outcome.amplification_per_attacker, c, 0.35 * c);
+  // 200 attackers * ~20 = ~4000 injected counts on a 2500-count cell.
+  EXPECT_GT(outcome.target_attacked, 1.8 * outcome.target_clean);
+}
+
+TEST(PollutionAttackTest, LargerClaimedEpsilonWeakensDeviationAttack) {
+  const auto honest = HonestCohort(20000, 8);
+  PollutionConfig config;
+  config.strategy = PollutionStrategy::kOptimalBias;
+  config.num_malicious = 500;
+  config.target = 2;
+  config.claimed_epsilon = 0.1;
+  const auto strong =
+      SimulatePcepPollution(honest, 8, config, PcepParams()).value();
+  config.claimed_epsilon = 4.0;
+  const auto weak =
+      SimulatePcepPollution(honest, 8, config, PcepParams()).value();
+  EXPECT_GT(strong.amplification_per_attacker,
+            2.0 * weak.amplification_per_attacker);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,96 @@
+#include "eval/range_summary.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/range_query.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+UniformGrid MakeGrid(double w = 10, double h = 7) {
+  return UniformGrid::Create(BoundingBox{0, 0, w, h}, 1.0, 1.0).value();
+}
+
+std::vector<double> RandomCounts(const UniformGrid& grid, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(grid.num_cells());
+  for (double& c : counts) c = rng.NextDouble() * 100.0 - 10.0;
+  return counts;
+}
+
+TEST(RangeSummaryTest, RejectsSizeMismatch) {
+  const UniformGrid grid = MakeGrid();
+  EXPECT_FALSE(RangeSummary::Build(grid, {1.0, 2.0}).ok());
+}
+
+TEST(RangeSummaryTest, WholeDomainEqualsTotal) {
+  const UniformGrid grid = MakeGrid();
+  const auto counts = RandomCounts(grid, 3);
+  double total = 0.0;
+  for (const double c : counts) total += c;
+  const RangeSummary summary = RangeSummary::Build(grid, counts).value();
+  EXPECT_NEAR(summary.Answer(grid.domain()), total, 1e-9 * (1 + std::fabs(total)));
+}
+
+TEST(RangeSummaryTest, SingleCellAndSubCellQueries) {
+  const UniformGrid grid = MakeGrid();
+  const auto counts = RandomCounts(grid, 5);
+  const RangeSummary summary = RangeSummary::Build(grid, counts).value();
+  // Exactly cell (2, 3).
+  EXPECT_NEAR(summary.Answer(BoundingBox{3, 2, 4, 3}),
+              counts[grid.IdOf(2, 3)], 1e-9);
+  // A quarter of that cell.
+  EXPECT_NEAR(summary.Answer(BoundingBox{3, 2, 3.5, 2.5}),
+              0.25 * counts[grid.IdOf(2, 3)], 1e-9);
+}
+
+TEST(RangeSummaryTest, MatchesAnswerFromCellsOnRandomQueries) {
+  const UniformGrid grid = MakeGrid(13, 9);
+  const auto counts = RandomCounts(grid, 7);
+  const RangeSummary summary = RangeSummary::Build(grid, counts).value();
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    BoundingBox query;
+    query.min_lon = rng.NextDouble() * 14.0 - 0.5;
+    query.min_lat = rng.NextDouble() * 10.0 - 0.5;
+    query.max_lon = query.min_lon + rng.NextDouble() * 6.0;
+    query.max_lat = query.min_lat + rng.NextDouble() * 5.0;
+    const double expected = AnswerFromCells(grid, counts, query);
+    EXPECT_NEAR(summary.Answer(query), expected,
+                1e-9 * (1.0 + std::fabs(expected)))
+        << query.ToString();
+  }
+}
+
+TEST(RangeSummaryTest, QueriesOutsideDomainAreZero) {
+  const UniformGrid grid = MakeGrid();
+  const auto counts = RandomCounts(grid, 9);
+  const RangeSummary summary = RangeSummary::Build(grid, counts).value();
+  EXPECT_DOUBLE_EQ(summary.Answer(BoundingBox{20, 20, 25, 25}), 0.0);
+  EXPECT_DOUBLE_EQ(summary.Answer(BoundingBox{-5, -5, -1, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(summary.Answer(BoundingBox{2, 2, 1, 1}), 0.0);  // invalid
+}
+
+TEST(RangeSummaryTest, NonUnitCellSizes) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{-10, 5, 10, 17}, 2.0, 3.0).value();
+  const auto counts = RandomCounts(grid, 13);
+  const RangeSummary summary = RangeSummary::Build(grid, counts).value();
+  Rng rng(15);
+  for (int i = 0; i < 200; ++i) {
+    BoundingBox query;
+    query.min_lon = -12 + rng.NextDouble() * 20;
+    query.min_lat = 3 + rng.NextDouble() * 12;
+    query.max_lon = query.min_lon + rng.NextDouble() * 8;
+    query.max_lat = query.min_lat + rng.NextDouble() * 6;
+    const double expected = AnswerFromCells(grid, counts, query);
+    EXPECT_NEAR(summary.Answer(query), expected,
+                1e-9 * (1.0 + std::fabs(expected)));
+  }
+}
+
+}  // namespace
+}  // namespace pldp

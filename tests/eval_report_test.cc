@@ -1,0 +1,49 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace pldp {
+namespace {
+
+TEST(ReportTest, WriteCountsCsvRoundTrips) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 2, 2}, 1, 1).value();
+  const std::vector<double> counts = {1.5, 2.5, 3.5, 4.5};
+  const std::string path = ::testing::TempDir() + "/pldp_report.csv";
+  ASSERT_TRUE(WriteCountsCsv(path, grid, counts).ok());
+
+  const std::string contents = ReadFileToString(path).value();
+  EXPECT_NE(contents.find("cell,row,col,min_lon"), std::string::npos);
+  // One header + one line per cell.
+  EXPECT_EQ(std::count(contents.begin(), contents.end(), '\n'), 5);
+  EXPECT_NE(contents.find("3,1,1,1,1,2,2,4.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, WriteCountsCsvRejectsSizeMismatch) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 2, 2}, 1, 1).value();
+  EXPECT_FALSE(WriteCountsCsv("/tmp/x.csv", grid, {1.0}).ok());
+}
+
+TEST(ReportTest, WriteTableCsv) {
+  const std::string path = ::testing::TempDir() + "/pldp_table.csv";
+  ASSERT_TRUE(WriteTableCsv(path, {"scheme", "kl"},
+                            {{"PSDA", "0.1"}, {"SR", "0.9"}})
+                  .ok());
+  const std::string contents = ReadFileToString(path).value();
+  EXPECT_EQ(contents, "scheme,kl\nPSDA,0.1\nSR,0.9\n");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, WriteTableCsvRejectsRaggedRows) {
+  EXPECT_FALSE(WriteTableCsv("/tmp/x.csv", {"a", "b"}, {{"1"}}).ok());
+  EXPECT_FALSE(WriteTableCsv("/tmp/x.csv", {}, {}).ok());
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,161 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/range_query.h"
+
+namespace pldp {
+namespace {
+
+TEST(MetricsTest, MaxAndMeanAbsoluteError) {
+  const std::vector<double> truth = {10, 20, 30};
+  const std::vector<double> estimate = {12, 15, 30};
+  EXPECT_DOUBLE_EQ(MaxAbsoluteError(truth, estimate).value(), 5.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(truth, estimate).value(), 7.0 / 3.0);
+  EXPECT_FALSE(MaxAbsoluteError(truth, {1.0}).ok());
+  EXPECT_FALSE(MaxAbsoluteError({}, {}).ok());
+}
+
+TEST(MetricsTest, KlDivergenceZeroForExactEstimate) {
+  const std::vector<double> truth = {100, 200, 700};
+  // With tiny smoothing, a perfect estimate gives ~0 divergence.
+  const double kl = KlDivergence(truth, truth, 1e-9).value();
+  EXPECT_NEAR(kl, 0.0, 1e-6);
+}
+
+TEST(MetricsTest, KlDivergencePositiveAndOrders) {
+  const std::vector<double> truth = {100, 200, 700};
+  const std::vector<double> close = {120, 180, 700};
+  const std::vector<double> far = {700, 200, 100};
+  const double kl_close = KlDivergence(truth, close).value();
+  const double kl_far = KlDivergence(truth, far).value();
+  EXPECT_GT(kl_close, 0.0);
+  EXPECT_GT(kl_far, kl_close);
+}
+
+TEST(MetricsTest, KlDivergenceHandlesNegativeEstimates) {
+  const std::vector<double> truth = {100, 0, 900};
+  const std::vector<double> estimate = {-50, 30, 1020};
+  const auto kl = KlDivergence(truth, estimate);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_TRUE(std::isfinite(kl.value()));
+  EXPECT_GT(kl.value(), 0.0);
+}
+
+TEST(MetricsTest, KlDivergenceRejectsBadInput) {
+  EXPECT_FALSE(KlDivergence({1, 2}, {1, 2}, 0.0).ok());
+  EXPECT_FALSE(KlDivergence({-1, 2}, {1, 2}).ok());
+  EXPECT_FALSE(KlDivergence({0, 0}, {1, 2}).ok());
+}
+
+TEST(MetricsTest, RelativeErrorSanityBound) {
+  EXPECT_DOUBLE_EQ(RelativeError(100, 50, 10), 0.5);
+  // Tiny true answers are measured against the sanity bound instead.
+  EXPECT_DOUBLE_EQ(RelativeError(1, 11, 10), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0, 10), 0.0);
+}
+
+TEST(RangeQueryTest, GeneratorStaysInDomainAndIsDeterministic) {
+  const BoundingBox domain{0, 0, 10, 8};
+  const auto queries = GenerateRangeQueries(domain, 2, 1.5, 200, 3).value();
+  ASSERT_EQ(queries.size(), 200u);
+  for (const BoundingBox& q : queries) {
+    EXPECT_NEAR(q.Width(), 2.0, 1e-12);
+    EXPECT_NEAR(q.Height(), 1.5, 1e-12);
+    EXPECT_GE(q.min_lon, domain.min_lon);
+    EXPECT_LE(q.max_lon, domain.max_lon + 1e-12);
+    EXPECT_GE(q.min_lat, domain.min_lat);
+    EXPECT_LE(q.max_lat, domain.max_lat + 1e-12);
+  }
+  const auto again = GenerateRangeQueries(domain, 2, 1.5, 200, 3).value();
+  EXPECT_EQ(queries[0].min_lon, again[0].min_lon);
+}
+
+TEST(RangeQueryTest, OversizedQueriesClampToDomain) {
+  const BoundingBox domain{0, 0, 4, 4};
+  const auto queries = GenerateRangeQueries(domain, 100, 100, 5, 1).value();
+  for (const BoundingBox& q : queries) {
+    EXPECT_NEAR(q.Width(), 4.0, 1e-12);
+    EXPECT_NEAR(q.Height(), 4.0, 1e-12);
+  }
+}
+
+TEST(RangeQueryTest, AnswerFromPointsCountsContained) {
+  const std::vector<GeoPoint> points = {{0.5, 0.5}, {1.5, 1.5}, {5, 5}};
+  EXPECT_DOUBLE_EQ(AnswerFromPoints(points, BoundingBox{0, 0, 2, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(AnswerFromPoints(points, BoundingBox{4, 4, 6, 6}), 1.0);
+}
+
+TEST(RangeQueryTest, AnswerFromCellsUsesAreaWeighting) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 2, 2}, 1, 1).value();
+  const std::vector<double> counts = {10, 20, 30, 40};
+  // Full domain: everything.
+  EXPECT_NEAR(AnswerFromCells(grid, counts, BoundingBox{0, 0, 2, 2}), 100.0,
+              1e-9);
+  // Left half: half of cells 0 and 2 horizontally -> (10+30)/1 * ... each
+  // cell contributes count * 0.5.
+  EXPECT_NEAR(AnswerFromCells(grid, counts, BoundingBox{0, 0, 0.5, 2}),
+              0.5 * (10 + 30), 1e-9);
+  // Quarter of cell 0.
+  EXPECT_NEAR(AnswerFromCells(grid, counts, BoundingBox{0, 0, 0.5, 0.5}),
+              2.5, 1e-9);
+}
+
+TEST(RangeQueryTest, ExactCountsGiveNearZeroError) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 8, 8}, 1, 1).value();
+  // Points at cell centers so the uniformity assumption is exact for
+  // cell-aligned queries.
+  std::vector<GeoPoint> points;
+  std::vector<double> counts(grid.num_cells(), 0.0);
+  for (CellId cell = 0; cell < grid.num_cells(); ++cell) {
+    const auto center = grid.CellBox(cell).Center();
+    for (uint32_t k = 0; k <= cell % 3; ++k) points.push_back(center);
+    counts[cell] = 1.0 + cell % 3;
+  }
+  // Cell-aligned queries: integer corners.
+  std::vector<BoundingBox> queries;
+  for (int x = 0; x < 6; ++x) {
+    queries.push_back(BoundingBox{static_cast<double>(x), 1.0,
+                                  static_cast<double>(x + 2), 3.0});
+  }
+  const double err =
+      MeanRangeQueryError(grid, counts, points, queries, 1.0).value();
+  EXPECT_NEAR(err, 0.0, 1e-9);
+}
+
+TEST(ExperimentTest, PrepareExperimentBuildsCoherentSetup) {
+  const auto setup = PrepareExperiment("storage", 1.0, 5).value();
+  EXPECT_EQ(setup.dataset.name, "storage");
+  EXPECT_EQ(setup.cells.size(), setup.dataset.num_users());
+  EXPECT_EQ(setup.true_histogram.size(), setup.taxonomy.grid().num_cells());
+  EXPECT_FALSE(PrepareExperiment("nope", 1.0, 5).ok());
+}
+
+TEST(ExperimentTest, RunSchemeDispatchesAllSchemes) {
+  const auto setup = PrepareExperiment("storage", 0.5, 6).value();
+  const auto users = AssignSpecs(setup.taxonomy, setup.cells, SafeRegionsS2(),
+                                 EpsilonsE2(), 7)
+                         .value();
+  for (const Scheme scheme : AllSchemes()) {
+    const auto counts =
+        RunScheme(scheme, setup.taxonomy, users, 0.1, 11);
+    ASSERT_TRUE(counts.ok()) << SchemeName(scheme);
+    EXPECT_EQ(counts.value().size(), setup.taxonomy.grid().num_cells());
+  }
+}
+
+TEST(ExperimentTest, ProfileParsing) {
+  const BenchProfile profile = GetBenchProfile();
+  EXPECT_GT(profile.scale, 0.0);
+  EXPECT_GT(profile.runs, 0);
+  // storage never scales below 20x the base scale (capped at 1).
+  EXPECT_GE(DatasetScale(profile, "storage"),
+            DatasetScale(profile, "road"));
+}
+
+}  // namespace
+}  // namespace pldp

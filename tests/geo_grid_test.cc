@@ -1,0 +1,122 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace pldp {
+namespace {
+
+UniformGrid MakeTestGrid() {
+  // 4 columns x 3 rows of 1x1 cells.
+  return UniformGrid::Create(BoundingBox{0.0, 0.0, 4.0, 3.0}, 1.0, 1.0)
+      .value();
+}
+
+TEST(BoundingBoxTest, ContainmentConventions) {
+  const BoundingBox box{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(box.Contains(GeoPoint{0.0, 0.0}));
+  EXPECT_FALSE(box.Contains(GeoPoint{1.0, 0.5}));  // half-open max edge
+  EXPECT_TRUE(box.ContainsClosed(GeoPoint{1.0, 1.0}));
+  EXPECT_FALSE(box.ContainsClosed(GeoPoint{1.0001, 1.0}));
+}
+
+TEST(BoundingBoxTest, IntersectionArea) {
+  const BoundingBox a{0.0, 0.0, 2.0, 2.0};
+  const BoundingBox b{1.0, 1.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(b), 1.0);
+  const BoundingBox c{5.0, 5.0, 6.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(c), 0.0);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(UniformGridTest, DimensionsFromGranularity) {
+  const UniformGrid grid = MakeTestGrid();
+  EXPECT_EQ(grid.cols(), 4u);
+  EXPECT_EQ(grid.rows(), 3u);
+  EXPECT_EQ(grid.num_cells(), 12u);
+}
+
+TEST(UniformGridTest, NonMultipleExtentRoundsUp) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0.0, 0.0, 3.5, 2.2}, 1.0, 1.0).value();
+  EXPECT_EQ(grid.cols(), 4u);
+  EXPECT_EQ(grid.rows(), 3u);
+}
+
+TEST(UniformGridTest, PaperDomainsBuild) {
+  // Table I domains at their paper granularities.
+  EXPECT_TRUE(
+      UniformGrid::Create(BoundingBox{-124.8, 31.3, -103.0, 49.0}, 1, 1).ok());
+  EXPECT_TRUE(
+      UniformGrid::Create(BoundingBox{-176.3, -48.2, 177.46, 90.0}, 2, 2).ok());
+  EXPECT_TRUE(
+      UniformGrid::Create(BoundingBox{-124.4, 24.6, -67.0, 49.0}, 1, 1).ok());
+  EXPECT_TRUE(
+      UniformGrid::Create(BoundingBox{-123.2, 25.7, -70.3, 48.8}, 1, 1).ok());
+}
+
+TEST(UniformGridTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(UniformGrid::Create(BoundingBox{1, 1, 1, 2}, 1, 1).ok());
+  EXPECT_FALSE(UniformGrid::Create(BoundingBox{0, 0, 1, 1}, 0.0, 1).ok());
+  EXPECT_FALSE(UniformGrid::Create(BoundingBox{0, 0, 1, 1}, 1, -1).ok());
+  // 16M+ cells rejected.
+  EXPECT_FALSE(
+      UniformGrid::Create(BoundingBox{0, 0, 10000, 10000}, 0.1, 0.1).ok());
+}
+
+TEST(UniformGridTest, CellOfMapsInterior) {
+  const UniformGrid grid = MakeTestGrid();
+  EXPECT_EQ(grid.CellOf(GeoPoint{0.5, 0.5}).value(), grid.IdOf(0, 0));
+  EXPECT_EQ(grid.CellOf(GeoPoint{3.5, 2.5}).value(), grid.IdOf(2, 3));
+  EXPECT_EQ(grid.CellOf(GeoPoint{1.0, 1.0}).value(), grid.IdOf(1, 1));
+}
+
+TEST(UniformGridTest, CellOfClampsMaxEdges) {
+  const UniformGrid grid = MakeTestGrid();
+  // Points on the closed max edges belong to the last row/column.
+  EXPECT_EQ(grid.CellOf(GeoPoint{4.0, 3.0}).value(), grid.IdOf(2, 3));
+}
+
+TEST(UniformGridTest, CellOfRejectsOutside) {
+  const UniformGrid grid = MakeTestGrid();
+  EXPECT_FALSE(grid.CellOf(GeoPoint{-0.1, 0.5}).ok());
+  EXPECT_FALSE(grid.CellOf(GeoPoint{0.5, 3.1}).ok());
+  // Clamped variant tolerates them.
+  EXPECT_EQ(grid.CellOfClamped(GeoPoint{-5.0, -5.0}), grid.IdOf(0, 0));
+  EXPECT_EQ(grid.CellOfClamped(GeoPoint{99.0, 99.0}), grid.IdOf(2, 3));
+}
+
+TEST(UniformGridTest, CellBoxInvertsCellOf) {
+  const UniformGrid grid = MakeTestGrid();
+  for (CellId id = 0; id < grid.num_cells(); ++id) {
+    const BoundingBox box = grid.CellBox(id);
+    EXPECT_EQ(grid.CellOf(box.Center()).value(), id);
+  }
+}
+
+TEST(UniformGridTest, CellsIntersectingQuery) {
+  const UniformGrid grid = MakeTestGrid();
+  // Query covering the 2x2 block with corners (0.5,0.5)-(1.5,1.5).
+  const auto cells = grid.CellsIntersecting(BoundingBox{0.5, 0.5, 1.5, 1.5});
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], grid.IdOf(0, 0));
+  EXPECT_EQ(cells[3], grid.IdOf(1, 1));
+}
+
+TEST(UniformGridTest, CellsIntersectingAlignedQueryExcludesTouching) {
+  const UniformGrid grid = MakeTestGrid();
+  // A query exactly covering cell (1,1) must not pick up neighbors that only
+  // share an edge.
+  const auto cells = grid.CellsIntersecting(BoundingBox{1.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], grid.IdOf(1, 1));
+}
+
+TEST(UniformGridTest, CellsIntersectingClampsToDomain) {
+  const UniformGrid grid = MakeTestGrid();
+  const auto cells = grid.CellsIntersecting(BoundingBox{-10, -10, 100, 100});
+  EXPECT_EQ(cells.size(), grid.num_cells());
+}
+
+}  // namespace
+}  // namespace pldp

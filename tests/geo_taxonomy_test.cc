@@ -1,0 +1,219 @@
+#include "geo/taxonomy.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(double width, double height, uint32_t fanout = 4) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0.0, 0.0, width, height}, 1.0, 1.0)
+          .value();
+  return SpatialTaxonomy::Build(grid, fanout).value();
+}
+
+TEST(TaxonomyTest, RejectsBadFanout) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 4, 4}, 1, 1).value();
+  EXPECT_FALSE(SpatialTaxonomy::Build(grid, 3).ok());
+  EXPECT_FALSE(SpatialTaxonomy::Build(grid, 2).ok());
+  EXPECT_FALSE(SpatialTaxonomy::Build(grid, 8).ok());
+  EXPECT_TRUE(SpatialTaxonomy::Build(grid, 4).ok());
+  EXPECT_TRUE(SpatialTaxonomy::Build(grid, 9).ok());
+  EXPECT_TRUE(SpatialTaxonomy::Build(grid, 16).ok());
+}
+
+TEST(TaxonomyTest, PerfectQuadtree) {
+  const SpatialTaxonomy tax = MakeTaxonomy(4, 4);
+  EXPECT_EQ(tax.height(), 2u);
+  // 1 root + 4 + 16 leaves.
+  EXPECT_EQ(tax.num_nodes(), 21u);
+  EXPECT_EQ(tax.RegionSize(tax.root()), 16u);
+  EXPECT_EQ(tax.children(tax.root()).size(), 4u);
+}
+
+TEST(TaxonomyTest, SingleCellGridIsRootLeaf) {
+  const SpatialTaxonomy tax = MakeTaxonomy(1, 1);
+  EXPECT_EQ(tax.height(), 0u);
+  EXPECT_EQ(tax.num_nodes(), 1u);
+  EXPECT_TRUE(tax.IsLeaf(tax.root()));
+  EXPECT_EQ(tax.LeafCell(tax.root()), 0u);
+}
+
+TEST(TaxonomyTest, PaddedGridOmitsEmptyNodes) {
+  // 3x3 grid pads to 4x4; the padding-only children must not exist.
+  const SpatialTaxonomy tax = MakeTaxonomy(3, 3);
+  EXPECT_EQ(tax.height(), 2u);
+  EXPECT_EQ(tax.RegionSize(tax.root()), 9u);
+  for (NodeId node = 0; node < tax.num_nodes(); ++node) {
+    EXPECT_GE(tax.RegionSize(node), 1u) << "node " << node;
+  }
+}
+
+TEST(TaxonomyTest, EveryCellHasALeafNode) {
+  const SpatialTaxonomy tax = MakeTaxonomy(7, 5);
+  const UniformGrid& grid = tax.grid();
+  std::set<NodeId> leaves;
+  for (CellId cell = 0; cell < grid.num_cells(); ++cell) {
+    const NodeId leaf = tax.LeafNodeOfCell(cell);
+    EXPECT_TRUE(tax.IsLeaf(leaf));
+    EXPECT_EQ(tax.LeafCell(leaf), cell);
+    leaves.insert(leaf);
+  }
+  EXPECT_EQ(leaves.size(), grid.num_cells());
+}
+
+TEST(TaxonomyTest, ChildrenPartitionParentRegion) {
+  const SpatialTaxonomy tax = MakeTaxonomy(7, 5);
+  for (NodeId node = 0; node < tax.num_nodes(); ++node) {
+    if (tax.IsLeaf(node)) continue;
+    std::vector<CellId> from_children;
+    for (const NodeId child : tax.children(node)) {
+      EXPECT_EQ(tax.parent(child), node);
+      EXPECT_EQ(tax.level(child), tax.level(node) + 1);
+      const auto cells = tax.RegionCells(child);
+      from_children.insert(from_children.end(), cells.begin(), cells.end());
+    }
+    std::sort(from_children.begin(), from_children.end());
+    EXPECT_EQ(from_children, tax.RegionCells(node)) << "node " << node;
+  }
+}
+
+TEST(TaxonomyTest, RegionCellsAreSortedAscending) {
+  const SpatialTaxonomy tax = MakeTaxonomy(6, 6);
+  for (NodeId node = 0; node < tax.num_nodes(); ++node) {
+    const auto cells = tax.RegionCells(node);
+    EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end()));
+    EXPECT_EQ(cells.size(), tax.RegionSize(node));
+  }
+}
+
+TEST(TaxonomyTest, RegionRankMatchesRegionCells) {
+  const SpatialTaxonomy tax = MakeTaxonomy(6, 5);
+  for (NodeId node = 0; node < tax.num_nodes(); ++node) {
+    const auto cells = tax.RegionCells(node);
+    for (size_t k = 0; k < cells.size(); ++k) {
+      const StatusOr<uint64_t> rank = tax.RegionRankOfCell(node, cells[k]);
+      ASSERT_TRUE(rank.ok());
+      EXPECT_EQ(rank.value(), k) << "node " << node << " cell " << cells[k];
+    }
+  }
+}
+
+TEST(TaxonomyTest, RegionRankRejectsUncoveredCell) {
+  const SpatialTaxonomy tax = MakeTaxonomy(4, 4);
+  const NodeId first_child = tax.children(tax.root())[0];
+  const NodeId last_child = tax.children(tax.root()).back();
+  const CellId outside = tax.RegionCells(last_child).back();
+  EXPECT_FALSE(tax.RegionRankOfCell(first_child, outside).ok());
+  EXPECT_FALSE(tax.RegionRankOfCell(first_child, 10'000).ok());
+  EXPECT_FALSE(tax.RegionRankOfCell(9999, 0).ok());
+}
+
+TEST(TaxonomyTest, ContainmentFollowsAncestry) {
+  const SpatialTaxonomy tax = MakeTaxonomy(8, 8);
+  for (CellId cell = 0; cell < tax.grid().num_cells(); ++cell) {
+    const NodeId leaf = tax.LeafNodeOfCell(cell);
+    for (const NodeId ancestor : tax.PathFromRoot(leaf)) {
+      EXPECT_TRUE(tax.Contains(ancestor, leaf));
+    }
+  }
+  // Two different children of the root do not contain each other.
+  const auto& children = tax.children(tax.root());
+  ASSERT_GE(children.size(), 2u);
+  EXPECT_FALSE(tax.Contains(children[0], children[1]));
+  EXPECT_FALSE(tax.Contains(children[1], children[0]));
+}
+
+TEST(TaxonomyTest, AncestorAboveClampsAtRoot) {
+  const SpatialTaxonomy tax = MakeTaxonomy(4, 4);
+  const NodeId leaf = tax.LeafNodeOfCell(0);
+  EXPECT_EQ(tax.AncestorAbove(leaf, 0), leaf);
+  EXPECT_EQ(tax.AncestorAbove(leaf, 2), tax.root());
+  EXPECT_EQ(tax.AncestorAbove(leaf, 99), tax.root());
+}
+
+TEST(TaxonomyTest, PathFromRootIsOrdered) {
+  const SpatialTaxonomy tax = MakeTaxonomy(8, 8);
+  const NodeId leaf = tax.LeafNodeOfCell(tax.grid().num_cells() - 1);
+  const auto path = tax.PathFromRoot(leaf);
+  ASSERT_EQ(path.size(), tax.height() + 1);
+  EXPECT_EQ(path.front(), tax.root());
+  EXPECT_EQ(path.back(), leaf);
+  for (size_t i = 0; i < path.size(); ++i) {
+    EXPECT_EQ(tax.level(path[i]), i);
+  }
+}
+
+TEST(TaxonomyTest, NodeBoxMatchesRegionExtent) {
+  const SpatialTaxonomy tax = MakeTaxonomy(4, 4);
+  const BoundingBox root_box = tax.NodeBox(tax.root());
+  EXPECT_EQ(root_box, tax.grid().domain());
+  const NodeId leaf = tax.LeafNodeOfCell(5);
+  EXPECT_EQ(tax.NodeBox(leaf), tax.grid().CellBox(5));
+}
+
+TEST(TaxonomyTest, Fanout16UsesTwoLevelBranching) {
+  const SpatialTaxonomy tax = MakeTaxonomy(16, 16, 16);
+  EXPECT_EQ(tax.height(), 2u);
+  EXPECT_EQ(tax.children(tax.root()).size(), 16u);
+}
+
+/// Structural property sweep over grid shapes and fanouts.
+class TaxonomyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TaxonomyPropertyTest, StructuralInvariantsHold) {
+  const auto [width, height, fanout] = GetParam();
+  const SpatialTaxonomy tax = MakeTaxonomy(width, height, fanout);
+  const UniformGrid& grid = tax.grid();
+
+  // 1. Every node covers >= 1 cell; children partition parents; levels and
+  //    parent pointers are coherent.
+  size_t leaf_count = 0;
+  for (NodeId node = 0; node < tax.num_nodes(); ++node) {
+    EXPECT_GE(tax.RegionSize(node), 1u);
+    EXPECT_LE(tax.level(node), tax.height());
+    if (tax.IsLeaf(node)) {
+      ++leaf_count;
+      EXPECT_EQ(tax.RegionSize(node), 1u);
+    } else {
+      uint64_t child_total = 0;
+      for (const NodeId child : tax.children(node)) {
+        EXPECT_EQ(tax.parent(child), node);
+        child_total += tax.RegionSize(child);
+      }
+      EXPECT_EQ(child_total, tax.RegionSize(node));
+      EXPECT_LE(tax.children(node).size(), static_cast<size_t>(fanout));
+    }
+  }
+  EXPECT_EQ(leaf_count, grid.num_cells());
+  EXPECT_EQ(tax.RegionSize(tax.root()), grid.num_cells());
+
+  // 2. RegionRankOfCell is a bijection onto [0, RegionSize) for every node.
+  for (NodeId node = 0; node < tax.num_nodes(); ++node) {
+    const auto cells = tax.RegionCells(node);
+    std::set<uint64_t> ranks;
+    for (const CellId cell : cells) {
+      const auto rank = tax.RegionRankOfCell(node, cell);
+      ASSERT_TRUE(rank.ok());
+      EXPECT_TRUE(ranks.insert(rank.value()).second);
+      EXPECT_LT(rank.value(), cells.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, TaxonomyPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1, 4), std::make_tuple(2, 2, 4),
+                      std::make_tuple(5, 3, 4), std::make_tuple(9, 9, 4),
+                      std::make_tuple(17, 4, 4), std::make_tuple(22, 18, 4),
+                      std::make_tuple(10, 10, 9),
+                      std::make_tuple(20, 7, 16)));
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,224 @@
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error_model.h"
+#include "core/pcep.h"
+#include "core/psda.h"
+#include "protocol/client.h"
+#include "protocol/messages.h"
+#include "protocol/server.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 8) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+std::vector<DeviceClient> MakeClients(const SpatialTaxonomy& tax, size_t n,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DeviceClient> clients;
+  clients.reserve(n);
+  const double epsilons[] = {0.5, 1.0};
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell =
+        static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    const uint32_t level = static_cast<uint32_t>(rng.NextUint64(3));
+    PrivacySpec spec;
+    spec.safe_region = tax.AncestorAbove(tax.LeafNodeOfCell(cell), level);
+    spec.epsilon = epsilons[rng.NextUint64(2)];
+    clients.emplace_back(&tax, cell, spec, SplitMix64(seed ^ (i + 1)));
+  }
+  return clients;
+}
+
+TEST(ProtocolEndToEndTest, RunsAndSumsToCohort) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  auto clients = MakeClients(tax, 3000, 42);
+  AggregationServer server(&tax, PsdaOptions());
+  ProtocolStats stats;
+  const PsdaResult result = server.Collect(&clients, &stats).value();
+
+  EXPECT_EQ(stats.dropped_clients, 0u);
+  const double total =
+      std::accumulate(result.counts.begin(), result.counts.end(), 0.0);
+  EXPECT_NEAR(total, 3000.0, 1e-6);
+}
+
+TEST(ProtocolEndToEndTest, CommunicationCostsMatchAnalysis) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 1000;
+  auto clients = MakeClients(tax, n, 43);
+  AggregationServer server(&tax, PsdaOptions());
+  ProtocolStats stats;
+  (void)server.Collect(&clients, &stats).value();
+
+  // Uplink: one spec + one 1-byte report per user -> O(1) per user.
+  EXPECT_EQ(stats.messages_to_server, 2 * n);
+  EXPECT_LT(stats.bytes_to_server, n * 32);
+  // Downlink: one row per user, each O(|tau|) bits; |tau| <= 64 cells here,
+  // so the packed row is at most 8 bytes + headers.
+  EXPECT_EQ(stats.messages_to_clients, n);
+  EXPECT_LT(stats.bytes_to_clients, n * 64);
+}
+
+TEST(ProtocolEndToEndTest, MatchesInMemoryPsdaStatistically) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 20000;
+  auto clients = MakeClients(tax, n, 44);
+
+  // Mirror the same cohort as UserRecords for the in-memory path.
+  Rng rng(44);
+  std::vector<UserRecord> users;
+  const double epsilons[] = {0.5, 1.0};
+  std::vector<double> truth(tax.grid().num_cells(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell =
+        static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    const uint32_t level = static_cast<uint32_t>(rng.NextUint64(3));
+    UserRecord user;
+    user.cell = cell;
+    user.spec.safe_region = tax.AncestorAbove(tax.LeafNodeOfCell(cell), level);
+    user.spec.epsilon = epsilons[rng.NextUint64(2)];
+    users.push_back(user);
+    truth[cell] += 1.0;
+  }
+
+  AggregationServer server(&tax, PsdaOptions());
+  const PsdaResult via_protocol = server.Collect(&clients, nullptr).value();
+  const PsdaResult in_memory = RunPsda(tax, users, PsdaOptions()).value();
+
+  // Identical cohort, independent randomness: both estimates should be close
+  // to the truth, hence to each other, at the scale of the error bound.
+  double protocol_mae = 0.0, memory_mae = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    protocol_mae =
+        std::max(protocol_mae, std::fabs(via_protocol.counts[i] - truth[i]));
+    memory_mae =
+        std::max(memory_mae, std::fabs(in_memory.counts[i] - truth[i]));
+  }
+  EXPECT_LT(protocol_mae, 0.2 * n);
+  EXPECT_LT(memory_mae, 0.2 * n);
+}
+
+TEST(ProtocolEndToEndTest, BitIdenticalToRunPcepWithSameSeeds) {
+  // Drive one PCEP through the message layer with client seeds matching the
+  // PcepSeeds schedule: the transcript must equal the in-memory fast path.
+  const SpatialTaxonomy tax = MakeTaxonomy(4);
+  const NodeId root = tax.root();
+  const uint64_t tau_size = tax.RegionSize(root);
+  const size_t n = 500;
+
+  PcepParams params;
+  params.seed = 1234;
+  const PcepSeeds seeds(params.seed);
+
+  std::vector<PcepUser> pcep_users;
+  std::vector<DeviceClient> clients;
+  Rng cohort_rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell = static_cast<CellId>(cohort_rng.NextUint64(16));
+    pcep_users.push_back({static_cast<uint32_t>(cell), 1.0});
+    clients.emplace_back(&tax, cell, PrivacySpec{root, 1.0},
+                         seeds.ClientSeed(i));
+  }
+  const std::vector<double> fast = RunPcep(pcep_users, tau_size, params).value();
+
+  PcepServer pcep = PcepServer::Create(tau_size, n, params).value();
+  Rng row_rng(seeds.row_assignment);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t row = pcep.AssignRow(&row_rng);
+    RowAssignmentMsg assignment;
+    assignment.region = root;
+    assignment.m = pcep.m();
+    assignment.row_index = row;
+    assignment.row_bits = pcep.sign_matrix().Row(row);
+    const auto reply = clients[i].HandleRowAssignment(assignment.Serialize());
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    const ReportMsg report = ReportMsg::Parse(reply.value()).value();
+    const double magnitude =
+        CEpsilon(1.0) * std::sqrt(static_cast<double>(pcep.m()));
+    pcep.Accumulate(row, report.positive ? magnitude : -magnitude);
+  }
+  const std::vector<double> via_messages = pcep.Estimate();
+  ASSERT_EQ(via_messages.size(), fast.size());
+  for (size_t k = 0; k < fast.size(); ++k) {
+    EXPECT_DOUBLE_EQ(via_messages[k], fast[k]) << "location " << k;
+  }
+}
+
+TEST(ProtocolEndToEndTest, DeterministicForFixedSeeds) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  auto clients_a = MakeClients(tax, 800, 77);
+  auto clients_b = MakeClients(tax, 800, 77);
+  AggregationServer server(&tax, PsdaOptions());
+  const auto a = server.Collect(&clients_a, nullptr).value();
+  const auto b = server.Collect(&clients_b, nullptr).value();
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(ProtocolEndToEndTest, ByteCountsAreDeterministic) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  ProtocolStats stats_a, stats_b;
+  auto clients_a = MakeClients(tax, 500, 78);
+  auto clients_b = MakeClients(tax, 500, 78);
+  AggregationServer server(&tax, PsdaOptions());
+  (void)server.Collect(&clients_a, &stats_a).value();
+  (void)server.Collect(&clients_b, &stats_b).value();
+  EXPECT_EQ(stats_a.bytes_to_clients, stats_b.bytes_to_clients);
+  EXPECT_EQ(stats_a.bytes_to_server, stats_b.bytes_to_server);
+  EXPECT_EQ(stats_a.messages_to_clients, stats_b.messages_to_clients);
+}
+
+TEST(ProtocolEndToEndTest, DishonestServerRegionIsRefused) {
+  // A dishonest server assigns a region that does not cover the client's
+  // safe region; the device must refuse (privacy preserved, report dropped).
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const NodeId child0 = tax.children(tax.root())[0];
+  const NodeId child1 = tax.children(tax.root())[1];
+  const CellId cell = tax.RegionCells(child1)[0];
+  DeviceClient client(&tax, cell, PrivacySpec{child1, 1.0}, 5);
+
+  RowAssignmentMsg bogus;
+  bogus.region = child0;  // does not contain child1
+  bogus.m = 64;
+  bogus.row_index = 0;
+  bogus.row_bits = BitVector(tax.RegionSize(child0));
+  const auto reply = client.HandleRowAssignment(bogus.Serialize());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProtocolEndToEndTest, MalformedAssignmentIsRefused) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  DeviceClient client(&tax, 0, PrivacySpec{tax.root(), 1.0}, 6);
+  EXPECT_FALSE(client.HandleRowAssignment({0x01, 0x02}).ok());
+
+  // Row shorter than the region: refused rather than misused.
+  RowAssignmentMsg short_row;
+  short_row.region = tax.root();
+  short_row.m = 64;
+  short_row.row_index = 0;
+  short_row.row_bits = BitVector(4);
+  EXPECT_FALSE(client.HandleRowAssignment(short_row.Serialize()).ok());
+}
+
+TEST(ProtocolEndToEndTest, EmptyCohortRejected) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  AggregationServer server(&tax, PsdaOptions());
+  std::vector<DeviceClient> none;
+  EXPECT_FALSE(server.Collect(&none, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,169 @@
+#include "stream/continuous.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy() {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 8, 8}, 1, 1).value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+std::vector<StreamUser> MakeEpoch(const SpatialTaxonomy& tax, size_t n,
+                                  uint64_t seed, uint64_t id_base = 0) {
+  Rng rng(seed);
+  std::vector<StreamUser> users;
+  for (size_t i = 0; i < n; ++i) {
+    const CellId cell =
+        rng.Bernoulli(0.5)
+            ? 0
+            : static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    StreamUser user;
+    user.user_id = id_base + i;
+    user.record.cell = cell;
+    user.record.spec.safe_region = tax.AncestorAbove(
+        tax.LeafNodeOfCell(cell), 1 + rng.NextUint64(2));
+    user.record.spec.epsilon = 1.0;
+    users.push_back(user);
+  }
+  return users;
+}
+
+TEST(ContinuousAggregatorTest, FirstEpochSeedsTheEstimate) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  StreamOptions options;
+  ContinuousAggregator aggregator(&tax, options);
+  const auto users = MakeEpoch(tax, 3000, 1);
+  const auto estimate = aggregator.ProcessEpoch(users).value();
+  EXPECT_EQ(aggregator.epochs_processed(), 1u);
+  EXPECT_EQ(aggregator.last_stats().participated, 3000u);
+  const double total =
+      std::accumulate(estimate.begin(), estimate.end(), 0.0);
+  EXPECT_NEAR(total, 3000.0, 1e-6);
+}
+
+TEST(ContinuousAggregatorTest, ParticipationPeriodRateLimits) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  StreamOptions options;
+  options.participation_period = 3;
+  ContinuousAggregator aggregator(&tax, options);
+  const auto users = MakeEpoch(tax, 500, 2);
+
+  ASSERT_TRUE(aggregator.ProcessEpoch(users).ok());
+  EXPECT_EQ(aggregator.last_stats().participated, 500u);
+
+  // Same population next epoch: everyone is rate-limited.
+  ASSERT_TRUE(aggregator.ProcessEpoch(users).ok());
+  EXPECT_EQ(aggregator.last_stats().participated, 0u);
+  EXPECT_EQ(aggregator.last_stats().rate_limited, 500u);
+  ASSERT_TRUE(aggregator.ProcessEpoch(users).ok());
+  EXPECT_EQ(aggregator.last_stats().participated, 0u);
+
+  // Period elapsed: eligible again.
+  ASSERT_TRUE(aggregator.ProcessEpoch(users).ok());
+  EXPECT_EQ(aggregator.last_stats().participated, 500u);
+}
+
+TEST(ContinuousAggregatorTest, FreshUsersAreNeverRateLimited) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  StreamOptions options;
+  options.participation_period = 10;
+  ContinuousAggregator aggregator(&tax, options);
+  for (uint64_t epoch = 0; epoch < 3; ++epoch) {
+    const auto users = MakeEpoch(tax, 300, 3 + epoch,
+                                 /*id_base=*/epoch * 1'000'000);
+    ASSERT_TRUE(aggregator.ProcessEpoch(users).ok());
+    EXPECT_EQ(aggregator.last_stats().participated, 300u);
+    EXPECT_EQ(aggregator.last_stats().rate_limited, 0u);
+  }
+}
+
+TEST(ContinuousAggregatorTest, EmptyEpochKeepsEstimate) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  ContinuousAggregator aggregator(&tax, StreamOptions());
+  const auto first = aggregator.ProcessEpoch(MakeEpoch(tax, 1000, 4)).value();
+  const auto second = aggregator.ProcessEpoch({}).value();
+  EXPECT_EQ(first, second);
+}
+
+TEST(ContinuousAggregatorTest, EwmaBlendsEpochs) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  StreamOptions options;
+  options.smoothing = 0.25;
+  ContinuousAggregator aggregator(&tax, options);
+
+  // Epoch 1: everyone (fresh ids) in cell 0. Epoch 2: fresh ids in cell 63.
+  std::vector<StreamUser> epoch1, epoch2;
+  for (int i = 0; i < 2000; ++i) {
+    StreamUser user;
+    user.user_id = i;
+    user.record.cell = 0;
+    user.record.spec.safe_region =
+        tax.AncestorAbove(tax.LeafNodeOfCell(0), 1);
+    user.record.spec.epsilon = 1.0;
+    epoch1.push_back(user);
+    user.user_id = 100000 + i;
+    user.record.cell = 63;
+    user.record.spec.safe_region =
+        tax.AncestorAbove(tax.LeafNodeOfCell(63), 1);
+    epoch2.push_back(user);
+  }
+  const auto after1 = aggregator.ProcessEpoch(epoch1).value();
+  const auto after2 = aggregator.ProcessEpoch(epoch2).value();
+  // Cell 0: ~2000 after epoch 1; after epoch 2 it decays by (1 - 0.25).
+  EXPECT_NEAR(after2[0], 0.75 * after1[0], 0.15 * after1[0]);
+  // Cell 63 rises to ~0.25 * 2000.
+  EXPECT_NEAR(after2[63], 0.25 * 2000.0, 250.0);
+}
+
+TEST(ContinuousAggregatorTest, SmoothingReducesVarianceOnStaticTruth) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<double> truth(tax.grid().num_cells(), 0.0);
+
+  auto run_stream = [&](double smoothing) {
+    StreamOptions options;
+    options.smoothing = smoothing;
+    ContinuousAggregator aggregator(&tax, options);
+    std::vector<double> final_estimate;
+    for (uint64_t epoch = 0; epoch < 6; ++epoch) {
+      // Fresh pseudonyms each epoch, same underlying distribution/seed.
+      const auto users = MakeEpoch(tax, 2000, 99, epoch * 1'000'000);
+      final_estimate = aggregator.ProcessEpoch(users).value();
+    }
+    return final_estimate;
+  };
+  // Static truth from the generator (same seed every epoch).
+  const auto sample = MakeEpoch(tax, 2000, 99);
+  for (const StreamUser& user : sample) truth[user.record.cell] += 1.0;
+
+  auto mae = [&](const std::vector<double>& est) {
+    double worst = 0.0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      worst = std::max(worst, std::fabs(est[i] - truth[i]));
+    }
+    return worst;
+  };
+  // Averaging 6 independent noisy rounds should beat a single round.
+  EXPECT_LT(mae(run_stream(0.3)), mae(run_stream(1.0)) + 1e-9);
+}
+
+TEST(ContinuousAggregatorDeathTest, RejectsBadOptions) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  StreamOptions zero_smoothing;
+  zero_smoothing.smoothing = 0.0;
+  EXPECT_DEATH(ContinuousAggregator(&tax, zero_smoothing), "smoothing");
+  StreamOptions zero_period;
+  zero_period.participation_period = 0;
+  EXPECT_DEATH(ContinuousAggregator(&tax, zero_period),
+               "participation_period");
+}
+
+}  // namespace
+}  // namespace pldp

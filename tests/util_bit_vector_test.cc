@@ -1,0 +1,86 @@
+#include "util/bit_vector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+TEST(BitVectorTest, StartsZeroed) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.word_count(), 3u);
+  for (size_t i = 0; i < bits.size(); ++i) EXPECT_FALSE(bits.Get(i));
+  EXPECT_EQ(bits.PopCount(), 0u);
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector bits(100);
+  bits.Set(0, true);
+  bits.Set(63, true);
+  bits.Set(64, true);
+  bits.Set(99, true);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(99));
+  EXPECT_FALSE(bits.Get(1));
+  EXPECT_EQ(bits.PopCount(), 4u);
+  bits.Set(63, false);
+  EXPECT_FALSE(bits.Get(63));
+  EXPECT_EQ(bits.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, SetWordMasksTrailingBits) {
+  BitVector bits(70);  // 6 live bits in the second word
+  bits.SetWord(1, ~uint64_t{0});
+  EXPECT_EQ(bits.Word(1), (uint64_t{1} << 6) - 1);
+  EXPECT_EQ(bits.PopCount(), 6u);
+}
+
+TEST(BitVectorTest, SetWordExactMultipleKeepsAllBits) {
+  BitVector bits(128);
+  bits.SetWord(1, ~uint64_t{0});
+  EXPECT_EQ(bits.Word(1), ~uint64_t{0});
+  EXPECT_EQ(bits.PopCount(), 64u);
+}
+
+TEST(BitVectorTest, SerializationRoundTrip) {
+  Rng rng(99);
+  for (const size_t size : {1u, 63u, 64u, 65u, 640u, 1001u}) {
+    BitVector original(size);
+    for (size_t i = 0; i < size; ++i) original.Set(i, rng.Bernoulli(0.5));
+    std::vector<uint8_t> bytes;
+    original.AppendBytes(&bytes);
+    EXPECT_EQ(bytes.size(), original.ByteSize());
+
+    BitVector restored;
+    const size_t consumed = restored.ParseBytes(bytes.data(), bytes.size(),
+                                                size);
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(restored, original);
+  }
+}
+
+TEST(BitVectorTest, ParseRejectsTruncatedInput) {
+  BitVector bits(128);
+  std::vector<uint8_t> bytes;
+  bits.AppendBytes(&bytes);
+  BitVector restored;
+  EXPECT_EQ(restored.ParseBytes(bytes.data(), bytes.size() - 1, 128), 0u);
+}
+
+TEST(BitVectorTest, ParseMasksDirtyTrailingBits) {
+  // A malicious peer may set padding bits; parsing must clear them so
+  // PopCount and equality stay canonical.
+  std::vector<uint8_t> bytes(8, 0xFF);
+  BitVector restored;
+  ASSERT_EQ(restored.ParseBytes(bytes.data(), bytes.size(), 4), 8u);
+  EXPECT_EQ(restored.PopCount(), 4u);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,75 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pldp {
+namespace {
+
+TEST(SplitCsvLineTest, BasicSplit) {
+  const auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLineTest, EmptyFieldsPreserved) {
+  const auto fields = SplitCsvLine(",x,");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(SplitCsvLineTest, SingleField) {
+  const auto fields = SplitCsvLine("alone");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "alone");
+}
+
+TEST(SplitCsvLineTest, CustomDelimiter) {
+  const auto fields = SplitCsvLine("1\t2", '\t');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "2");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-124.8").value(), -124.8);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(ParseUint64Test, ParsesAndRejects) {
+  EXPECT_EQ(ParseUint64("12345").value(), 12345u);
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("12.5").ok());
+  EXPECT_FALSE(ParseUint64("99999999999999999999999").ok());
+}
+
+TEST(FileIoTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pldp_csv_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n").ok());
+  const StatusOr<std::string> contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIoError) {
+  const StatusOr<std::string> contents =
+      ReadFileToString("/nonexistent/path/file.csv");
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,73 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+
+namespace pldp {
+namespace {
+
+double benchmark_sink_ = 0.0;
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const LogLevel original = internal_logging::MinLogLevel();
+  internal_logging::SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(internal_logging::MinLogLevel(), LogLevel::kError);
+  internal_logging::SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, BelowThresholdIsSilent) {
+  const LogLevel original = internal_logging::MinLogLevel();
+  internal_logging::SetMinLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  PLDP_LOG(Info) << "should not appear";
+  PLDP_LOG(Error) << "should appear";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("should not appear"), std::string::npos);
+  EXPECT_NE(captured.find("should appear"), std::string::npos);
+  // The prefix carries level and source location.
+  EXPECT_NE(captured.find("[ERROR util_logging_test.cc:"), std::string::npos);
+  internal_logging::SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, StreamedValuesFormat) {
+  const LogLevel original = internal_logging::MinLogLevel();
+  internal_logging::SetMinLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  PLDP_LOG(Warning) << "value=" << 42 << " pi=" << 3.5;
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("value=42 pi=3.5"), std::string::npos);
+  internal_logging::SetMinLogLevel(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(PLDP_CHECK(1 == 2) << "math broke", "Check failed: 1 == 2");
+  EXPECT_DEATH(PLDP_CHECK_EQ(3, 4), "Check failed");
+  EXPECT_DEATH(PLDP_CHECK_LT(5, 5), "Check failed");
+}
+
+TEST(LoggingTest, PassingChecksAreNoOps) {
+  PLDP_CHECK(true);
+  PLDP_CHECK_EQ(1, 1);
+  PLDP_CHECK_NE(1, 2);
+  PLDP_CHECK_LE(1, 1);
+  PLDP_CHECK_GE(2, 1);
+  PLDP_CHECK_GT(2, 1);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch stopwatch;
+  // Burn a little CPU deterministically.
+  double sink = 0.0;
+  for (int i = 0; i < 2'000'000; ++i) sink += i * 1e-9;
+  benchmark_sink_ = sink;
+  const double elapsed = stopwatch.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_NEAR(stopwatch.ElapsedMillis(), stopwatch.ElapsedSeconds() * 1e3,
+              stopwatch.ElapsedSeconds() * 100);
+  stopwatch.Restart();
+  EXPECT_LE(stopwatch.ElapsedSeconds(), elapsed + 1.0);
+}
+
+}  // namespace
+}  // namespace pldp

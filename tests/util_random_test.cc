@@ -1,0 +1,87 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pldp {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDispersed) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  std::set<uint64_t> values;
+  for (uint64_t i = 0; i < 1000; ++i) values.insert(SplitMix64(i));
+  EXPECT_EQ(values.size(), 1000u);  // no collisions on consecutive inputs
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.NextDouble();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextUint64CoversRangeUniformly) {
+  Rng rng(13);
+  const uint64_t bound = 10;
+  std::vector<int> histogram(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[rng.NextUint64(bound)];
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(histogram[b], n / static_cast<int>(bound), 600)
+        << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextUint64BoundOne) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextUint64(1), 0u);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(RngTest, BernoulliSaturates) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,24 @@
+// Command-line front end for the pldp library: run any aggregation scheme on
+// a built-in synthetic dataset or a user-supplied CSV of points, and dump
+// georeferenced per-cell estimates. See `pldp_cli` with no arguments or
+// cli.h for the flag reference.
+
+#include <iostream>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const pldp::StatusOr<pldp::CliOptions> options = pldp::ParseCliArgs(args);
+  if (!options.ok()) {
+    std::cerr << options.status().message() << "\n";
+    return 2;
+  }
+  const pldp::Status status = pldp::RunCli(options.value(), std::cout);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
