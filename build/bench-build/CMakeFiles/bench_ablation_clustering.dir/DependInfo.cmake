@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_clustering.cc" "bench-build/CMakeFiles/bench_ablation_clustering.dir/bench_ablation_clustering.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_clustering.dir/bench_ablation_clustering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/pldp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/pldp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/pldp_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pldp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pldp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pldp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/pldp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pldp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pldp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pldp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

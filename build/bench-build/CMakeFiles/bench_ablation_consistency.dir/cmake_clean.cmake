@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_consistency"
+  "../bench/bench_ablation_consistency.pdb"
+  "CMakeFiles/bench_ablation_consistency.dir/bench_ablation_consistency.cc.o"
+  "CMakeFiles/bench_ablation_consistency.dir/bench_ablation_consistency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

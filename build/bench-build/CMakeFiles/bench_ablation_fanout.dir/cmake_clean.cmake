@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fanout"
+  "../bench/bench_ablation_fanout.pdb"
+  "CMakeFiles/bench_ablation_fanout.dir/bench_ablation_fanout.cc.o"
+  "CMakeFiles/bench_ablation_fanout.dir/bench_ablation_fanout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

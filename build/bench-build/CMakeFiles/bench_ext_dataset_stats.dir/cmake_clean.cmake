@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_dataset_stats"
+  "../bench/bench_ext_dataset_stats.pdb"
+  "CMakeFiles/bench_ext_dataset_stats.dir/bench_ext_dataset_stats.cc.o"
+  "CMakeFiles/bench_ext_dataset_stats.dir/bench_ext_dataset_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_grid_baseline"
+  "../bench/bench_ext_grid_baseline.pdb"
+  "CMakeFiles/bench_ext_grid_baseline.dir/bench_ext_grid_baseline.cc.o"
+  "CMakeFiles/bench_ext_grid_baseline.dir/bench_ext_grid_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_grid_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

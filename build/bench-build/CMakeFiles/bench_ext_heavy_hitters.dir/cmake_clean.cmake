@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_heavy_hitters"
+  "../bench/bench_ext_heavy_hitters.pdb"
+  "CMakeFiles/bench_ext_heavy_hitters.dir/bench_ext_heavy_hitters.cc.o"
+  "CMakeFiles/bench_ext_heavy_hitters.dir/bench_ext_heavy_hitters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

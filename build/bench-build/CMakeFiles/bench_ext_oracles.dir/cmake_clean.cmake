@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_oracles"
+  "../bench/bench_ext_oracles.pdb"
+  "CMakeFiles/bench_ext_oracles.dir/bench_ext_oracles.cc.o"
+  "CMakeFiles/bench_ext_oracles.dir/bench_ext_oracles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

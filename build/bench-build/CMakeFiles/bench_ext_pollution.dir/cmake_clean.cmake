@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_pollution"
+  "../bench/bench_ext_pollution.pdb"
+  "CMakeFiles/bench_ext_pollution.dir/bench_ext_pollution.cc.o"
+  "CMakeFiles/bench_ext_pollution.dir/bench_ext_pollution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

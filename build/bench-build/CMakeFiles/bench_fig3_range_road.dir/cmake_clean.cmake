@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_range_road"
+  "../bench/bench_fig3_range_road.pdb"
+  "CMakeFiles/bench_fig3_range_road.dir/bench_fig3_range_road.cc.o"
+  "CMakeFiles/bench_fig3_range_road.dir/bench_fig3_range_road.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_range_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_range_checkin"
+  "../bench/bench_fig4_range_checkin.pdb"
+  "CMakeFiles/bench_fig4_range_checkin.dir/bench_fig4_range_checkin.cc.o"
+  "CMakeFiles/bench_fig4_range_checkin.dir/bench_fig4_range_checkin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_range_checkin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_range_landmark"
+  "../bench/bench_fig5_range_landmark.pdb"
+  "CMakeFiles/bench_fig5_range_landmark.dir/bench_fig5_range_landmark.cc.o"
+  "CMakeFiles/bench_fig5_range_landmark.dir/bench_fig5_range_landmark.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_range_landmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_clustering"
+  "../bench/bench_micro_clustering.pdb"
+  "CMakeFiles/bench_micro_clustering.dir/bench_micro_clustering.cc.o"
+  "CMakeFiles/bench_micro_clustering.dir/bench_micro_clustering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_pcep"
+  "../bench/bench_micro_pcep.pdb"
+  "CMakeFiles/bench_micro_pcep.dir/bench_micro_pcep.cc.o"
+  "CMakeFiles/bench_micro_pcep.dir/bench_micro_pcep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pcep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

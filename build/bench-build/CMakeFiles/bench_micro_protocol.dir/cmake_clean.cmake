@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_protocol"
+  "../bench/bench_micro_protocol.pdb"
+  "CMakeFiles/bench_micro_protocol.dir/bench_micro_protocol.cc.o"
+  "CMakeFiles/bench_micro_protocol.dir/bench_micro_protocol.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_kl"
+  "../bench/bench_table2_kl.pdb"
+  "CMakeFiles/bench_table2_kl.dir/bench_table2_kl.cc.o"
+  "CMakeFiles/bench_table2_kl.dir/bench_table2_kl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_bench_common.dir/common.cc.o"
+  "CMakeFiles/pldp_bench_common.dir/common.cc.o.d"
+  "libpldp_bench_common.a"
+  "libpldp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

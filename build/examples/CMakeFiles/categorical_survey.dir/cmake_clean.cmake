@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categorical_survey.dir/categorical_survey.cpp.o"
+  "CMakeFiles/categorical_survey.dir/categorical_survey.cpp.o.d"
+  "categorical_survey"
+  "categorical_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categorical_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

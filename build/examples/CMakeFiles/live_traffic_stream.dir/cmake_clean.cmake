@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_traffic_stream.dir/live_traffic_stream.cpp.o"
+  "CMakeFiles/live_traffic_stream.dir/live_traffic_stream.cpp.o.d"
+  "live_traffic_stream"
+  "live_traffic_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_traffic_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

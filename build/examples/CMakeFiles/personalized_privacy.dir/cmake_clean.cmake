@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_privacy.dir/personalized_privacy.cpp.o"
+  "CMakeFiles/personalized_privacy.dir/personalized_privacy.cpp.o.d"
+  "personalized_privacy"
+  "personalized_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for personalized_privacy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_query_service.dir/range_query_service.cpp.o"
+  "CMakeFiles/range_query_service.dir/range_query_service.cpp.o.d"
+  "range_query_service"
+  "range_query_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_query_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

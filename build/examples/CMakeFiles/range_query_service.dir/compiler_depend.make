@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for range_query_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_heatmap.dir/traffic_heatmap.cpp.o"
+  "CMakeFiles/traffic_heatmap.dir/traffic_heatmap.cpp.o.d"
+  "traffic_heatmap"
+  "traffic_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_baselines.dir/cloak.cc.o"
+  "CMakeFiles/pldp_baselines.dir/cloak.cc.o.d"
+  "CMakeFiles/pldp_baselines.dir/kdtree.cc.o"
+  "CMakeFiles/pldp_baselines.dir/kdtree.cc.o.d"
+  "CMakeFiles/pldp_baselines.dir/sr.cc.o"
+  "CMakeFiles/pldp_baselines.dir/sr.cc.o.d"
+  "CMakeFiles/pldp_baselines.dir/uniform_grid.cc.o"
+  "CMakeFiles/pldp_baselines.dir/uniform_grid.cc.o.d"
+  "libpldp_baselines.a"
+  "libpldp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

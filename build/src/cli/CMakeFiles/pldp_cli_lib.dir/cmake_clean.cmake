@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/pldp_cli_lib.dir/cli.cc.o.d"
+  "libpldp_cli_lib.a"
+  "libpldp_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

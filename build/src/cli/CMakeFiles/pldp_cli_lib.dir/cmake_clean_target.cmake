@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpldp_cli_lib.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/pldp_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/core/CMakeFiles/pldp_core.dir/consistency.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/consistency.cc.o.d"
+  "/root/repo/src/core/error_model.cc" "src/core/CMakeFiles/pldp_core.dir/error_model.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/error_model.cc.o.d"
+  "/root/repo/src/core/frequency_oracle.cc" "src/core/CMakeFiles/pldp_core.dir/frequency_oracle.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/frequency_oracle.cc.o.d"
+  "/root/repo/src/core/heavy_hitters.cc" "src/core/CMakeFiles/pldp_core.dir/heavy_hitters.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/heavy_hitters.cc.o.d"
+  "/root/repo/src/core/local_randomizer.cc" "src/core/CMakeFiles/pldp_core.dir/local_randomizer.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/local_randomizer.cc.o.d"
+  "/root/repo/src/core/pcep.cc" "src/core/CMakeFiles/pldp_core.dir/pcep.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/pcep.cc.o.d"
+  "/root/repo/src/core/privacy_spec.cc" "src/core/CMakeFiles/pldp_core.dir/privacy_spec.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/privacy_spec.cc.o.d"
+  "/root/repo/src/core/psda.cc" "src/core/CMakeFiles/pldp_core.dir/psda.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/psda.cc.o.d"
+  "/root/repo/src/core/sign_matrix.cc" "src/core/CMakeFiles/pldp_core.dir/sign_matrix.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/sign_matrix.cc.o.d"
+  "/root/repo/src/core/user_group.cc" "src/core/CMakeFiles/pldp_core.dir/user_group.cc.o" "gcc" "src/core/CMakeFiles/pldp_core.dir/user_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/pldp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pldp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

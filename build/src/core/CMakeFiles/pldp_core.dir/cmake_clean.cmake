@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_core.dir/clustering.cc.o"
+  "CMakeFiles/pldp_core.dir/clustering.cc.o.d"
+  "CMakeFiles/pldp_core.dir/consistency.cc.o"
+  "CMakeFiles/pldp_core.dir/consistency.cc.o.d"
+  "CMakeFiles/pldp_core.dir/error_model.cc.o"
+  "CMakeFiles/pldp_core.dir/error_model.cc.o.d"
+  "CMakeFiles/pldp_core.dir/frequency_oracle.cc.o"
+  "CMakeFiles/pldp_core.dir/frequency_oracle.cc.o.d"
+  "CMakeFiles/pldp_core.dir/heavy_hitters.cc.o"
+  "CMakeFiles/pldp_core.dir/heavy_hitters.cc.o.d"
+  "CMakeFiles/pldp_core.dir/local_randomizer.cc.o"
+  "CMakeFiles/pldp_core.dir/local_randomizer.cc.o.d"
+  "CMakeFiles/pldp_core.dir/pcep.cc.o"
+  "CMakeFiles/pldp_core.dir/pcep.cc.o.d"
+  "CMakeFiles/pldp_core.dir/privacy_spec.cc.o"
+  "CMakeFiles/pldp_core.dir/privacy_spec.cc.o.d"
+  "CMakeFiles/pldp_core.dir/psda.cc.o"
+  "CMakeFiles/pldp_core.dir/psda.cc.o.d"
+  "CMakeFiles/pldp_core.dir/sign_matrix.cc.o"
+  "CMakeFiles/pldp_core.dir/sign_matrix.cc.o.d"
+  "CMakeFiles/pldp_core.dir/user_group.cc.o"
+  "CMakeFiles/pldp_core.dir/user_group.cc.o.d"
+  "libpldp_core.a"
+  "libpldp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

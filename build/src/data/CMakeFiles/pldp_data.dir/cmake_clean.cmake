@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_data.dir/dataset.cc.o"
+  "CMakeFiles/pldp_data.dir/dataset.cc.o.d"
+  "CMakeFiles/pldp_data.dir/loader.cc.o"
+  "CMakeFiles/pldp_data.dir/loader.cc.o.d"
+  "CMakeFiles/pldp_data.dir/spec_assignment.cc.o"
+  "CMakeFiles/pldp_data.dir/spec_assignment.cc.o.d"
+  "CMakeFiles/pldp_data.dir/stats.cc.o"
+  "CMakeFiles/pldp_data.dir/stats.cc.o.d"
+  "CMakeFiles/pldp_data.dir/synthetic.cc.o"
+  "CMakeFiles/pldp_data.dir/synthetic.cc.o.d"
+  "libpldp_data.a"
+  "libpldp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/attack.cc" "src/eval/CMakeFiles/pldp_eval.dir/attack.cc.o" "gcc" "src/eval/CMakeFiles/pldp_eval.dir/attack.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/pldp_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/pldp_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/pldp_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/pldp_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/privacy_audit.cc" "src/eval/CMakeFiles/pldp_eval.dir/privacy_audit.cc.o" "gcc" "src/eval/CMakeFiles/pldp_eval.dir/privacy_audit.cc.o.d"
+  "/root/repo/src/eval/range_query.cc" "src/eval/CMakeFiles/pldp_eval.dir/range_query.cc.o" "gcc" "src/eval/CMakeFiles/pldp_eval.dir/range_query.cc.o.d"
+  "/root/repo/src/eval/range_summary.cc" "src/eval/CMakeFiles/pldp_eval.dir/range_summary.cc.o" "gcc" "src/eval/CMakeFiles/pldp_eval.dir/range_summary.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/pldp_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/pldp_eval.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/pldp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pldp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pldp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pldp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pldp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

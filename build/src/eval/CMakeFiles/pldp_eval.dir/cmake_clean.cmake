@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_eval.dir/attack.cc.o"
+  "CMakeFiles/pldp_eval.dir/attack.cc.o.d"
+  "CMakeFiles/pldp_eval.dir/experiment.cc.o"
+  "CMakeFiles/pldp_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/pldp_eval.dir/metrics.cc.o"
+  "CMakeFiles/pldp_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/pldp_eval.dir/privacy_audit.cc.o"
+  "CMakeFiles/pldp_eval.dir/privacy_audit.cc.o.d"
+  "CMakeFiles/pldp_eval.dir/range_query.cc.o"
+  "CMakeFiles/pldp_eval.dir/range_query.cc.o.d"
+  "CMakeFiles/pldp_eval.dir/range_summary.cc.o"
+  "CMakeFiles/pldp_eval.dir/range_summary.cc.o.d"
+  "CMakeFiles/pldp_eval.dir/report.cc.o"
+  "CMakeFiles/pldp_eval.dir/report.cc.o.d"
+  "libpldp_eval.a"
+  "libpldp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

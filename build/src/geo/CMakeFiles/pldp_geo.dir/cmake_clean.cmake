@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_geo.dir/bounding_box.cc.o"
+  "CMakeFiles/pldp_geo.dir/bounding_box.cc.o.d"
+  "CMakeFiles/pldp_geo.dir/grid.cc.o"
+  "CMakeFiles/pldp_geo.dir/grid.cc.o.d"
+  "CMakeFiles/pldp_geo.dir/taxonomy.cc.o"
+  "CMakeFiles/pldp_geo.dir/taxonomy.cc.o.d"
+  "libpldp_geo.a"
+  "libpldp_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/client.cc" "src/protocol/CMakeFiles/pldp_protocol.dir/client.cc.o" "gcc" "src/protocol/CMakeFiles/pldp_protocol.dir/client.cc.o.d"
+  "/root/repo/src/protocol/messages.cc" "src/protocol/CMakeFiles/pldp_protocol.dir/messages.cc.o" "gcc" "src/protocol/CMakeFiles/pldp_protocol.dir/messages.cc.o.d"
+  "/root/repo/src/protocol/server.cc" "src/protocol/CMakeFiles/pldp_protocol.dir/server.cc.o" "gcc" "src/protocol/CMakeFiles/pldp_protocol.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pldp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pldp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pldp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

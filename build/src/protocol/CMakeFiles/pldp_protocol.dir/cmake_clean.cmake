@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_protocol.dir/client.cc.o"
+  "CMakeFiles/pldp_protocol.dir/client.cc.o.d"
+  "CMakeFiles/pldp_protocol.dir/messages.cc.o"
+  "CMakeFiles/pldp_protocol.dir/messages.cc.o.d"
+  "CMakeFiles/pldp_protocol.dir/server.cc.o"
+  "CMakeFiles/pldp_protocol.dir/server.cc.o.d"
+  "libpldp_protocol.a"
+  "libpldp_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_stream.dir/continuous.cc.o"
+  "CMakeFiles/pldp_stream.dir/continuous.cc.o.d"
+  "libpldp_stream.a"
+  "libpldp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_util.dir/csv.cc.o"
+  "CMakeFiles/pldp_util.dir/csv.cc.o.d"
+  "CMakeFiles/pldp_util.dir/logging.cc.o"
+  "CMakeFiles/pldp_util.dir/logging.cc.o.d"
+  "CMakeFiles/pldp_util.dir/status.cc.o"
+  "CMakeFiles/pldp_util.dir/status.cc.o.d"
+  "libpldp_util.a"
+  "libpldp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_uniform_grid_test.dir/baselines_uniform_grid_test.cc.o"
+  "CMakeFiles/baselines_uniform_grid_test.dir/baselines_uniform_grid_test.cc.o.d"
+  "baselines_uniform_grid_test"
+  "baselines_uniform_grid_test.pdb"
+  "baselines_uniform_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_uniform_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_clustering_reference_test.dir/core_clustering_reference_test.cc.o"
+  "CMakeFiles/core_clustering_reference_test.dir/core_clustering_reference_test.cc.o.d"
+  "core_clustering_reference_test"
+  "core_clustering_reference_test.pdb"
+  "core_clustering_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_clustering_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_consistency_test.dir/core_consistency_test.cc.o"
+  "CMakeFiles/core_consistency_test.dir/core_consistency_test.cc.o.d"
+  "core_consistency_test"
+  "core_consistency_test.pdb"
+  "core_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

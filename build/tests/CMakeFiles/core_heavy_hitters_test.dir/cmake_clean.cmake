@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_heavy_hitters_test.dir/core_heavy_hitters_test.cc.o"
+  "CMakeFiles/core_heavy_hitters_test.dir/core_heavy_hitters_test.cc.o.d"
+  "core_heavy_hitters_test"
+  "core_heavy_hitters_test.pdb"
+  "core_heavy_hitters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_heavy_hitters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_local_randomizer_test.dir/core_local_randomizer_test.cc.o"
+  "CMakeFiles/core_local_randomizer_test.dir/core_local_randomizer_test.cc.o.d"
+  "core_local_randomizer_test"
+  "core_local_randomizer_test.pdb"
+  "core_local_randomizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_local_randomizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

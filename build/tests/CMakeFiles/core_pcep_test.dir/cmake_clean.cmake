@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pcep_test.dir/core_pcep_test.cc.o"
+  "CMakeFiles/core_pcep_test.dir/core_pcep_test.cc.o.d"
+  "core_pcep_test"
+  "core_pcep_test.pdb"
+  "core_pcep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pcep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_psda_test.dir/core_psda_test.cc.o"
+  "CMakeFiles/core_psda_test.dir/core_psda_test.cc.o.d"
+  "core_psda_test"
+  "core_psda_test.pdb"
+  "core_psda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_psda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

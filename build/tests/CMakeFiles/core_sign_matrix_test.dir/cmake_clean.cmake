@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sign_matrix_test.dir/core_sign_matrix_test.cc.o"
+  "CMakeFiles/core_sign_matrix_test.dir/core_sign_matrix_test.cc.o.d"
+  "core_sign_matrix_test"
+  "core_sign_matrix_test.pdb"
+  "core_sign_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sign_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_user_group_test.dir/core_user_group_test.cc.o"
+  "CMakeFiles/core_user_group_test.dir/core_user_group_test.cc.o.d"
+  "core_user_group_test"
+  "core_user_group_test.pdb"
+  "core_user_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_user_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

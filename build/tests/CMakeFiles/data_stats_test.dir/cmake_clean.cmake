@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_stats_test.dir/data_stats_test.cc.o"
+  "CMakeFiles/data_stats_test.dir/data_stats_test.cc.o.d"
+  "data_stats_test"
+  "data_stats_test.pdb"
+  "data_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

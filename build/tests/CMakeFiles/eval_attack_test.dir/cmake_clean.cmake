@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_attack_test.dir/eval_attack_test.cc.o"
+  "CMakeFiles/eval_attack_test.dir/eval_attack_test.cc.o.d"
+  "eval_attack_test"
+  "eval_attack_test.pdb"
+  "eval_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_privacy_audit_test.dir/eval_privacy_audit_test.cc.o"
+  "CMakeFiles/eval_privacy_audit_test.dir/eval_privacy_audit_test.cc.o.d"
+  "eval_privacy_audit_test"
+  "eval_privacy_audit_test.pdb"
+  "eval_privacy_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_privacy_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_range_summary_test.dir/eval_range_summary_test.cc.o"
+  "CMakeFiles/eval_range_summary_test.dir/eval_range_summary_test.cc.o.d"
+  "eval_range_summary_test"
+  "eval_range_summary_test.pdb"
+  "eval_range_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_range_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_report_test.dir/eval_report_test.cc.o"
+  "CMakeFiles/eval_report_test.dir/eval_report_test.cc.o.d"
+  "eval_report_test"
+  "eval_report_test.pdb"
+  "eval_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

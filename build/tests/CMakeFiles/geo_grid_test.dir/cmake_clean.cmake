@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_grid_test.dir/geo_grid_test.cc.o"
+  "CMakeFiles/geo_grid_test.dir/geo_grid_test.cc.o.d"
+  "geo_grid_test"
+  "geo_grid_test.pdb"
+  "geo_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

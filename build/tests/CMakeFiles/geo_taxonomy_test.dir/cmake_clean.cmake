@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_taxonomy_test.dir/geo_taxonomy_test.cc.o"
+  "CMakeFiles/geo_taxonomy_test.dir/geo_taxonomy_test.cc.o.d"
+  "geo_taxonomy_test"
+  "geo_taxonomy_test.pdb"
+  "geo_taxonomy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_taxonomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

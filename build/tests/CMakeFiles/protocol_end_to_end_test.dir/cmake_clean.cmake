@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_end_to_end_test.dir/protocol_end_to_end_test.cc.o"
+  "CMakeFiles/protocol_end_to_end_test.dir/protocol_end_to_end_test.cc.o.d"
+  "protocol_end_to_end_test"
+  "protocol_end_to_end_test.pdb"
+  "protocol_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

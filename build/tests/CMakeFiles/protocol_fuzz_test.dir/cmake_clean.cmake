@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_fuzz_test.dir/protocol_fuzz_test.cc.o"
+  "CMakeFiles/protocol_fuzz_test.dir/protocol_fuzz_test.cc.o.d"
+  "protocol_fuzz_test"
+  "protocol_fuzz_test.pdb"
+  "protocol_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

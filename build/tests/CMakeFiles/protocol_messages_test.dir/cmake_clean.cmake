@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_messages_test.dir/protocol_messages_test.cc.o"
+  "CMakeFiles/protocol_messages_test.dir/protocol_messages_test.cc.o.d"
+  "protocol_messages_test"
+  "protocol_messages_test.pdb"
+  "protocol_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_continuous_test.dir/stream_continuous_test.cc.o"
+  "CMakeFiles/stream_continuous_test.dir/stream_continuous_test.cc.o.d"
+  "stream_continuous_test"
+  "stream_continuous_test.pdb"
+  "stream_continuous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_continuous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bit_vector_test.dir/util_bit_vector_test.cc.o"
+  "CMakeFiles/util_bit_vector_test.dir/util_bit_vector_test.cc.o.d"
+  "util_bit_vector_test"
+  "util_bit_vector_test.pdb"
+  "util_bit_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bit_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

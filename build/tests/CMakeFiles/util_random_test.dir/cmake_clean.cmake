@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_random_test.dir/util_random_test.cc.o"
+  "CMakeFiles/util_random_test.dir/util_random_test.cc.o.d"
+  "util_random_test"
+  "util_random_test.pdb"
+  "util_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pldp_cli.dir/pldp_cli.cc.o"
+  "CMakeFiles/pldp_cli.dir/pldp_cli.cc.o.d"
+  "pldp_cli"
+  "pldp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pldp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
