@@ -7,6 +7,7 @@
 #include "data/loader.h"
 #include "data/spec_assignment.h"
 #include "data/synthetic.h"
+#include "eval/degradation.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
@@ -86,7 +87,7 @@ StatusOr<std::vector<double>> RunNamedScheme(const CliOptions& options,
   return RunScheme(scheme, taxonomy, users, options.beta, options.seed);
 }
 
-Status RunCommand(const CliOptions& options, std::ostream& out) {
+StatusOr<Dataset> LoadCliDataset(const CliOptions& options) {
   Dataset dataset;
   if (!options.input_csv.empty()) {
     PLDP_ASSIGN_OR_RETURN(dataset.points, LoadPointsCsv(options.input_csv));
@@ -103,9 +104,14 @@ Status RunCommand(const CliOptions& options, std::ostream& out) {
     PLDP_ASSIGN_OR_RETURN(
         dataset, GenerateByName(options.dataset, options.scale, options.seed));
   } else {
-    return Status::InvalidArgument("run needs --dataset or --input");
+    return Status::InvalidArgument(options.command +
+                                   " needs --dataset or --input");
   }
+  return dataset;
+}
 
+Status RunCommand(const CliOptions& options, std::ostream& out) {
+  PLDP_ASSIGN_OR_RETURN(Dataset dataset, LoadCliDataset(options));
   PLDP_ASSIGN_OR_RETURN(UniformGrid grid, dataset.MakeGrid());
   PLDP_ASSIGN_OR_RETURN(SpatialTaxonomy taxonomy,
                         SpatialTaxonomy::Build(grid, 4));
@@ -140,14 +146,67 @@ Status RunCommand(const CliOptions& options, std::ostream& out) {
   return Status::OK();
 }
 
+Status RunDegradeCommand(const CliOptions& options, std::ostream& out) {
+  PLDP_ASSIGN_OR_RETURN(Dataset dataset, LoadCliDataset(options));
+  PLDP_ASSIGN_OR_RETURN(UniformGrid grid, dataset.MakeGrid());
+  PLDP_ASSIGN_OR_RETURN(SpatialTaxonomy taxonomy,
+                        SpatialTaxonomy::Build(grid, 4));
+  const std::vector<CellId> cells = dataset.ToCells(grid);
+  PLDP_ASSIGN_OR_RETURN(std::vector<UserRecord> users,
+                        BuildCohort(options, taxonomy, cells));
+
+  DegradationOptions sweep;
+  sweep.dropout_rates =
+      UniformDropoutGrid(options.dropout_max, options.dropout_steps);
+  sweep.runs_per_rate = options.runs;
+  sweep.seed = options.seed;
+  sweep.psda.beta = options.beta;
+  sweep.retry.max_attempts = options.retries;
+
+  out << "dataset: " << dataset.name << " (" << dataset.num_users()
+      << " users, " << grid.num_cells() << " cells)\n";
+  out << "degradation sweep: dropout 0.." << options.dropout_max << " in "
+      << options.dropout_steps << " steps, " << options.runs
+      << " run(s) per rate, " << options.retries << " attempt(s) per message\n";
+
+  PLDP_ASSIGN_OR_RETURN(const std::vector<DegradationPoint> points,
+                        RunDegradationSweep(taxonomy, users, sweep));
+
+  out << std::fixed << std::setprecision(4);
+  out << "   dropout    mean MAE    mean rel err    response    retries\n";
+  for (size_t i = 0; i < points.size();) {
+    const double rate = points[i].dropout_rate;
+    double mae = 0.0, rel = 0.0, resp = 0.0;
+    uint64_t retries = 0;
+    size_t count = 0;
+    for (; i < points.size() && points[i].dropout_rate == rate; ++i, ++count) {
+      mae += points[i].mean_abs_error;
+      rel += points[i].mean_rel_error;
+      resp += points[i].response_rate;
+      retries += points[i].retries;
+    }
+    const double denom = static_cast<double>(count);
+    out << "    " << rate << "    " << mae / denom << "      " << rel / denom
+        << "        " << resp / denom << "    " << retries / count << "\n";
+  }
+
+  if (!options.output_csv.empty()) {
+    PLDP_RETURN_IF_ERROR(WriteDegradationCsv(options.output_csv, points));
+    out << "degradation sweep written to " << options.output_csv << "\n";
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string CliUsage() {
-  return "usage: pldp_cli <datasets|schemes|run> [flags]\n"
+  return "usage: pldp_cli <datasets|schemes|run|degrade> [flags]\n"
          "  run --dataset road --scheme psda --setting S2E2 --scale 0.05 \\\n"
          "      --output counts.csv\n"
          "  run --input points.csv --domain -125,25,-65,50 --cell 1,1 \\\n"
-         "      --scheme psda --output counts.csv\n";
+         "      --scheme psda --output counts.csv\n"
+         "  degrade --dataset storage --scale 0.5 --dropout-max 0.5 \\\n"
+         "      --dropout-steps 10 --runs 5 --output degradation.csv\n";
 }
 
 StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
@@ -157,7 +216,7 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   CliOptions options;
   options.command = args[0];
   if (options.command != "datasets" && options.command != "schemes" &&
-      options.command != "run") {
+      options.command != "run" && options.command != "degrade") {
     return Status::InvalidArgument("unknown command: " + options.command +
                                    "\n" + CliUsage());
   }
@@ -200,6 +259,21 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       PLDP_ASSIGN_OR_RETURN(options.output_csv, next());
     } else if (flag == "--truth-output") {
       PLDP_ASSIGN_OR_RETURN(options.truth_output_csv, next());
+    } else if (flag == "--dropout-max") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.dropout_max, FlagDouble(flag, value));
+    } else if (flag == "--dropout-steps") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t steps, ParseUint64(value));
+      options.dropout_steps = static_cast<uint32_t>(steps);
+    } else if (flag == "--runs") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t runs, ParseUint64(value));
+      options.runs = static_cast<uint32_t>(runs);
+    } else if (flag == "--retries") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t retries, ParseUint64(value));
+      options.retries = static_cast<uint32_t>(retries);
     } else {
       return Status::InvalidArgument("unknown flag: " + flag + "\n" +
                                      CliUsage());
@@ -222,6 +296,9 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
   if (options.command == "schemes") {
     out << "schemes: psda kdtree cloak sr ug\n";
     return Status::OK();
+  }
+  if (options.command == "degrade") {
+    return RunDegradeCommand(options, out);
   }
   return RunCommand(options, out);
 }

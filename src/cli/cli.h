@@ -15,6 +15,9 @@ namespace pldp {
 ///   datasets                     list the built-in synthetic datasets
 ///   schemes                      list the available aggregation schemes
 ///   run                          run one scheme end-to-end
+///   degrade                      sweep injected dropout through the
+///                                message-level protocol and report
+///                                estimation error vs. loss
 ///
 /// `run` flags:
 ///   --dataset <road|checkin|landmark|storage>   synthetic input, or
@@ -26,6 +29,13 @@ namespace pldp {
 ///   --beta <b>  --seed <s>                      protocol parameters
 ///   --output <counts.csv>                       private estimate dump
 ///   --truth-output <counts.csv>                 exact histogram dump
+///
+/// `degrade` takes the same input flags plus:
+///   --dropout-max <r>            top of the swept dropout range (0.5)
+///   --dropout-steps <k>          sweep points between 0 and the max (10)
+///   --runs <n>                   seeded replicates per rate (5)
+///   --retries <a>                transport attempts per message (3)
+///   --output <sweep.csv>         per-point degradation CSV
 struct CliOptions {
   std::string command;
 
@@ -43,6 +53,11 @@ struct CliOptions {
 
   std::string output_csv;
   std::string truth_output_csv;
+
+  double dropout_max = 0.5;
+  uint32_t dropout_steps = 10;
+  uint32_t runs = 5;
+  uint32_t retries = 3;
 };
 
 /// Parses argv (without the program name). Returns a descriptive

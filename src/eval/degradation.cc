@@ -1,0 +1,156 @@
+#include "eval/degradation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "protocol/client.h"
+#include "protocol/server.h"
+#include "util/random.h"
+
+namespace pldp {
+
+std::vector<double> UniformDropoutGrid(double max_rate, uint32_t steps) {
+  if (steps == 0) steps = 1;
+  if (max_rate < 0.0) max_rate = 0.0;
+  std::vector<double> rates;
+  rates.reserve(steps + 1);
+  for (uint32_t s = 0; s <= steps; ++s) {
+    rates.push_back(max_rate * static_cast<double>(s) /
+                    static_cast<double>(steps));
+  }
+  return rates;
+}
+
+namespace {
+
+std::string FormatDouble(double value) {
+  std::string text = std::to_string(value);
+  return text;
+}
+
+}  // namespace
+
+StatusOr<std::vector<DegradationPoint>> RunDegradationSweep(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users,
+    const DegradationOptions& options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("degradation sweep needs users");
+  }
+  PLDP_RETURN_IF_ERROR(ValidateUsers(taxonomy, users));
+  const std::vector<double> rates = options.dropout_rates.empty()
+                                        ? UniformDropoutGrid(0.5, 10)
+                                        : options.dropout_rates;
+  // Validate the whole grid up front: failing on rate k after sweeping
+  // rates 0..k-1 would discard minutes of completed work.
+  for (const double rate : rates) {
+    if (rate < 0.0 || rate >= 1.0) {
+      return Status::InvalidArgument("dropout rate must be in [0, 1), got " +
+                                     std::to_string(rate));
+    }
+  }
+  const uint32_t runs = std::max<uint32_t>(1, options.runs_per_rate);
+
+  std::vector<double> truth(taxonomy.grid().num_cells(), 0.0);
+  for (const UserRecord& user : users) truth[user.cell] += 1.0;
+  const double sanity_bound =
+      std::max(1.0, 0.001 * static_cast<double>(users.size()));
+
+  std::vector<DegradationPoint> points;
+  points.reserve(rates.size() * runs);
+  for (size_t r = 0; r < rates.size(); ++r) {
+    const double rate = rates[r];
+    for (uint32_t run = 0; run < runs; ++run) {
+      // Same replicate seed across rates: rate 0 and rate p of replicate r
+      // share cohort randomness, isolating the effect of the channel.
+      const uint64_t run_seed =
+          SplitMix64(options.seed ^ ((run + 1) * 0xA24BAED4963EE407ULL));
+
+      std::vector<DeviceClient> clients;
+      clients.reserve(users.size());
+      for (size_t i = 0; i < users.size(); ++i) {
+        clients.emplace_back(&taxonomy, users[i].cell, users[i].spec,
+                             SplitMix64(run_seed ^ (i + 1)));
+      }
+
+      PsdaOptions psda = options.psda;
+      psda.seed = SplitMix64(run_seed ^ 0x9D5A1CEB00F5EEDULL);
+      FaultSpec faults = options.base_faults;
+      faults.drop_probability = rate;
+      faults.seed = SplitMix64(run_seed ^ ((r + 1) * 0xC8A77E1FA0175EEDULL));
+
+      AggregationServer server(&taxonomy, psda, faults, options.retry);
+      ProtocolStats stats;
+      PLDP_ASSIGN_OR_RETURN(const PsdaResult result,
+                            server.Collect(&clients, &stats));
+
+      DegradationPoint point;
+      point.dropout_rate = rate;
+      point.run = run;
+      point.seed = run_seed;
+      PLDP_ASSIGN_OR_RETURN(point.mean_abs_error,
+                            MeanAbsoluteError(truth, result.counts));
+      PLDP_ASSIGN_OR_RETURN(point.max_abs_error,
+                            MaxAbsoluteError(truth, result.counts));
+      PLDP_ASSIGN_OR_RETURN(point.kl_divergence,
+                            KlDivergence(truth, result.counts));
+      double rel_sum = 0.0;
+      double total = 0.0;
+      for (size_t k = 0; k < truth.size(); ++k) {
+        rel_sum += RelativeError(truth[k], result.counts[k], sanity_bound);
+        total += result.counts[k];
+      }
+      point.mean_rel_error = rel_sum / static_cast<double>(truth.size());
+      point.total_estimate = total;
+
+      uint64_t responded = 0;
+      for (const ClusterResponseStats& cluster : stats.cluster_response) {
+        responded += cluster.n_responded;
+      }
+      point.response_rate = static_cast<double>(responded) /
+                            static_cast<double>(users.size());
+      point.retries = stats.retries;
+      point.dropped_clients = stats.dropped_clients;
+      point.dropped_messages = stats.dropped_messages;
+      point.timeouts = stats.timeouts;
+      point.corrupt_parses = stats.corrupt_parses;
+      point.duplicate_reports = stats.duplicate_reports;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+Status WriteDegradationCsv(const std::string& path,
+                           const std::vector<DegradationPoint>& points) {
+  const std::vector<std::string> header = {
+      "dropout_rate",    "run",
+      "seed",            "mean_abs_error",
+      "max_abs_error",   "mean_rel_error",
+      "kl_divergence",   "total_estimate",
+      "response_rate",   "retries",
+      "dropped_clients", "dropped_messages",
+      "timeouts",        "corrupt_parses",
+      "duplicate_reports"};
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points.size());
+  for (const DegradationPoint& p : points) {
+    rows.push_back({FormatDouble(p.dropout_rate), std::to_string(p.run),
+                    std::to_string(p.seed), FormatDouble(p.mean_abs_error),
+                    FormatDouble(p.max_abs_error),
+                    FormatDouble(p.mean_rel_error),
+                    FormatDouble(p.kl_divergence),
+                    FormatDouble(p.total_estimate),
+                    FormatDouble(p.response_rate), std::to_string(p.retries),
+                    std::to_string(p.dropped_clients),
+                    std::to_string(p.dropped_messages),
+                    std::to_string(p.timeouts),
+                    std::to_string(p.corrupt_parses),
+                    std::to_string(p.duplicate_reports)});
+  }
+  return WriteTableCsv(path, header, rows);
+}
+
+}  // namespace pldp

@@ -1,0 +1,82 @@
+#ifndef PLDP_EVAL_DEGRADATION_H_
+#define PLDP_EVAL_DEGRADATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/privacy_spec.h"
+#include "core/psda.h"
+#include "geo/taxonomy.h"
+#include "protocol/channel.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Configuration of a dropout degradation sweep: the same cohort is collected
+/// through FaultyChannels of increasing drop probability, several seeded
+/// replicates per rate, and the estimation error is measured against the true
+/// histogram at every point.
+struct DegradationOptions {
+  /// Dropout rates to sweep; empty selects UniformDropoutGrid(0.5, 10).
+  std::vector<double> dropout_rates;
+
+  /// Seeded replicates per rate (error bars need more than one run).
+  uint32_t runs_per_rate = 5;
+
+  /// Root seed; replicate r of any rate derives cohort, protocol, and channel
+  /// seeds from it deterministically, so the whole sweep is reproducible.
+  uint64_t seed = 0xDE6AADA7101ULL;
+
+  /// Forwarded to the AggregationServer of every run (per-run seed override).
+  PsdaOptions psda;
+
+  /// Retry budget used at every point of the sweep.
+  RetryPolicy retry;
+
+  /// Additional faults applied on top of the swept dropout rate (corruption,
+  /// duplication, latency); drop_probability and seed are overwritten per
+  /// point.
+  FaultSpec base_faults;
+};
+
+/// The grid {0, max/steps, 2*max/steps, ..., max}; steps >= 1.
+std::vector<double> UniformDropoutGrid(double max_rate, uint32_t steps);
+
+/// One (dropout rate, replicate) measurement of the sweep.
+struct DegradationPoint {
+  double dropout_rate = 0.0;
+  uint32_t run = 0;
+  uint64_t seed = 0;
+
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+  /// Mean per-cell relative error with sanity bound 0.1% of the cohort.
+  double mean_rel_error = 0.0;
+  double kl_divergence = 0.0;
+  /// Sum of the rescaled estimate; stays near the cohort size when the
+  /// dropout compensation is unbiased.
+  double total_estimate = 0.0;
+
+  double response_rate = 1.0;
+  uint64_t retries = 0;
+  uint64_t dropped_clients = 0;
+  uint64_t dropped_messages = 0;
+  uint64_t timeouts = 0;
+  uint64_t corrupt_parses = 0;
+  uint64_t duplicate_reports = 0;
+};
+
+/// Runs the sweep over `users` (the cohort is re-instantiated as DeviceClients
+/// per replicate). Points are ordered by rate, then replicate.
+StatusOr<std::vector<DegradationPoint>> RunDegradationSweep(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users,
+    const DegradationOptions& options);
+
+/// Writes the sweep as CSV: one row per point, header included.
+Status WriteDegradationCsv(const std::string& path,
+                           const std::vector<DegradationPoint>& points);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_DEGRADATION_H_

@@ -1,0 +1,72 @@
+#include "protocol/channel.h"
+
+#include <cmath>
+
+namespace pldp {
+
+Status Delivery::ToStatus() const {
+  switch (outcome) {
+    case DeliveryOutcome::kDelivered:
+      return Status::OK();
+    case DeliveryOutcome::kDropped:
+      return Status::DeadlineExceeded("message dropped in transit");
+    case DeliveryOutcome::kTimedOut:
+      return Status::DeadlineExceeded("message latency exceeded the deadline");
+  }
+  return Status::Internal("unknown delivery outcome");
+}
+
+void FaultyChannel::MangleBytes(std::vector<uint8_t>* bytes, bool corrupt,
+                                bool truncate, Rng* rng) {
+  PLDP_CHECK(bytes != nullptr);
+  PLDP_CHECK(rng != nullptr);
+  if (truncate && !bytes->empty()) {
+    bytes->resize(rng->NextUint64(bytes->size()));
+  }
+  if (corrupt && !bytes->empty()) {
+    const uint64_t flips = 1 + rng->NextUint64(4);
+    for (uint64_t f = 0; f < flips; ++f) {
+      (*bytes)[rng->NextUint64(bytes->size())] ^=
+          static_cast<uint8_t>(uint8_t{1} << rng->NextUint64(8));
+    }
+  }
+}
+
+Delivery FaultyChannel::Transfer(std::vector<uint8_t> bytes) {
+  Delivery delivery;
+  delivery.bytes = std::move(bytes);
+  if (!active_) return delivery;
+
+  if (spec_.mean_latency_ms > 0.0) {
+    // Exponential latency: -mean * ln(1 - U), U uniform in [0, 1).
+    delivery.latency_ms =
+        -spec_.mean_latency_ms * std::log1p(-rng_.NextDouble());
+  }
+  if (spec_.drop_probability > 0.0 && rng_.Bernoulli(spec_.drop_probability)) {
+    delivery.outcome = DeliveryOutcome::kDropped;
+    // The sender cannot tell a drop from slowness: it waits out the deadline.
+    if (spec_.deadline_ms > 0.0) delivery.latency_ms = spec_.deadline_ms;
+    delivery.bytes.clear();
+    return delivery;
+  }
+  if (spec_.deadline_ms > 0.0 && delivery.latency_ms > spec_.deadline_ms) {
+    delivery.outcome = DeliveryOutcome::kTimedOut;
+    delivery.latency_ms = spec_.deadline_ms;
+    delivery.bytes.clear();
+    return delivery;
+  }
+  const bool corrupt = spec_.corrupt_probability > 0.0 &&
+                       rng_.Bernoulli(spec_.corrupt_probability);
+  const bool truncate = spec_.truncate_probability > 0.0 &&
+                        rng_.Bernoulli(spec_.truncate_probability);
+  if (corrupt || truncate) {
+    MangleBytes(&delivery.bytes, corrupt, truncate, &rng_);
+    delivery.corrupted = corrupt;
+    delivery.truncated = truncate;
+  }
+  delivery.duplicated = spec_.duplicate_probability > 0.0 &&
+                        rng_.Bernoulli(spec_.duplicate_probability);
+  return delivery;
+}
+
+}  // namespace pldp

@@ -1,0 +1,128 @@
+#ifndef PLDP_PROTOCOL_CHANNEL_H_
+#define PLDP_PROTOCOL_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pldp {
+
+/// Configurable fault model for the simulated client/server transport. Every
+/// probability applies independently per message leg (one Transfer call), so
+/// a full assignment/report round trip is exposed to each fault twice. All
+/// randomness derives from `seed`: identical FaultSpec => identical fault
+/// schedule, which is what makes failure runs reproducible.
+///
+/// The default spec injects nothing; a FaultyChannel built from it is a pure
+/// passthrough that draws no randomness, so the reliable path stays
+/// bit-identical to a channel-free exchange.
+struct FaultSpec {
+  /// Probability that a message silently vanishes (client churn, radio loss).
+  /// The sender observes it as a deadline expiry.
+  double drop_probability = 0.0;
+
+  /// Probability that a delivered message has 1-4 random bit flips.
+  double corrupt_probability = 0.0;
+
+  /// Probability that a delivered message is cut to a random prefix.
+  double truncate_probability = 0.0;
+
+  /// Probability that a delivered message arrives twice (retransmission race,
+  /// exactly-once delivery being a myth).
+  double duplicate_probability = 0.0;
+
+  /// Mean of the exponential simulated one-way latency; 0 disables the
+  /// latency model entirely.
+  double mean_latency_ms = 0.0;
+
+  /// Sender deadline: a message whose simulated latency exceeds it counts as
+  /// a timeout. 0 means no deadline (latency is accounted but never fatal).
+  double deadline_ms = 0.0;
+
+  /// Seed of the channel's private fault schedule.
+  uint64_t seed = 0xC8A77E1FA0175EEDULL;
+
+  /// True when any fault or latency injection is configured.
+  bool any_faults() const {
+    return drop_probability > 0.0 || corrupt_probability > 0.0 ||
+           truncate_probability > 0.0 || duplicate_probability > 0.0 ||
+           mean_latency_ms > 0.0;
+  }
+};
+
+/// Bounded retry-with-backoff policy for the server's re-sends. The budget is
+/// total attempts (first try included); backoff delays are simulation-time
+/// only (accounted in ProtocolStats, never slept).
+struct RetryPolicy {
+  uint32_t max_attempts = 3;
+  double base_backoff_ms = 50.0;
+  double backoff_multiplier = 2.0;
+  /// Jitter fraction in [0, 1] applied to every backoff delay.
+  double jitter = 0.5;
+};
+
+enum class DeliveryOutcome : uint8_t {
+  kDelivered = 0,
+  kDropped = 1,
+  kTimedOut = 2,
+};
+
+/// Result of pushing one message through a FaultyChannel.
+struct Delivery {
+  DeliveryOutcome outcome = DeliveryOutcome::kDelivered;
+  bool corrupted = false;
+  bool truncated = false;
+  bool duplicated = false;
+  /// Simulated one-way latency (the full deadline for lost messages: that is
+  /// how long the sender waited before giving up).
+  double latency_ms = 0.0;
+  /// Delivered payload, possibly mangled; empty for lost messages.
+  std::vector<uint8_t> bytes;
+
+  bool delivered() const { return outcome == DeliveryOutcome::kDelivered; }
+
+  /// Number of copies the receiver sees: 0 (lost), 1, or 2 (duplicated).
+  int copies() const { return delivered() ? (duplicated ? 2 : 1) : 0; }
+
+  /// OK for delivered messages; DeadlineExceeded for drops and timeouts
+  /// (both look the same to the sender: no reply before the deadline).
+  Status ToStatus() const;
+};
+
+/// An unreliable transport between DeviceClient and AggregationServer. Wraps
+/// each serialized message exchange and injects the faults configured in the
+/// FaultSpec from a private, seeded RNG stream, independent of all protocol
+/// randomness: the fault schedule never perturbs row assignment or client
+/// randomizers, which keeps fault-free state bit-identical across specs.
+class FaultyChannel {
+ public:
+  /// A reliable passthrough channel.
+  FaultyChannel() : FaultyChannel(FaultSpec{}) {}
+
+  explicit FaultyChannel(const FaultSpec& spec)
+      : spec_(spec), active_(spec.any_faults()), rng_(spec.seed) {}
+
+  bool active() const { return active_; }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Transfers one message. Inactive channels return it untouched without
+  /// consuming randomness.
+  Delivery Transfer(std::vector<uint8_t> bytes);
+
+  /// Mangles `bytes` in place: random bit flips when `corrupt`, a random
+  /// prefix cut when `truncate`. Exposed so fuzz tests can drive the parsers
+  /// with exactly the corruptions the channel produces.
+  static void MangleBytes(std::vector<uint8_t>* bytes, bool corrupt,
+                          bool truncate, Rng* rng);
+
+ private:
+  FaultSpec spec_;
+  bool active_ = false;
+  Rng rng_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_PROTOCOL_CHANNEL_H_

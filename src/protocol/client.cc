@@ -14,6 +14,25 @@ std::vector<uint8_t> DeviceClient::UploadSpec() const {
 
 StatusOr<std::vector<uint8_t>> DeviceClient::HandleRowAssignment(
     const std::vector<uint8_t>& message) {
+  if (reported_) {
+    // Duplicate of the assignment already answered: re-send the cached
+    // report instead of perturbing again (see the header on why re-perturbing
+    // would weaken the eps guarantee).
+    if (message == answered_assignment_) return cached_report_;
+    // The copy the device answered may itself have been mangled in flight, in
+    // which case the server's clean retransmission differs byte-for-byte.
+    // The report is a perturbation of the device's own bit in the row it was
+    // shown - row_index is pure server-side bookkeeping and m only sets the
+    // public magnitude - so the cache answers any retransmission for the
+    // same protocol region. Only an assignment naming a *different* region
+    // (a different protocol instance) is refused.
+    const StatusOr<RowAssignmentMsg> retry = RowAssignmentMsg::Parse(message);
+    if (retry.ok() && retry->region == answered_region_) {
+      return cached_report_;
+    }
+    return Status::FailedPrecondition(
+        "device already reported this round; refusing to perturb again");
+  }
   PLDP_ASSIGN_OR_RETURN(RowAssignmentMsg assignment,
                         RowAssignmentMsg::Parse(message));
   if (assignment.region >= taxonomy_->num_nodes()) {
@@ -42,7 +61,11 @@ StatusOr<std::vector<uint8_t>> DeviceClient::HandleRowAssignment(
   // Only the sign travels; |z| = c_eps * sqrt(m) is public.
   ReportMsg report;
   report.positive = z > 0.0;
-  return report.Serialize();
+  reported_ = true;
+  answered_assignment_ = message;
+  answered_region_ = assignment.region;
+  cached_report_ = report.Serialize();
+  return cached_report_;
 }
 
 }  // namespace pldp

@@ -36,14 +36,40 @@ class DeviceClient {
   /// serialized ReportMsg. Fails if the assigned region does not cover the
   /// device's safe region (a dishonest server cannot trick the device into a
   /// weaker perturbation - it would simply get garbage).
+  ///
+  /// The device perturbs its bit at most once per collection round: a
+  /// retransmission of the assignment it already answered - byte-identical,
+  /// or naming the same protocol region when the answered copy was corrupted
+  /// in flight - is served from a cached copy of the report, and any
+  /// assignment naming a *different* region after it has reported is refused
+  /// with FailedPrecondition. Re-randomizing the same bit would hand the
+  /// server independent perturbations whose composition degrades the
+  /// (tau, eps)-PLDP guarantee; re-sending the identical report is free (the
+  /// server deduplicates it).
   StatusOr<std::vector<uint8_t>> HandleRowAssignment(
       const std::vector<uint8_t>& message);
+
+  /// True once the device has produced (and cached) a report this round.
+  bool has_reported() const { return reported_; }
+
+  /// Clears the cached report so the device can join a new collection round
+  /// (e.g. the next epoch of a continuous aggregation).
+  void ResetReport() {
+    reported_ = false;
+    answered_assignment_.clear();
+    cached_report_.clear();
+    answered_region_ = kInvalidNode;
+  }
 
  private:
   const SpatialTaxonomy* taxonomy_;
   CellId location_;
   PrivacySpec spec_;
   Rng rng_;
+  bool reported_ = false;
+  std::vector<uint8_t> answered_assignment_;
+  std::vector<uint8_t> cached_report_;
+  NodeId answered_region_ = kInvalidNode;
 };
 
 }  // namespace pldp

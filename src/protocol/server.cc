@@ -1,5 +1,6 @@
 #include "protocol/server.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/consistency.h"
@@ -12,6 +13,41 @@
 
 namespace pldp {
 
+bool operator==(const ClusterResponseStats& a, const ClusterResponseStats& b) {
+  return a.cluster_index == b.cluster_index && a.n_expected == b.n_expected &&
+         a.n_responded == b.n_responded &&
+         a.response_rate == b.response_rate && a.error_bound == b.error_bound;
+}
+
+bool operator==(const ProtocolStats& a, const ProtocolStats& b) {
+  return a.bytes_to_clients == b.bytes_to_clients &&
+         a.bytes_to_server == b.bytes_to_server &&
+         a.messages_to_clients == b.messages_to_clients &&
+         a.messages_to_server == b.messages_to_server &&
+         a.dropped_clients == b.dropped_clients && a.retries == b.retries &&
+         a.dropped_messages == b.dropped_messages &&
+         a.timeouts == b.timeouts && a.corrupt_parses == b.corrupt_parses &&
+         a.refused_assignments == b.refused_assignments &&
+         a.duplicate_reports == b.duplicate_reports &&
+         a.spec_responders == b.spec_responders &&
+         a.simulated_latency_ms == b.simulated_latency_ms &&
+         a.global_rescale == b.global_rescale &&
+         a.cluster_response == b.cluster_response;
+}
+
+namespace {
+
+/// Books a lost message (drop or timeout) into the stats.
+void CountLoss(const Delivery& delivery, ProtocolStats* stats) {
+  if (delivery.outcome == DeliveryOutcome::kDropped) {
+    ++stats->dropped_messages;
+  } else if (delivery.outcome == DeliveryOutcome::kTimedOut) {
+    ++stats->timeouts;
+  }
+}
+
+}  // namespace
+
 StatusOr<PsdaResult> AggregationServer::Collect(
     std::vector<DeviceClient>* clients, ProtocolStats* stats) const {
   PLDP_CHECK(clients != nullptr);
@@ -21,15 +57,76 @@ StatusOr<PsdaResult> AggregationServer::Collect(
   ProtocolStats local_stats;
   Stopwatch timer;
 
-  // Algorithm 4, lines 1-3: collect the public specifications.
+  FaultyChannel channel(fault_spec_);
+  // On the reliable path the retry machinery must not change a single byte of
+  // the transcript, so the budget collapses to one attempt.
+  const uint32_t max_attempts =
+      channel.active() ? std::max<uint32_t>(1, retry_policy_.max_attempts) : 1;
+  Rng backoff_rng(SplitMix64(options_.seed ^ 0x7E57BACC0FF5A17ULL));
+  const auto charge_backoff = [&](uint32_t attempt) {
+    ++local_stats.retries;
+    local_stats.simulated_latency_ms += JitteredBackoffMs(
+        retry_policy_.base_backoff_ms, retry_policy_.backoff_multiplier,
+        attempt, retry_policy_.jitter, &backoff_rng);
+  };
+
+  // Algorithm 4, lines 1-3: collect the public specifications. Under fault
+  // injection an upload can be lost or mangled; the server re-polls up to the
+  // retry budget and excludes the client from the run when it is exhausted
+  // (utility loss only; the client simply did not participate).
   std::vector<PrivacySpec> specs;
+  std::vector<uint32_t> roster;  // specs[k] came from (*clients)[roster[k]]
   specs.reserve(clients->size());
-  for (const DeviceClient& client : *clients) {
-    const std::vector<uint8_t> bytes = client.UploadSpec();
-    local_stats.bytes_to_server += bytes.size();
-    ++local_stats.messages_to_server;
-    PLDP_ASSIGN_OR_RETURN(SpecUploadMsg msg, SpecUploadMsg::Parse(bytes));
-    specs.push_back(PrivacySpec{msg.safe_region, msg.epsilon});
+  roster.reserve(clients->size());
+  for (uint32_t i = 0; i < clients->size(); ++i) {
+    const DeviceClient& client = (*clients)[i];
+    bool registered = false;
+    for (uint32_t attempt = 0; attempt < max_attempts && !registered;
+         ++attempt) {
+      if (attempt > 0) charge_backoff(attempt);
+      Delivery up = channel.Transfer(client.UploadSpec());
+      local_stats.simulated_latency_ms += up.latency_ms;
+      if (!up.delivered()) {
+        CountLoss(up, &local_stats);
+        continue;
+      }
+      // A duplicated registration is idempotent: both copies are accounted,
+      // the first one is parsed.
+      for (int copy = 0; copy < up.copies(); ++copy) {
+        local_stats.bytes_to_server += up.bytes.size();
+        ++local_stats.messages_to_server;
+      }
+      const StatusOr<SpecUploadMsg> msg = SpecUploadMsg::Parse(up.bytes);
+      if (!msg.ok()) {
+        ++local_stats.corrupt_parses;
+        continue;
+      }
+      const PrivacySpec spec{msg->safe_region, msg->epsilon};
+      // A corrupted upload can still parse; a bogus spec must not poison the
+      // grouping, so it is treated exactly like a parse failure. The second
+      // check guards the estimator arithmetic: a bit-flipped epsilon can be
+      // finite yet outside the range where c_eps = (e^eps+1)/(e^eps-1) is
+      // representable, and one non-finite magnitude would turn every count
+      // in the cluster into NaN.
+      if (!ValidatePrivacySpec(*taxonomy_, spec).ok() ||
+          !std::isfinite(CEpsilon(spec.epsilon))) {
+        ++local_stats.corrupt_parses;
+        continue;
+      }
+      specs.push_back(spec);
+      roster.push_back(i);
+      registered = true;
+    }
+    if (!registered) {
+      ++local_stats.dropped_clients;
+      PLDP_LOG(Warning) << "client " << i << " dropped during spec collection"
+                        << " after " << max_attempts << " attempt(s)";
+    }
+  }
+  local_stats.spec_responders = specs.size();
+  if (specs.empty()) {
+    return Status::DeadlineExceeded(
+        "every client dropped out during spec collection");
   }
 
   // Line 4: group by safe region (public data only).
@@ -68,8 +165,11 @@ StatusOr<PsdaResult> AggregationServer::Collect(
     const PcepSeeds seeds(params.seed);
     Rng row_rng(seeds.row_assignment);
 
+    uint64_t n_responded = 0;
+    double varsigma_responded = 0.0;
     for (const uint32_t g : cluster.groups) {
-      for (const uint32_t user_index : groups[g].members) {
+      for (const uint32_t spec_index : groups[g].members) {
+        const uint32_t user_index = roster[spec_index];
         DeviceClient& client = (*clients)[user_index];
         const uint64_t row = pcep.AssignRow(&row_rng);
 
@@ -78,43 +178,136 @@ StatusOr<PsdaResult> AggregationServer::Collect(
         assignment.m = pcep.m();
         assignment.row_index = row;
         assignment.row_bits = pcep.sign_matrix().Row(row);
-        const std::vector<uint8_t> down = assignment.Serialize();
-        local_stats.bytes_to_clients += down.size();
-        ++local_stats.messages_to_clients;
+        const std::vector<uint8_t> down_bytes = assignment.Serialize();
 
-        const StatusOr<std::vector<uint8_t>> up =
-            client.HandleRowAssignment(down);
-        if (!up.ok()) {
-          ++local_stats.dropped_clients;
-          continue;
+        bool accumulated = false;
+        bool refused = false;
+        for (uint32_t attempt = 0;
+             attempt < max_attempts && !accumulated && !refused; ++attempt) {
+          if (attempt > 0) charge_backoff(attempt);
+          Delivery down = channel.Transfer(down_bytes);
+          local_stats.simulated_latency_ms += down.latency_ms;
+          if (!down.delivered()) {
+            CountLoss(down, &local_stats);
+            continue;
+          }
+          // A duplicated downlink reaches the device twice; it answers the
+          // second copy from its cached report (never a second perturbation).
+          for (int copy = 0; copy < down.copies() && !refused; ++copy) {
+            local_stats.bytes_to_clients += down.bytes.size();
+            ++local_stats.messages_to_clients;
+            StatusOr<std::vector<uint8_t>> reply =
+                client.HandleRowAssignment(down.bytes);
+            if (!reply.ok()) {
+              if (reply.status().code() == StatusCode::kFailedPrecondition &&
+                  !down.corrupted && !down.truncated) {
+                // The device refused the very bytes the server sent, so the
+                // refusal is deterministic: identical bytes can never
+                // succeed, and retrying would only burn budget. A refusal of
+                // a *mangled* copy proves nothing - the clean retransmission
+                // may well be accepted - so that case falls through to the
+                // retry path below.
+                ++local_stats.refused_assignments;
+                refused = true;
+                break;
+              }
+              // Mangled assignment rejected by the device's validation.
+              ++local_stats.corrupt_parses;
+              continue;
+            }
+            Delivery up = channel.Transfer(std::move(reply).value());
+            local_stats.simulated_latency_ms += up.latency_ms;
+            if (!up.delivered()) {
+              CountLoss(up, &local_stats);
+              continue;
+            }
+            for (int up_copy = 0; up_copy < up.copies(); ++up_copy) {
+              local_stats.bytes_to_server += up.bytes.size();
+              ++local_stats.messages_to_server;
+              const StatusOr<ReportMsg> report = ReportMsg::Parse(up.bytes);
+              if (!report.ok()) {
+                ++local_stats.corrupt_parses;
+                continue;
+              }
+              if (accumulated) {
+                // Dedup by (user, row): this user's bit is already in z.
+                ++local_stats.duplicate_reports;
+                continue;
+              }
+              const double magnitude =
+                  CEpsilon(specs[spec_index].epsilon) *
+                  std::sqrt(static_cast<double>(pcep.m()));
+              pcep.Accumulate(row, report->positive ? magnitude : -magnitude);
+              accumulated = true;
+              ++n_responded;
+              varsigma_responded +=
+                  PrivacyFactorTerm(specs[spec_index].epsilon);
+            }
+          }
         }
-        local_stats.bytes_to_server += up.value().size();
-        ++local_stats.messages_to_server;
-        const StatusOr<ReportMsg> report = ReportMsg::Parse(up.value());
-        if (!report.ok()) {
+        if (!accumulated) {
           ++local_stats.dropped_clients;
-          continue;
+          PLDP_LOG(Warning)
+              << "client " << user_index << " dropped during PCEP of cluster "
+              << c << (refused ? " (refused assignment)"
+                              : " (transport failure after retries)");
         }
-        const double magnitude =
-            CEpsilon(specs[user_index].epsilon) *
-            std::sqrt(static_cast<double>(pcep.m()));
-        pcep.Accumulate(row, report->positive ? magnitude : -magnitude);
       }
     }
 
+    ClusterResponseStats response;
+    response.cluster_index = static_cast<uint32_t>(c);
+    response.n_expected = cluster_n;
+    response.n_responded = n_responded;
+    response.response_rate =
+        cluster_n == 0
+            ? 0.0
+            : static_cast<double>(n_responded) / static_cast<double>(cluster_n);
+    response.error_bound =
+        n_responded == 0
+            ? 0.0
+            : PcepErrorBound(beta_each, static_cast<double>(n_responded),
+                             static_cast<double>(region.size()),
+                             varsigma_responded);
+    local_stats.cluster_response.push_back(response);
+
+    if (n_responded == 0) {
+      PLDP_LOG(Warning) << "cluster " << c
+                        << " received no reports; its region contributes 0";
+      continue;
+    }
+    // Missing-completely-at-random dropout thins every count by the response
+    // rate in expectation; rescaling by its inverse keeps the estimator
+    // unbiased (scale is exactly 1.0 when nobody dropped, preserving the
+    // reliable transcript bit-for-bit).
+    const double rescale = static_cast<double>(cluster_n) /
+                           static_cast<double>(n_responded);
     const std::vector<double> estimates = pcep.Estimate();
     for (size_t k = 0; k < region.size(); ++k) {
-      result.raw_counts[region[k]] += estimates[k];
+      result.raw_counts[region[k]] += estimates[k] * rescale;
     }
   }
 
-  // Line 10: consistency post-processing on public constraints.
+  // Line 10: consistency post-processing on public constraints. Groups hold
+  // the spec responders, so the constraint totals match the rescaled
+  // per-cluster estimates.
   if (options_.enforce_consistency) {
     PLDP_ASSIGN_OR_RETURN(result.counts, EnforceConsistency(
                                              *taxonomy_, result.raw_counts,
                                              groups));
   } else {
     result.counts = result.raw_counts;
+  }
+
+  // Clients lost before registering a spec never joined any group; under
+  // MCAR dropout the responders are an unbiased sample of the cohort, so the
+  // full-population estimate is the responder estimate scaled up. Applied
+  // after consistency (which pins totals to the responder cohort).
+  local_stats.global_rescale = static_cast<double>(clients->size()) /
+                               static_cast<double>(specs.size());
+  if (local_stats.global_rescale != 1.0) {
+    for (double& v : result.raw_counts) v *= local_stats.global_rescale;
+    for (double& v : result.counts) v *= local_stats.global_rescale;
   }
 
   result.clustering = std::move(clustering);

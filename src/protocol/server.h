@@ -6,22 +6,72 @@
 
 #include "core/psda.h"
 #include "geo/taxonomy.h"
+#include "protocol/channel.h"
 #include "protocol/client.h"
 #include "util/status_or.h"
 
 namespace pldp {
 
-/// Communication accounting for one protocol execution.
+/// Per-cluster delivery accounting: how many of the cluster's users actually
+/// reported, and what the Theorem 4.5 bound predicts for the cohort that did.
+struct ClusterResponseStats {
+  uint32_t cluster_index = 0;
+  /// Users assigned to this cluster's PCEP (spec-phase responders).
+  uint64_t n_expected = 0;
+  /// Users whose sanitized report was received and accumulated.
+  uint64_t n_responded = 0;
+  double response_rate = 1.0;
+  /// err(beta_c, n_responded, |tau|, varsigma_responded): the Theorem 4.5
+  /// error model re-evaluated at the effective cohort, i.e. what the bound
+  /// guarantees *after* dropout.
+  double error_bound = 0.0;
+};
+
+bool operator==(const ClusterResponseStats& a, const ClusterResponseStats& b);
+
+/// Communication and degradation accounting for one protocol execution. The
+/// first block is byte-exact on the reliable path (identical to the original
+/// lossless simulation); the second block is only non-zero under fault
+/// injection.
 struct ProtocolStats {
   uint64_t bytes_to_clients = 0;
   uint64_t bytes_to_server = 0;
   uint64_t messages_to_clients = 0;
   uint64_t messages_to_server = 0;
 
-  /// Clients whose responses failed to parse or who refused the assignment;
-  /// their reports are dropped (utility loss only, never a privacy loss).
+  /// Clients that contributed no report: every early-exit path (lost or
+  /// unparseable spec after all retries, refused assignment, lost or
+  /// unparseable report after all retries) counts here exactly once. Always a
+  /// utility loss, never a privacy loss.
   uint64_t dropped_clients = 0;
+
+  /// Re-sent messages (spec re-polls plus row-assignment re-sends).
+  uint64_t retries = 0;
+  /// Messages the channel lost outright.
+  uint64_t dropped_messages = 0;
+  /// Messages whose simulated latency exceeded the deadline.
+  uint64_t timeouts = 0;
+  /// Delivered messages that failed to parse or validate (corruption,
+  /// truncation).
+  uint64_t corrupt_parses = 0;
+  /// Assignments a device refused deterministically (region mismatch or
+  /// re-perturb refusal); never retried.
+  uint64_t refused_assignments = 0;
+  /// Reports received more than once for the same user and discarded by the
+  /// dedup rule (never double-counted).
+  uint64_t duplicate_reports = 0;
+  /// Clients whose spec upload was registered (phase-1 responders).
+  uint64_t spec_responders = 0;
+  /// Total simulated transport latency plus retry backoff (never slept).
+  double simulated_latency_ms = 0.0;
+  /// Factor applied to the final counts to compensate spec-phase dropout
+  /// (total clients / spec responders); exactly 1 on the reliable path.
+  double global_rescale = 1.0;
+  /// One entry per cluster, in cluster order.
+  std::vector<ClusterResponseStats> cluster_response;
 };
+
+bool operator==(const ProtocolStats& a, const ProtocolStats& b);
 
 /// The untrusted aggregation server of Figure 1, executing Algorithm 4 at the
 /// message level: every interaction with a DeviceClient goes through the
@@ -31,20 +81,42 @@ struct ProtocolStats {
 /// The computation is identical to RunPsda (grouping, Algorithm 3 clustering,
 /// one PCEP per cluster, consistency post-processing); only the client
 /// exchange differs. The server never touches a client's location or RNG.
+///
+/// A FaultSpec routes every exchange through a FaultyChannel. The server then
+/// runs a bounded retry-with-backoff loop per client (devices answer
+/// retransmissions from a cached report, so retries never re-perturb), dedups
+/// duplicate reports, and keeps its estimates unbiased under
+/// missing-completely-at-random dropout by rescaling each cluster's estimate
+/// by n_expected / n_responded (and the final counts by the spec-phase
+/// response rate). With the default (fault-free) spec the channel is inactive
+/// and Collect is byte-identical to the lossless exchange.
 class AggregationServer {
  public:
   /// `taxonomy` must outlive the server.
   AggregationServer(const SpatialTaxonomy* taxonomy, PsdaOptions options)
       : taxonomy_(taxonomy), options_(options) {}
 
+  AggregationServer(const SpatialTaxonomy* taxonomy, PsdaOptions options,
+                    FaultSpec fault_spec, RetryPolicy retry_policy = {})
+      : taxonomy_(taxonomy),
+        options_(options),
+        fault_spec_(fault_spec),
+        retry_policy_(retry_policy) {}
+
+  const FaultSpec& fault_spec() const { return fault_spec_; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   /// Runs the full protocol over `clients`. Client RNG state advances, so the
-  /// vector is mutable. `stats` may be null.
+  /// vector is mutable. `stats` may be null. Returns DeadlineExceeded if
+  /// every client dropped out during spec collection.
   StatusOr<PsdaResult> Collect(std::vector<DeviceClient>* clients,
                                ProtocolStats* stats) const;
 
  private:
   const SpatialTaxonomy* taxonomy_;
   PsdaOptions options_;
+  FaultSpec fault_spec_;
+  RetryPolicy retry_policy_;
 };
 
 }  // namespace pldp

@@ -70,7 +70,10 @@ class BitVector {
   void AppendBytes(std::vector<uint8_t>* out) const {
     const size_t offset = out->size();
     out->resize(offset + ByteSize());
-    std::memcpy(out->data() + offset, words_.data(), ByteSize());
+    // memcpy with a null source is UB even for zero bytes.
+    if (!words_.empty()) {
+      std::memcpy(out->data() + offset, words_.data(), ByteSize());
+    }
   }
 
   /// Restores a bit vector of `size` bits from packed bytes; returns the number
@@ -80,7 +83,7 @@ class BitVector {
     words_.assign((size + 63) / 64, 0);
     const size_t need = ByteSize();
     if (len < need) return 0;
-    std::memcpy(words_.data(), data, need);
+    if (need > 0) std::memcpy(words_.data(), data, need);
     if ((size_ & 63) != 0 && !words_.empty()) {
       words_.back() &= (uint64_t{1} << (size_ & 63)) - 1;
     }

@@ -79,6 +79,23 @@ class Rng {
   uint64_t state_[4];
 };
 
+/// Exponential backoff delay for the `attempt`-th retry (attempt >= 1):
+/// base * multiplier^(attempt-1), scaled by a uniform jitter factor drawn
+/// from [1 - jitter, 1 + jitter] so that synchronized clients do not retry in
+/// lockstep. `jitter` is clamped into [0, 1]; base < 0 is treated as 0.
+inline double JitteredBackoffMs(double base_ms, double multiplier,
+                                uint32_t attempt, double jitter, Rng* rng) {
+  PLDP_DCHECK(rng != nullptr);
+  if (base_ms <= 0.0) return 0.0;
+  if (multiplier < 1.0) multiplier = 1.0;
+  if (jitter < 0.0) jitter = 0.0;
+  if (jitter > 1.0) jitter = 1.0;
+  double delay = base_ms;
+  for (uint32_t i = 1; i < attempt; ++i) delay *= multiplier;
+  const double factor = 1.0 - jitter + 2.0 * jitter * rng->NextDouble();
+  return delay * factor;
+}
+
 }  // namespace pldp
 
 #endif  // PLDP_UTIL_RANDOM_H_

@@ -20,6 +20,7 @@ enum class StatusCode : uint8_t {
   kInternal = 5,
   kIoError = 6,
   kUnimplemented = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -63,6 +64,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -81,6 +81,24 @@ TEST(CliRunTest, EndToEndSyntheticRunWritesCsv) {
   std::remove(output.c_str());
 }
 
+TEST(CliRunTest, DegradeSweepRunsAndWritesCsv) {
+  const std::string output = ::testing::TempDir() + "/pldp_cli_degradation.csv";
+  const CliOptions options =
+      ParseCliArgs({"degrade", "--dataset", "storage", "--scale", "0.5",
+                    "--dropout-max", "0.4", "--dropout-steps", "2", "--runs",
+                    "2", "--output", output})
+          .value();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+  EXPECT_NE(out.str().find("degradation sweep"), std::string::npos);
+  EXPECT_NE(out.str().find("dropout"), std::string::npos);
+
+  const auto contents = ReadFileToString(output);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("dropout_rate"), std::string::npos);
+  std::remove(output.c_str());
+}
+
 TEST(CliRunTest, EndToEndCsvInputRun) {
   // Round-trip: write a tiny points file, aggregate it through the CLI.
   const std::string input = ::testing::TempDir() + "/pldp_cli_points.csv";

@@ -1,0 +1,135 @@
+// Degradation report: estimation error vs. injected dropout, swept over
+// seeded replicates and emitted as CSV.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/spec_assignment.h"
+#include "data/synthetic.h"
+#include "eval/degradation.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+struct Workload {
+  UniformGrid grid;
+  SpatialTaxonomy taxonomy;
+  std::vector<UserRecord> users;
+};
+
+Workload MakeWorkload(size_t n, uint64_t seed) {
+  UniformGrid grid = UniformGrid::Create(BoundingBox{0, 0, 8, 8}, 1, 1).value();
+  SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+  Rng rng(seed);
+  std::vector<CellId> cells;
+  cells.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cells.push_back(static_cast<CellId>(rng.NextUint64(grid.num_cells())));
+  }
+  std::vector<UserRecord> users =
+      AssignSpecs(taxonomy, cells, SafeRegionsS2(), EpsilonsE2(), seed)
+          .value();
+  return Workload{std::move(grid), std::move(taxonomy), std::move(users)};
+}
+
+TEST(UniformDropoutGridTest, CoversZeroToMaxInclusive) {
+  const std::vector<double> rates = UniformDropoutGrid(0.5, 10);
+  ASSERT_EQ(rates.size(), 11u);
+  EXPECT_DOUBLE_EQ(rates.front(), 0.0);
+  EXPECT_DOUBLE_EQ(rates.back(), 0.5);
+  EXPECT_DOUBLE_EQ(rates[5], 0.25);
+  EXPECT_EQ(UniformDropoutGrid(0.3, 0).size(), 2u);  // steps clamped to 1
+}
+
+TEST(DegradationSweepTest, RejectsBadInput) {
+  const Workload w = MakeWorkload(100, 1);
+  DegradationOptions options;
+  EXPECT_FALSE(RunDegradationSweep(w.taxonomy, {}, options).ok());
+  options.dropout_rates = {1.5};
+  EXPECT_FALSE(RunDegradationSweep(w.taxonomy, w.users, options).ok());
+}
+
+// Acceptance: at 20% injected dropout the sweep completes without error and
+// the rescaled estimate's mean relative error stays within 2x of the
+// no-fault replicates, over 5 seeds.
+TEST(DegradationSweepTest, TwentyPercentDropoutStaysWithinTwiceNoFaultError) {
+  const Workload w = MakeWorkload(3000, 2016);
+  DegradationOptions options;
+  options.dropout_rates = {0.0, 0.2};
+  options.runs_per_rate = 5;
+  options.seed = 77;
+  const std::vector<DegradationPoint> points =
+      RunDegradationSweep(w.taxonomy, w.users, options).value();
+  ASSERT_EQ(points.size(), 10u);
+
+  double clean = 0.0, faulty = 0.0;
+  for (const DegradationPoint& p : points) {
+    EXPECT_TRUE(std::isfinite(p.mean_abs_error));
+    if (p.dropout_rate == 0.0) {
+      clean += p.mean_rel_error;
+      EXPECT_EQ(p.dropped_clients, 0u);
+      EXPECT_EQ(p.retries, 0u);
+      EXPECT_DOUBLE_EQ(p.response_rate, 1.0);
+    } else {
+      faulty += p.mean_rel_error;
+      EXPECT_GT(p.retries, 0u);
+      EXPECT_GT(p.response_rate, 0.9);  // retries recover most of the 20%
+    }
+  }
+  EXPECT_LE(faulty, 2.0 * clean) << "clean " << clean / 5 << " vs faulty "
+                                 << faulty / 5;
+}
+
+TEST(DegradationSweepTest, ReplicatesAreDeterministic) {
+  const Workload w = MakeWorkload(500, 9);
+  DegradationOptions options;
+  options.dropout_rates = {0.3};
+  options.runs_per_rate = 2;
+  options.seed = 123;
+  const auto a = RunDegradationSweep(w.taxonomy, w.users, options).value();
+  const auto b = RunDegradationSweep(w.taxonomy, w.users, options).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean_abs_error, b[i].mean_abs_error);
+    EXPECT_EQ(a[i].dropped_clients, b[i].dropped_clients);
+    EXPECT_EQ(a[i].retries, b[i].retries);
+    EXPECT_DOUBLE_EQ(a[i].total_estimate, b[i].total_estimate);
+  }
+}
+
+TEST(DegradationSweepTest, SyntheticDatasetSweepWritesCsv) {
+  const Dataset dataset = GenerateByName("storage", 0.5, 4).value();
+  const UniformGrid grid = dataset.MakeGrid().value();
+  const SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+  const std::vector<CellId> cells = dataset.ToCells(grid);
+  const std::vector<UserRecord> users =
+      AssignSpecs(taxonomy, cells, SafeRegionsS2(), EpsilonsE2(), 11).value();
+
+  DegradationOptions options;
+  options.dropout_rates = UniformDropoutGrid(0.4, 2);
+  options.runs_per_rate = 2;
+  const std::vector<DegradationPoint> points =
+      RunDegradationSweep(taxonomy, users, options).value();
+  ASSERT_EQ(points.size(), 6u);
+
+  const std::string path = ::testing::TempDir() + "/pldp_degradation.csv";
+  ASSERT_TRUE(WriteDegradationCsv(path, points).ok());
+  const auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("dropout_rate"), std::string::npos);
+  EXPECT_NE(contents->find("response_rate"), std::string::npos);
+  // Header + one line per point.
+  size_t lines = 0;
+  for (const char c : *contents) lines += c == '\n';
+  EXPECT_EQ(lines, 7u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pldp

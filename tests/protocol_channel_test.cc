@@ -1,0 +1,459 @@
+// Fault-injection transport: reproducible fault schedules, the zero-cost
+// reliable default path, retry/backoff accounting, duplicate dedup, and the
+// dropout-aware rescaling that keeps the estimator unbiased under
+// missing-completely-at-random loss.
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/psda.h"
+#include "protocol/channel.h"
+#include "protocol/client.h"
+#include "protocol/messages.h"
+#include "protocol/server.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 8) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+std::vector<DeviceClient> MakeClients(const SpatialTaxonomy& tax, size_t n,
+                                      uint64_t seed,
+                                      std::vector<double>* truth = nullptr) {
+  Rng rng(seed);
+  std::vector<DeviceClient> clients;
+  clients.reserve(n);
+  if (truth != nullptr) truth->assign(tax.grid().num_cells(), 0.0);
+  const double epsilons[] = {0.5, 1.0};
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell =
+        static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    const uint32_t level = static_cast<uint32_t>(rng.NextUint64(3));
+    PrivacySpec spec;
+    spec.safe_region = tax.AncestorAbove(tax.LeafNodeOfCell(cell), level);
+    spec.epsilon = epsilons[rng.NextUint64(2)];
+    clients.emplace_back(&tax, cell, spec, SplitMix64(seed ^ (i + 1)));
+    if (truth != nullptr) (*truth)[cell] += 1.0;
+  }
+  return clients;
+}
+
+double MeanAbsError(const std::vector<double>& truth,
+                    const std::vector<double>& estimate) {
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    sum += std::fabs(estimate[i] - truth[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+TEST(FaultyChannelTest, InactiveChannelIsPassthrough) {
+  FaultyChannel channel;  // default spec: no faults
+  EXPECT_FALSE(channel.active());
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  const Delivery d = channel.Transfer(payload);
+  EXPECT_TRUE(d.delivered());
+  EXPECT_EQ(d.bytes, payload);
+  EXPECT_EQ(d.copies(), 1);
+  EXPECT_FALSE(d.corrupted);
+  EXPECT_FALSE(d.duplicated);
+  EXPECT_DOUBLE_EQ(d.latency_ms, 0.0);
+  EXPECT_TRUE(d.ToStatus().ok());
+}
+
+TEST(FaultyChannelTest, FaultScheduleIsSeedDeterministic) {
+  FaultSpec spec;
+  spec.drop_probability = 0.3;
+  spec.corrupt_probability = 0.2;
+  spec.truncate_probability = 0.1;
+  spec.duplicate_probability = 0.2;
+  spec.mean_latency_ms = 5.0;
+  spec.deadline_ms = 20.0;
+  spec.seed = 77;
+  FaultyChannel a(spec), b(spec);
+  const std::vector<uint8_t> payload(32, 0xAB);
+  for (int i = 0; i < 500; ++i) {
+    const Delivery da = a.Transfer(payload);
+    const Delivery db = b.Transfer(payload);
+    EXPECT_EQ(da.outcome, db.outcome);
+    EXPECT_EQ(da.bytes, db.bytes);
+    EXPECT_EQ(da.duplicated, db.duplicated);
+    EXPECT_DOUBLE_EQ(da.latency_ms, db.latency_ms);
+  }
+}
+
+TEST(FaultyChannelTest, DropRateMatchesSpecApproximately) {
+  FaultSpec spec;
+  spec.drop_probability = 0.25;
+  FaultyChannel channel(spec);
+  int lost = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (!channel.Transfer({0x00}).delivered()) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / trials, 0.25, 0.02);
+}
+
+TEST(FaultyChannelTest, LostDeliveriesSurfaceDeadlineExceeded) {
+  FaultSpec spec;
+  spec.drop_probability = 1.0;
+  spec.deadline_ms = 100.0;
+  FaultyChannel channel(spec);
+  const Delivery d = channel.Transfer({1, 2, 3});
+  EXPECT_EQ(d.outcome, DeliveryOutcome::kDropped);
+  EXPECT_TRUE(d.bytes.empty());
+  EXPECT_DOUBLE_EQ(d.latency_ms, 100.0);  // sender waited out the deadline
+  EXPECT_EQ(d.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FaultyChannelTest, SlowMessagesTimeOutAgainstDeadline) {
+  FaultSpec spec;
+  spec.mean_latency_ms = 50.0;
+  spec.deadline_ms = 1.0;  // almost every exponential draw exceeds this
+  FaultyChannel channel(spec);
+  int timeouts = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Delivery d = channel.Transfer({9});
+    if (d.outcome == DeliveryOutcome::kTimedOut) {
+      ++timeouts;
+      EXPECT_EQ(d.ToStatus().code(), StatusCode::kDeadlineExceeded);
+    }
+  }
+  EXPECT_GT(timeouts, 150);
+}
+
+TEST(FaultyChannelTest, MangleBytesCorruptsOrTruncates) {
+  Rng rng(11);
+  const std::vector<uint8_t> original(64, 0x5A);
+  std::vector<uint8_t> corrupt = original;
+  FaultyChannel::MangleBytes(&corrupt, /*corrupt=*/true, /*truncate=*/false,
+                             &rng);
+  EXPECT_EQ(corrupt.size(), original.size());
+  EXPECT_NE(corrupt, original);
+
+  std::vector<uint8_t> truncated = original;
+  FaultyChannel::MangleBytes(&truncated, /*corrupt=*/false, /*truncate=*/true,
+                             &rng);
+  EXPECT_LT(truncated.size(), original.size());
+
+  std::vector<uint8_t> empty;
+  FaultyChannel::MangleBytes(&empty, true, true, &rng);  // must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(JitteredBackoffTest, GrowsGeometricallyWithinJitterBand) {
+  Rng rng(3);
+  for (uint32_t attempt = 1; attempt <= 5; ++attempt) {
+    const double nominal = 50.0 * std::pow(2.0, attempt - 1);
+    for (int i = 0; i < 100; ++i) {
+      const double delay = JitteredBackoffMs(50.0, 2.0, attempt, 0.5, &rng);
+      EXPECT_GE(delay, nominal * 0.5);
+      EXPECT_LE(delay, nominal * 1.5);
+    }
+  }
+  EXPECT_DOUBLE_EQ(JitteredBackoffMs(0.0, 2.0, 3, 0.5, &rng), 0.0);
+}
+
+// Acceptance: with faults disabled, the fault-aware Collect is byte-identical
+// to the channel-free (seed) implementation - results and stats.
+TEST(FaultInjectionCollectTest, DisabledFaultsMatchReliablePathExactly) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  auto clients_plain = MakeClients(tax, 1500, 42);
+  auto clients_faultless = MakeClients(tax, 1500, 42);
+
+  AggregationServer plain(&tax, PsdaOptions());
+  AggregationServer faultless(&tax, PsdaOptions(), FaultSpec{}, RetryPolicy{});
+  ProtocolStats stats_plain, stats_faultless;
+  const PsdaResult a = plain.Collect(&clients_plain, &stats_plain).value();
+  const PsdaResult b =
+      faultless.Collect(&clients_faultless, &stats_faultless).value();
+
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.raw_counts, b.raw_counts);
+  EXPECT_TRUE(stats_plain == stats_faultless);
+  EXPECT_EQ(stats_plain.dropped_clients, 0u);
+  EXPECT_EQ(stats_plain.retries, 0u);
+  EXPECT_EQ(stats_plain.spec_responders, 1500u);
+  EXPECT_DOUBLE_EQ(stats_plain.global_rescale, 1.0);
+  for (const ClusterResponseStats& cluster : stats_plain.cluster_response) {
+    EXPECT_EQ(cluster.n_expected, cluster.n_responded);
+    EXPECT_DOUBLE_EQ(cluster.response_rate, 1.0);
+    EXPECT_GT(cluster.error_bound, 0.0);
+  }
+}
+
+// Acceptance: identical seed + identical FaultSpec => bit-identical result
+// and stats across two runs.
+TEST(FaultInjectionCollectTest, DeterministicUnderIdenticalFaultSpec) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  FaultSpec faults;
+  faults.drop_probability = 0.15;
+  faults.corrupt_probability = 0.1;
+  faults.truncate_probability = 0.05;
+  faults.duplicate_probability = 0.1;
+  faults.mean_latency_ms = 3.0;
+  faults.deadline_ms = 25.0;
+  faults.seed = 2024;
+
+  auto clients_a = MakeClients(tax, 1200, 99);
+  auto clients_b = MakeClients(tax, 1200, 99);
+  AggregationServer server(&tax, PsdaOptions(), faults);
+  ProtocolStats stats_a, stats_b;
+  const PsdaResult a = server.Collect(&clients_a, &stats_a).value();
+  const PsdaResult b = server.Collect(&clients_b, &stats_b).value();
+
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.raw_counts, b.raw_counts);
+  EXPECT_TRUE(stats_a == stats_b);
+  // The schedule actually injected something.
+  EXPECT_GT(stats_a.dropped_messages + stats_a.timeouts, 0u);
+  EXPECT_GT(stats_a.retries, 0u);
+}
+
+// Acceptance: duplicate replies are never double-counted - a duplication-only
+// channel yields exactly the counts of the reliable run.
+TEST(FaultInjectionCollectTest, DuplicatesAreDedupedExactly) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  auto clients_reliable = MakeClients(tax, 1000, 7);
+  auto clients_duped = MakeClients(tax, 1000, 7);
+
+  FaultSpec faults;
+  faults.duplicate_probability = 0.6;
+  faults.seed = 5;
+
+  AggregationServer reliable(&tax, PsdaOptions());
+  AggregationServer duped(&tax, PsdaOptions(), faults);
+  ProtocolStats stats;
+  const PsdaResult a = reliable.Collect(&clients_reliable, nullptr).value();
+  const PsdaResult b = duped.Collect(&clients_duped, &stats).value();
+
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.raw_counts, b.raw_counts);
+  EXPECT_GT(stats.duplicate_reports, 0u);
+  EXPECT_EQ(stats.dropped_clients, 0u);
+  // Every duplicated copy was accounted as traffic, never as signal.
+  EXPECT_GT(stats.messages_to_server, 2000u);
+}
+
+// Acceptance: at 20% injected dropout the rescaled counts stay unbiased -
+// mean relative error within 2x of the no-fault run, averaged over 5 seeds.
+TEST(FaultInjectionCollectTest, DropoutRescalingKeepsEstimateUnbiased) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 4000;
+  double clean_mae_sum = 0.0;
+  double faulty_mae_sum = 0.0;
+  double total_sum = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<double> truth;
+    auto clients_clean = MakeClients(tax, n, seed, &truth);
+    auto clients_faulty = MakeClients(tax, n, seed);
+
+    PsdaOptions psda;
+    psda.seed = SplitMix64(seed);
+    AggregationServer clean(&tax, psda);
+    const PsdaResult clean_result =
+        clean.Collect(&clients_clean, nullptr).value();
+
+    FaultSpec faults;
+    faults.drop_probability = 0.2;
+    faults.seed = SplitMix64(seed ^ 0xFA17ULL);
+    AggregationServer faulty(&tax, psda, faults);
+    ProtocolStats stats;
+    const PsdaResult faulty_result =
+        faulty.Collect(&clients_faulty, &stats).value();
+
+    clean_mae_sum += MeanAbsError(truth, clean_result.counts);
+    faulty_mae_sum += MeanAbsError(truth, faulty_result.counts);
+    total_sum += std::accumulate(faulty_result.counts.begin(),
+                                 faulty_result.counts.end(), 0.0);
+    EXPECT_GT(stats.retries, 0u);
+    EXPECT_GT(stats.dropped_messages, 0u);
+  }
+  // Unbiasedness of the rescaled estimator: error within 2x of the clean run
+  // and total mass preserved.
+  EXPECT_LE(faulty_mae_sum, 2.0 * clean_mae_sum)
+      << "clean " << clean_mae_sum / 5 << " vs faulty " << faulty_mae_sum / 5;
+  EXPECT_NEAR(total_sum / 5.0, static_cast<double>(n), 0.05 * n);
+}
+
+// Without retries, 20% per-leg dropout compounds to ~36% lost users; the
+// per-cluster n/n_resp rescale must still preserve total mass.
+TEST(FaultInjectionCollectTest, RescaleAlonePreservesMassWithoutRetries) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 4000;
+  double total_sum = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto clients = MakeClients(tax, n, 100 + seed);
+    FaultSpec faults;
+    faults.drop_probability = 0.2;
+    faults.seed = SplitMix64(seed);
+    RetryPolicy no_retries;
+    no_retries.max_attempts = 1;
+    PsdaOptions psda;
+    psda.seed = SplitMix64(seed ^ 0xABCDULL);
+    AggregationServer server(&tax, psda, faults, no_retries);
+    ProtocolStats stats;
+    const PsdaResult result = server.Collect(&clients, &stats).value();
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_GT(stats.dropped_clients, n / 5);
+    total_sum += std::accumulate(result.counts.begin(), result.counts.end(),
+                                 0.0);
+  }
+  EXPECT_NEAR(total_sum / 5.0, static_cast<double>(n), 0.08 * n);
+}
+
+TEST(FaultInjectionCollectTest, RetriesRecoverMostDrops) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 2000;
+  auto clients = MakeClients(tax, n, 55);
+  FaultSpec faults;
+  faults.drop_probability = 0.2;
+  faults.seed = 9;
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  AggregationServer server(&tax, PsdaOptions(), faults, retry);
+  ProtocolStats stats;
+  (void)server.Collect(&clients, &stats).value();
+  // Per-attempt round-trip failure ~= 0.36; after 4 attempts < 2% of users
+  // should be lost.
+  EXPECT_LT(stats.dropped_clients, n / 25);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.simulated_latency_ms, 0.0);  // backoff was charged
+}
+
+TEST(FaultInjectionCollectTest, TotalBlackoutReturnsDeadlineExceeded) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  auto clients = MakeClients(tax, 50, 3);
+  FaultSpec faults;
+  faults.drop_probability = 1.0;
+  AggregationServer server(&tax, PsdaOptions(), faults);
+  const auto result = server.Collect(&clients, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FaultInjectionCollectTest, CorruptionIsCountedAndSurvived) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  auto clients = MakeClients(tax, 800, 21);
+  FaultSpec faults;
+  faults.corrupt_probability = 0.3;
+  faults.truncate_probability = 0.1;
+  faults.seed = 13;
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  AggregationServer server(&tax, PsdaOptions(), faults, retry);
+  ProtocolStats stats;
+  const PsdaResult result = server.Collect(&clients, &stats).value();
+  EXPECT_GT(stats.corrupt_parses, 0u);
+  // Corruption wastes attempts but retries keep most clients in. Some loss
+  // is irreducible here: a spec whose safe_region was bit-flipped into
+  // another valid node gets the client clustered wrongly, and the device
+  // then (correctly) refuses a protocol that does not cover its real safe
+  // region - those surface as refused_assignments.
+  EXPECT_LT(stats.dropped_clients, 800u / 5);
+  EXPECT_GT(stats.refused_assignments, 0u);
+  // Corruption injects estimation noise (flipped report signs, perturbations
+  // against mangled rows) but must never destroy the estimate: every count
+  // stays finite and the total mass lands within a loose band of the cohort
+  // size. Exact totals are not pinned - consistency redistributes mass but
+  // does not anchor the root to n under PCEP noise.
+  double total = 0.0;
+  for (const double v : result.counts) {
+    ASSERT_TRUE(std::isfinite(v));
+    total += v;
+  }
+  const double expected = 800.0 * stats.global_rescale;
+  EXPECT_GT(total, 0.25 * expected);
+  EXPECT_LT(total, 4.0 * expected);
+}
+
+TEST(FaultInjectionCollectTest, ClusterResponseStatsTrackDropout) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  auto clients = MakeClients(tax, 2000, 31);
+  FaultSpec faults;
+  faults.drop_probability = 0.3;
+  faults.seed = 17;
+  RetryPolicy no_retries;
+  no_retries.max_attempts = 1;
+  AggregationServer server(&tax, PsdaOptions(), faults, no_retries);
+  ProtocolStats stats;
+  (void)server.Collect(&clients, &stats).value();
+
+  ASSERT_FALSE(stats.cluster_response.empty());
+  uint64_t responded = 0, expected = 0;
+  for (const ClusterResponseStats& cluster : stats.cluster_response) {
+    EXPECT_LE(cluster.n_responded, cluster.n_expected);
+    EXPECT_GT(cluster.error_bound, 0.0);
+    responded += cluster.n_responded;
+    expected += cluster.n_expected;
+  }
+  // ~51% of users survive two 0.3-drop legs with no retries.
+  EXPECT_LT(responded, expected);
+  EXPECT_GT(stats.dropped_clients, 0u);
+  EXPECT_LT(stats.global_rescale, 1.5);
+  EXPECT_GT(stats.global_rescale, 1.0);
+}
+
+TEST(DeviceClientDedupTest, RetransmissionServedFromCacheDifferentRefused) {
+  const SpatialTaxonomy tax = MakeTaxonomy(4);
+  DeviceClient client(&tax, 3, PrivacySpec{tax.root(), 1.0}, 71);
+  EXPECT_FALSE(client.has_reported());
+
+  PcepParams params;
+  params.seed = 15;
+  PcepServer pcep =
+      PcepServer::Create(tax.RegionSize(tax.root()), 100, params).value();
+  RowAssignmentMsg msg;
+  msg.region = tax.root();
+  msg.m = pcep.m();
+  msg.row_index = 4;
+  msg.row_bits = pcep.sign_matrix().Row(4);
+  const std::vector<uint8_t> wire = msg.Serialize();
+
+  const auto first = client.HandleRowAssignment(wire);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(client.has_reported());
+
+  // Identical retransmission: identical cached bytes, no fresh perturbation.
+  const auto again = client.HandleRowAssignment(wire);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first.value(), again.value());
+
+  // A retransmission for the same region is served from the cache even when
+  // its bytes differ (the answered copy may have been the corrupted one);
+  // the device never draws fresh randomness.
+  msg.row_index = 5;
+  msg.row_bits = pcep.sign_matrix().Row(5);
+  const std::vector<uint8_t> same_region = msg.Serialize();
+  const auto cached = client.HandleRowAssignment(same_region);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(first.value(), cached.value());
+
+  // An assignment naming a different protocol region after reporting is
+  // refused outright.
+  RowAssignmentMsg other_msg = msg;
+  other_msg.region = static_cast<NodeId>(tax.num_nodes() - 1);  // a leaf
+  other_msg.row_bits = BitVector(tax.RegionSize(other_msg.region));
+  const auto other = client.HandleRowAssignment(other_msg.Serialize());
+  ASSERT_FALSE(other.ok());
+  EXPECT_EQ(other.status().code(), StatusCode::kFailedPrecondition);
+
+  // Reset clears the round: the device may participate again.
+  client.ResetReport();
+  EXPECT_FALSE(client.has_reported());
+  EXPECT_TRUE(client.HandleRowAssignment(same_region).ok());
+}
+
+}  // namespace
+}  // namespace pldp

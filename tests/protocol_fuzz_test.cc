@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "protocol/channel.h"
 #include "protocol/client.h"
 #include "protocol/messages.h"
 #include "util/random.h"
@@ -74,6 +75,68 @@ TEST(ProtocolFuzzTest, ClientSurvivesGarbageAssignments) {
   // Random bytes essentially never form a row assignment naming a region
   // that covers the client with a full-length row.
   EXPECT_EQ(accepted, 0);
+}
+
+TEST(ProtocolFuzzTest, ChannelMangledSpecUploadsParseCleanly) {
+  // Exactly the corruptions FaultyChannel produces, driven straight through
+  // the parser: never a crash, always either a value or a non-OK Status.
+  SpecUploadMsg msg;
+  msg.safe_region = 12;
+  msg.epsilon = 0.75;
+  const std::vector<uint8_t> valid = msg.Serialize();
+
+  FaultSpec spec;
+  spec.corrupt_probability = 0.8;
+  spec.truncate_probability = 0.4;
+  spec.seed = 0xF025;
+  FaultyChannel channel(spec);
+  for (int i = 0; i < 20000; ++i) {
+    const Delivery delivery = channel.Transfer(valid);
+    ASSERT_TRUE(delivery.delivered());
+    const StatusOr<SpecUploadMsg> parsed = SpecUploadMsg::Parse(delivery.bytes);
+    if (!parsed.ok()) {
+      EXPECT_NE(parsed.status().code(), StatusCode::kOk);
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, ChannelMangledAssignmentsNeverCrashClient) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 8, 8}, 1, 1).value();
+  const SpatialTaxonomy tax = SpatialTaxonomy::Build(grid, 4).value();
+  DeviceClient client(&tax, 5, PrivacySpec{tax.root(), 1.0}, 0xF026);
+
+  RowAssignmentMsg msg;
+  msg.region = tax.root();
+  msg.m = 4096;
+  msg.row_index = 17;
+  msg.row_bits = BitVector(tax.RegionSize(tax.root()));
+  Rng bits_rng(0xF027);
+  for (uint64_t i = 0; i < msg.row_bits.size(); ++i) {
+    msg.row_bits.Set(i, bits_rng.Bernoulli(0.5));
+  }
+  const std::vector<uint8_t> valid = msg.Serialize();
+
+  FaultSpec spec;
+  spec.corrupt_probability = 0.9;
+  spec.truncate_probability = 0.3;
+  spec.seed = 0xF028;
+  FaultyChannel channel(spec);
+  for (int i = 0; i < 20000; ++i) {
+    const Delivery delivery = channel.Transfer(valid);
+    ASSERT_TRUE(delivery.delivered());
+    const auto reply = client.HandleRowAssignment(delivery.bytes);
+    if (reply.ok()) {
+      // A surviving mutation yields a well-formed report.
+      EXPECT_TRUE(ReportMsg::Parse(reply.value()).ok());
+    } else {
+      EXPECT_NE(reply.status().code(), StatusCode::kOk);
+      EXPECT_FALSE(reply.status().message().empty());
+    }
+    // Keep exercising the perturbation path rather than the report cache.
+    client.ResetReport();
+  }
 }
 
 TEST(ProtocolFuzzTest, ClientRejectsZeroDimension) {

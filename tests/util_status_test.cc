@@ -32,6 +32,23 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, DeadlineExceededRoundTrips) {
+  const Status s = Status::DeadlineExceeded("reply not received in time");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "reply not received in time");
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: reply not received in time");
+  EXPECT_EQ(std::string(StatusCodeToString(StatusCode::kDeadlineExceeded)),
+            "DeadlineExceeded");
+  EXPECT_EQ(s, Status(StatusCode::kDeadlineExceeded,
+                      "reply not received in time"));
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "DeadlineExceeded: reply not received in time");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
