@@ -17,6 +17,7 @@ int main() {
   using namespace pldp;
   using namespace pldp::bench;
 
+  BenchReport report("ablation_clustering");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Ablation: user-group clustering (Algorithm 3)",
                      profile);
@@ -44,6 +45,7 @@ int main() {
       options.enable_clustering = false;
       const auto finest = RunPsda(setup->taxonomy, users.value(), options);
       PLDP_CHECK(finest.ok()) << finest.status();
+      report.AddSample(name + "/finest", finest->server_seconds);
       mae_finest +=
           MaxAbsoluteError(setup->true_histogram, finest->counts).value();
       seconds_finest += finest->server_seconds;
@@ -51,6 +53,7 @@ int main() {
       options.enable_clustering = true;
       const auto clustered = RunPsda(setup->taxonomy, users.value(), options);
       PLDP_CHECK(clustered.ok()) << clustered.status();
+      report.AddSample(name + "/clustered", clustered->server_seconds);
       mae_clustered +=
           MaxAbsoluteError(setup->true_histogram, clustered->counts).value();
       seconds_clustered += clustered->server_seconds;
@@ -59,6 +62,10 @@ int main() {
     mae_finest /= profile.runs;
     mae_clustered /= profile.runs;
     const double reduction = 100.0 * (1.0 - mae_clustered / mae_finest);
+    report.AddCaseStat(name + "/finest", "mae", mae_finest);
+    report.AddCaseStat(name + "/clustered", "mae", mae_clustered);
+    report.AddCaseStat(name + "/clustered", "merges", merges);
+    report.AddCaseStat(name + "/clustered", "mae_reduction_pct", reduction);
     total_reduction += reduction;
     ++measured;
     std::printf("%-10s %12.1f %12.1f %9.2f%% %10u %10.3f\n", name.c_str(),
@@ -67,5 +74,7 @@ int main() {
   }
   std::printf("\naverage MAE reduction: %.2f%% (paper reports 14.65%%)\n",
               total_reduction / measured);
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   using namespace pldp;
   using namespace pldp::bench;
 
+  BenchReport report("ablation_consistency");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Ablation: consistency post-processing", profile);
 
@@ -30,7 +31,9 @@ int main() {
     for (int run = 0; run < profile.runs; ++run) {
       PsdaOptions options;
       options.seed = 7000 + 1000 * run;
+      Stopwatch timer;
       const auto result = RunPsda(setup->taxonomy, users.value(), options);
+      report.AddSample(name, timer.ElapsedSeconds());
       PLDP_CHECK(result.ok()) << result.status();
       mae_raw +=
           MaxAbsoluteError(setup->true_histogram, result->raw_counts).value();
@@ -40,11 +43,17 @@ int main() {
           KlDivergence(setup->true_histogram, result->raw_counts).value();
       kl_cons += KlDivergence(setup->true_histogram, result->counts).value();
     }
+    report.AddCaseStat(name, "mae_raw", mae_raw / profile.runs);
+    report.AddCaseStat(name, "mae_consistent", mae_cons / profile.runs);
+    report.AddCaseStat(name, "kl_raw", kl_raw / profile.runs);
+    report.AddCaseStat(name, "kl_consistent", kl_cons / profile.runs);
     std::printf("%-10s %11.1f %11.1f %11.4f %11.4f\n", name.c_str(),
                 mae_raw / profile.runs, mae_cons / profile.runs,
                 kl_raw / profile.runs, kl_cons / profile.runs);
   }
   std::printf("\n(consistency should never hurt: it projects onto public "
               "constraints)\n");
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

@@ -14,6 +14,7 @@ int main() {
   using namespace pldp;
   using namespace pldp::bench;
 
+  BenchReport report("ablation_fanout");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Ablation: taxonomy fanout", profile);
 
@@ -29,15 +30,21 @@ int main() {
                                      SafeRegionsS1(), EpsilonsE2(), 19);
       PLDP_CHECK(users.ok()) << users.status();
 
+      const std::string case_name =
+          name + "/fanout_" + std::to_string(fanout);
       double kl = 0.0, mae = 0.0;
       for (int run = 0; run < profile.runs; ++run) {
         PsdaOptions options;
         options.seed = 12000 + run;
+        Stopwatch timer;
         const auto result = RunPsda(setup->taxonomy, users.value(), options);
+        report.AddSample(case_name, timer.ElapsedSeconds());
         PLDP_CHECK(result.ok()) << result.status();
         kl += KlDivergence(setup->true_histogram, result->counts).value();
         mae += MaxAbsoluteError(setup->true_histogram, result->counts).value();
       }
+      report.AddCaseStat(case_name, "kl", kl / profile.runs);
+      report.AddCaseStat(case_name, "mae", mae / profile.runs);
       std::printf("%-10s %8u %10u %10zu %12.4f %10.1f\n", name.c_str(),
                   fanout, setup->taxonomy.height(),
                   setup->taxonomy.num_nodes(), kl / profile.runs,
@@ -48,5 +55,7 @@ int main() {
               "reports; larger fanouts shorten the taxonomy, so the same "
               "S-distribution maps users to much coarser safe regions, "
               "which accounts for the residual drift)\n");
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "common.h"
 #include "core/clustering.h"
 #include "core/error_model.h"
 #include "geo/taxonomy.h"
@@ -17,6 +18,7 @@
 
 int main() {
   using namespace pldp;
+  bench::BenchReport report("example41_clustering");
 
   std::printf("=== Example 4.1: merge vs separate ===\n\n");
   const double beta = 0.2;
@@ -53,15 +55,22 @@ int main() {
   };
   ClusteringOptions options;
   options.beta = beta;
+  Stopwatch timer;
   const auto result =
       ClusterUserGroups(taxonomy,
                         {make_group(outer, 60000), make_group(inner, 20000)},
                         options);
+  report.AddSample("cluster_example41", timer.ElapsedSeconds());
   PLDP_CHECK(result.ok()) << result.status();
   std::printf("Algorithm 3 on the same shape (|R|=16 over |R|=4):\n");
   std::printf("  merges performed: %u (expected 1)\n", result->merges);
   std::printf("  objective: %.0f -> %.0f\n", result->initial_max_path_error,
               result->final_max_path_error);
   std::printf("  final clusters: %zu\n", result->clusters.size());
+  report.AddCaseStat("cluster_example41", "merges", result->merges);
+  report.AddCaseStat("cluster_example41", "reduction_ratio",
+                     merged / separate);
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

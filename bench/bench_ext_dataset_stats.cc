@@ -13,18 +13,25 @@ int main() {
   using namespace pldp;
   using namespace pldp::bench;
 
+  BenchReport report("ext_dataset_stats");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Extension: dataset skew statistics", profile);
 
   for (const std::string& name : BenchmarkDatasetNames()) {
+    Stopwatch timer;
     const auto dataset =
         GenerateByName(name, DatasetScale(profile, name), 2016);
     PLDP_CHECK(dataset.ok()) << dataset.status();
     const auto stats = ComputeDatasetStats(dataset.value());
+    report.AddSample(name, timer.ElapsedSeconds());
     PLDP_CHECK(stats.ok()) << stats.status();
+    report.AddCaseStat(name, "users",
+                       static_cast<double>(dataset->num_users()));
     std::printf("%s\n", FormatDatasetStats(name, stats.value()).c_str());
   }
   std::printf("\nTable I reference cardinalities (scale 1.0): road 1,634,165"
               " / checkin 1,000,000 / landmark 870,051 / storage 8,938\n");
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

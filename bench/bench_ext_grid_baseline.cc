@@ -20,6 +20,7 @@ int main() {
   using namespace pldp;
   using namespace pldp::bench;
 
+  BenchReport report("ext_grid_baseline");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Extension: uniform-grid (UG) baseline", profile);
 
@@ -36,6 +37,7 @@ int main() {
 
     double kl_psda = 0.0, kl_kd = 0.0, kl_ug = 0.0, kl_ag = 0.0;
     for (int run = 0; run < profile.runs; ++run) {
+      Stopwatch timer;
       const uint64_t seed = 5000 + 1000 * run;
       kl_psda += KlDivergence(
                      setup->true_histogram,
@@ -61,7 +63,14 @@ int main() {
           RunAdaptiveGridBaseline(setup->taxonomy, users.value(), ag_options);
       PLDP_CHECK(ag.ok()) << ag.status();
       kl_ag += KlDivergence(setup->true_histogram, ag.value()).value();
+      report.AddSample("four_schemes/" + name, timer.ElapsedSeconds());
     }
+    report.AddCaseStat("four_schemes/" + name, "kl_psda",
+                       kl_psda / profile.runs);
+    report.AddCaseStat("four_schemes/" + name, "kl_kdtree",
+                       kl_kd / profile.runs);
+    report.AddCaseStat("four_schemes/" + name, "kl_ug", kl_ug / profile.runs);
+    report.AddCaseStat("four_schemes/" + name, "kl_ag", kl_ag / profile.runs);
     std::printf("%-10s %10.4f %10.4f %10.4f %10.4f\n", name.c_str(),
                 kl_psda / profile.runs, kl_kd / profile.runs,
                 kl_ug / profile.runs, kl_ag / profile.runs);
@@ -77,20 +86,27 @@ int main() {
                                    SafeRegionsS1(), EpsilonsE2(), 83);
     PLDP_CHECK(users.ok()) << users.status();
     for (const double c0 : {1.0, 10.0, 100.0, 1000.0}) {
+      const std::string case_name =
+          "c0_sweep/c0_" + std::to_string(static_cast<int>(c0));
       double kl = 0.0;
       for (int run = 0; run < profile.runs; ++run) {
         UniformGridBaselineOptions options;
         options.guideline_c0 = c0;
         options.seed = 8000 + 1000 * run;
+        Stopwatch timer;
         const auto ug =
             RunUniformGridBaseline(setup->taxonomy, users.value(), options);
+        report.AddSample(case_name, timer.ElapsedSeconds());
         PLDP_CHECK(ug.ok()) << ug.status();
         kl += KlDivergence(setup->true_histogram, ug.value()).value();
       }
+      report.AddCaseStat(case_name, "kl", kl / profile.runs);
       std::printf("%8.0f %12.4f\n", c0, kl / profile.runs);
     }
   }
   std::printf("\n(the strong c0 dependence is why the paper excludes the "
               "grid methods from its comparison)\n");
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

@@ -39,6 +39,7 @@ std::vector<PcepUser> PlantedCohort(size_t n, uint64_t width,
 }  // namespace
 
 int main() {
+  BenchReport report("ext_heavy_hitters");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Extension: succinct heavy hitters", profile);
 
@@ -59,7 +60,9 @@ int main() {
       options.seed = 555 + run;
       Stopwatch timer;
       const auto hitters = FindHeavyHitters(users, width, options);
-      seconds += timer.ElapsedSeconds();
+      const double elapsed = timer.ElapsedSeconds();
+      report.AddSample("recall/width_" + std::to_string(width), elapsed);
+      seconds += elapsed;
       PLDP_CHECK(hitters.ok()) << hitters.status();
       std::set<uint64_t> found;
       for (const auto& hitter : hitters.value()) found.insert(hitter.item);
@@ -67,6 +70,8 @@ int main() {
       for (const uint64_t item : heavy) hit += found.count(item);
       recall += static_cast<double>(hit) / heavy.size();
     }
+    report.AddCaseStat("recall/width_" + std::to_string(width), "recall",
+                       recall / profile.runs);
     std::printf("%12lu %9.0f%% %10u %10.3f\n",
                 static_cast<unsigned long>(width),
                 100.0 * recall / profile.runs, (bits + 3) / 4,
@@ -83,8 +88,10 @@ int main() {
 
   HeavyHittersOptions options;
   options.max_results = 5;
+  Stopwatch checkin_timer;
   const auto hitters =
       FindHeavyHitters(users, setup->taxonomy.grid().num_cells(), options);
+  report.AddSample("busiest_cells_checkin", checkin_timer.ElapsedSeconds());
   PLDP_CHECK(hitters.ok()) << hitters.status();
 
   std::printf("%12s %12s %12s\n", "cell", "estimated", "true");
@@ -107,5 +114,9 @@ int main() {
   }
   std::printf("%zu of %zu discovered cells are in the true top-10\n",
               in_top10, hitters->size());
+  report.AddCaseStat("busiest_cells_checkin", "in_true_top10",
+                     static_cast<double>(in_top10));
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

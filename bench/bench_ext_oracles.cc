@@ -40,6 +40,7 @@ std::vector<PcepUser> SkewedUsers(int n, int width, double epsilon,
 }  // namespace
 
 int main() {
+  BenchReport report("ext_oracles");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Extension: frequency-oracle comparison", profile);
 
@@ -57,14 +58,21 @@ int main() {
       const auto users = SkewedUsers(100000, width, eps, &truth, 42);
       std::printf("%8d %6.2f", width, eps);
       for (const FrequencyOracle* oracle : oracles) {
+        const std::string case_name = "standalone/width_" +
+                                      std::to_string(width) + "/eps_" +
+                                      std::to_string(eps) + "/" +
+                                      oracle->Name();
         double mae = 0.0;
         for (int run = 0; run < profile.runs; ++run) {
+          Stopwatch timer;
           const auto counts =
               oracle->EstimateCounts(users, width, 0.1, 100 + run);
+          report.AddSample(case_name, timer.ElapsedSeconds());
           PLDP_CHECK(counts.ok()) << counts.status();
           const auto err = MaxAbsoluteError(truth, counts.value());
           mae += err.value();
         }
+        report.AddCaseStat(case_name, "mae", mae / profile.runs);
         std::printf(" %12.1f", mae / profile.runs);
       }
       std::printf("\n");
@@ -80,20 +88,27 @@ int main() {
   PLDP_CHECK(users.ok()) << users.status();
   std::printf("%10s %12s %12s\n", "oracle", "KL", "MAE");
   for (const FrequencyOracle* oracle : oracles) {
+    const std::string case_name = "psda_end_to_end/" + oracle->Name();
     double kl = 0.0, mae = 0.0;
     for (int run = 0; run < profile.runs; ++run) {
       PsdaOptions options;
       options.seed = 9000 + run;
+      Stopwatch timer;
       const auto result =
           RunPsdaWithOracle(setup->taxonomy, users.value(), options, *oracle);
+      report.AddSample(case_name, timer.ElapsedSeconds());
       PLDP_CHECK(result.ok()) << result.status();
       kl += KlDivergence(setup->true_histogram, result->counts).value();
       mae += MaxAbsoluteError(setup->true_histogram, result->counts).value();
     }
+    report.AddCaseStat(case_name, "kl", kl / profile.runs);
+    report.AddCaseStat(case_name, "mae", mae / profile.runs);
     std::printf("%10s %12.4f %12.1f\n", oracle->Name().c_str(),
                 kl / profile.runs, mae / profile.runs);
   }
   std::printf("\n(PCEP should dominate as the domain grows - the paper's "
               "rationale for building on [3].)\n");
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

@@ -21,6 +21,7 @@ int main() {
   using namespace pldp;
   using namespace pldp::bench;
 
+  BenchReport report("ext_pollution");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Extension: data-pollution attacks on PCEP", profile);
 
@@ -49,17 +50,31 @@ int main() {
         config.target = 7;
         config.claimed_epsilon = eps;
 
+        const std::string case_name =
+            std::string(strategy == PollutionStrategy::kFakeLocation
+                            ? "fake_location"
+                            : "optimal_bias") +
+            "/frac_" + std::to_string(fraction) + "/eps_" +
+            std::to_string(eps);
         double clean = 0.0, attacked = 0.0, per_attacker = 0.0;
         for (int run = 0; run < profile.runs; ++run) {
           PcepParams params;
           params.seed = 0xA77AC4 + run;
+          Stopwatch timer;
           const auto outcome =
               SimulatePcepPollution(honest, width, config, params);
+          report.AddSample(case_name, timer.ElapsedSeconds());
           PLDP_CHECK(outcome.ok()) << outcome.status();
           clean += outcome->target_clean;
           attacked += outcome->target_attacked;
           per_attacker += outcome->amplification_per_attacker;
         }
+        report.AddCaseStat(case_name, "target_clean",
+                           clean / profile.runs);
+        report.AddCaseStat(case_name, "target_attacked",
+                           attacked / profile.runs);
+        report.AddCaseStat(case_name, "inject_per_attacker",
+                           per_attacker / profile.runs);
         std::printf("%-14s %10zu %8.2f %12.1f %12.1f %14.2f\n",
                     strategy == PollutionStrategy::kFakeLocation
                         ? "fake-location"
@@ -72,5 +87,7 @@ int main() {
   std::printf("\n(theory: fake-location injects ~1/attacker; optimal-bias "
               "injects ~c_eps: c_0.1 = %.1f, c_1.0 = %.1f)\n",
               CEpsilon(0.1), CEpsilon(1.0));
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

@@ -2,6 +2,7 @@
 #include "common.h"
 
 int main() {
-  return pldp::bench::RunRangeFigure("Figure 3: range queries on road",
+  return pldp::bench::RunRangeFigure("fig3_range_road",
+                                     "Figure 3: range queries on road",
                                      "road");
 }

@@ -2,6 +2,7 @@
 #include "common.h"
 
 int main() {
-  return pldp::bench::RunRangeFigure("Figure 4: range queries on checkin",
+  return pldp::bench::RunRangeFigure("fig4_range_checkin",
+                                     "Figure 4: range queries on checkin",
                                      "checkin");
 }

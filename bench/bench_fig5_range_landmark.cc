@@ -2,6 +2,7 @@
 #include "common.h"
 
 int main() {
-  return pldp::bench::RunRangeFigure("Figure 5: range queries on landmark",
+  return pldp::bench::RunRangeFigure("fig5_range_landmark",
+                                     "Figure 5: range queries on landmark",
                                      "landmark");
 }

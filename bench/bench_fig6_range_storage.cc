@@ -2,6 +2,7 @@
 #include "common.h"
 
 int main() {
-  return pldp::bench::RunRangeFigure("Figure 6: range queries on storage",
+  return pldp::bench::RunRangeFigure("fig6_range_storage",
+                                     "Figure 6: range queries on storage",
                                      "storage");
 }

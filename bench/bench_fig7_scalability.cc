@@ -21,13 +21,15 @@ using namespace pldp;
 using namespace pldp::bench;
 
 double TimePsda(const SpatialTaxonomy& taxonomy,
-                const std::vector<UserRecord>& users, int runs) {
+                const std::vector<UserRecord>& users, int runs,
+                BenchReport* report, const std::string& case_name) {
   double total = 0.0;
   for (int run = 0; run < runs; ++run) {
     PsdaOptions options;
     options.seed = 31337 + run;
     const auto result = RunPsda(taxonomy, users, options);
     PLDP_CHECK(result.ok()) << result.status();
+    report->AddSample(case_name, result->server_seconds);
     total += result->server_seconds;
   }
   return total / runs;
@@ -36,6 +38,7 @@ double TimePsda(const SpatialTaxonomy& taxonomy,
 }  // namespace
 
 int main() {
+  BenchReport report("fig7_scalability");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Figure 7: PSDA server runtime", profile);
   const double fractions[] = {0.25, 0.50, 0.75, 1.00};
@@ -58,7 +61,12 @@ int main() {
           1, static_cast<size_t>(all_users->size() * fraction));
       const std::vector<UserRecord> subset(all_users->begin(),
                                            all_users->begin() + n);
-      std::printf(" %8.3f", TimePsda(setup->taxonomy, subset, profile.runs));
+      const std::string case_name =
+          "users/" + name + "/" +
+          std::to_string(static_cast<int>(fraction * 100));
+      std::printf(" %8.3f",
+                  TimePsda(setup->taxonomy, subset, profile.runs, &report,
+                           case_name));
     }
     std::printf("\n");
   }
@@ -86,10 +94,16 @@ int main() {
                                      dataset.ToCells(grid.value()),
                                      SafeRegionsS2(), EpsilonsE2(), 41);
       PLDP_CHECK(users.ok()) << users.status();
+      const std::string case_name =
+          "cells/" + name + "/" +
+          std::to_string(static_cast<int>(fraction * 100));
       std::printf(" %8.3f",
-                  TimePsda(taxonomy.value(), users.value(), profile.runs));
+                  TimePsda(taxonomy.value(), users.value(), profile.runs,
+                           &report, case_name));
     }
     std::printf("\n");
   }
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

@@ -65,5 +65,3 @@ BENCHMARK(BM_MaxPathError)->Arg(32)->Arg(256);
 
 }  // namespace
 }  // namespace pldp
-
-BENCHMARK_MAIN();

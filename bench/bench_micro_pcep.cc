@@ -116,5 +116,3 @@ BENCHMARK(BM_RunPcepEndToEnd)->Args({10000, 64})->Args({50000, 1024});
 
 }  // namespace
 }  // namespace pldp
-
-BENCHMARK_MAIN();

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common.h"
 #include "core/psda.h"
 #include "geo/taxonomy.h"
 #include "protocol/client.h"
@@ -15,6 +16,13 @@
 
 int main() {
   using namespace pldp;
+  using namespace pldp::bench;
+
+  bench::BenchReport report("micro_protocol");
+  const BenchProfile profile = GetBenchProfile();
+  const int repetitions = profile.runs;
+  report.AddParam("clients", static_cast<uint64_t>(2000));
+  report.AddParam("repetitions", repetitions);
 
   std::printf("=== Protocol communication cost vs |tau| ===\n\n");
   std::printf("%10s %14s %14s %14s %12s\n", "|universe|", "down B/user",
@@ -27,34 +35,49 @@ int main() {
                             1, 1)
             .value();
     const SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+    const std::string case_name =
+        "universe_" + std::to_string(grid.num_cells());
 
     // Everyone declares the universe: every row spans all |L| cells, the
     // worst-case downlink.
     const size_t n = 2000;
-    Rng rng(101);
-    std::vector<DeviceClient> clients;
-    clients.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      const auto cell = static_cast<CellId>(rng.NextUint64(grid.num_cells()));
-      clients.emplace_back(&taxonomy, cell,
-                           PrivacySpec{taxonomy.root(), 1.0},
-                           SplitMix64(7 ^ (i + 1)));
-    }
-
-    AggregationServer server(&taxonomy, PsdaOptions());
     ProtocolStats stats;
-    Stopwatch timer;
-    const auto result = server.Collect(&clients, &stats);
-    PLDP_CHECK(result.ok()) << result.status();
-    const double seconds = timer.ElapsedSeconds();
+    double seconds = 0.0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      // Fresh clients per repetition so every Collect does identical work.
+      Rng rng(101);
+      std::vector<DeviceClient> clients;
+      clients.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const auto cell =
+            static_cast<CellId>(rng.NextUint64(grid.num_cells()));
+        clients.emplace_back(&taxonomy, cell,
+                             PrivacySpec{taxonomy.root(), 1.0},
+                             SplitMix64(7 ^ (i + 1)));
+      }
+
+      AggregationServer server(&taxonomy, PsdaOptions());
+      Stopwatch timer;
+      const auto result = server.Collect(&clients, &stats);
+      const double elapsed = timer.ElapsedSeconds();
+      PLDP_CHECK(result.ok()) << result.status();
+      report.AddSample(case_name, elapsed);
+      seconds += elapsed;
+    }
+    seconds /= repetitions;
 
     const double row_payload = (grid.num_cells() + 63) / 64 * 8.0;
-    std::printf("%10u %14.1f %14.1f %14.0f %12.3f\n", grid.num_cells(),
-                static_cast<double>(stats.bytes_to_clients) / n,
-                static_cast<double>(stats.bytes_to_server) / n, row_payload,
-                seconds);
+    const double down = static_cast<double>(stats.bytes_to_clients) / n;
+    const double up = static_cast<double>(stats.bytes_to_server) / n;
+    report.AddCaseStat(case_name, "down_bytes_per_user", down);
+    report.AddCaseStat(case_name, "up_bytes_per_user", up);
+    report.AddCaseStat(case_name, "row_payload_bytes", row_payload);
+    std::printf("%10u %14.1f %14.1f %14.0f %12.3f\n", grid.num_cells(), down,
+                up, row_payload, seconds);
   }
   std::printf("\ndownlink grows linearly with |tau| (packed row), uplink is "
               "constant: the thin-client design of Section IV-A.\n");
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

@@ -16,6 +16,7 @@ int main() {
   using namespace pldp;
   using namespace pldp::bench;
 
+  BenchReport report("table2_kl");
   const BenchProfile profile = GetBenchProfile();
   PrintProfileBanner("Table II: KL divergence", profile);
 
@@ -42,12 +43,16 @@ int main() {
             profile.runs, /*seed_base=*/900 + 17 * s,
             [&](const std::vector<double>& counts) {
               return KlDivergence(setup->true_histogram, counts).value();
-            });
+            },
+            &report,
+            settings[s].Name() + "/" + name + "/" + SchemeName(scheme));
         std::printf(" %10.4f", kl);
       }
       std::printf("\n");
     }
     std::printf("\n");
   }
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }

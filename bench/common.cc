@@ -1,15 +1,148 @@
 #include "common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <functional>
 #include <utility>
 
 #include "eval/metrics.h"
 #include "eval/range_query.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pldp {
 namespace bench {
+
+double Median(std::vector<double> samples) { return Percentile(samples, 50.0); }
+
+double Percentile(std::vector<double> samples, double p) {
+  PLDP_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= samples.size()) index = samples.size() - 1;
+  return samples[index];
+}
+
+BenchReport::BenchReport(const std::string& bench_name)
+    : bench_name_(bench_name) {
+  manifest_.tool = "bench_" + bench_name;
+  manifest_.command = "bench";
+  const BenchProfile profile = GetBenchProfile();
+  manifest_.AddParam("profile", profile.name);
+  manifest_.AddParam("profile_scale", profile.scale);
+  manifest_.AddParam("profile_runs", static_cast<int64_t>(profile.runs));
+  obs::EnableCollection();
+}
+
+void BenchReport::AddParam(const std::string& key, const std::string& value) {
+  manifest_.AddParam(key, value);
+}
+void BenchReport::AddParam(const std::string& key, double value) {
+  manifest_.AddParam(key, value);
+}
+void BenchReport::AddParam(const std::string& key, uint64_t value) {
+  manifest_.AddParam(key, value);
+}
+void BenchReport::AddParam(const std::string& key, int value) {
+  manifest_.AddParam(key, value);
+}
+
+BenchReport::Case* BenchReport::GetCase(const std::string& case_name) {
+  for (Case& existing : cases_) {
+    if (existing.name == case_name) return &existing;
+  }
+  cases_.push_back(Case{case_name, {}, {}});
+  return &cases_.back();
+}
+
+void BenchReport::AddSample(const std::string& case_name, double seconds) {
+  GetCase(case_name)->samples.push_back(seconds);
+}
+
+void BenchReport::AddCase(const std::string& case_name,
+                          const std::vector<double>& seconds) {
+  Case* entry = GetCase(case_name);
+  entry->samples.insert(entry->samples.end(), seconds.begin(), seconds.end());
+}
+
+void BenchReport::AddCaseStat(const std::string& case_name,
+                              const std::string& key, double value) {
+  GetCase(case_name)->stats.emplace_back(key, value);
+}
+
+std::string BenchReport::OutputPath() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("PLDP_BENCH_OUT_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  return dir + "/BENCH_" + bench_name_ + ".json";
+}
+
+Status BenchReport::Write() const {
+  const std::string path = OutputPath();
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  const std::vector<obs::SpanRecord> spans =
+      obs::TraceCollector::Global().Snapshot();
+
+  obs::JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Field("schema", "pldp.bench/1");
+  writer.Field("bench", bench_name_);
+  writer.Field("generated_unix_s", static_cast<int64_t>(std::time(nullptr)));
+  writer.Key("manifest");
+  obs::WriteManifestJson(&writer, manifest_);
+  writer.Key("cases");
+  writer.BeginArray();
+  for (const Case& entry : cases_) {
+    writer.BeginObject();
+    writer.Field("name", entry.name);
+    writer.Field("repetitions", static_cast<uint64_t>(entry.samples.size()));
+    if (!entry.samples.empty()) {
+      writer.Field("median_s", Median(entry.samples));
+      writer.Field("p95_s", Percentile(entry.samples, 95.0));
+      double total = 0.0;
+      double min = entry.samples.front(), max = entry.samples.front();
+      for (const double s : entry.samples) {
+        total += s;
+        min = std::min(min, s);
+        max = std::max(max, s);
+      }
+      writer.Field("mean_s", total / static_cast<double>(entry.samples.size()));
+      writer.Field("min_s", min);
+      writer.Field("max_s", max);
+    }
+    if (!entry.stats.empty()) {
+      writer.Key("stats");
+      writer.BeginObject();
+      for (const auto& [key, value] : entry.stats) writer.Field(key, value);
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("metrics");
+  obs::WriteMetricsJson(&writer, obs::MetricsRegistry::Global().Snapshot());
+  writer.Key("span_aggregates");
+  obs::WriteSpanAggregatesJson(&writer, spans);
+  writer.EndObject();
+  out << "\n";
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing bench report to " + path);
+  }
+  return Status::OK();
+}
 
 std::vector<SpecSetting> AllSpecSettings() {
   return {
@@ -32,22 +165,32 @@ double MeanOverRuns(Scheme scheme, const SpatialTaxonomy& taxonomy,
                     const std::vector<UserRecord>& users, double beta,
                     int runs, uint64_t seed_base,
                     const std::function<double(const std::vector<double>&)>&
-                        metric) {
+                        metric,
+                    BenchReport* report, const std::string& case_name) {
   PLDP_CHECK(runs > 0);
   double total = 0.0;
   for (int run = 0; run < runs; ++run) {
+    Stopwatch timer;
     const auto counts =
         RunScheme(scheme, taxonomy, users, beta, seed_base + 1000 * run);
+    if (report != nullptr) {
+      report->AddSample(case_name, timer.ElapsedSeconds());
+    }
     PLDP_CHECK(counts.ok()) << SchemeName(scheme) << ": "
                             << counts.status().ToString();
     total += metric(counts.value());
   }
-  return total / runs;
+  const double mean = total / runs;
+  if (report != nullptr) report->AddCaseStat(case_name, "metric", mean);
+  return mean;
 }
 
-int RunRangeFigure(const char* figure_name, const std::string& dataset_name) {
+int RunRangeFigure(const char* bench_name, const char* figure_title,
+                   const std::string& dataset_name) {
+  BenchReport report(bench_name);
+  report.AddParam("dataset", dataset_name);
   const BenchProfile profile = GetBenchProfile();
-  PrintProfileBanner(figure_name, profile);
+  PrintProfileBanner(figure_title, profile);
 
   const auto setup =
       PrepareExperiment(dataset_name, DatasetScale(profile, dataset_name),
@@ -95,10 +238,14 @@ int RunRangeFigure(const char* figure_name, const std::string& dataset_name) {
     std::printf("\n");
 
     for (const Scheme scheme : AllSchemes()) {
+      const std::string case_name =
+          setting.Name() + "/" + SchemeName(scheme);
       std::vector<double> errors(num_sizes, 0.0);
       for (int run = 0; run < profile.runs; ++run) {
+        Stopwatch timer;
         const auto counts = RunScheme(scheme, setup->taxonomy, users.value(),
                                       /*beta=*/0.1, 4000 + 1000 * run);
+        report.AddSample(case_name, timer.ElapsedSeconds());
         PLDP_CHECK(counts.ok()) << counts.status();
         for (size_t qi = 0; qi < num_sizes; ++qi) {
           const QuerySet& set = query_sets[qi];
@@ -112,13 +259,18 @@ int RunRangeFigure(const char* figure_name, const std::string& dataset_name) {
         }
       }
       std::printf("%-8s", SchemeName(scheme));
-      for (const double total : errors) {
-        std::printf(" %8.3f", total / profile.runs);
+      for (size_t qi = 0; qi < num_sizes; ++qi) {
+        const double mean_error = errors[qi] / profile.runs;
+        report.AddCaseStat(case_name, "err_q" + std::to_string(qi + 1),
+                           mean_error);
+        std::printf(" %8.3f", mean_error);
       }
       std::printf("\n");
     }
     std::printf("\n");
   }
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
   return 0;
 }
 

@@ -4,14 +4,92 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/spec_assignment.h"
 #include "data/synthetic.h"
 #include "eval/experiment.h"
+#include "obs/manifest.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace pldp {
 namespace bench {
+
+/// Sample statistics over per-repetition wall times. `Percentile` uses
+/// nearest-rank on the sorted samples; both abort on an empty vector.
+double Median(std::vector<double> samples);
+double Percentile(std::vector<double> samples, double p);
+
+/// Standardized machine-readable output every bench binary emits next to its
+/// console tables: `BENCH_<name>.json` (schema "pldp.bench/1", see
+/// docs/observability.md) in $PLDP_BENCH_OUT_DIR (default: the working
+/// directory). One case per measured configuration, with median/p95 over the
+/// repetition samples plus the run's metric snapshot, span aggregates, and
+/// manifest.
+///
+/// Constructing the report enables global metric/span collection, so the
+/// embedded snapshot covers everything the bench ran.
+class BenchReport {
+ public:
+  /// `bench_name` is the target name without the bench_ prefix
+  /// ("micro_pcep" -> BENCH_micro_pcep.json).
+  explicit BenchReport(const std::string& bench_name);
+
+  /// Manifest parameters (profile, scale, dataset, ...).
+  void AddParam(const std::string& key, const std::string& value);
+  void AddParam(const std::string& key, double value);
+  void AddParam(const std::string& key, uint64_t value);
+  void AddParam(const std::string& key, int value);
+
+  /// Appends one repetition sample (seconds) to `case_name`, creating the
+  /// case on first use. Cases keep insertion order.
+  void AddSample(const std::string& case_name, double seconds);
+  void AddCase(const std::string& case_name,
+               const std::vector<double>& seconds);
+  /// Attaches an auxiliary scalar to a case (error, bytes/user, ...).
+  void AddCaseStat(const std::string& case_name, const std::string& key,
+                   double value);
+
+  /// Where the report will land, honouring PLDP_BENCH_OUT_DIR.
+  std::string OutputPath() const;
+
+  /// Writes the JSON report; call once, after all cases are recorded.
+  Status Write() const;
+
+ private:
+  struct Case {
+    std::string name;
+    std::vector<double> samples;
+    std::vector<std::pair<std::string, double>> stats;
+  };
+
+  Case* GetCase(const std::string& case_name);
+
+  std::string bench_name_;
+  obs::RunManifest manifest_;
+  std::vector<Case> cases_;
+};
+
+/// Times its scope and appends it as one repetition sample of `case_name`,
+/// so converting an existing per-run loop is one line.
+class ScopedSample {
+ public:
+  ScopedSample(BenchReport* report, std::string case_name)
+      : report_(report), case_name_(std::move(case_name)) {}
+  ~ScopedSample() {
+    report_->AddSample(case_name_, timer_.ElapsedSeconds());
+  }
+
+  ScopedSample(const ScopedSample&) = delete;
+  ScopedSample& operator=(const ScopedSample&) = delete;
+
+ private:
+  BenchReport* report_;
+  std::string case_name_;
+  Stopwatch timer_;
+};
 
 /// The paper's four privacy-specification settings, in Table II order:
 /// (S1,E1), (S1,E2), (S2,E1), (S2,E2).
@@ -31,17 +109,23 @@ void PrintProfileBanner(const char* bench_name, const BenchProfile& profile);
 
 /// Runs `scheme` `runs` times with distinct seeds and returns the mean of
 /// `metric(counts)` over the runs. Aborts the process on setup errors (bench
-/// binaries are leaf programs).
+/// binaries are leaf programs). When `report` is non-null every run's wall
+/// time lands in `case_name`, and the mean metric is attached as its
+/// "metric" stat.
 double MeanOverRuns(Scheme scheme, const SpatialTaxonomy& taxonomy,
                     const std::vector<UserRecord>& users, double beta,
                     int runs, uint64_t seed_base,
                     const std::function<double(const std::vector<double>&)>&
-                        metric);
+                        metric,
+                    BenchReport* report = nullptr,
+                    const std::string& case_name = "");
 
 /// Shared driver for Figures 3-6: mean relative error of range queries of 6
 /// growing sizes (q1 per dataset, x1.5 linear per step, `queries_per_size`
 /// random rectangles each) for every scheme under every spec setting.
-int RunRangeFigure(const char* figure_name, const std::string& dataset_name);
+/// `bench_name` names the BENCH_<name>.json report ("fig3_range_road").
+int RunRangeFigure(const char* bench_name, const char* figure_title,
+                   const std::string& dataset_name);
 
 }  // namespace bench
 }  // namespace pldp

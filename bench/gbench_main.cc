@@ -1,0 +1,59 @@
+// Shared main for the google-benchmark micro-benches: runs the registered
+// benchmarks with the normal console output, captures every iteration run,
+// and emits the same standardized BENCH_<name>.json the plain benches write
+// (one case per benchmark, sample = mean real seconds per iteration).
+//
+// The bench name comes from the PLDP_BENCH_NAME compile definition set by
+// pldp_add_gbench.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/logging.h"
+
+#ifndef PLDP_BENCH_NAME
+#error "pldp_add_gbench must define PLDP_BENCH_NAME"
+#endif
+
+namespace {
+
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(pldp::bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // Aggregates (mean/median/stddev rows) would double-count; the raw
+      // per-repetition iterations carry the samples.
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run.iterations <= 0) continue;
+      report_->AddSample(run.benchmark_name(),
+                         run.real_accumulated_time /
+                             static_cast<double>(run.iterations));
+    }
+  }
+
+ private:
+  pldp::bench::BenchReport* report_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pldp::bench::BenchReport report(PLDP_BENCH_NAME);
+  CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const pldp::Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
+  std::printf("bench report written to %s\n", report.OutputPath().c_str());
+  return 0;
+}

@@ -12,6 +12,8 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "geo/taxonomy.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
 
 namespace pldp {
@@ -197,6 +199,47 @@ Status RunDegradeCommand(const CliOptions& options, std::ostream& out) {
   return Status::OK();
 }
 
+// Describes the run for the observability manifest: every flag that shaped
+// the computation, in the order the usage text lists them.
+obs::RunManifest BuildCliManifest(const CliOptions& options) {
+  obs::RunManifest manifest;
+  manifest.tool = "pldp_cli";
+  manifest.command = options.command;
+  if (!options.input_csv.empty()) {
+    manifest.AddParam("input", options.input_csv);
+  } else {
+    manifest.AddParam("dataset", options.dataset);
+    manifest.AddParam("scale", options.scale);
+  }
+  manifest.AddParam("scheme", options.scheme);
+  manifest.AddParam("setting", options.setting);
+  manifest.AddParam("beta", options.beta);
+  manifest.AddParam("seed", options.seed);
+  if (options.command == "degrade") {
+    manifest.AddParam("dropout_max", options.dropout_max);
+    manifest.AddParam("dropout_steps",
+                      static_cast<uint64_t>(options.dropout_steps));
+    manifest.AddParam("runs", static_cast<uint64_t>(options.runs));
+    manifest.AddParam("retries", static_cast<uint64_t>(options.retries));
+  }
+  return manifest;
+}
+
+// Writes the run report collected since EnableCollection. A ".csv" suffix
+// selects the flat metric dump; anything else gets the full JSON report.
+Status WriteCliMetrics(const CliOptions& options, std::ostream& out) {
+  const std::string& path = options.metrics_out;
+  Status status = Status::OK();
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    status =
+        obs::WriteMetricsCsv(path, obs::MetricsRegistry::Global().Snapshot());
+  } else {
+    status = obs::WriteRunReportJson(path, BuildCliManifest(options));
+  }
+  if (status.ok()) out << "metrics written to " << path << "\n";
+  return status;
+}
+
 }  // namespace
 
 std::string CliUsage() {
@@ -206,7 +249,8 @@ std::string CliUsage() {
          "  run --input points.csv --domain -125,25,-65,50 --cell 1,1 \\\n"
          "      --scheme psda --output counts.csv\n"
          "  degrade --dataset storage --scale 0.5 --dropout-max 0.5 \\\n"
-         "      --dropout-steps 10 --runs 5 --output degradation.csv\n";
+         "      --dropout-steps 10 --runs 5 --output degradation.csv \\\n"
+         "      --metrics-out run.json\n";
 }
 
 StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
@@ -259,6 +303,8 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       PLDP_ASSIGN_OR_RETURN(options.output_csv, next());
     } else if (flag == "--truth-output") {
       PLDP_ASSIGN_OR_RETURN(options.truth_output_csv, next());
+    } else if (flag == "--metrics-out") {
+      PLDP_ASSIGN_OR_RETURN(options.metrics_out, next());
     } else if (flag == "--dropout-max") {
       PLDP_ASSIGN_OR_RETURN(const std::string value, next());
       PLDP_ASSIGN_OR_RETURN(options.dropout_max, FlagDouble(flag, value));
@@ -297,10 +343,14 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
     out << "schemes: psda kdtree cloak sr ug\n";
     return Status::OK();
   }
-  if (options.command == "degrade") {
-    return RunDegradeCommand(options, out);
-  }
-  return RunCommand(options, out);
+  const bool export_metrics = !options.metrics_out.empty();
+  if (export_metrics) obs::EnableCollection();
+  const Status status = options.command == "degrade"
+                            ? RunDegradeCommand(options, out)
+                            : RunCommand(options, out);
+  PLDP_RETURN_IF_ERROR(status);
+  if (export_metrics) PLDP_RETURN_IF_ERROR(WriteCliMetrics(options, out));
+  return Status::OK();
 }
 
 }  // namespace pldp

@@ -29,6 +29,10 @@ namespace pldp {
 ///   --beta <b>  --seed <s>                      protocol parameters
 ///   --output <counts.csv>                       private estimate dump
 ///   --truth-output <counts.csv>                 exact histogram dump
+///   --metrics-out <run.json>                    observability run report:
+///                                               metrics, span tree, manifest
+///                                               (a .csv path dumps the flat
+///                                               metric snapshot instead)
 ///
 /// `degrade` takes the same input flags plus:
 ///   --dropout-max <r>            top of the swept dropout range (0.5)
@@ -53,6 +57,7 @@ struct CliOptions {
 
   std::string output_csv;
   std::string truth_output_csv;
+  std::string metrics_out;
 
   double dropout_max = 0.5;
   uint32_t dropout_steps = 10;

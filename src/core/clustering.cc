@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/error_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pldp {
@@ -214,6 +216,7 @@ StatusOr<ClusteringResult> TrivialClusters(const SpatialTaxonomy& taxonomy,
 StatusOr<ClusteringResult> ClusterUserGroups(
     const SpatialTaxonomy& taxonomy, const std::vector<UserGroup>& groups,
     const ClusteringOptions& options) {
+  PLDP_SPAN("clustering.cluster_groups");
   PLDP_ASSIGN_OR_RETURN(ClusteringResult result,
                         TrivialClusters(taxonomy, groups, options));
   std::vector<Cluster>& clusters = result.clusters;
@@ -302,6 +305,13 @@ StatusOr<ClusteringResult> ClusterUserGroups(
   clusters = std::move(survivors);
   result.final_max_path_error =
       MaxPathError(taxonomy, clusters, options.beta);
+
+  static obs::Counter* merges_counter =
+      obs::MetricsRegistry::Global().GetCounter("clustering.merges");
+  static obs::Counter* clusters_counter =
+      obs::MetricsRegistry::Global().GetCounter("clustering.clusters");
+  merges_counter->Increment(result.merges);
+  clusters_counter->Increment(clusters.size());
   return result;
 }
 

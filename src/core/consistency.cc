@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pldp {
@@ -11,6 +12,7 @@ namespace pldp {
 StatusOr<std::vector<double>> EnforceConsistency(
     const SpatialTaxonomy& taxonomy, const std::vector<double>& leaf_counts,
     const std::vector<UserGroup>& groups) {
+  PLDP_SPAN("consistency.enforce");
   const size_t num_nodes = taxonomy.num_nodes();
   if (leaf_counts.size() != taxonomy.grid().num_cells()) {
     return Status::InvalidArgument(

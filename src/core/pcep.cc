@@ -6,9 +6,26 @@
 #include <thread>
 
 #include "core/local_randomizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pldp {
+namespace {
+
+obs::Counter* ReportsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("pcep.reports");
+  return counter;
+}
+
+obs::Counter* DecodedRowsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("pcep.decoded_rows");
+  return counter;
+}
+
+}  // namespace
 
 StatusOr<PcepDimensions> ComputePcepDimensions(uint64_t n, uint64_t tau_size,
                                                double beta, uint64_t max_m) {
@@ -48,6 +65,7 @@ void PcepServer::Accumulate(uint64_t row, double z) {
   if (z_[row] == 0.0) touched_rows_.push_back(row);
   z_[row] += z;
   ++num_reports_;
+  ReportsCounter()->Increment();
 }
 
 namespace {
@@ -80,6 +98,8 @@ void DecodeRowRange(const SignMatrix& matrix, const std::vector<double>& z,
 }  // namespace
 
 std::vector<double> PcepServer::Estimate() const {
+  PLDP_SPAN("pcep.decode");
+  DecodedRowsCounter()->Increment(touched_rows_.size());
   std::vector<double> counts(tau_size_, 0.0);
   DecodeRowRange(matrix_, z_, touched_rows_, 0, touched_rows_.size(),
                  tau_size_, &counts);
@@ -90,6 +110,11 @@ std::vector<double> PcepServer::EstimateParallel(unsigned num_threads) const {
   if (num_threads <= 1 || touched_rows_.size() < 2 * num_threads) {
     return Estimate();
   }
+  PLDP_SPAN("pcep.decode_parallel");
+  DecodedRowsCounter()->Increment(touched_rows_.size());
+  // Workers start with an empty span stack of their own; handing them the
+  // decode span keeps their spans nested under it in the exported tree.
+  const int64_t decode_span = obs::TraceCollector::Global().CurrentSpan();
   const size_t total = touched_rows_.size();
   std::vector<std::vector<double>> partials(
       num_threads, std::vector<double>(tau_size_, 0.0));
@@ -98,7 +123,8 @@ std::vector<double> PcepServer::EstimateParallel(unsigned num_threads) const {
   for (unsigned t = 0; t < num_threads; ++t) {
     const size_t begin = total * t / num_threads;
     const size_t end = total * (t + 1) / num_threads;
-    workers.emplace_back([this, begin, end, &partials, t] {
+    workers.emplace_back([this, begin, end, &partials, t, decode_span] {
+      PLDP_SPAN_PARENT("pcep.decode_worker", decode_span);
       DecodeRowRange(matrix_, z_, touched_rows_, begin, end, tau_size_,
                      &partials[t]);
     });
@@ -128,6 +154,7 @@ double PcepServer::EstimateItem(uint64_t item) const {
 StatusOr<PcepServer> RunPcepCollection(const std::vector<PcepUser>& users,
                                        uint64_t tau_size,
                                        const PcepParams& params) {
+  PLDP_SPAN("pcep.encode");
   PLDP_ASSIGN_OR_RETURN(PcepServer server,
                         PcepServer::Create(tau_size, users.size(), params));
   const PcepSeeds seeds(params.seed);

@@ -5,6 +5,8 @@
 #include "core/consistency.h"
 #include "core/frequency_oracle.h"
 #include "core/user_group.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -18,11 +20,15 @@ StatusOr<PsdaResult> RunPsdaWithOracle(const SpatialTaxonomy& taxonomy,
   if (users.empty()) {
     return Status::InvalidArgument("PSDA needs at least one user");
   }
+  PLDP_SPAN("psda.run");
   Stopwatch timer;
 
   // Line 4: group users by their (public) safe regions.
-  PLDP_ASSIGN_OR_RETURN(std::vector<UserGroup> groups,
-                        GroupUsersBySafeRegion(taxonomy, users));
+  std::vector<UserGroup> groups;
+  {
+    PLDP_SPAN("psda.group");
+    PLDP_ASSIGN_OR_RETURN(groups, GroupUsersBySafeRegion(taxonomy, users));
+  }
 
   // Line 5: partition the groups into clusters (Algorithm 3).
   ClusteringOptions cluster_options;
@@ -37,36 +43,41 @@ StatusOr<PsdaResult> RunPsdaWithOracle(const SpatialTaxonomy& taxonomy,
   // estimates combined over the location universe.
   PsdaResult result;
   result.raw_counts.assign(taxonomy.grid().num_cells(), 0.0);
-  const double beta_each =
-      options.beta / static_cast<double>(clustering.clusters.size());
-  for (size_t c = 0; c < clustering.clusters.size(); ++c) {
-    const Cluster& cluster = clustering.clusters[c];
-    const std::vector<CellId> region = taxonomy.RegionCells(cluster.top_region);
+  {
+    PLDP_SPAN("psda.estimate_clusters");
+    const double beta_each =
+        options.beta / static_cast<double>(clustering.clusters.size());
+    for (size_t c = 0; c < clustering.clusters.size(); ++c) {
+      const Cluster& cluster = clustering.clusters[c];
+      const std::vector<CellId> region =
+          taxonomy.RegionCells(cluster.top_region);
 
-    std::vector<PcepUser> oracle_users;
-    for (const uint32_t g : cluster.groups) {
-      for (const uint32_t user_index : groups[g].members) {
-        const UserRecord& user = users[user_index];
-        const StatusOr<uint64_t> rank =
-            taxonomy.RegionRankOfCell(cluster.top_region, user.cell);
-        PLDP_CHECK(rank.ok()) << "user cell not covered by its cluster region";
-        PcepUser oracle_user;
-        oracle_user.location_index = static_cast<uint32_t>(*rank);
-        oracle_user.epsilon = user.spec.epsilon;
-        oracle_users.push_back(oracle_user);
+      std::vector<PcepUser> oracle_users;
+      for (const uint32_t g : cluster.groups) {
+        for (const uint32_t user_index : groups[g].members) {
+          const UserRecord& user = users[user_index];
+          const StatusOr<uint64_t> rank =
+              taxonomy.RegionRankOfCell(cluster.top_region, user.cell);
+          PLDP_CHECK(rank.ok())
+              << "user cell not covered by its cluster region";
+          PcepUser oracle_user;
+          oracle_user.location_index = static_cast<uint32_t>(*rank);
+          oracle_user.epsilon = user.spec.epsilon;
+          oracle_users.push_back(oracle_user);
+        }
       }
-    }
 
-    const uint64_t cluster_seed =
-        SplitMix64(options.seed ^ ((c + 1) * 0x9E3779B97F4A7C15ULL));
-    PLDP_ASSIGN_OR_RETURN(
-        std::vector<double> estimates,
-        oracle.EstimateCounts(oracle_users, region.size(), beta_each,
-                              cluster_seed));
-    PLDP_CHECK(estimates.size() == region.size())
-        << oracle.Name() << " returned a wrong-size estimate";
-    for (size_t k = 0; k < region.size(); ++k) {
-      result.raw_counts[region[k]] += estimates[k];
+      const uint64_t cluster_seed =
+          SplitMix64(options.seed ^ ((c + 1) * 0x9E3779B97F4A7C15ULL));
+      PLDP_ASSIGN_OR_RETURN(
+          std::vector<double> estimates,
+          oracle.EstimateCounts(oracle_users, region.size(), beta_each,
+                                cluster_seed));
+      PLDP_CHECK(estimates.size() == region.size())
+          << oracle.Name() << " returned a wrong-size estimate";
+      for (size_t k = 0; k < region.size(); ++k) {
+        result.raw_counts[region[k]] += estimates[k];
+      }
     }
   }
 

@@ -2,7 +2,19 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace pldp {
+
+namespace internal_sign_matrix {
+
+void CountRowMaterialized() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "sign_matrix.rows_materialized");
+  counter->Increment();
+}
+
+}  // namespace internal_sign_matrix
 
 double SignMatrix::ComputeScale(uint64_t m) {
   PLDP_CHECK(m > 0) << "sign matrix needs at least one row";

@@ -8,6 +8,12 @@
 
 namespace pldp {
 
+namespace internal_sign_matrix {
+/// Books one materialized row into the "sign_matrix.rows_materialized"
+/// counter (defined in sign_matrix.cc so this header stays obs-free).
+void CountRowMaterialized();
+}  // namespace internal_sign_matrix
+
 /// The implicit Johnson-Lindenstrauss projection matrix
 /// Phi in {-1/sqrt(m), +1/sqrt(m)}^{m x width} of Algorithm 1.
 ///
@@ -48,6 +54,7 @@ class SignMatrix {
   /// Materializes one packed row of `width` sign bits (what the server sends
   /// to a user in Algorithm 1, line 7).
   BitVector Row(uint64_t row) const {
+    internal_sign_matrix::CountRowMaterialized();
     BitVector bits(width_);
     for (size_t w = 0; w < bits.word_count(); ++w) {
       bits.SetWord(w, RowWord(row, w));

@@ -6,6 +6,8 @@
 
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocol/client.h"
 #include "protocol/server.h"
 #include "util/random.h"
@@ -58,10 +60,15 @@ StatusOr<std::vector<DegradationPoint>> RunDegradationSweep(
   const double sanity_bound =
       std::max(1.0, 0.001 * static_cast<double>(users.size()));
 
+  PLDP_SPAN("degrade.sweep");
+  static obs::Counter* points_counter =
+      obs::MetricsRegistry::Global().GetCounter("degrade.points");
+
   std::vector<DegradationPoint> points;
   points.reserve(rates.size() * runs);
   for (size_t r = 0; r < rates.size(); ++r) {
     const double rate = rates[r];
+    PLDP_SPAN("degrade.rate");
     for (uint32_t run = 0; run < runs; ++run) {
       // Same replicate seed across rates: rate 0 and rate p of replicate r
       // share cohort randomness, isolating the effect of the channel.
@@ -117,6 +124,7 @@ StatusOr<std::vector<DegradationPoint>> RunDegradationSweep(
       point.timeouts = stats.timeouts;
       point.corrupt_parses = stats.corrupt_parses;
       point.duplicate_reports = stats.duplicate_reports;
+      points_counter->Increment();
       points.push_back(point);
     }
   }

@@ -8,6 +8,7 @@
 #include "baselines/sr.h"
 #include "core/psda.h"
 #include "data/synthetic.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pldp {
@@ -50,6 +51,7 @@ StatusOr<std::vector<double>> RunScheme(Scheme scheme,
                                         const SpatialTaxonomy& taxonomy,
                                         const std::vector<UserRecord>& users,
                                         double beta, uint64_t seed) {
+  PLDP_SPAN(std::string("eval.run_scheme.") + SchemeName(scheme));
   switch (scheme) {
     case Scheme::kPsda: {
       PsdaOptions options;

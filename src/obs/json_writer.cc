@@ -1,0 +1,154 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pldp {
+namespace obs {
+
+void JsonWriter::NextElement() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) *out_ << ",";
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  NextElement();
+  *out_ << "{";
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_element_.pop_back();
+  *out_ << "}";
+}
+
+void JsonWriter::BeginArray() {
+  NextElement();
+  *out_ << "[";
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_element_.pop_back();
+  *out_ << "]";
+}
+
+void JsonWriter::Key(const std::string& key) {
+  NextElement();
+  WriteEscaped(key);
+  *out_ << ":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  NextElement();
+  WriteEscaped(value);
+}
+
+void JsonWriter::Number(double value) {
+  NextElement();
+  if (!std::isfinite(value)) {
+    *out_ << "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  *out_ << buffer;
+}
+
+void JsonWriter::Number(uint64_t value) {
+  NextElement();
+  *out_ << value;
+}
+
+void JsonWriter::Number(int64_t value) {
+  NextElement();
+  *out_ << value;
+}
+
+void JsonWriter::Bool(bool value) {
+  NextElement();
+  *out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  NextElement();
+  *out_ << "null";
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& key, const char* value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Key(key);
+  Number(value);
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Key(key);
+  Number(value);
+}
+
+void JsonWriter::Field(const std::string& key, int64_t value) {
+  Key(key);
+  Number(value);
+}
+
+void JsonWriter::Field(const std::string& key, int value) {
+  Key(key);
+  Number(value);
+}
+
+void JsonWriter::Field(const std::string& key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+void JsonWriter::WriteEscaped(const std::string& text) {
+  *out_ << "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out_ << "\\\"";
+        break;
+      case '\\':
+        *out_ << "\\\\";
+        break;
+      case '\n':
+        *out_ << "\\n";
+        break;
+      case '\r':
+        *out_ << "\\r";
+        break;
+      case '\t':
+        *out_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out_ << buffer;
+        } else {
+          *out_ << c;
+        }
+    }
+  }
+  *out_ << "\"";
+}
+
+}  // namespace obs
+}  // namespace pldp

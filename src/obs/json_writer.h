@@ -1,0 +1,65 @@
+#ifndef PLDP_OBS_JSON_WRITER_H_
+#define PLDP_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pldp {
+namespace obs {
+
+/// Minimal streaming JSON emitter: handles commas, string escaping, and
+/// non-finite doubles (emitted as null, per RFC 8259). No dependency beyond
+/// <ostream>; the observability exporters and the bench harness share it.
+///
+/// Usage is push-style and must be well-nested:
+///   JsonWriter w(&out);
+///   w.BeginObject();
+///   w.Key("name"); w.String("pcep");
+///   w.Key("runs"); w.BeginArray(); w.Number(1.5); w.EndArray();
+///   w.EndObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Number(double value);
+  void Number(uint64_t value);
+  void Number(int64_t value);
+  void Number(int value) { Number(static_cast<int64_t>(value)); }
+  void Bool(bool value);
+  void Null();
+
+  /// Key(k) + the matching value, for terser call sites.
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, const char* value);
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, int64_t value);
+  void Field(const std::string& key, int value);
+  void Field(const std::string& key, bool value);
+
+ private:
+  /// Emits the separating comma if needed; called before every value or key.
+  void NextElement();
+  void WriteEscaped(const std::string& text);
+
+  std::ostream* out_;
+  /// One entry per open container: true once it has at least one element.
+  std::vector<bool> has_element_;
+  /// True immediately after Key(): the next value is not a new element.
+  bool after_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_JSON_WRITER_H_

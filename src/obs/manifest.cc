@@ -1,0 +1,234 @@
+#include "obs/manifest.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <map>
+
+#include "util/csv.h"
+
+#ifndef PLDP_GIT_REV
+#define PLDP_GIT_REV "unknown"
+#endif
+#ifndef PLDP_BUILD_TYPE
+#define PLDP_BUILD_TYPE "unknown"
+#endif
+
+namespace pldp {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void RunManifest::AddParam(const std::string& key, const std::string& value) {
+  params.emplace_back(key, value);
+}
+void RunManifest::AddParam(const std::string& key, const char* value) {
+  params.emplace_back(key, value);
+}
+void RunManifest::AddParam(const std::string& key, double value) {
+  params.emplace_back(key, FormatDouble(value));
+}
+void RunManifest::AddParam(const std::string& key, uint64_t value) {
+  params.emplace_back(key, std::to_string(value));
+}
+void RunManifest::AddParam(const std::string& key, int64_t value) {
+  params.emplace_back(key, std::to_string(value));
+}
+void RunManifest::AddParam(const std::string& key, int value) {
+  params.emplace_back(key, std::to_string(value));
+}
+void RunManifest::AddParam(const std::string& key, bool value) {
+  params.emplace_back(key, value ? "true" : "false");
+}
+
+const char* BuildGitRevision() { return PLDP_GIT_REV; }
+const char* BuildType() { return PLDP_BUILD_TYPE; }
+
+void EnableCollection() {
+  MetricsRegistry::Global().ResetValues();
+  MetricsRegistry::Global().set_enabled(true);
+  TraceCollector::Global().Reset();
+  TraceCollector::Global().set_enabled(true);
+}
+
+void DisableCollection() {
+  MetricsRegistry::Global().set_enabled(false);
+  TraceCollector::Global().set_enabled(false);
+}
+
+std::vector<SpanAggregate> AggregateSpans(
+    const std::vector<SpanRecord>& spans) {
+  // Path of span i = path of its parent + "/" + name; parents always precede
+  // children in the record order, so one forward pass suffices.
+  std::vector<std::string> paths(spans.size());
+  std::map<std::string, SpanAggregate> by_path;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    paths[i] = span.parent < 0 ? span.name
+                               : paths[span.parent] + "/" + span.name;
+    if (span.duration_ms < 0.0) continue;  // still open at snapshot time
+    SpanAggregate& aggregate = by_path[paths[i]];
+    aggregate.path = paths[i];
+    ++aggregate.count;
+    aggregate.total_ms += span.duration_ms;
+  }
+  std::vector<SpanAggregate> result;
+  result.reserve(by_path.size());
+  for (auto& [path, aggregate] : by_path) result.push_back(aggregate);
+  return result;
+}
+
+void WriteManifestJson(JsonWriter* writer, const RunManifest& manifest) {
+  writer->BeginObject();
+  writer->Field("tool", manifest.tool);
+  writer->Field("command", manifest.command);
+  writer->Field("git_revision", BuildGitRevision());
+  writer->Field("build_type", BuildType());
+  writer->Key("params");
+  writer->BeginObject();
+  for (const auto& [key, value] : manifest.params) {
+    writer->Field(key, value);
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+void WriteMetricsJson(JsonWriter* writer, const MetricsSnapshot& snapshot) {
+  writer->BeginObject();
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    writer->Field(counter.name, counter.value);
+  }
+  writer->EndObject();
+  writer->Key("gauges");
+  writer->BeginObject();
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    writer->Field(gauge.name, gauge.value);
+  }
+  writer->EndObject();
+  writer->Key("histograms");
+  writer->BeginObject();
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    writer->Key(histogram.name);
+    writer->BeginObject();
+    writer->Key("bounds");
+    writer->BeginArray();
+    for (const double bound : histogram.bounds) writer->Number(bound);
+    writer->EndArray();
+    writer->Key("buckets");
+    writer->BeginArray();
+    for (const uint64_t bucket : histogram.buckets) writer->Number(bucket);
+    writer->EndArray();
+    writer->Field("count", histogram.count);
+    writer->Field("sum", histogram.sum);
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+void WriteSpansJson(JsonWriter* writer, const std::vector<SpanRecord>& spans,
+                    uint64_t dropped_spans) {
+  writer->BeginObject();
+  writer->Field("dropped", dropped_spans);
+  writer->Key("records");
+  writer->BeginArray();
+  for (const SpanRecord& span : spans) {
+    writer->BeginObject();
+    writer->Field("name", span.name);
+    writer->Field("parent", static_cast<int64_t>(span.parent));
+    writer->Field("depth", static_cast<uint64_t>(span.depth));
+    writer->Field("thread", static_cast<uint64_t>(span.thread));
+    writer->Field("start_ms", span.start_ms);
+    writer->Field("duration_ms", span.duration_ms);
+    writer->EndObject();
+  }
+  writer->EndArray();
+  writer->EndObject();
+}
+
+void WriteSpanAggregatesJson(JsonWriter* writer,
+                             const std::vector<SpanRecord>& spans) {
+  const std::vector<SpanAggregate> aggregates = AggregateSpans(spans);
+  writer->BeginArray();
+  for (const SpanAggregate& aggregate : aggregates) {
+    writer->BeginObject();
+    writer->Field("path", aggregate.path);
+    writer->Field("count", aggregate.count);
+    writer->Field("total_ms", aggregate.total_ms);
+    writer->EndObject();
+  }
+  writer->EndArray();
+}
+
+Status WriteRunReportJson(const std::string& path,
+                          const RunManifest& manifest) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Field("schema", "pldp.run_report/1");
+  writer.Field("generated_unix_s",
+               static_cast<int64_t>(std::time(nullptr)));
+  writer.Key("manifest");
+  WriteManifestJson(&writer, manifest);
+  writer.Key("metrics");
+  WriteMetricsJson(&writer, metrics);
+  writer.Key("spans");
+  WriteSpansJson(&writer, spans, TraceCollector::Global().dropped());
+  writer.Key("span_aggregates");
+  WriteSpanAggregatesJson(&writer, spans);
+  writer.EndObject();
+  out << "\n";
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing run report to " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteMetricsCsv(const std::string& path,
+                       const MetricsSnapshot& snapshot) {
+  std::string csv = "kind,name,value\n";
+  const auto add_row = [&csv](const std::string& kind,
+                              const std::string& name,
+                              const std::string& value) {
+    csv += kind + "," + name + "," + value + "\n";
+  };
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    add_row("counter", counter.name, std::to_string(counter.value));
+  }
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    add_row("gauge", gauge.name, FormatDouble(gauge.value));
+  }
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    add_row("histogram_count", histogram.name,
+            std::to_string(histogram.count));
+    add_row("histogram_sum", histogram.name, FormatDouble(histogram.sum));
+    for (size_t b = 0; b < histogram.buckets.size(); ++b) {
+      const std::string le =
+          b < histogram.bounds.size() ? FormatDouble(histogram.bounds[b])
+                                      : "inf";
+      add_row("histogram_bucket", histogram.name + "{le=" + le + "}",
+              std::to_string(histogram.buckets[b]));
+    }
+  }
+  return WriteStringToFile(path, csv);
+}
+
+}  // namespace obs
+}  // namespace pldp

@@ -1,0 +1,79 @@
+#ifndef PLDP_OBS_MANIFEST_H_
+#define PLDP_OBS_MANIFEST_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace pldp {
+namespace obs {
+
+/// What produced a run report: the binary, the subcommand or case family it
+/// executed, and every parameter that shaped the run (dataset, scheme, seeds,
+/// sweep ranges, ...). Params are ordered key/value pairs so reports diff
+/// cleanly; AddParam overloads stringify the common types.
+struct RunManifest {
+  std::string tool;
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  void AddParam(const std::string& key, const std::string& value);
+  void AddParam(const std::string& key, const char* value);
+  void AddParam(const std::string& key, double value);
+  void AddParam(const std::string& key, uint64_t value);
+  void AddParam(const std::string& key, int64_t value);
+  void AddParam(const std::string& key, int value);
+  void AddParam(const std::string& key, bool value);
+};
+
+/// Git revision the binary was configured from (CMake embeds it; "unknown"
+/// outside a git checkout) and the CMake build type.
+const char* BuildGitRevision();
+const char* BuildType();
+
+/// Turns metric collection and tracing on (resetting both) / off on the
+/// global registry and collector — the one-call switch exporters use.
+void EnableCollection();
+void DisableCollection();
+
+/// Per-span-path rollup: `path` joins the names from the root to the span
+/// with '/', so nested phases aggregate separately per position in the tree.
+struct SpanAggregate {
+  std::string path;
+  uint64_t count = 0;
+  double total_ms = 0.0;
+};
+
+/// Aggregates a span snapshot by path, sorted by path. Open spans (duration
+/// still -1) are skipped.
+std::vector<SpanAggregate> AggregateSpans(const std::vector<SpanRecord>& spans);
+
+/// JSON fragments shared by the run-report and bench exporters; each writes
+/// one JSON value at the writer's current position.
+void WriteManifestJson(JsonWriter* writer, const RunManifest& manifest);
+void WriteMetricsJson(JsonWriter* writer, const MetricsSnapshot& snapshot);
+void WriteSpansJson(JsonWriter* writer, const std::vector<SpanRecord>& spans,
+                    uint64_t dropped_spans);
+void WriteSpanAggregatesJson(JsonWriter* writer,
+                             const std::vector<SpanRecord>& spans);
+
+/// Snapshots the global metrics registry and trace collector and writes the
+/// full machine-readable run report (schema "pldp.run_report/1", see
+/// docs/observability.md) to `path`.
+Status WriteRunReportJson(const std::string& path,
+                          const RunManifest& manifest);
+
+/// Flat CSV of the same metric snapshot: kind,name,value rows (histograms
+/// add one row per bucket). For spreadsheet-side consumers.
+Status WriteMetricsCsv(const std::string& path,
+                       const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_MANIFEST_H_

@@ -1,0 +1,182 @@
+#ifndef PLDP_OBS_METRICS_H_
+#define PLDP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pldp {
+namespace obs {
+
+namespace internal_metrics {
+
+/// fetch_add for doubles via a CAS loop (std::atomic<double>::fetch_add is
+/// not guaranteed to be lock-free everywhere; the loop always is correct).
+inline void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal_metrics
+
+/// Monotonic event count. Increment is one relaxed flag load plus one relaxed
+/// atomic add, cheap enough for hot loops; when the owning registry is
+/// disabled it is a single relaxed load and a branch.
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (a rescale factor, a cohort size, ...).
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    internal_metrics::AtomicAdd(&value_, delta);
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending upper bounds, with an
+/// implicit +inf bucket at the end. Observe is lock-free (relaxed adds), so
+/// concurrent observations from the PCEP worker fan-out sum exactly.
+class Histogram {
+ public:
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
+  void Reset();
+
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Ascending bounds {start, start*factor, ...}, `count` entries; the usual
+/// latency-style bucketing for millisecond histograms.
+std::vector<double> ExponentialBounds(double start, double factor, int count);
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// A consistent point-in-time copy of every registered metric, sorted by
+/// name (registration order is irrelevant to exports).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Owns every metric. Get* registers on first use and returns a pointer that
+/// stays valid for the registry's lifetime, so call sites cache it (typically
+/// in a function-local static) and pay only the atomic ops afterwards.
+///
+/// The registry starts disabled: metric mutation is a no-op until an exporter
+/// (CLI --metrics-out, the bench harness, a test) calls set_enabled(true).
+/// Reads (Value/Snapshot) always work.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every PLDP instrumentation site uses. Never
+  /// destroyed, so cached metric handles outlive static teardown.
+  static MetricsRegistry& Global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Registers with `bounds` on first use; later calls return the existing
+  /// histogram regardless of the bounds they pass.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value but keeps all registrations, so cached pointers stay
+  /// valid across runs.
+  void ResetValues();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_METRICS_H_

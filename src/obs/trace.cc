@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace pldp {
+namespace obs {
+namespace {
+
+/// Per-thread stack of open span ids (global collector only, which is the
+/// only collector PLDP_SPAN ever touches). Ids carry the collector epoch, so
+/// stale entries from before a Reset are recognized and skipped.
+thread_local std::vector<int64_t> tls_open_spans;
+/// Small sequential thread id, re-assigned on first span after each Reset.
+thread_local uint32_t tls_thread_id = 0;
+thread_local uint32_t tls_thread_epoch = 0;
+
+constexpr int64_t MakeSpanId(uint32_t epoch, size_t index) {
+  return (static_cast<int64_t>(epoch) << 32) | static_cast<int64_t>(index);
+}
+constexpr uint32_t SpanEpoch(int64_t id) {
+  return static_cast<uint32_t>(id >> 32);
+}
+constexpr size_t SpanIndex(int64_t id) {
+  return static_cast<size_t>(id & 0xFFFFFFFF);
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+int64_t TraceCollector::Begin(const std::string& name) {
+  return BeginInternal(name, kNoSpan, /*explicit_parent=*/false);
+}
+
+int64_t TraceCollector::BeginWithParent(const std::string& name,
+                                        int64_t parent_id) {
+  return BeginInternal(name, parent_id, /*explicit_parent=*/true);
+}
+
+int64_t TraceCollector::BeginInternal(const std::string& name,
+                                      int64_t parent_id,
+                                      bool explicit_parent) {
+  if (!enabled_.load(std::memory_order_relaxed)) return kNoSpan;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= kMaxRecords) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kNoSpan;
+  }
+  if (!explicit_parent) {
+    parent_id = tls_open_spans.empty() ? kNoSpan : tls_open_spans.back();
+  }
+  int32_t parent_index = -1;
+  uint32_t depth = 0;
+  if (parent_id != kNoSpan && SpanEpoch(parent_id) == epoch_ &&
+      SpanIndex(parent_id) < records_.size()) {
+    parent_index = static_cast<int32_t>(SpanIndex(parent_id));
+    depth = records_[parent_index].depth + 1;
+  }
+  if (tls_thread_epoch != epoch_) {
+    tls_thread_epoch = epoch_;
+    tls_thread_id = next_thread_id_++;
+  }
+  SpanRecord record;
+  record.name = name;
+  record.parent = parent_index;
+  record.depth = depth;
+  record.thread = tls_thread_id;
+  record.start_ms = epoch_watch_.ElapsedMillis();
+  const int64_t id = MakeSpanId(epoch_, records_.size());
+  records_.push_back(std::move(record));
+  tls_open_spans.push_back(id);
+  return id;
+}
+
+void TraceCollector::End(int64_t span_id) {
+  if (span_id == kNoSpan) return;
+  if (!tls_open_spans.empty() && tls_open_spans.back() == span_id) {
+    tls_open_spans.pop_back();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (SpanEpoch(span_id) != epoch_) return;  // stale guard across a Reset
+  const size_t index = SpanIndex(span_id);
+  if (index >= records_.size()) return;
+  SpanRecord& record = records_[index];
+  if (record.duration_ms < 0.0) {
+    record.duration_ms = epoch_watch_.ElapsedMillis() - record.start_ms;
+  }
+}
+
+int64_t TraceCollector::CurrentSpan() const {
+  if (tls_open_spans.empty()) return kNoSpan;
+  const int64_t top = tls_open_spans.back();
+  std::lock_guard<std::mutex> lock(mu_);
+  return SpanEpoch(top) == epoch_ ? top : kNoSpan;
+}
+
+std::vector<SpanRecord> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+  records_.clear();
+  next_thread_id_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_watch_.Restart();
+}
+
+}  // namespace obs
+}  // namespace pldp

@@ -1,0 +1,124 @@
+#ifndef PLDP_OBS_TRACE_H_
+#define PLDP_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace pldp {
+namespace obs {
+
+/// One completed (or still-open) span. `parent` indexes into the snapshot
+/// vector (-1 for roots), so the export can rebuild the tree; `thread` is a
+/// small sequential id assigned in first-span order, stable within a run.
+struct SpanRecord {
+  std::string name;
+  int32_t parent = -1;
+  uint32_t depth = 0;
+  uint32_t thread = 0;
+  double start_ms = 0.0;
+  /// -1 while the span is still open (snapshots can run mid-pipeline).
+  double duration_ms = -1.0;
+};
+
+/// Collects nested wall-time spans (measured with util/stopwatch.h) from any
+/// number of threads. Nesting is tracked per thread with a thread-local stack
+/// of open spans; a span started on a worker thread becomes a root unless the
+/// spawner passes its own span id (see BeginWithParent / PLDP_SPAN_PARENT),
+/// which is how the PCEP decode fan-out keeps its workers under the decode
+/// span. All shared state is mutex-guarded; when disabled, Begin is a single
+/// relaxed atomic load.
+///
+/// Span ids encode a reset epoch, so guards that survive a Reset() (or a
+/// disabled->enabled flip) end as silent no-ops instead of corrupting the
+/// next run's records.
+class TraceCollector {
+ public:
+  static constexpr int64_t kNoSpan = -1;
+  /// Hard cap on retained records; spans beyond it are counted in dropped()
+  /// but not stored (micro-benchmarks can open millions of spans).
+  static constexpr size_t kMaxRecords = 1 << 17;
+
+  TraceCollector() = default;
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The process-wide collector used by PLDP_SPAN. Never destroyed.
+  static TraceCollector& Global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Opens a span whose parent is the calling thread's innermost open span.
+  /// Returns kNoSpan when disabled (End of kNoSpan is a no-op).
+  int64_t Begin(const std::string& name);
+
+  /// Opens a span under an explicit parent id (cross-thread propagation).
+  int64_t BeginWithParent(const std::string& name, int64_t parent_id);
+
+  void End(int64_t span_id);
+
+  /// Id of the calling thread's innermost open span, for handing to workers.
+  int64_t CurrentSpan() const;
+
+  /// Copies all records accumulated since the last Reset.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans not recorded because kMaxRecords was reached.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Discards all records and invalidates every outstanding span id.
+  void Reset();
+
+ private:
+  int64_t BeginInternal(const std::string& name, int64_t parent_id,
+                        bool explicit_parent);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  uint32_t epoch_ = 1;
+  uint32_t next_thread_id_ = 0;
+  Stopwatch epoch_watch_;
+  std::vector<SpanRecord> records_;
+};
+
+/// RAII guard for one span on the global collector.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const std::string& name)
+      : id_(TraceCollector::Global().Begin(name)) {}
+  ScopedSpan(const std::string& name, int64_t parent)
+      : id_(TraceCollector::Global().BeginWithParent(name, parent)) {}
+  ~ScopedSpan() { TraceCollector::Global().End(id_); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  int64_t id_;
+};
+
+#define PLDP_OBS_CONCAT_INNER(a, b) a##b
+#define PLDP_OBS_CONCAT(a, b) PLDP_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as a span named `name` (a dotted phase path,
+/// e.g. PLDP_SPAN("pcep.decode")). Near-zero cost while tracing is disabled.
+#define PLDP_SPAN(name) \
+  ::pldp::obs::ScopedSpan PLDP_OBS_CONCAT(pldp_span_, __LINE__)(name)
+
+/// Same, but nested under an explicitly captured parent span id; used when a
+/// worker thread should appear under its spawner's span.
+#define PLDP_SPAN_PARENT(name, parent) \
+  ::pldp::obs::ScopedSpan PLDP_OBS_CONCAT(pldp_span_, __LINE__)(name, parent)
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_TRACE_H_

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/consistency.h"
 #include "core/error_model.h"
 #include "core/user_group.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocol/messages.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -48,12 +51,73 @@ void CountLoss(const Delivery& delivery, ProtocolStats* stats) {
 
 }  // namespace
 
+void PublishProtocolStats(const ProtocolStats& stats) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* runs = registry.GetCounter("protocol.collect_runs");
+  static obs::Counter* bytes_down =
+      registry.GetCounter("protocol.bytes_to_clients");
+  static obs::Counter* bytes_up =
+      registry.GetCounter("protocol.bytes_to_server");
+  static obs::Counter* msgs_down =
+      registry.GetCounter("protocol.messages_to_clients");
+  static obs::Counter* msgs_up =
+      registry.GetCounter("protocol.messages_to_server");
+  static obs::Counter* dropped_clients =
+      registry.GetCounter("protocol.dropped_clients");
+  static obs::Counter* retries = registry.GetCounter("protocol.retries");
+  static obs::Counter* dropped_messages =
+      registry.GetCounter("protocol.dropped_messages");
+  static obs::Counter* timeouts = registry.GetCounter("protocol.timeouts");
+  static obs::Counter* corrupt_parses =
+      registry.GetCounter("protocol.corrupt_parses");
+  static obs::Counter* refused =
+      registry.GetCounter("protocol.refused_assignments");
+  static obs::Counter* duplicates =
+      registry.GetCounter("protocol.duplicate_reports");
+  static obs::Counter* spec_responders =
+      registry.GetCounter("protocol.spec_responders");
+  static obs::Counter* cluster_rounds =
+      registry.GetCounter("protocol.cluster_rounds");
+  static obs::Counter* responders = registry.GetCounter("protocol.responders");
+  static obs::Gauge* latency =
+      registry.GetGauge("protocol.simulated_latency_ms");
+  static obs::Gauge* rescale = registry.GetGauge("protocol.global_rescale");
+  static obs::Histogram* response_rate = registry.GetHistogram(
+      "protocol.cluster_response_rate",
+      {0.25, 0.5, 0.75, 0.9, 0.99, 1.0});
+
+  runs->Increment();
+  bytes_down->Increment(stats.bytes_to_clients);
+  bytes_up->Increment(stats.bytes_to_server);
+  msgs_down->Increment(stats.messages_to_clients);
+  msgs_up->Increment(stats.messages_to_server);
+  dropped_clients->Increment(stats.dropped_clients);
+  retries->Increment(stats.retries);
+  dropped_messages->Increment(stats.dropped_messages);
+  timeouts->Increment(stats.timeouts);
+  corrupt_parses->Increment(stats.corrupt_parses);
+  refused->Increment(stats.refused_assignments);
+  duplicates->Increment(stats.duplicate_reports);
+  spec_responders->Increment(stats.spec_responders);
+  cluster_rounds->Increment(stats.cluster_response.size());
+  latency->Add(stats.simulated_latency_ms);
+  rescale->Set(stats.global_rescale);
+  for (const ClusterResponseStats& cluster : stats.cluster_response) {
+    responders->Increment(cluster.n_responded);
+    response_rate->Observe(cluster.response_rate);
+  }
+}
+
 StatusOr<PsdaResult> AggregationServer::Collect(
     std::vector<DeviceClient>* clients, ProtocolStats* stats) const {
   PLDP_CHECK(clients != nullptr);
   if (clients->empty()) {
     return Status::InvalidArgument("protocol needs at least one client");
   }
+  PLDP_SPAN("protocol.collect");
+  // Phase spans: emplaced at a phase's start, reset at its end (early error
+  // returns end whatever phase is open via the optional's destructor).
+  std::optional<obs::ScopedSpan> phase_span;
   ProtocolStats local_stats;
   Stopwatch timer;
 
@@ -74,6 +138,7 @@ StatusOr<PsdaResult> AggregationServer::Collect(
   // injection an upload can be lost or mangled; the server re-polls up to the
   // retry budget and excludes the client from the run when it is exhausted
   // (utility loss only; the client simply did not participate).
+  phase_span.emplace("protocol.spec_phase");
   std::vector<PrivacySpec> specs;
   std::vector<uint32_t> roster;  // specs[k] came from (*clients)[roster[k]]
   specs.reserve(clients->size());
@@ -124,6 +189,7 @@ StatusOr<PsdaResult> AggregationServer::Collect(
     }
   }
   local_stats.spec_responders = specs.size();
+  phase_span.reset();
   if (specs.empty()) {
     return Status::DeadlineExceeded(
         "every client dropped out during spec collection");
@@ -143,6 +209,7 @@ StatusOr<PsdaResult> AggregationServer::Collect(
           : TrivialClusters(*taxonomy_, groups, cluster_options));
 
   // Lines 6-9: one message-level PCEP per cluster.
+  phase_span.emplace("protocol.pcep_phase");
   PsdaResult result;
   result.raw_counts.assign(taxonomy_->grid().num_cells(), 0.0);
   const double beta_each =
@@ -288,6 +355,8 @@ StatusOr<PsdaResult> AggregationServer::Collect(
     }
   }
 
+  phase_span.reset();
+
   // Line 10: consistency post-processing on public constraints. Groups hold
   // the spec responders, so the constraint totals match the rescaled
   // per-cluster estimates.
@@ -312,6 +381,7 @@ StatusOr<PsdaResult> AggregationServer::Collect(
 
   result.clustering = std::move(clustering);
   result.server_seconds = timer.ElapsedSeconds();
+  PublishProtocolStats(local_stats);
   if (stats != nullptr) *stats = local_stats;
   return result;
 }

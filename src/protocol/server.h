@@ -73,6 +73,12 @@ struct ProtocolStats {
 
 bool operator==(const ProtocolStats& a, const ProtocolStats& b);
 
+/// Folds one execution's ProtocolStats into the global metrics registry
+/// (counters "protocol.*", response-rate histogram, rescale gauge). Collect
+/// calls this itself; it is exposed for callers that replay recorded stats.
+/// A no-op while the registry is disabled.
+void PublishProtocolStats(const ProtocolStats& stats);
+
 /// The untrusted aggregation server of Figure 1, executing Algorithm 4 at the
 /// message level: every interaction with a DeviceClient goes through the
 /// serialized wire format so that ProtocolStats measures the real

@@ -1,12 +1,21 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace pldp {
 namespace internal_logging {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serializes the final sink write: concurrent PCEP workers and span
+/// exporters each emit whole lines, never interleaved fragments. Leaked on
+/// purpose so logging stays safe during static destruction.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -45,7 +54,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
     stream_ << "\n";
-    std::cerr << stream_.str() << std::flush;
+    // One locked write per message: the line is fully formatted before the
+    // lock is taken, so the critical section is a single sink write.
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+    std::cerr.flush();
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

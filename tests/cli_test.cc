@@ -99,6 +99,55 @@ TEST(CliRunTest, DegradeSweepRunsAndWritesCsv) {
   std::remove(output.c_str());
 }
 
+TEST(CliParseTest, ParsesMetricsOut) {
+  const CliOptions options =
+      ParseCliArgs({"run", "--dataset", "road", "--metrics-out", "/tmp/r.json"})
+          .value();
+  EXPECT_EQ(options.metrics_out, "/tmp/r.json");
+}
+
+TEST(CliRunTest, MetricsOutWritesRunReport) {
+  const std::string report = ::testing::TempDir() + "/pldp_cli_run.json";
+  const CliOptions options =
+      ParseCliArgs({"run", "--dataset", "storage", "--scale", "0.5",
+                    "--metrics-out", report})
+          .value();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+  EXPECT_NE(out.str().find("metrics written to"), std::string::npos);
+
+  const auto contents = ReadFileToString(report);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("\"schema\":\"pldp.run_report/1\""),
+            std::string::npos);
+  EXPECT_NE(contents->find("\"tool\":\"pldp_cli\""), std::string::npos);
+  EXPECT_NE(contents->find("\"command\":\"run\""), std::string::npos);
+  EXPECT_NE(contents->find("\"dataset\":\"storage\""), std::string::npos);
+  EXPECT_NE(contents->find("\"git_revision\""), std::string::npos);
+  EXPECT_NE(contents->find("pcep.reports"), std::string::npos);
+  EXPECT_NE(contents->find("psda.run"), std::string::npos);
+  std::remove(report.c_str());
+}
+
+TEST(CliRunTest, MetricsOutCsvWritesFlatSnapshot) {
+  const std::string report = ::testing::TempDir() + "/pldp_cli_metrics.csv";
+  const CliOptions options =
+      ParseCliArgs({"degrade", "--dataset", "storage", "--scale", "0.5",
+                    "--dropout-max", "0.2", "--dropout-steps", "1", "--runs",
+                    "1", "--metrics-out", report})
+          .value();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+
+  const auto contents = ReadFileToString(report);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("kind,name,value"), std::string::npos);
+  EXPECT_NE(contents->find("counter,degrade.points,"), std::string::npos);
+  EXPECT_NE(contents->find("counter,protocol.collect_runs,"),
+            std::string::npos);
+  std::remove(report.c_str());
+}
+
 TEST(CliRunTest, EndToEndCsvInputRun) {
   // Round-trip: write a tiny points file, aggregate it through the CLI.
   const std::string input = ::testing::TempDir() + "/pldp_cli_points.csv";

@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pldp {
+namespace obs {
+namespace {
+
+// Each test drives its own registry so the global one (shared with every
+// other test in the process) stays untouched.
+
+TEST(MetricsTest, CounterStartsDisabledAndAtZero) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.events");
+  EXPECT_FALSE(registry.enabled());
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->Value(), 0u) << "disabled counter must not move";
+  registry.set_enabled(true);
+  counter->Increment(2);
+  EXPECT_EQ(counter->Value(), 2u);
+}
+
+TEST(MetricsTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.c");
+  Gauge* gauge = registry.GetGauge("test.g");
+  Histogram* histogram = registry.GetHistogram("test.h", {1.0, 2.0});
+  EXPECT_EQ(registry.GetCounter("test.c"), counter);
+  EXPECT_EQ(registry.GetGauge("test.g"), gauge);
+  // Later bounds are ignored; the first registration wins.
+  EXPECT_EQ(registry.GetHistogram("test.h", {5.0}), histogram);
+  EXPECT_EQ(histogram->bounds().size(), 2u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.5);
+  gauge->Add(1.25);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 3.75);
+}
+
+TEST(MetricsTest, HistogramBucketsObservations) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* histogram = registry.GetHistogram("test.lat", {1.0, 10.0});
+  histogram->Observe(0.5);   // <= 1
+  histogram->Observe(1.0);   // <= 1 (upper bounds are inclusive)
+  histogram->Observe(5.0);   // <= 10
+  histogram->Observe(100.0); // +inf
+  EXPECT_EQ(histogram->Count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 106.5);
+  const std::vector<uint64_t> buckets = histogram->BucketCounts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST(MetricsTest, ExponentialBoundsAscend) {
+  const std::vector<double> bounds = ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(MetricsTest, ConcurrentHammeringSumsExactly) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* counter = registry.GetCounter("test.hammer");
+  Gauge* gauge = registry.GetGauge("test.hammer_gauge");
+  Histogram* histogram =
+      registry.GetHistogram("test.hammer_hist", {0.25, 0.5, 0.75});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1.0);
+        histogram->Observe(static_cast<double>((t + i) % 4) / 4.0);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(counter->Value(), kTotal);
+  EXPECT_DOUBLE_EQ(gauge->Value(), static_cast<double>(kTotal));
+  EXPECT_EQ(histogram->Count(), kTotal);
+  uint64_t bucket_total = 0;
+  for (const uint64_t bucket : histogram->BucketCounts()) {
+    bucket_total += bucket;
+  }
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("z.last")->Increment(3);
+  registry.GetCounter("a.first")->Increment(1);
+  registry.GetGauge("m.gauge")->Set(7.0);
+  registry.GetHistogram("h.hist", {1.0})->Observe(0.5);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.first");
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.counters[1].name, "z.last");
+  EXPECT_EQ(snapshot.counters[1].value, 3u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 7.0);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+  ASSERT_EQ(snapshot.histograms[0].buckets.size(), 2u);
+}
+
+TEST(MetricsTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* counter = registry.GetCounter("test.reset");
+  Histogram* histogram = registry.GetHistogram("test.reset_hist", {1.0});
+  counter->Increment(5);
+  histogram->Observe(0.5);
+  registry.ResetValues();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(histogram->Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 0.0);
+  // Same handle, still usable.
+  EXPECT_EQ(registry.GetCounter("test.reset"), counter);
+  counter->Increment();
+  EXPECT_EQ(counter->Value(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pldp

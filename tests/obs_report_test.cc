@@ -1,0 +1,200 @@
+#include "obs/manifest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/psda.h"
+#include "geo/taxonomy.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 8) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+std::vector<UserRecord> MakeCohort(const SpatialTaxonomy& tax, size_t n,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t cells = tax.grid().num_cells();
+  std::vector<UserRecord> users;
+  users.reserve(n);
+  const double epsilons[] = {0.5, 0.75, 1.0};
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell = static_cast<CellId>(
+        static_cast<uint32_t>(cells * std::pow(rng.NextDouble(), 2.5)) %
+        cells);
+    const uint32_t level = static_cast<uint32_t>(rng.NextUint64(4));
+    UserRecord user;
+    user.cell = cell;
+    user.spec.safe_region =
+        tax.AncestorAbove(tax.LeafNodeOfCell(cell), level);
+    user.spec.epsilon = epsilons[rng.NextUint64(3)];
+    users.push_back(user);
+  }
+  return users;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::DisableCollection(); }
+};
+
+TEST_F(ReportTest, JsonWriterEscapesAndNests) {
+  std::ostringstream out;
+  obs::JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Field("plain", "a\"b\\c\n");
+  writer.Key("list");
+  writer.BeginArray();
+  writer.Number(1.5);
+  writer.Number(uint64_t{7});
+  writer.Bool(true);
+  writer.Null();
+  writer.EndArray();
+  writer.Field("nan", std::nan(""));
+  writer.EndObject();
+  EXPECT_EQ(out.str(),
+            "{\"plain\":\"a\\\"b\\\\c\\n\",\"list\":[1.5,7,true,null],"
+            "\"nan\":null}");
+}
+
+TEST_F(ReportTest, AggregateSpansRollsUpByPath) {
+  obs::EnableCollection();
+  for (int i = 0; i < 3; ++i) {
+    PLDP_SPAN("outer");
+    PLDP_SPAN("inner");
+  }
+  { PLDP_SPAN("inner"); }  // same name at the root: a distinct path
+  const auto aggregates =
+      obs::AggregateSpans(obs::TraceCollector::Global().Snapshot());
+  ASSERT_EQ(aggregates.size(), 3u);
+  EXPECT_EQ(aggregates[0].path, "inner");
+  EXPECT_EQ(aggregates[0].count, 1u);
+  EXPECT_EQ(aggregates[1].path, "outer");
+  EXPECT_EQ(aggregates[1].count, 3u);
+  EXPECT_EQ(aggregates[2].path, "outer/inner");
+  EXPECT_EQ(aggregates[2].count, 3u);
+  EXPECT_GE(aggregates[2].total_ms, 0.0);
+}
+
+TEST_F(ReportTest, RunReportJsonCarriesManifestMetricsAndSpans) {
+  obs::EnableCollection();
+  obs::MetricsRegistry::Global().GetCounter("report_test.counter")
+      ->Increment(12);
+  { PLDP_SPAN("report_test.phase"); }
+
+  obs::RunManifest manifest;
+  manifest.tool = "obs_report_test";
+  manifest.command = "selftest";
+  manifest.AddParam("dataset", "synthetic");
+  manifest.AddParam("seed", uint64_t{2016});
+
+  const std::string path = TempPath("run_report.json");
+  ASSERT_TRUE(obs::WriteRunReportJson(path, manifest).ok());
+  const std::string json = ReadFile(path);
+
+  EXPECT_NE(json.find("\"schema\":\"pldp.run_report/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"obs_report_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"command\":\"selftest\""), std::string::npos);
+  EXPECT_NE(json.find("\"dataset\":\"synthetic\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":\"2016\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_revision\""), std::string::npos);
+  EXPECT_NE(json.find("\"report_test.counter\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"report_test.phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_aggregates\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ReportTest, MetricsCsvListsEveryKind) {
+  obs::EnableCollection();
+  obs::MetricsRegistry::Global().GetCounter("csv_test.counter")->Increment(4);
+  obs::MetricsRegistry::Global().GetGauge("csv_test.gauge")->Set(1.5);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("csv_test.hist", {1.0})
+      ->Observe(0.5);
+
+  const std::string path = TempPath("metrics.csv");
+  ASSERT_TRUE(
+      obs::WriteMetricsCsv(path, obs::MetricsRegistry::Global().Snapshot())
+          .ok());
+  const std::string csv = ReadFile(path);
+  EXPECT_NE(csv.find("kind,name,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,csv_test.counter,4"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,csv_test.gauge,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram_count,csv_test.hist,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram_bucket,csv_test.hist{le=1}"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+// The acceptance bar for the instrumentation: with no exporter attached
+// (collection disabled), the pipeline's estimates are byte-identical to an
+// instrumented run with the same seed — spans and counters never perturb the
+// computation.
+TEST_F(ReportTest, CollectionDoesNotChangeEstimates) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const std::vector<UserRecord> users = MakeCohort(tax, 4000, 77);
+  PsdaOptions options;
+  options.seed = 1234;
+
+  obs::DisableCollection();
+  const PsdaResult plain = RunPsda(tax, users, options).value();
+
+  obs::EnableCollection();
+  const PsdaResult instrumented = RunPsda(tax, users, options).value();
+  obs::DisableCollection();
+
+  ASSERT_EQ(plain.counts.size(), instrumented.counts.size());
+  for (size_t i = 0; i < plain.counts.size(); ++i) {
+    EXPECT_EQ(plain.counts[i], instrumented.counts[i]) << "cell " << i;
+  }
+  ASSERT_EQ(plain.raw_counts.size(), instrumented.raw_counts.size());
+  for (size_t i = 0; i < plain.raw_counts.size(); ++i) {
+    EXPECT_EQ(plain.raw_counts[i], instrumented.raw_counts[i]);
+  }
+}
+
+TEST_F(ReportTest, EnableCollectionResetsState) {
+  obs::EnableCollection();
+  obs::MetricsRegistry::Global().GetCounter("enable_test.counter")
+      ->Increment(9);
+  { PLDP_SPAN("enable_test.span"); }
+  obs::EnableCollection();  // a fresh run starts clean
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetCounter("enable_test.counter")
+                ->Value(),
+            0u);
+  EXPECT_TRUE(obs::TraceCollector::Global().Snapshot().empty());
+  EXPECT_TRUE(obs::MetricsRegistry::Global().enabled());
+  EXPECT_TRUE(obs::TraceCollector::Global().enabled());
+}
+
+}  // namespace
+}  // namespace pldp

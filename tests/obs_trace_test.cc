@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pldp {
+namespace obs {
+namespace {
+
+// These tests exercise the global collector (that is what PLDP_SPAN uses);
+// each resets it and leaves it disabled to stay invisible to other tests.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Global().Reset();
+    TraceCollector::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceCollector::Global().set_enabled(false);
+    TraceCollector::Global().Reset();
+  }
+};
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector::Global().set_enabled(false);
+  {
+    PLDP_SPAN("never");
+    EXPECT_EQ(TraceCollector::Global().CurrentSpan(),
+              TraceCollector::kNoSpan);
+  }
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, NestingRecordsParentAndDepth) {
+  {
+    PLDP_SPAN("outer");
+    {
+      PLDP_SPAN("middle");
+      { PLDP_SPAN("inner"); }
+    }
+    PLDP_SPAN("sibling");
+  }
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Records are in Begin order.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "middle");
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].parent, 1);
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[3].parent, 0);
+  EXPECT_EQ(spans[3].depth, 1u);
+  for (const SpanRecord& span : spans) {
+    EXPECT_GE(span.duration_ms, 0.0) << span.name << " was never closed";
+    EXPECT_GE(span.start_ms, 0.0);
+  }
+}
+
+TEST_F(TraceTest, SnapshotMidSpanShowsOpenDuration) {
+  const int64_t id = TraceCollector::Global().Begin("open");
+  const std::vector<SpanRecord> mid = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0].duration_ms, -1.0);
+  TraceCollector::Global().End(id);
+  const std::vector<SpanRecord> done = TraceCollector::Global().Snapshot();
+  EXPECT_GE(done[0].duration_ms, 0.0);
+}
+
+TEST_F(TraceTest, WorkerThreadsAdoptExplicitParent) {
+  {
+    PLDP_SPAN("spawn");
+    const int64_t parent = TraceCollector::Global().CurrentSpan();
+    ASSERT_NE(parent, TraceCollector::kNoSpan);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([parent]() { PLDP_SPAN_PARENT("work", parent); });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  const SpanRecord* spawn = FindSpan(spans, "spawn");
+  ASSERT_NE(spawn, nullptr);
+  int workers_seen = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name != "work") continue;
+    ++workers_seen;
+    EXPECT_EQ(span.parent, 0) << "worker span must hang off the spawner";
+    EXPECT_EQ(span.depth, 1u);
+    EXPECT_NE(span.thread, spawn->thread);
+  }
+  EXPECT_EQ(workers_seen, 4);
+}
+
+TEST_F(TraceTest, ThreadsWithoutParentBecomeRoots) {
+  std::thread([]() { PLDP_SPAN("detached_root"); }).join();
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST_F(TraceTest, StaleGuardAcrossResetIsNoOp) {
+  const int64_t id = TraceCollector::Global().Begin("pre_reset");
+  TraceCollector::Global().Reset();
+  const int64_t fresh = TraceCollector::Global().Begin("post_reset");
+  // Ending the stale id must not close (or corrupt) the fresh span.
+  TraceCollector::Global().End(id);
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "post_reset");
+  EXPECT_EQ(spans[0].duration_ms, -1.0);
+  TraceCollector::Global().End(fresh);
+  spans = TraceCollector::Global().Snapshot();
+  EXPECT_GE(spans[0].duration_ms, 0.0);
+}
+
+TEST_F(TraceTest, RecordCapCountsDrops) {
+  for (size_t i = 0; i < TraceCollector::kMaxRecords + 100; ++i) {
+    PLDP_SPAN("flood");
+  }
+  EXPECT_EQ(TraceCollector::Global().Snapshot().size(),
+            TraceCollector::kMaxRecords);
+  EXPECT_EQ(TraceCollector::Global().dropped(), 100u);
+  // Reset clears the drop counter with the records.
+  TraceCollector::Global().Reset();
+  EXPECT_EQ(TraceCollector::Global().dropped(), 0u);
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pldp

@@ -1,5 +1,9 @@
 #include "util/logging.h"
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "util/stopwatch.h"
@@ -40,6 +44,50 @@ TEST(LoggingTest, StreamedValuesFormat) {
   internal_logging::SetMinLogLevel(original);
 }
 
+TEST(LoggingTest, ConcurrentMessagesNeverInterleave) {
+  const LogLevel original = internal_logging::MinLogLevel();
+  internal_logging::SetMinLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        PLDP_LOG(Info) << "tid=" << t << " begin"
+                       << "-middle-" << i << " end";
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  internal_logging::SetMinLogLevel(original);
+
+  // The sink writes each formatted line under one lock, so every line must
+  // be exactly one complete message: prefix, then the unbroken payload.
+  int complete_lines = 0;
+  size_t start = 0;
+  while (start < captured.size()) {
+    size_t end = captured.find('\n', start);
+    if (end == std::string::npos) end = captured.size();
+    const std::string line = captured.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    ++complete_lines;
+    EXPECT_NE(line.find("[INFO util_logging_test.cc:"), std::string::npos)
+        << "torn line: " << line;
+    const size_t begin_pos = line.find(" begin-middle-");
+    ASSERT_NE(begin_pos, std::string::npos) << "torn line: " << line;
+    EXPECT_EQ(line.find(" end"), line.size() - 4) << "torn line: " << line;
+    // Exactly one prefix per line: a second '[INFO ' would mean two
+    // messages fused without the separating newline.
+    EXPECT_EQ(line.find("[INFO ", 1), std::string::npos)
+        << "fused line: " << line;
+  }
+  EXPECT_EQ(complete_lines, kThreads * kPerThread);
+}
+
 TEST(LoggingDeathTest, CheckFailureAborts) {
   EXPECT_DEATH(PLDP_CHECK(1 == 2) << "math broke", "Check failed: 1 == 2");
   EXPECT_DEATH(PLDP_CHECK_EQ(3, 4), "Check failed");
@@ -63,8 +111,11 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   benchmark_sink_ = sink;
   const double elapsed = stopwatch.ElapsedSeconds();
   EXPECT_GT(elapsed, 0.0);
+  // The two reads are a few clock ticks apart, so allow a small absolute
+  // slack on top of the relative one (sub-microsecond elapsed times made a
+  // purely relative bound flaky under sanitizers).
   EXPECT_NEAR(stopwatch.ElapsedMillis(), stopwatch.ElapsedSeconds() * 1e3,
-              stopwatch.ElapsedSeconds() * 100);
+              stopwatch.ElapsedSeconds() * 100 + 1e-3);
   stopwatch.Restart();
   EXPECT_LE(stopwatch.ElapsedSeconds(), elapsed + 1.0);
 }
