@@ -11,8 +11,10 @@
 
 #include "eval/metrics.h"
 #include "eval/range_query.h"
+#include "obs/chrome_trace.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -140,6 +142,23 @@ Status BenchReport::Write() const {
   out.flush();
   if (!out) {
     return Status::Internal("failed writing bench report to " + path);
+  }
+
+  // PLDP_BENCH_EXPORTS (comma/space list of "prom", "trace") writes the
+  // standard-tool companions next to the JSON: BENCH_<name>.prom and
+  // BENCH_<name>.trace.json.
+  if (const char* exports = std::getenv("PLDP_BENCH_EXPORTS")) {
+    const std::string requested = exports;
+    const std::string base = path.substr(0, path.size() - 5);  // drop .json
+    if (requested.find("prom") != std::string::npos) {
+      PLDP_RETURN_IF_ERROR(obs::WritePrometheusTextFile(
+          base + ".prom", obs::MetricsRegistry::Global().Snapshot()));
+    }
+    if (requested.find("trace") != std::string::npos) {
+      PLDP_RETURN_IF_ERROR(obs::WriteChromeTraceFile(
+          base + ".trace.json", spans, obs::TraceCollector::Global().dropped(),
+          obs::MetricsRegistry::Global().Snapshot()));
+    }
   }
   return Status::OK();
 }

@@ -31,6 +31,10 @@ double Percentile(std::vector<double> samples, double p);
 ///
 /// Constructing the report enables global metric/span collection, so the
 /// embedded snapshot covers everything the bench ran.
+///
+/// Setting PLDP_BENCH_EXPORTS to a list containing "prom" and/or "trace"
+/// additionally writes BENCH_<name>.prom (Prometheus text exposition) and
+/// BENCH_<name>.trace.json (Chrome trace_event JSON) next to the report.
 class BenchReport {
  public:
   /// `bench_name` is the target name without the bench_ prefix

@@ -7,13 +7,16 @@
 #include "data/loader.h"
 #include "data/spec_assignment.h"
 #include "data/synthetic.h"
+#include "eval/accuracy.h"
 #include "eval/degradation.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "geo/taxonomy.h"
+#include "obs/chrome_trace.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "util/csv.h"
 
 namespace pldp {
@@ -127,8 +130,33 @@ Status RunCommand(const CliOptions& options, std::ostream& out) {
   out << "scheme: " << options.scheme << ", setting: " << options.setting
       << ", beta: " << options.beta << ", seed: " << options.seed << "\n";
 
-  PLDP_ASSIGN_OR_RETURN(std::vector<double> counts,
-                        RunNamedScheme(options, taxonomy, users));
+  // When collection is on, estimate quality is scored against the taxonomy
+  // and published as accuracy.* metrics so run reports (and the benchdiff
+  // trajectory) track utility alongside latency. PSDA runs directly so the
+  // clustering is available for the per-cluster KL and Theorem 4.5 checks.
+  const bool score_accuracy = obs::MetricsRegistry::Global().enabled();
+  std::vector<double> counts;
+  if (options.scheme == "psda") {
+    PsdaOptions psda_options;
+    psda_options.beta = options.beta;
+    psda_options.seed = options.seed;
+    PLDP_ASSIGN_OR_RETURN(PsdaResult result,
+                          RunPsda(taxonomy, users, psda_options));
+    if (score_accuracy) {
+      PLDP_ASSIGN_OR_RETURN(
+          const AccuracySummary accuracy,
+          ComputePsdaAccuracy(taxonomy, truth, result, options.beta));
+      PublishAccuracy(accuracy);
+    }
+    counts = std::move(result.counts);
+  } else {
+    PLDP_ASSIGN_OR_RETURN(counts, RunNamedScheme(options, taxonomy, users));
+    if (score_accuracy) {
+      PLDP_ASSIGN_OR_RETURN(const AccuracySummary accuracy,
+                            ComputeAccuracy(taxonomy, truth, counts));
+      PublishAccuracy(accuracy);
+    }
+  }
 
   PLDP_ASSIGN_OR_RETURN(const double mae, MaxAbsoluteError(truth, counts));
   PLDP_ASSIGN_OR_RETURN(const double kl, KlDivergence(truth, counts));
@@ -225,14 +253,26 @@ obs::RunManifest BuildCliManifest(const CliOptions& options) {
   return manifest;
 }
 
-// Writes the run report collected since EnableCollection. A ".csv" suffix
-// selects the flat metric dump; anything else gets the full JSON report.
+bool HasSuffix(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Writes the collection accumulated since EnableCollection; the path suffix
+// picks the exporter: .csv flat metric dump, .prom Prometheus text
+// exposition, .trace.json Chrome trace_event JSON, anything else the full
+// pldp.run_report/1 JSON.
 Status WriteCliMetrics(const CliOptions& options, std::ostream& out) {
   const std::string& path = options.metrics_out;
   Status status = Status::OK();
-  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+  if (HasSuffix(path, ".csv")) {
     status =
         obs::WriteMetricsCsv(path, obs::MetricsRegistry::Global().Snapshot());
+  } else if (HasSuffix(path, ".prom")) {
+    status = obs::WritePrometheusTextFile(
+        path, obs::MetricsRegistry::Global().Snapshot());
+  } else if (HasSuffix(path, ".trace.json")) {
+    status = obs::WriteChromeTraceFile(path);
   } else {
     status = obs::WriteRunReportJson(path, BuildCliManifest(options));
   }

@@ -30,9 +30,12 @@ namespace pldp {
 ///   --output <counts.csv>                       private estimate dump
 ///   --truth-output <counts.csv>                 exact histogram dump
 ///   --metrics-out <run.json>                    observability run report:
-///                                               metrics, span tree, manifest
-///                                               (a .csv path dumps the flat
-///                                               metric snapshot instead)
+///                                               metrics, span tree, manifest.
+///                                               The suffix picks the format:
+///                                               .csv flat metric snapshot,
+///                                               .prom Prometheus text,
+///                                               .trace.json Chrome trace,
+///                                               else pldp.run_report/1 JSON
 ///
 /// `degrade` takes the same input flags plus:
 ///   --dropout-max <r>            top of the swept dropout range (0.5)

@@ -2,9 +2,22 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace pldp {
+namespace {
+
+// Counter, not a span: the clustering objective evaluates this bound O(k^2)
+// times per merge pass, so the trajectory wants the evaluation volume, and
+// the trace collector could not afford one record per call.
+obs::Counter* BoundEvaluationsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "error_model.bound_evaluations");
+  return counter;
+}
+
+}  // namespace
 
 double CEpsilon(double epsilon) {
   PLDP_CHECK(epsilon > 0.0) << "CEpsilon requires epsilon > 0";
@@ -21,6 +34,7 @@ double PcepErrorBound(double beta, double n, double region_size,
                       double varsigma) {
   PLDP_CHECK(beta > 0.0 && beta < 1.0) << "beta must be in (0, 1)";
   PLDP_CHECK(region_size >= 1.0) << "region size must be at least 1";
+  BoundEvaluationsCounter()->Increment();
   if (n <= 0.0) return 0.0;
   const double sampling_term =
       std::sqrt(2.0 * varsigma * std::log(4.0 * region_size / beta));

@@ -3,8 +3,26 @@
 #include <cmath>
 
 #include "core/error_model.h"
+#include "obs/metrics.h"
 
 namespace pldp {
+namespace {
+
+// Per-report counters, not spans: LR runs once per user inside the
+// pcep.encode span, far too hot for the mutex-guarded trace collector.
+obs::Counter* ReportsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("local_randomizer.reports");
+  return counter;
+}
+
+obs::Counter* SignFlipsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("local_randomizer.sign_flips");
+  return counter;
+}
+
+}  // namespace
 
 double LrKeepProbability(double epsilon) {
   PLDP_CHECK(epsilon > 0.0);
@@ -23,6 +41,10 @@ StatusOr<double> LocalRandomize(bool positive_sign, uint64_t m, double epsilon,
   PLDP_CHECK(rng != nullptr);
   const double magnitude = CEpsilon(epsilon) * std::sqrt(static_cast<double>(m));
   const bool keep = rng->Bernoulli(LrKeepProbability(epsilon));
+  ReportsCounter()->Increment();
+  // Aggregate flip tally only: the expected rate 1/(e^eps+1) is public, and
+  // no per-user association leaves this scope.
+  if (!keep) SignFlipsCounter()->Increment();
   const double sign = positive_sign == keep ? 1.0 : -1.0;
   return sign * magnitude;
 }

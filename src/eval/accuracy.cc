@@ -1,0 +1,144 @@
+#include "eval/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/error_model.h"
+#include "eval/metrics.h"
+#include "obs/metrics.h"
+
+namespace pldp {
+namespace {
+
+double DefaultSanity(const std::vector<double>& truth) {
+  double total = 0.0;
+  for (const double value : truth) total += value;
+  return std::max(1.0, 0.001 * total);
+}
+
+}  // namespace
+
+StatusOr<AccuracySummary> ComputeAccuracy(const SpatialTaxonomy& taxonomy,
+                                          const std::vector<double>& truth,
+                                          const std::vector<double>& estimate,
+                                          double sanity) {
+  if (truth.size() != estimate.size() ||
+      truth.size() != taxonomy.grid().num_cells()) {
+    return Status::InvalidArgument(
+        "accuracy needs per-leaf-cell truth and estimate histograms");
+  }
+  if (sanity <= 0.0) sanity = DefaultSanity(truth);
+
+  AccuracySummary summary;
+  PLDP_ASSIGN_OR_RETURN(summary.mean_abs_error,
+                        MeanAbsoluteError(truth, estimate));
+  PLDP_ASSIGN_OR_RETURN(summary.max_abs_error,
+                        MaxAbsoluteError(truth, estimate));
+  PLDP_ASSIGN_OR_RETURN(summary.kl_divergence, KlDivergence(truth, estimate));
+
+  // Node-aggregated relative error per level: a level-k node's count is the
+  // sum of its leaf cells, so coarse levels measure exactly what coarse
+  // range queries see.
+  std::vector<double> error_total(taxonomy.height() + 1, 0.0);
+  std::vector<uint64_t> node_count(taxonomy.height() + 1, 0);
+  for (NodeId node = 0; node < taxonomy.num_nodes(); ++node) {
+    double node_truth = 0.0, node_estimate = 0.0;
+    for (const CellId cell : taxonomy.RegionCells(node)) {
+      node_truth += truth[cell];
+      node_estimate += estimate[cell];
+    }
+    const uint32_t level = taxonomy.level(node);
+    error_total[level] += RelativeError(node_truth, node_estimate, sanity);
+    ++node_count[level];
+  }
+  summary.level_rel_error.resize(error_total.size(), 0.0);
+  for (size_t level = 0; level < error_total.size(); ++level) {
+    if (node_count[level] > 0) {
+      summary.level_rel_error[level] =
+          error_total[level] / static_cast<double>(node_count[level]);
+    }
+  }
+  return summary;
+}
+
+StatusOr<AccuracySummary> ComputePsdaAccuracy(const SpatialTaxonomy& taxonomy,
+                                              const std::vector<double>& truth,
+                                              const PsdaResult& result,
+                                              double beta, double sanity) {
+  PLDP_ASSIGN_OR_RETURN(AccuracySummary summary,
+                        ComputeAccuracy(taxonomy, truth, result.counts,
+                                        sanity));
+  const std::vector<Cluster>& clusters = result.clustering.clusters;
+  if (clusters.empty()) return summary;
+  const double per_cluster_beta = beta / static_cast<double>(clusters.size());
+
+  double kl_total = 0.0;
+  for (const Cluster& cluster : clusters) {
+    if (cluster.top_region == kInvalidNode) continue;
+    const std::vector<CellId> cells = taxonomy.RegionCells(cluster.top_region);
+    std::vector<double> region_truth, region_estimate, region_raw;
+    region_truth.reserve(cells.size());
+    region_estimate.reserve(cells.size());
+    region_raw.reserve(cells.size());
+    for (const CellId cell : cells) {
+      region_truth.push_back(truth[cell]);
+      region_estimate.push_back(result.counts[cell]);
+      region_raw.push_back(
+          cell < result.raw_counts.size() ? result.raw_counts[cell] : 0.0);
+    }
+
+    const StatusOr<double> region_kl =
+        KlDivergence(region_truth, region_estimate);
+    if (region_kl.ok()) {  // regions with no real users are skipped
+      kl_total += region_kl.value();
+      ++summary.clusters_scored;
+    }
+
+    // Theorem 4.5 check on the raw pre-consistency estimates: with nested
+    // same-path clusters the per-cell raw count mixes contributions, so
+    // this is a telemetry proxy, deliberately stable across code versions.
+    double max_err = 0.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      max_err = std::max(max_err,
+                         std::fabs(region_raw[i] - region_truth[i]));
+    }
+    const double bound =
+        PcepErrorBound(per_cluster_beta, static_cast<double>(cluster.n),
+                       static_cast<double>(std::max<uint64_t>(
+                           1, cluster.region_size)),
+                       cluster.varsigma);
+    ++summary.clusters_checked;
+    if (max_err > bound) ++summary.bound_violations;
+  }
+  if (summary.clusters_scored > 0) {
+    summary.mean_cluster_kl =
+        kl_total / static_cast<double>(summary.clusters_scored);
+  }
+  if (summary.clusters_checked > 0) {
+    summary.bound_violation_rate =
+        static_cast<double>(summary.bound_violations) /
+        static_cast<double>(summary.clusters_checked);
+  }
+  return summary;
+}
+
+void PublishAccuracy(const AccuracySummary& summary) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (size_t level = 0; level < summary.level_rel_error.size(); ++level) {
+    registry.GetGauge("accuracy.rel_err_l" + std::to_string(level))
+        ->Set(summary.level_rel_error[level]);
+  }
+  registry.GetGauge("accuracy.mae")->Set(summary.mean_abs_error);
+  registry.GetGauge("accuracy.max_abs_error")->Set(summary.max_abs_error);
+  registry.GetGauge("accuracy.kl")->Set(summary.kl_divergence);
+  registry.GetGauge("accuracy.cluster_kl_mean")->Set(summary.mean_cluster_kl);
+  registry.GetGauge("accuracy.bound_violation_rate")
+      ->Set(summary.bound_violation_rate);
+  registry.GetCounter("accuracy.bound_violations")
+      ->Increment(summary.bound_violations);
+  registry.GetCounter("accuracy.clusters_checked")
+      ->Increment(summary.clusters_checked);
+}
+
+}  // namespace pldp

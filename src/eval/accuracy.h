@@ -1,0 +1,71 @@
+#ifndef PLDP_EVAL_ACCURACY_H_
+#define PLDP_EVAL_ACCURACY_H_
+
+#include <vector>
+
+#include "core/psda.h"
+#include "geo/taxonomy.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Estimate-quality summary of one run, the accuracy analog of the latency
+/// span aggregates: everything here is derived from (truth, estimate) plus
+/// the run's clustering, and is published into the metrics registry so the
+/// benchdiff trajectory tracks utility regressions alongside wall time.
+struct AccuracySummary {
+  /// Mean relative error |true - est| / max(true, sanity) of node-aggregated
+  /// counts per taxonomy level; index 0 is the root (where estimates sum to
+  /// n-hat), back() is the leaf level (the paper's per-cell utility).
+  std::vector<double> level_rel_error;
+
+  /// Whole-histogram measures over the leaf cells.
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+  double kl_divergence = 0.0;
+
+  /// Per-cluster KL divergence between the true and estimated distributions
+  /// restricted to the cluster's top region (clusters whose region holds no
+  /// real users are skipped).
+  double mean_cluster_kl = 0.0;
+  uint64_t clusters_scored = 0;
+
+  /// Fraction of clusters whose max absolute error over their top region
+  /// (on the raw pre-consistency estimates) exceeds the Theorem 4.5
+  /// envelope err(beta/|C|, n, d, varsigma). The theorem promises this rate
+  /// stays below beta with overlapping-cluster caveats; a sustained rise is
+  /// an estimator bug, not noise.
+  double bound_violation_rate = 0.0;
+  uint64_t bound_violations = 0;
+  uint64_t clusters_checked = 0;
+};
+
+/// Scores `estimate` against `truth` over the taxonomy. `sanity` is the
+/// relative-error floor (the paper's 0.1% sanity bound); pass <= 0 to use
+/// max(1, 0.001 * sum(truth)). Fails on size mismatch with the leaf count.
+StatusOr<AccuracySummary> ComputeAccuracy(const SpatialTaxonomy& taxonomy,
+                                          const std::vector<double>& truth,
+                                          const std::vector<double>& estimate,
+                                          double sanity = 0.0);
+
+/// Same, plus the cluster-level measures (per-cluster KL and the Theorem 4.5
+/// bound-violation rate) computed from a PSDA result's clustering and raw
+/// counts. `beta` is the run's overall confidence parameter.
+StatusOr<AccuracySummary> ComputePsdaAccuracy(const SpatialTaxonomy& taxonomy,
+                                              const std::vector<double>& truth,
+                                              const PsdaResult& result,
+                                              double beta, double sanity = 0.0);
+
+/// Publishes the summary as accuracy.* gauges/counters on the global metrics
+/// registry (no-ops while collection is disabled):
+///   accuracy.rel_err_l<k>           gauge, per taxonomy level
+///   accuracy.mae / accuracy.max_abs_error / accuracy.kl    gauges
+///   accuracy.cluster_kl_mean        gauge
+///   accuracy.bound_violation_rate   gauge
+///   accuracy.bound_violations       counter
+///   accuracy.clusters_checked       counter
+void PublishAccuracy(const AccuracySummary& summary);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_ACCURACY_H_

@@ -1,0 +1,146 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "obs/json_writer.h"
+#include "obs/prometheus.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+/// One pre-rendered trace event; only the fields the phase uses are set.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';
+  double ts_us = 0.0;   // microseconds, trace_event's native unit
+  double dur_us = -1.0; // only for "X"
+  uint32_t tid = 0;
+  uint32_t depth = 0;                                  // args for "X"/"B"
+  std::vector<std::pair<std::string, double>> values;  // args for "C"
+};
+
+void WriteEvent(JsonWriter* writer, const TraceEvent& event) {
+  writer->BeginObject();
+  writer->Field("name", event.name);
+  writer->Field("cat", "pldp");
+  writer->Field("ph", std::string(1, event.phase));
+  writer->Field("ts", event.ts_us);
+  if (event.phase == 'X') writer->Field("dur", event.dur_us);
+  writer->Field("pid", 1);
+  writer->Field("tid", static_cast<uint64_t>(event.tid));
+  writer->Key("args");
+  writer->BeginObject();
+  if (event.phase == 'C') {
+    for (const auto& [key, value] : event.values) writer->Field(key, value);
+  } else {
+    writer->Field("depth", static_cast<uint64_t>(event.depth));
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+void WriteMetadataEvent(JsonWriter* writer, const std::string& name,
+                        uint32_t tid, const std::string& value) {
+  writer->BeginObject();
+  writer->Field("name", name);
+  writer->Field("ph", "M");
+  writer->Field("pid", 1);
+  writer->Field("tid", static_cast<uint64_t>(tid));
+  writer->Key("args");
+  writer->BeginObject();
+  writer->Field("name", value);
+  writer->EndObject();
+  writer->EndObject();
+}
+
+}  // namespace
+
+void WriteChromeTraceJson(std::ostream* out,
+                          const std::vector<SpanRecord>& spans,
+                          uint64_t dropped_spans,
+                          const MetricsSnapshot& metrics) {
+  std::vector<TraceEvent> events;
+  events.reserve(spans.size() + metrics.histograms.size());
+  std::set<uint32_t> threads;
+  double end_ts_us = 0.0;
+  for (const SpanRecord& span : spans) {
+    TraceEvent event;
+    event.name = span.name;
+    event.ts_us = span.start_ms * 1000.0;
+    event.tid = span.thread;
+    event.depth = span.depth;
+    if (span.duration_ms >= 0.0) {
+      event.phase = 'X';
+      event.dur_us = span.duration_ms * 1000.0;
+    } else {
+      event.phase = 'B';  // still open at snapshot time
+    }
+    end_ts_us = std::max(end_ts_us, event.ts_us + std::max(0.0, event.dur_us));
+    threads.insert(span.thread);
+    events.push_back(std::move(event));
+  }
+  for (const HistogramSnapshot& histogram : metrics.histograms) {
+    TraceEvent event;
+    event.name = PrometheusMetricName(histogram.name);
+    event.phase = 'C';
+    event.ts_us = end_ts_us;
+    event.tid = 0;
+    for (const double q : {0.5, 0.95, 0.99}) {
+      const double estimate = Histogram::ApproxQuantileFromBuckets(
+          histogram.bounds, histogram.buckets, q);
+      if (estimate == estimate) {  // skip NaN: counter tracks need numbers
+        event.values.emplace_back("p" + std::to_string(int(q * 100)),
+                                  estimate);
+      }
+    }
+    if (!event.values.empty()) events.push_back(std::move(event));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.Field("displayTimeUnit", "ms");
+  writer.Field("pldp_dropped_spans", dropped_spans);
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  WriteMetadataEvent(&writer, "process_name", 0, "pldp");
+  for (const uint32_t tid : threads) {
+    WriteMetadataEvent(&writer, "thread_name", tid,
+                       "pldp-thread-" + std::to_string(tid));
+  }
+  for (const TraceEvent& event : events) WriteEvent(&writer, event);
+  writer.EndArray();
+  writer.EndObject();
+  *out << "\n";
+}
+
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<SpanRecord>& spans,
+                            uint64_t dropped_spans,
+                            const MetricsSnapshot& metrics) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  WriteChromeTraceJson(&out, spans, dropped_spans, metrics);
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing chrome trace to " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteChromeTraceFile(const std::string& path) {
+  return WriteChromeTraceFile(path, TraceCollector::Global().Snapshot(),
+                              TraceCollector::Global().dropped(),
+                              MetricsRegistry::Global().Snapshot());
+}
+
+}  // namespace obs
+}  // namespace pldp

@@ -1,0 +1,44 @@
+#ifndef PLDP_OBS_CHROME_TRACE_H_
+#define PLDP_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace pldp {
+namespace obs {
+
+/// Writes the span tree in the Chrome trace_event JSON Object Format
+/// (loadable in Perfetto / chrome://tracing): a {"traceEvents": [...]}
+/// document containing
+///   - "M" metadata events naming the process and each recorded thread,
+///   - one "X" (complete) event per closed span with microsecond ts/dur,
+///     the collector thread id as tid, and the span depth in args,
+///   - one "B" (begin) event per span still open at snapshot time,
+///   - one "C" (counter) event per histogram in `metrics`, stamped at the
+///     trace end, carrying p50/p95/p99 from ApproxQuantileFromBuckets.
+/// Events are sorted by ts, so timestamps are monotone within every thread.
+void WriteChromeTraceJson(std::ostream* out,
+                          const std::vector<SpanRecord>& spans,
+                          uint64_t dropped_spans,
+                          const MetricsSnapshot& metrics);
+
+/// WriteChromeTraceJson to a file; the ".trace.json" branch of the CLI's
+/// --metrics-out suffix dispatch.
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<SpanRecord>& spans,
+                            uint64_t dropped_spans,
+                            const MetricsSnapshot& metrics);
+
+/// Convenience form snapshotting the global trace collector and metrics
+/// registry.
+Status WriteChromeTraceFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_CHROME_TRACE_H_

@@ -1,0 +1,479 @@
+#include "obs/history.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "obs/json_reader.h"
+#include "obs/json_writer.h"
+#include "util/csv.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+constexpr const char* kHistorySchema = "pldp.bench_history/1";
+
+std::tuple<std::string, std::string, int64_t> RecordKey(
+    const BenchRunRecord& record) {
+  return {record.bench, record.git_revision, record.generated_unix_s};
+}
+
+std::string FormatSeconds(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+BenchCaseRecord ParseCaseObject(const JsonValue& value) {
+  BenchCaseRecord record;
+  record.name = value.StringOr("name", "");
+  record.repetitions = static_cast<uint64_t>(value.NumberOr("repetitions", 0));
+  record.median_s = value.NumberOr("median_s", 0.0);
+  record.p95_s = value.NumberOr("p95_s", record.median_s);
+  record.mean_s = value.NumberOr("mean_s", record.median_s);
+  record.min_s = value.NumberOr("min_s", record.median_s);
+  record.max_s = value.NumberOr("max_s", record.median_s);
+  if (const JsonValue* stats = value.Find("stats")) {
+    for (const auto& [key, stat] : stats->object_members()) {
+      if (stat.is_number()) record.stats.emplace_back(key, stat.number_value());
+    }
+  }
+  return record;
+}
+
+BenchRunRecord ParseBenchSchema(const JsonValue& root,
+                                const std::string& source_name) {
+  BenchRunRecord record;
+  record.bench = root.StringOr("bench", "unknown");
+  record.generated_unix_s =
+      static_cast<int64_t>(root.NumberOr("generated_unix_s", 0));
+  record.source = source_name;
+  if (const JsonValue* manifest = root.Find("manifest")) {
+    record.git_revision = manifest->StringOr("git_revision", "unknown");
+  }
+  if (const JsonValue* cases = root.Find("cases")) {
+    for (const JsonValue& entry : cases->array_items()) {
+      record.cases.push_back(ParseCaseObject(entry));
+    }
+  }
+  return record;
+}
+
+BenchRunRecord ParseRunReportSchema(const JsonValue& root,
+                                    const std::string& source_name) {
+  BenchRunRecord record;
+  record.generated_unix_s =
+      static_cast<int64_t>(root.NumberOr("generated_unix_s", 0));
+  record.source = source_name;
+  std::string tool = "unknown", command = "";
+  if (const JsonValue* manifest = root.Find("manifest")) {
+    tool = manifest->StringOr("tool", tool);
+    command = manifest->StringOr("command", command);
+    record.git_revision = manifest->StringOr("git_revision", "unknown");
+  }
+  record.bench = command.empty() ? tool : tool + "." + command;
+  if (const JsonValue* aggregates = root.Find("span_aggregates")) {
+    for (const JsonValue& aggregate : aggregates->array_items()) {
+      const double count = aggregate.NumberOr("count", 0.0);
+      if (count <= 0.0) continue;
+      BenchCaseRecord entry;
+      entry.name = "span:" + aggregate.StringOr("path", "?");
+      entry.repetitions = static_cast<uint64_t>(count);
+      // Aggregation keeps only (count, total); the per-invocation mean in
+      // seconds stands in for the median, with no independent p95.
+      entry.median_s = aggregate.NumberOr("total_ms", 0.0) / count / 1000.0;
+      entry.p95_s = entry.median_s;
+      entry.mean_s = entry.median_s;
+      entry.min_s = entry.median_s;
+      entry.max_s = entry.median_s;
+      record.cases.push_back(std::move(entry));
+    }
+  }
+  // Accuracy gauges become stats on a synthetic case, giving estimate
+  // quality the same trajectory treatment as wall time.
+  BenchCaseRecord accuracy;
+  accuracy.name = "accuracy";
+  if (const JsonValue* metrics = root.Find("metrics")) {
+    if (const JsonValue* gauges = metrics->Find("gauges")) {
+      for (const auto& [name, value] : gauges->object_members()) {
+        if (name.rfind("accuracy.", 0) == 0 && value.is_number()) {
+          accuracy.stats.emplace_back(name, value.number_value());
+        }
+      }
+    }
+  }
+  if (!accuracy.stats.empty()) record.cases.push_back(std::move(accuracy));
+  return record;
+}
+
+void WriteCaseJson(JsonWriter* writer, const BenchCaseRecord& entry) {
+  writer->BeginObject();
+  writer->Field("name", entry.name);
+  writer->Field("repetitions", entry.repetitions);
+  writer->Field("median_s", entry.median_s);
+  writer->Field("p95_s", entry.p95_s);
+  writer->Field("mean_s", entry.mean_s);
+  writer->Field("min_s", entry.min_s);
+  writer->Field("max_s", entry.max_s);
+  if (!entry.stats.empty()) {
+    writer->Key("stats");
+    writer->BeginObject();
+    for (const auto& [key, value] : entry.stats) writer->Field(key, value);
+    writer->EndObject();
+  }
+  writer->EndObject();
+}
+
+/// Median over a copy, nearest-rank-low for even sizes; callers guarantee
+/// non-empty input.
+double MedianOf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[(values.size() - 1) / 2];
+}
+
+struct BaselinePool {
+  std::vector<double> values;   // the compared quantity per history entry
+  std::vector<double> spreads;  // per-entry p95 - median (latency only)
+};
+
+DiffVerdict Judge(double baseline, double candidate, const BaselinePool& pool,
+                  double candidate_spread, StatDirection direction,
+                  const BenchDiffOptions& options, double min_abs,
+                  double* noise_out) {
+  double spread = candidate_spread;
+  for (const double s : pool.spreads) spread = std::max(spread, s);
+  const double range =
+      *std::max_element(pool.values.begin(), pool.values.end()) -
+      *std::min_element(pool.values.begin(), pool.values.end());
+  const double noise = std::max(spread, range);
+  *noise_out = noise;
+  if (direction == StatDirection::kUnknown) return DiffVerdict::kOk;
+  const double threshold =
+      std::max({options.min_rel_delta * std::fabs(baseline),
+                options.noise_multiplier * noise, min_abs});
+  double worse_delta = candidate - baseline;
+  if (direction == StatDirection::kHigherIsBetter) worse_delta = -worse_delta;
+  if (worse_delta > threshold) return DiffVerdict::kRegression;
+  if (worse_delta < -threshold) return DiffVerdict::kImprovement;
+  return DiffVerdict::kOk;
+}
+
+const char* VerdictName(DiffVerdict verdict) {
+  switch (verdict) {
+    case DiffVerdict::kOk:
+      return "ok";
+    case DiffVerdict::kRegression:
+      return "regression";
+    case DiffVerdict::kImprovement:
+      return "improvement";
+  }
+  return "?";
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+StatDirection ClassifyStatDirection(const std::string& name) {
+  // Lower-is-better tokens first: "violation_rate" must not match the
+  // higher-is-better "rate" family.
+  for (const char* token : {"err", "kl", "mae", "loss", "violation", "bytes",
+                            "retries", "dropped", "timeout", "latency"}) {
+    if (Contains(name, token)) return StatDirection::kLowerIsBetter;
+  }
+  for (const char* token :
+       {"recall", "precision", "coverage", "throughput", "responders"}) {
+    if (Contains(name, token)) return StatDirection::kHigherIsBetter;
+  }
+  return StatDirection::kUnknown;
+}
+
+StatusOr<BenchRunRecord> ParseBenchReportJson(const std::string& json,
+                                              const std::string& source_name) {
+  PLDP_ASSIGN_OR_RETURN(const JsonValue root, ParseJson(json));
+  const std::string schema = root.StringOr("schema", "");
+  if (schema == "pldp.bench/1" || schema == kHistorySchema) {
+    return ParseBenchSchema(root, source_name);
+  }
+  if (schema == "pldp.run_report/1") {
+    return ParseRunReportSchema(root, source_name);
+  }
+  return Status::InvalidArgument(source_name + ": unsupported schema '" +
+                                 schema + "'");
+}
+
+StatusOr<BenchRunRecord> LoadBenchReportFile(const std::string& path) {
+  PLDP_ASSIGN_OR_RETURN(const std::string contents, ReadFileToString(path));
+  // Keep only the file name as provenance; directories differ per machine.
+  const size_t slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return ParseBenchReportJson(contents, name);
+}
+
+std::string BenchRunToJsonLine(const BenchRunRecord& record) {
+  std::ostringstream out;
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Field("schema", kHistorySchema);
+  writer.Field("bench", record.bench);
+  writer.Key("manifest");
+  writer.BeginObject();
+  writer.Field("git_revision", record.git_revision);
+  writer.EndObject();
+  writer.Field("generated_unix_s", record.generated_unix_s);
+  writer.Field("source", record.source);
+  writer.Key("cases");
+  writer.BeginArray();
+  for (const BenchCaseRecord& entry : record.cases) {
+    WriteCaseJson(&writer, entry);
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return out.str();
+}
+
+StatusOr<std::vector<BenchRunRecord>> LoadBenchHistory(
+    const std::string& path) {
+  std::vector<BenchRunRecord> history;
+  std::ifstream in(path);
+  if (!in) return history;  // no history yet: an empty trajectory
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    StatusOr<BenchRunRecord> record =
+        ParseBenchReportJson(line, path + ":" + std::to_string(line_number));
+    if (!record.ok()) {
+      return Status::InvalidArgument(path + " line " +
+                                     std::to_string(line_number) + ": " +
+                                     record.status().message());
+    }
+    history.push_back(std::move(record).value());
+  }
+  return history;
+}
+
+StatusOr<size_t> AppendBenchHistory(
+    const std::string& path, const std::vector<BenchRunRecord>& records) {
+  PLDP_ASSIGN_OR_RETURN(const std::vector<BenchRunRecord> existing,
+                        LoadBenchHistory(path));
+  std::set<std::tuple<std::string, std::string, int64_t>> seen;
+  for (const BenchRunRecord& record : existing) seen.insert(RecordKey(record));
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return Status::IoError("cannot open history " + path + " for append");
+  }
+  size_t appended = 0;
+  for (const BenchRunRecord& record : records) {
+    if (!seen.insert(RecordKey(record)).second) continue;
+    out << BenchRunToJsonLine(record) << "\n";
+    ++appended;
+  }
+  out.flush();
+  if (!out) return Status::IoError("failed appending to history " + path);
+  return appended;
+}
+
+BenchDiffResult DiffBenchRuns(const std::vector<BenchRunRecord>& history,
+                              const std::vector<BenchRunRecord>& candidates,
+                              const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  result.baseline_rev =
+      options.baseline_rev.empty() ? "<history>" : options.baseline_rev;
+  if (!candidates.empty()) result.candidate_rev = candidates[0].git_revision;
+
+  for (const BenchRunRecord& candidate : candidates) {
+    // Newest-first pool of history entries for this bench, excluding the
+    // candidate's own key (compare-after-ingest must not self-compare).
+    std::vector<const BenchRunRecord*> pool;
+    for (const BenchRunRecord& entry : history) {
+      if (entry.bench != candidate.bench) continue;
+      if (RecordKey(entry) == RecordKey(candidate)) continue;
+      if (!options.baseline_rev.empty() &&
+          entry.git_revision != options.baseline_rev) {
+        continue;
+      }
+      pool.push_back(&entry);
+    }
+    std::stable_sort(pool.begin(), pool.end(),
+                     [](const BenchRunRecord* a, const BenchRunRecord* b) {
+                       return a->generated_unix_s > b->generated_unix_s;
+                     });
+
+    for (const BenchCaseRecord& entry : candidate.cases) {
+      BaselinePool latency;
+      std::vector<std::pair<std::string, BaselinePool>> stat_pools;
+      for (const auto& [key, value] : entry.stats) {
+        (void)value;
+        stat_pools.emplace_back(key, BaselinePool{});
+      }
+      size_t used = 0;
+      for (const BenchRunRecord* baseline_run : pool) {
+        if (used >= options.max_baseline_entries) break;
+        const BenchCaseRecord* baseline_case = nullptr;
+        for (const BenchCaseRecord& other : baseline_run->cases) {
+          if (other.name == entry.name) {
+            baseline_case = &other;
+            break;
+          }
+        }
+        if (baseline_case == nullptr) continue;
+        ++used;
+        latency.values.push_back(baseline_case->median_s);
+        latency.spreads.push_back(
+            std::max(0.0, baseline_case->p95_s - baseline_case->median_s));
+        for (auto& [key, stat_pool] : stat_pools) {
+          for (const auto& [other_key, other_value] : baseline_case->stats) {
+            if (other_key == key) {
+              stat_pool.values.push_back(other_value);
+              break;
+            }
+          }
+        }
+      }
+      if (latency.values.empty()) {
+        ++result.unmatched_cases;
+        continue;
+      }
+
+      const auto add_comparison = [&](const std::string& metric,
+                                      double baseline, double candidate_value,
+                                      const BaselinePool& pool_for_metric,
+                                      double candidate_spread,
+                                      StatDirection direction,
+                                      double min_abs) {
+        BenchComparison comparison;
+        comparison.bench = candidate.bench;
+        comparison.case_name = entry.name;
+        comparison.metric = metric;
+        comparison.baseline = baseline;
+        comparison.candidate = candidate_value;
+        comparison.delta = candidate_value - baseline;
+        comparison.ratio = baseline != 0.0 ? candidate_value / baseline : 0.0;
+        comparison.baseline_entries = pool_for_metric.values.size();
+        comparison.verdict =
+            Judge(baseline, candidate_value, pool_for_metric, candidate_spread,
+                  direction, options, min_abs, &comparison.noise);
+        if (comparison.verdict == DiffVerdict::kRegression) {
+          ++result.regressions;
+        } else if (comparison.verdict == DiffVerdict::kImprovement) {
+          ++result.improvements;
+        }
+        result.comparisons.push_back(std::move(comparison));
+      };
+
+      add_comparison("median_s", MedianOf(latency.values), entry.median_s,
+                     latency, std::max(0.0, entry.p95_s - entry.median_s),
+                     StatDirection::kLowerIsBetter, options.min_abs_delta_s);
+      for (const auto& [key, value] : entry.stats) {
+        const BaselinePool* stat_pool = nullptr;
+        for (const auto& [pool_key, candidate_pool] : stat_pools) {
+          if (pool_key == key) {
+            stat_pool = &candidate_pool;
+            break;
+          }
+        }
+        if (stat_pool == nullptr || stat_pool->values.empty()) continue;
+        add_comparison(key, MedianOf(stat_pool->values), value, *stat_pool,
+                       /*candidate_spread=*/0.0, ClassifyStatDirection(key),
+                       /*min_abs=*/1e-12);
+      }
+    }
+  }
+  return result;
+}
+
+Status WriteBenchDiffJson(const std::string& path,
+                          const BenchDiffResult& result,
+                          const BenchDiffOptions& options) {
+  std::ostringstream out;
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Field("schema", "pldp.benchdiff/1");
+  writer.Field("generated_unix_s", static_cast<int64_t>(std::time(nullptr)));
+  writer.Field("baseline_rev", result.baseline_rev);
+  writer.Field("candidate_rev", result.candidate_rev);
+  writer.Key("options");
+  writer.BeginObject();
+  writer.Field("max_baseline_entries",
+               static_cast<uint64_t>(options.max_baseline_entries));
+  writer.Field("min_rel_delta", options.min_rel_delta);
+  writer.Field("noise_multiplier", options.noise_multiplier);
+  writer.Field("min_abs_delta_s", options.min_abs_delta_s);
+  writer.EndObject();
+  writer.Key("comparisons");
+  writer.BeginArray();
+  for (const BenchComparison& comparison : result.comparisons) {
+    writer.BeginObject();
+    writer.Field("bench", comparison.bench);
+    writer.Field("case", comparison.case_name);
+    writer.Field("metric", comparison.metric);
+    writer.Field("baseline", comparison.baseline);
+    writer.Field("candidate", comparison.candidate);
+    writer.Field("delta", comparison.delta);
+    writer.Field("ratio", comparison.ratio);
+    writer.Field("noise", comparison.noise);
+    writer.Field("baseline_entries",
+                 static_cast<uint64_t>(comparison.baseline_entries));
+    writer.Field("verdict", VerdictName(comparison.verdict));
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Field("regressions", static_cast<uint64_t>(result.regressions));
+  writer.Field("improvements", static_cast<uint64_t>(result.improvements));
+  writer.Field("unmatched_cases",
+               static_cast<uint64_t>(result.unmatched_cases));
+  writer.Field("total_comparisons",
+               static_cast<uint64_t>(result.comparisons.size()));
+  writer.EndObject();
+  out << "\n";
+  return WriteStringToFile(path, out.str());
+}
+
+std::string BenchDiffMarkdown(const BenchDiffResult& result) {
+  std::string out = "## pldp_benchdiff: " + result.candidate_rev + " vs " +
+                    result.baseline_rev + "\n\n";
+  out += "**" + std::to_string(result.regressions) + " regression(s), " +
+         std::to_string(result.improvements) + " improvement(s)** across " +
+         std::to_string(result.comparisons.size()) + " comparison(s); " +
+         std::to_string(result.unmatched_cases) +
+         " case(s) had no baseline.\n\n";
+  size_t flagged = 0;
+  for (const BenchComparison& comparison : result.comparisons) {
+    if (comparison.verdict != DiffVerdict::kOk) ++flagged;
+  }
+  if (flagged == 0) {
+    out += "No significant shifts.\n";
+    return out;
+  }
+  out += "| bench | case | metric | baseline | candidate | ratio | noise | "
+         "verdict |\n";
+  out += "|---|---|---|---|---|---|---|---|\n";
+  for (const BenchComparison& comparison : result.comparisons) {
+    if (comparison.verdict == DiffVerdict::kOk) continue;
+    char ratio[16];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx", comparison.ratio);
+    out += "| " + comparison.bench + " | " + comparison.case_name + " | " +
+           comparison.metric + " | " + FormatSeconds(comparison.baseline) +
+           " | " + FormatSeconds(comparison.candidate) + " | " + ratio +
+           " | " + FormatSeconds(comparison.noise) + " | " +
+           (comparison.verdict == DiffVerdict::kRegression
+                ? "**REGRESSION**"
+                : "improvement") +
+           " |\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pldp

@@ -1,0 +1,141 @@
+#ifndef PLDP_OBS_HISTORY_H_
+#define PLDP_OBS_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status_or.h"
+
+namespace pldp {
+namespace obs {
+
+/// One measured configuration of a bench run, normalized from either a
+/// `pldp.bench/1` case or a `pldp.run_report/1` span aggregate.
+struct BenchCaseRecord {
+  std::string name;
+  uint64_t repetitions = 0;
+  double median_s = 0.0;
+  double p95_s = 0.0;
+  double mean_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  /// Auxiliary scalars (error metrics, bytes/user, accuracy gauges, ...).
+  std::vector<std::pair<std::string, double>> stats;
+};
+
+/// One bench (or instrumented CLI) run: the unit of the BENCH_HISTORY.jsonl
+/// trajectory, keyed by (bench, git_revision, generated_unix_s).
+struct BenchRunRecord {
+  std::string bench;
+  std::string git_revision;
+  int64_t generated_unix_s = 0;
+  /// Originating file name, for provenance in reports.
+  std::string source;
+  std::vector<BenchCaseRecord> cases;
+};
+
+/// Parses one report into the normalized record.
+///   - "pldp.bench/1": cases map 1:1 (median/p95/... and stats).
+///   - "pldp.run_report/1": each span aggregate becomes a "span:<path>" case
+///     whose median_s is the mean per-invocation seconds (no sample
+///     distribution survives aggregation, so p95_s == median_s), and every
+///     "accuracy.*" gauge lands as a stat on a synthetic "accuracy" case,
+///     so estimate-quality regressions ride the same machinery as latency.
+/// Any other schema is InvalidArgument.
+StatusOr<BenchRunRecord> ParseBenchReportJson(const std::string& json,
+                                              const std::string& source_name);
+
+/// Reads and parses `path` as a report file (bench or run report).
+StatusOr<BenchRunRecord> LoadBenchReportFile(const std::string& path);
+
+/// One `pldp.bench_history/1` JSONL line (no trailing newline).
+std::string BenchRunToJsonLine(const BenchRunRecord& record);
+
+/// Loads a BENCH_HISTORY.jsonl trajectory. A missing file is an empty
+/// history; a malformed line is an error naming the line number.
+StatusOr<std::vector<BenchRunRecord>> LoadBenchHistory(const std::string& path);
+
+/// Appends `records` to the history at `path`, skipping entries whose
+/// (bench, git_revision, generated_unix_s) key is already present, so
+/// re-running ingestion is idempotent. Returns the number appended.
+StatusOr<size_t> AppendBenchHistory(const std::string& path,
+                                    const std::vector<BenchRunRecord>& records);
+
+/// Knobs of the noise-aware comparison.
+struct BenchDiffOptions {
+  /// Restrict the baseline pool to this git revision (empty: use the whole
+  /// history).
+  std::string baseline_rev;
+  /// Newest history entries pooled per (bench, case).
+  size_t max_baseline_entries = 5;
+  /// A shift below this fraction of the baseline is never flagged.
+  double min_rel_delta = 0.10;
+  /// The shift must also exceed this multiple of the pooled noise estimate
+  /// (max per-entry p95-median spread, and the range of baseline medians).
+  double noise_multiplier = 2.0;
+  /// Absolute floor: sub-10us shifts are timer noise regardless of ratio.
+  double min_abs_delta_s = 1e-5;
+};
+
+enum class DiffVerdict { kOk, kRegression, kImprovement };
+
+/// Whether a larger value of a tracked quantity is a regression, an
+/// improvement, or direction-free (informational). Latency metrics are
+/// always lower-is-better; stats are classified by name.
+enum class StatDirection { kLowerIsBetter, kHigherIsBetter, kUnknown };
+StatDirection ClassifyStatDirection(const std::string& name);
+
+/// One compared quantity of one case.
+struct BenchComparison {
+  std::string bench;
+  std::string case_name;
+  /// "median_s" for wall time, or the stat key ("err_q3", "accuracy.kl").
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double delta = 0.0;
+  /// candidate / baseline; 0 when the baseline is 0.
+  double ratio = 0.0;
+  /// The pooled noise estimate the shift was judged against.
+  double noise = 0.0;
+  size_t baseline_entries = 0;
+  DiffVerdict verdict = DiffVerdict::kOk;
+};
+
+struct BenchDiffResult {
+  std::string baseline_rev;   // options.baseline_rev or "<history>"
+  std::string candidate_rev;  // first candidate's revision
+  std::vector<BenchComparison> comparisons;
+  size_t regressions = 0;
+  size_t improvements = 0;
+  /// Candidate cases with no baseline in the history (new benches/cases).
+  size_t unmatched_cases = 0;
+};
+
+/// Compares candidate runs against the history pool. For each candidate
+/// case the baseline median is the median of the pooled entries' medians;
+/// a shift counts as a regression (or improvement, symmetrically) only when
+/// it clears every threshold in BenchDiffOptions — relative, noise-scaled,
+/// and absolute — in the direction ClassifyStatDirection deems worse.
+/// History entries sharing a candidate's exact key are excluded from its
+/// baseline pool, so compare-after-ingest does not dilute itself.
+BenchDiffResult DiffBenchRuns(const std::vector<BenchRunRecord>& history,
+                              const std::vector<BenchRunRecord>& candidates,
+                              const BenchDiffOptions& options);
+
+/// Schema "pldp.benchdiff/1": options echo, per-comparison verdicts, and
+/// the summary counts.
+Status WriteBenchDiffJson(const std::string& path,
+                          const BenchDiffResult& result,
+                          const BenchDiffOptions& options);
+
+/// Human-readable markdown: a summary line, a table of regressions and
+/// improvements, and the ok/unmatched tallies.
+std::string BenchDiffMarkdown(const BenchDiffResult& result);
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_HISTORY_H_

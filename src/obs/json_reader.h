@@ -1,0 +1,76 @@
+#ifndef PLDP_OBS_JSON_READER_H_
+#define PLDP_OBS_JSON_READER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status_or.h"
+
+namespace pldp {
+namespace obs {
+
+/// Parsed JSON value: the read-side counterpart of JsonWriter, used by the
+/// bench-history ingester and the exporter schema tests. A small immutable
+/// tree; object members keep document order (our own exporters emit sorted
+/// metric names, and ordered members make golden tests deterministic).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors abort-free: they return the natural zero value when the
+  /// type does not match, so consumers combine Find + accessor without a
+  /// check cascade (schema validation happens at a higher level).
+  bool bool_value() const { return is_bool() && bool_value_; }
+  double number_value() const { return is_number() ? number_ : 0.0; }
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array_items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& object_members() const;
+
+  /// First member with `key`, or nullptr (also for non-objects).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Find + number_value, with `fallback` when absent or non-numeric.
+  double NumberOr(const std::string& key, double fallback) const;
+  /// Find + string_value, with `fallback` when absent or non-string.
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  static JsonValue MakeNull() { return JsonValue(Type::kNull); }
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  explicit JsonValue(Type type) : type_(type) {}
+
+  Type type_ = Type::kNull;
+  bool bool_value_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document (RFC 8259). Trailing non-whitespace, unterminated
+/// containers, and malformed escapes are InvalidArgument with a byte offset
+/// in the message. Accepts the full output range of JsonWriter, including
+/// `null` where a non-finite double was written.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_JSON_READER_H_

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -34,6 +35,43 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return counts;
+}
+
+double Histogram::ApproxQuantileFromBuckets(
+    const std::vector<double>& bounds, const std::vector<uint64_t>& buckets,
+    double q) {
+  PLDP_CHECK(buckets.size() == bounds.size() + 1)
+      << "bucket counts must include the overflow bucket";
+  uint64_t count = 0;
+  for (const uint64_t bucket : buckets) count += bucket;
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation, 1-based so q=0 resolves to the first
+  // observation and q=1 to the last.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double reached = static_cast<double>(cumulative + buckets[i]);
+    if (reached < rank && i + 1 < buckets.size()) {
+      cumulative += buckets[i];
+      continue;
+    }
+    if (i == bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward; the largest
+      // finite bound is the best defensible answer (and what Prometheus's
+      // histogram_quantile reports for +Inf-bucket quantiles).
+      return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : bounds.back();
+    }
+    const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+    const double hi = bounds[i];
+    const double fraction = (rank - static_cast<double>(cumulative)) /
+                            static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::min(1.0, fraction);
+  }
+  return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : bounds.back();
 }
 
 void Histogram::Reset() {

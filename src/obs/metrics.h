@@ -92,6 +92,23 @@ class Histogram {
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Estimate of the q-quantile (q in [0, 1], clamped) by linear
+  /// interpolation within the owning bucket; see ApproxQuantileFromBuckets.
+  double ApproxQuantile(double q) const {
+    return ApproxQuantileFromBuckets(bounds_, BucketCounts(), q);
+  }
+
+  /// Shared estimator for live histograms and snapshots (both exporters use
+  /// the snapshot form). The observation is assumed uniform within its
+  /// bucket: the owning bucket [lo, hi] is found by cumulative count, then
+  /// the quantile is lo + (hi - lo) * fraction-into-bucket. The first
+  /// bucket's lower edge is min(0, bounds[0]) (latency-style histograms
+  /// start at 0); quantiles landing in the +inf overflow bucket report the
+  /// largest finite bound. Empty histograms return NaN.
+  static double ApproxQuantileFromBuckets(const std::vector<double>& bounds,
+                                          const std::vector<uint64_t>& buckets,
+                                          double q);
+
  private:
   friend class MetricsRegistry;
   Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);

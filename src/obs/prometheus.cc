@@ -1,0 +1,93 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+const double kQuantiles[] = {0.5, 0.9, 0.95, 0.99};
+
+/// Sample values in the text format must parse as Go floats; non-finite
+/// values are spelled NaN / +Inf / -Inf.
+std::string PromDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0.0 ? "+Inf" : "-Inf";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string QuantileLabel(double q) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%g", q);
+  return buffer;
+}
+
+void AppendTypeHeader(const std::string& name, const char* type,
+                      std::string* out) {
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string result = "pldp_";
+  result.reserve(name.size() + result.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    result.push_back(valid ? c : '_');
+  }
+  return result;
+}
+
+std::string MetricsToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    const std::string name = PrometheusMetricName(counter.name) + "_total";
+    AppendTypeHeader(name, "counter", &out);
+    out += name + " " + std::to_string(counter.value) + "\n";
+  }
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    const std::string name = PrometheusMetricName(gauge.name);
+    AppendTypeHeader(name, "gauge", &out);
+    out += name + " " + PromDouble(gauge.value) + "\n";
+  }
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    const std::string name = PrometheusMetricName(histogram.name);
+    AppendTypeHeader(name, "histogram", &out);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < histogram.buckets.size(); ++b) {
+      cumulative += histogram.buckets[b];
+      const std::string le = b < histogram.bounds.size()
+                                 ? PromDouble(histogram.bounds[b])
+                                 : "+Inf";
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + PromDouble(histogram.sum) + "\n";
+    out += name + "_count " + std::to_string(histogram.count) + "\n";
+
+    const std::string quantile_name = name + "_approx_quantile";
+    AppendTypeHeader(quantile_name, "gauge", &out);
+    for (const double q : kQuantiles) {
+      const double estimate = Histogram::ApproxQuantileFromBuckets(
+          histogram.bounds, histogram.buckets, q);
+      out += quantile_name + "{quantile=\"" + QuantileLabel(q) + "\"} " +
+             PromDouble(estimate) + "\n";
+    }
+  }
+  return out;
+}
+
+Status WritePrometheusTextFile(const std::string& path,
+                               const MetricsSnapshot& snapshot) {
+  return WriteStringToFile(path, MetricsToPrometheusText(snapshot));
+}
+
+}  // namespace obs
+}  // namespace pldp

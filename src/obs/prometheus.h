@@ -1,0 +1,39 @@
+#ifndef PLDP_OBS_PROMETHEUS_H_
+#define PLDP_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace pldp {
+namespace obs {
+
+/// Maps a registry metric name to its Prometheus series name: every
+/// character outside [a-zA-Z0-9_:] becomes '_' and the result is prefixed
+/// with "pldp_" ("pcep.reports" -> "pldp_pcep_reports"). Counters
+/// additionally get the conventional "_total" suffix at emission time.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Renders a metric snapshot in the Prometheus text exposition format
+/// (version 0.0.4): "# TYPE" headers, counters as <name>_total, gauges
+/// verbatim, histograms as cumulative <name>_bucket{le="..."} series with
+/// the "+Inf" bucket plus <name>_sum / <name>_count. Our histogram buckets
+/// use inclusive upper bounds, which is exactly Prometheus's `le`
+/// semantics, so the cumulative sums translate losslessly.
+///
+/// Each histogram also emits a companion gauge family
+/// <name>_approx_quantile{quantile="0.5"|"0.9"|"0.95"|"0.99"} computed with
+/// Histogram::ApproxQuantileFromBuckets; empty histograms render it as NaN,
+/// which the text format permits.
+std::string MetricsToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// MetricsToPrometheusText to a file; the ".prom" branch of the CLI's
+/// --metrics-out suffix dispatch.
+Status WritePrometheusTextFile(const std::string& path,
+                               const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_PROMETHEUS_H_

@@ -129,6 +129,61 @@ TEST(CliRunTest, MetricsOutWritesRunReport) {
   std::remove(report.c_str());
 }
 
+TEST(CliRunTest, MetricsOutPromSuffixWritesPrometheusText) {
+  const std::string report = ::testing::TempDir() + "/pldp_cli_metrics.prom";
+  const CliOptions options =
+      ParseCliArgs({"run", "--dataset", "storage", "--scale", "0.5",
+                    "--metrics-out", report})
+          .value();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+
+  const auto contents = ReadFileToString(report);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("# TYPE pldp_pcep_reports_total counter"),
+            std::string::npos);
+  EXPECT_NE(contents->find("pldp_accuracy_kl "), std::string::npos)
+      << "accuracy gauges must reach the exposition";
+  std::remove(report.c_str());
+
+  // The degrade path exercises the protocol layer, whose response-rate
+  // histogram must render as cumulative buckets ending at +Inf.
+  const std::string degrade_report =
+      ::testing::TempDir() + "/pldp_cli_degrade.prom";
+  const CliOptions degrade =
+      ParseCliArgs({"degrade", "--dataset", "storage", "--scale", "0.5",
+                    "--dropout-max", "0.2", "--dropout-steps", "1", "--runs",
+                    "1", "--metrics-out", degrade_report})
+          .value();
+  std::ostringstream degrade_out;
+  ASSERT_TRUE(RunCli(degrade, degrade_out).ok()) << degrade_out.str();
+  const auto degrade_contents = ReadFileToString(degrade_report);
+  ASSERT_TRUE(degrade_contents.ok());
+  EXPECT_NE(degrade_contents->find("_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(degrade_contents->find("_approx_quantile{quantile=\"0.5\"}"),
+            std::string::npos);
+  std::remove(degrade_report.c_str());
+}
+
+TEST(CliRunTest, MetricsOutTraceSuffixWritesChromeTrace) {
+  const std::string report =
+      ::testing::TempDir() + "/pldp_cli_metrics.trace.json";
+  const CliOptions options =
+      ParseCliArgs({"run", "--dataset", "storage", "--scale", "0.5",
+                    "--metrics-out", report})
+          .value();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+
+  const auto contents = ReadFileToString(report);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(contents->find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(contents->find("\"name\":\"psda.run\""), std::string::npos);
+  std::remove(report.c_str());
+}
+
 TEST(CliRunTest, MetricsOutCsvWritesFlatSnapshot) {
   const std::string report = ::testing::TempDir() + "/pldp_cli_metrics.csv";
   const CliOptions options =

@@ -1,0 +1,172 @@
+#include "eval/accuracy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/psda.h"
+#include "geo/taxonomy.h"
+#include "obs/metrics.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 4) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+std::vector<UserRecord> MakeCohort(const SpatialTaxonomy& tax, size_t n,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t cells = tax.grid().num_cells();
+  std::vector<UserRecord> users;
+  users.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    UserRecord user;
+    user.cell = static_cast<CellId>(rng.NextUint64(cells));
+    user.spec.safe_region = tax.AncestorAbove(
+        tax.LeafNodeOfCell(user.cell),
+        static_cast<uint32_t>(rng.NextUint64(tax.height() + 1)));
+    user.spec.epsilon = 1.0;
+    users.push_back(user);
+  }
+  return users;
+}
+
+std::vector<double> TrueHistogram(const SpatialTaxonomy& tax,
+                                  const std::vector<UserRecord>& users) {
+  std::vector<double> histogram(tax.grid().num_cells(), 0.0);
+  for (const UserRecord& user : users) histogram[user.cell] += 1.0;
+  return histogram;
+}
+
+TEST(AccuracyTest, PerfectEstimateScoresZero) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<double> truth(tax.grid().num_cells(), 0.0);
+  truth[0] = 40.0;
+  truth[5] = 60.0;
+  const auto summary = ComputeAccuracy(tax, truth, truth);
+  ASSERT_TRUE(summary.ok()) << summary.status().message();
+  EXPECT_DOUBLE_EQ(summary.value().mean_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(summary.value().max_abs_error, 0.0);
+  // KlDivergence smooths only the estimate side, so even a perfect estimate
+  // carries a small positive divergence; it must still beat a wrong one.
+  EXPECT_GE(summary.value().kl_divergence, 0.0);
+  std::vector<double> wrong(truth.size(), 0.0);
+  wrong[10] = 100.0;
+  EXPECT_LT(summary.value().kl_divergence,
+            ComputeAccuracy(tax, truth, wrong).value().kl_divergence);
+  // Root through leaf level, all exact.
+  ASSERT_EQ(summary.value().level_rel_error.size(), tax.height() + 1);
+  for (const double level_error : summary.value().level_rel_error) {
+    EXPECT_DOUBLE_EQ(level_error, 0.0);
+  }
+}
+
+TEST(AccuracyTest, RejectsSizeMismatch) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const std::vector<double> truth(tax.grid().num_cells(), 1.0);
+  EXPECT_FALSE(ComputeAccuracy(tax, truth, {1.0, 2.0}).ok());
+  EXPECT_FALSE(ComputeAccuracy(tax, {1.0}, {1.0}).ok());
+}
+
+TEST(AccuracyTest, KnownErrorProducesExpectedLevels) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<double> truth(tax.grid().num_cells(), 0.0);
+  truth[0] = 100.0;
+  std::vector<double> estimate = truth;
+  estimate[0] = 50.0;  // off by 50 everywhere it aggregates
+  const auto summary = ComputeAccuracy(tax, truth, estimate, /*sanity=*/10.0);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_DOUBLE_EQ(summary.value().max_abs_error, 50.0);
+  EXPECT_DOUBLE_EQ(summary.value().mean_abs_error,
+                   50.0 / tax.grid().num_cells());
+  // The root holds all the mass, so its relative error is 50/100.
+  EXPECT_DOUBLE_EQ(summary.value().level_rel_error[0], 0.5);
+  // Every deeper level has exactly one erring node; the level mean shrinks
+  // with node count but stays positive.
+  for (size_t level = 1; level < summary.value().level_rel_error.size();
+       ++level) {
+    EXPECT_GT(summary.value().level_rel_error[level], 0.0);
+  }
+  EXPECT_GT(summary.value().kl_divergence, 0.0);
+}
+
+TEST(AccuracyTest, PsdaAccuracyScoresClusters) {
+  const SpatialTaxonomy tax = MakeTaxonomy(8);
+  const std::vector<UserRecord> users = MakeCohort(tax, 600, 7);
+  const std::vector<double> truth = TrueHistogram(tax, users);
+  PsdaOptions options;
+  options.beta = 0.1;
+  options.seed = 11;
+  const auto result = RunPsda(tax, users, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  const auto summary =
+      ComputePsdaAccuracy(tax, truth, result.value(), options.beta);
+  ASSERT_TRUE(summary.ok()) << summary.status().message();
+  const AccuracySummary& accuracy = summary.value();
+  EXPECT_EQ(accuracy.clusters_checked,
+            result.value().clustering.clusters.size());
+  EXPECT_GE(accuracy.clusters_scored, 1u);
+  EXPECT_TRUE(std::isfinite(accuracy.mean_cluster_kl));
+  EXPECT_GE(accuracy.bound_violation_rate, 0.0);
+  EXPECT_LE(accuracy.bound_violation_rate, 1.0);
+  EXPECT_LE(accuracy.bound_violations, accuracy.clusters_checked);
+  EXPECT_GT(accuracy.mean_abs_error, 0.0) << "LDP estimates are noisy";
+  ASSERT_EQ(accuracy.level_rel_error.size(), tax.height() + 1);
+  // The Theorem 4.5 check is a telemetry proxy (nested same-path clusters
+  // mix raw contributions), so only its bookkeeping is asserted here; the
+  // benchdiff trajectory is what watches its level over time.
+}
+
+TEST(AccuracyTest, PublishWritesGlobalGaugesAndCounters) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetValues();
+  registry.set_enabled(true);
+
+  AccuracySummary summary;
+  summary.level_rel_error = {0.1, 0.2, 0.4};
+  summary.mean_abs_error = 2.5;
+  summary.max_abs_error = 9.0;
+  summary.kl_divergence = 0.05;
+  summary.mean_cluster_kl = 0.07;
+  summary.clusters_scored = 3;
+  summary.bound_violation_rate = 0.25;
+  summary.bound_violations = 1;
+  summary.clusters_checked = 4;
+  PublishAccuracy(summary);
+  registry.set_enabled(false);
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const auto gauge = [&snapshot](const std::string& name) -> double {
+    for (const obs::GaugeSnapshot& entry : snapshot.gauges) {
+      if (entry.name == name) return entry.value;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return std::nan("");
+  };
+  EXPECT_DOUBLE_EQ(gauge("accuracy.rel_err_l0"), 0.1);
+  EXPECT_DOUBLE_EQ(gauge("accuracy.rel_err_l2"), 0.4);
+  EXPECT_DOUBLE_EQ(gauge("accuracy.mae"), 2.5);
+  EXPECT_DOUBLE_EQ(gauge("accuracy.max_abs_error"), 9.0);
+  EXPECT_DOUBLE_EQ(gauge("accuracy.kl"), 0.05);
+  EXPECT_DOUBLE_EQ(gauge("accuracy.cluster_kl_mean"), 0.07);
+  EXPECT_DOUBLE_EQ(gauge("accuracy.bound_violation_rate"), 0.25);
+  uint64_t violations = 0, checked = 0;
+  for (const obs::CounterSnapshot& entry : snapshot.counters) {
+    if (entry.name == "accuracy.bound_violations") violations = entry.value;
+    if (entry.name == "accuracy.clusters_checked") checked = entry.value;
+  }
+  EXPECT_EQ(violations, 1u);
+  EXPECT_EQ(checked, 4u);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,332 @@
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/chrome_trace.h"
+#include "obs/json_reader.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition format (version 0.0.4) schema checks.
+// ---------------------------------------------------------------------------
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  const auto valid_first = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!valid_first(name[0])) return false;
+  for (const char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':'))
+      return false;
+  }
+  return true;
+}
+
+struct PromSample {
+  std::string name;   // series name, without labels
+  std::string labels; // raw label block including braces, may be empty
+  std::string value;
+};
+
+/// Minimal line-oriented reader of the text format; fails the test on any
+/// line that is neither a comment nor "name[{labels}] value".
+struct PromExposition {
+  std::map<std::string, std::string> family_type;  // name -> counter/gauge/...
+  std::vector<PromSample> samples;
+  std::vector<std::string> family_order;  // TYPE headers in document order
+};
+
+void ParsePromText(const std::string& text, PromExposition* out) {
+  PromExposition& result = *out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream header(line);
+      std::string hash, keyword, family, type;
+      header >> hash >> keyword >> family >> type;
+      ASSERT_EQ(keyword, "TYPE") << line;
+      ASSERT_TRUE(result.family_type.emplace(family, type).second)
+          << "duplicate TYPE for " << family;
+      result.family_order.push_back(family);
+      continue;
+    }
+    PromSample sample;
+    const size_t brace = line.find('{');
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    if (brace != std::string::npos && brace < space) {
+      sample.name = line.substr(0, brace);
+      const size_t close = line.find('}', brace);
+      ASSERT_NE(close, std::string::npos) << line;
+      sample.labels = line.substr(brace, close - brace + 1);
+    } else {
+      sample.name = line.substr(0, space);
+    }
+    sample.value = line.substr(space + 1);
+    result.samples.push_back(std::move(sample));
+  }
+}
+
+/// The family a sample belongs to: histogram samples drop their
+/// _bucket/_sum/_count suffix.
+std::string FamilyOf(const PromExposition& exposition,
+                     const std::string& sample_name) {
+  if (exposition.family_type.count(sample_name) > 0) return sample_name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) == 0) {
+      const std::string family =
+          sample_name.substr(0, sample_name.size() - s.size());
+      if (exposition.family_type.count(family) > 0) return family;
+    }
+  }
+  return "";
+}
+
+MetricsSnapshot MakeSnapshot() {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("pcep.reports")->Increment(5);
+  registry.GetGauge("accuracy.kl")->Set(0.25);
+  registry.GetGauge("psda.rescale-factor")->Set(1.5);  // '-' must sanitize
+  Histogram* histogram =
+      registry.GetHistogram("pcep.encode_ms", {1.0, 10.0, 100.0});
+  histogram->Observe(0.5);
+  histogram->Observe(5.0);
+  histogram->Observe(50.0);
+  histogram->Observe(500.0);
+  registry.GetHistogram("pcep.empty_ms", {1.0});  // no observations
+  return registry.Snapshot();
+}
+
+TEST(PrometheusTest, MetricNameSanitization) {
+  EXPECT_EQ(PrometheusMetricName("pcep.reports"), "pldp_pcep_reports");
+  EXPECT_EQ(PrometheusMetricName("a-b c"), "pldp_a_b_c");
+  EXPECT_EQ(PrometheusMetricName("ok_name:x"), "pldp_ok_name:x");
+}
+
+TEST(PrometheusTest, EverySampleHasValidNameAndDeclaredType) {
+  const std::string text = MetricsToPrometheusText(MakeSnapshot());
+  PromExposition exposition;
+  {
+    SCOPED_TRACE(text);
+    ParsePromText(text, &exposition);
+  }
+  ASSERT_FALSE(exposition.samples.empty());
+  std::map<std::string, size_t> first_sample_of_family;
+  for (size_t i = 0; i < exposition.samples.size(); ++i) {
+    const PromSample& sample = exposition.samples[i];
+    EXPECT_TRUE(IsValidMetricName(sample.name)) << sample.name;
+    const std::string family = FamilyOf(exposition, sample.name);
+    ASSERT_FALSE(family.empty()) << "no TYPE header for " << sample.name;
+    first_sample_of_family.emplace(family, i);
+  }
+  // TYPE headers precede their samples: families appear in header order and
+  // every family had a header before its first sample (guaranteed above by
+  // FamilyOf finding it in family_type, which is built line by line only if
+  // the header came first in the same pass).
+  for (const auto& [family, index] : first_sample_of_family) {
+    (void)index;
+    EXPECT_EQ(exposition.family_type.count(family), 1u);
+  }
+}
+
+TEST(PrometheusTest, CounterFamilyEndsInTotal) {
+  PromExposition exposition;
+  ParsePromText(MetricsToPrometheusText(MakeSnapshot()), &exposition);
+  ASSERT_EQ(exposition.family_type.at("pldp_pcep_reports_total"), "counter");
+  bool found = false;
+  for (const PromSample& sample : exposition.samples) {
+    if (sample.name == "pldp_pcep_reports_total") {
+      found = true;
+      EXPECT_EQ(sample.value, "5");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeWithInf) {
+  PromExposition exposition;
+  ParsePromText(MetricsToPrometheusText(MakeSnapshot()), &exposition);
+  ASSERT_EQ(exposition.family_type.at("pldp_pcep_encode_ms"), "histogram");
+  std::vector<double> bucket_values;
+  std::string inf_value, count_value;
+  for (const PromSample& sample : exposition.samples) {
+    if (sample.name == "pldp_pcep_encode_ms_bucket") {
+      EXPECT_NE(sample.labels.find("le=\""), std::string::npos)
+          << sample.labels;
+      bucket_values.push_back(std::stod(sample.value));
+      if (sample.labels.find("+Inf") != std::string::npos)
+        inf_value = sample.value;
+    }
+    if (sample.name == "pldp_pcep_encode_ms_count") count_value = sample.value;
+  }
+  // 3 finite bounds + the +Inf bucket, cumulative and ending at count.
+  ASSERT_EQ(bucket_values.size(), 4u);
+  for (size_t i = 1; i < bucket_values.size(); ++i) {
+    EXPECT_GE(bucket_values[i], bucket_values[i - 1]);
+  }
+  EXPECT_EQ(inf_value, "4");
+  EXPECT_EQ(count_value, "4");
+}
+
+TEST(PrometheusTest, QuantileGaugesEmittedAndEmptyHistogramIsNaN) {
+  PromExposition exposition;
+  ParsePromText(MetricsToPrometheusText(MakeSnapshot()), &exposition);
+  ASSERT_EQ(
+      exposition.family_type.at("pldp_pcep_encode_ms_approx_quantile"),
+      "gauge");
+  int quantiles = 0, empty_quantiles = 0;
+  for (const PromSample& sample : exposition.samples) {
+    if (sample.name == "pldp_pcep_encode_ms_approx_quantile") {
+      ++quantiles;
+      EXPECT_NE(sample.labels.find("quantile=\""), std::string::npos);
+      EXPECT_NE(sample.value, "NaN");
+    }
+    if (sample.name == "pldp_pcep_empty_ms_approx_quantile") {
+      ++empty_quantiles;
+      EXPECT_EQ(sample.value, "NaN");
+    }
+  }
+  EXPECT_EQ(quantiles, 4);       // 0.5 / 0.9 / 0.95 / 0.99
+  EXPECT_EQ(empty_quantiles, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event JSON Object Format schema checks.
+// ---------------------------------------------------------------------------
+
+std::vector<SpanRecord> MakeSpans() {
+  std::vector<SpanRecord> spans;
+  SpanRecord root;
+  root.name = "cli.run";
+  root.parent = -1;
+  root.depth = 0;
+  root.thread = 0;
+  root.start_ms = 0.0;
+  root.duration_ms = 10.0;
+  spans.push_back(root);
+  SpanRecord child;
+  child.name = "pcep.decode";
+  child.parent = 0;
+  child.depth = 1;
+  child.thread = 0;
+  child.start_ms = 2.0;
+  child.duration_ms = 5.0;
+  spans.push_back(child);
+  SpanRecord worker;
+  worker.name = "pcep.decode.worker";
+  worker.parent = 1;
+  worker.depth = 2;
+  worker.thread = 1;
+  worker.start_ms = 3.0;
+  worker.duration_ms = 4.0;
+  spans.push_back(worker);
+  SpanRecord open;
+  open.name = "still.open";
+  open.parent = -1;
+  open.depth = 0;
+  open.thread = 1;
+  open.start_ms = 8.0;
+  open.duration_ms = -1.0;  // open at snapshot time
+  spans.push_back(open);
+  return spans;
+}
+
+JsonValue RenderTrace() {
+  std::ostringstream out;
+  WriteChromeTraceJson(&out, MakeSpans(), /*dropped_spans=*/3,
+                       MakeSnapshot());
+  auto parsed = ParseJson(out.str());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  return std::move(parsed).value();
+}
+
+TEST(ChromeTraceTest, TopLevelShape) {
+  const JsonValue root = RenderTrace();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.StringOr("displayTimeUnit", ""), "ms");
+  EXPECT_DOUBLE_EQ(root.NumberOr("pldp_dropped_spans", -1.0), 3.0);
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GE(events->array_items().size(), 4u);
+}
+
+TEST(ChromeTraceTest, EventsCarryRequiredFields) {
+  const JsonValue root = RenderTrace();
+  int complete = 0, begin = 0, counter = 0, metadata = 0;
+  for (const JsonValue& event : root.Find("traceEvents")->array_items()) {
+    ASSERT_TRUE(event.is_object());
+    const std::string ph = event.StringOr("ph", "");
+    ASSERT_FALSE(ph.empty());
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    ASSERT_NE(event.Find("name"), nullptr);
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_NE(event.Find("ts"), nullptr);
+    EXPECT_GE(event.NumberOr("ts", -1.0), 0.0);
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(event.NumberOr("dur", -1.0), 0.0);
+      // Span durations are exported in microseconds.
+      if (event.StringOr("name", "") == "cli.run") {
+        EXPECT_DOUBLE_EQ(event.NumberOr("dur", 0.0), 10000.0);
+      }
+    } else if (ph == "B") {
+      ++begin;
+      EXPECT_EQ(event.Find("dur"), nullptr);
+    } else if (ph == "C") {
+      ++counter;
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_FALSE(args->object_members().empty());
+    } else {
+      FAIL() << "unexpected phase " << ph;
+    }
+  }
+  EXPECT_EQ(complete, 3);
+  EXPECT_EQ(begin, 1);
+  // One C event per non-empty histogram (the empty one is skipped: its
+  // quantiles are NaN and counter tracks need numbers).
+  EXPECT_EQ(counter, 1);
+  // process_name + one thread_name per recorded thread.
+  EXPECT_EQ(metadata, 3);
+}
+
+TEST(ChromeTraceTest, TimestampsMonotonePerThread) {
+  const JsonValue root = RenderTrace();
+  std::map<double, double> last_ts;  // tid -> last seen ts
+  for (const JsonValue& event : root.Find("traceEvents")->array_items()) {
+    if (event.StringOr("ph", "") == "M") continue;
+    const double tid = event.NumberOr("tid", -1.0);
+    const double ts = event.NumberOr("ts", -1.0);
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "ts went backwards on tid " << tid;
+    }
+    last_ts[tid] = ts;
+  }
+  EXPECT_GE(last_ts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pldp

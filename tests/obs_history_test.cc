@@ -1,0 +1,336 @@
+#include "obs/history.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_reader.h"
+#include "util/csv.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Builds a one-case run at a given median, with a controlled p95 spread and
+/// optional extra stats.
+BenchRunRecord MakeRun(const std::string& bench, const std::string& rev,
+                       int64_t when, double median_s, double p95_s,
+                       std::vector<std::pair<std::string, double>> stats = {}) {
+  BenchRunRecord run;
+  run.bench = bench;
+  run.git_revision = rev;
+  run.generated_unix_s = when;
+  run.source = bench + ".json";
+  BenchCaseRecord entry;
+  entry.name = "encode";
+  entry.repetitions = 20;
+  entry.median_s = median_s;
+  entry.p95_s = p95_s;
+  entry.mean_s = median_s;
+  entry.min_s = median_s * 0.9;
+  entry.max_s = p95_s * 1.1;
+  entry.stats = std::move(stats);
+  run.cases.push_back(std::move(entry));
+  return run;
+}
+
+TEST(HistoryTest, ParsesBenchSchema) {
+  const std::string json = R"({
+    "schema": "pldp.bench/1",
+    "bench": "micro_pcep",
+    "generated_unix_s": 1700000000,
+    "manifest": {"git_revision": "abc123"},
+    "cases": [
+      {"name": "encode", "repetitions": 20, "median_s": 0.01,
+       "p95_s": 0.012, "mean_s": 0.0101, "min_s": 0.009, "max_s": 0.02,
+       "stats": {"err_q3": 0.25, "bytes_per_user": 128}}
+    ]
+  })";
+  const auto parsed = ParseBenchReportJson(json, "BENCH_micro_pcep.json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const BenchRunRecord& run = parsed.value();
+  EXPECT_EQ(run.bench, "micro_pcep");
+  EXPECT_EQ(run.git_revision, "abc123");
+  EXPECT_EQ(run.generated_unix_s, 1700000000);
+  ASSERT_EQ(run.cases.size(), 1u);
+  EXPECT_EQ(run.cases[0].name, "encode");
+  EXPECT_EQ(run.cases[0].repetitions, 20u);
+  EXPECT_DOUBLE_EQ(run.cases[0].median_s, 0.01);
+  EXPECT_DOUBLE_EQ(run.cases[0].p95_s, 0.012);
+  ASSERT_EQ(run.cases[0].stats.size(), 2u);
+  EXPECT_EQ(run.cases[0].stats[0].first, "err_q3");
+  EXPECT_DOUBLE_EQ(run.cases[0].stats[0].second, 0.25);
+}
+
+TEST(HistoryTest, ParsesRunReportSchemaIntoSpanAndAccuracyCases) {
+  const std::string json = R"({
+    "schema": "pldp.run_report/1",
+    "generated_unix_s": 1700000500,
+    "manifest": {"tool": "pldp_cli", "command": "run",
+                 "git_revision": "def456"},
+    "metrics": {
+      "counters": {"pcep.reports": 1000},
+      "gauges": {"accuracy.kl": 0.05, "accuracy.mae": 1.5,
+                 "psda.rescale": 1.01}
+    },
+    "span_aggregates": [
+      {"path": "cli.run/psda.decode", "count": 4, "total_ms": 200},
+      {"path": "cli.never_ran", "count": 0, "total_ms": 0}
+    ]
+  })";
+  const auto parsed = ParseBenchReportJson(json, "report.json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const BenchRunRecord& run = parsed.value();
+  EXPECT_EQ(run.bench, "pldp_cli.run");
+  EXPECT_EQ(run.git_revision, "def456");
+  ASSERT_EQ(run.cases.size(), 2u);
+  EXPECT_EQ(run.cases[0].name, "span:cli.run/psda.decode");
+  // 200 ms over 4 invocations -> 0.05 s each.
+  EXPECT_DOUBLE_EQ(run.cases[0].median_s, 0.05);
+  EXPECT_DOUBLE_EQ(run.cases[0].p95_s, 0.05);
+  EXPECT_EQ(run.cases[1].name, "accuracy");
+  ASSERT_EQ(run.cases[1].stats.size(), 2u)
+      << "only accuracy.* gauges become stats";
+  EXPECT_EQ(run.cases[1].stats[0].first, "accuracy.kl");
+  EXPECT_DOUBLE_EQ(run.cases[1].stats[0].second, 0.05);
+}
+
+TEST(HistoryTest, RejectsUnsupportedSchema) {
+  EXPECT_FALSE(ParseBenchReportJson(R"({"schema":"pldp.other/9"})", "x").ok());
+  EXPECT_FALSE(ParseBenchReportJson("[1,2]", "x").ok());
+  EXPECT_FALSE(ParseBenchReportJson("not json", "x").ok());
+}
+
+TEST(HistoryTest, JsonLineRoundTrips) {
+  const BenchRunRecord run = MakeRun("micro", "rev1", 100, 0.01, 0.012,
+                                     {{"err_q3", 0.25}});
+  const std::string line = BenchRunToJsonLine(run);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "JSONL lines are one line";
+  const auto parsed = ParseBenchReportJson(line, "roundtrip");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const BenchRunRecord& back = parsed.value();
+  EXPECT_EQ(back.bench, run.bench);
+  EXPECT_EQ(back.git_revision, run.git_revision);
+  EXPECT_EQ(back.generated_unix_s, run.generated_unix_s);
+  ASSERT_EQ(back.cases.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.cases[0].median_s, 0.01);
+  EXPECT_DOUBLE_EQ(back.cases[0].p95_s, 0.012);
+  ASSERT_EQ(back.cases[0].stats.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.cases[0].stats[0].second, 0.25);
+}
+
+TEST(HistoryTest, AppendIsIdempotentAndLoadRoundTrips) {
+  const std::string path = TempPath("history_append.jsonl");
+  std::remove(path.c_str());
+
+  const std::vector<BenchRunRecord> runs = {
+      MakeRun("micro", "rev1", 100, 0.01, 0.012),
+      MakeRun("micro", "rev1", 200, 0.011, 0.013),
+  };
+  auto appended = AppendBenchHistory(path, runs);
+  ASSERT_TRUE(appended.ok()) << appended.status().message();
+  EXPECT_EQ(appended.value(), 2u);
+
+  // Same keys again: nothing new lands.
+  appended = AppendBenchHistory(path, runs);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended.value(), 0u);
+
+  // A new timestamp at the same revision pools as a distinct entry.
+  appended =
+      AppendBenchHistory(path, {MakeRun("micro", "rev1", 300, 0.009, 0.011)});
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended.value(), 1u);
+
+  const auto history = LoadBenchHistory(path);
+  ASSERT_TRUE(history.ok()) << history.status().message();
+  ASSERT_EQ(history.value().size(), 3u);
+  EXPECT_EQ(history.value()[2].generated_unix_s, 300);
+}
+
+TEST(HistoryTest, MissingHistoryIsEmptyAndMalformedLineNamesLineNumber) {
+  const auto empty = LoadBenchHistory(TempPath("no_such_history.jsonl"));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+
+  const std::string path = TempPath("history_malformed.jsonl");
+  ASSERT_TRUE(WriteStringToFile(
+                  path, BenchRunToJsonLine(MakeRun("m", "r", 1, 0.1, 0.1)) +
+                            "\n{broken\n")
+                  .ok());
+  const auto bad = LoadBenchHistory(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos)
+      << bad.status().message();
+}
+
+TEST(HistoryTest, ClassifyStatDirection) {
+  EXPECT_EQ(ClassifyStatDirection("err_q3"), StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("accuracy.kl"),
+            StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("bytes_per_user"),
+            StatDirection::kLowerIsBetter);
+  // "violation_rate" must hit the lower-is-better "violation" token, not a
+  // higher-is-better "rate" family.
+  EXPECT_EQ(ClassifyStatDirection("accuracy.bound_violation_rate"),
+            StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("throughput"),
+            StatDirection::kHigherIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("recall_at_10"),
+            StatDirection::kHigherIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("merges"), StatDirection::kUnknown);
+}
+
+std::vector<BenchRunRecord> StableHistory() {
+  // Three quiet baseline entries: medians 0.099-0.101 s, p95 spread 5 ms.
+  return {
+      MakeRun("micro", "rev1", 100, 0.100, 0.105, {{"err_q3", 0.30}}),
+      MakeRun("micro", "rev1", 200, 0.101, 0.106, {{"err_q3", 0.31}}),
+      MakeRun("micro", "rev1", 300, 0.099, 0.104, {{"err_q3", 0.29}}),
+  };
+}
+
+TEST(HistoryTest, DiffFlagsTwoTimesMedianSlowdown) {
+  const std::vector<BenchRunRecord> candidate = {
+      MakeRun("micro", "rev2", 400, 0.200, 0.210, {{"err_q3", 0.30}})};
+  const BenchDiffResult result =
+      DiffBenchRuns(StableHistory(), candidate, BenchDiffOptions());
+  EXPECT_EQ(result.regressions, 1u);
+  EXPECT_EQ(result.improvements, 0u);
+  EXPECT_EQ(result.unmatched_cases, 0u);
+  bool saw_latency = false;
+  for (const BenchComparison& comparison : result.comparisons) {
+    if (comparison.metric == "median_s") {
+      saw_latency = true;
+      EXPECT_EQ(comparison.verdict, DiffVerdict::kRegression);
+      EXPECT_DOUBLE_EQ(comparison.baseline, 0.100);
+      EXPECT_DOUBLE_EQ(comparison.candidate, 0.200);
+      EXPECT_NEAR(comparison.ratio, 2.0, 1e-9);
+      EXPECT_EQ(comparison.baseline_entries, 3u);
+    } else {
+      EXPECT_EQ(comparison.verdict, DiffVerdict::kOk);
+    }
+  }
+  EXPECT_TRUE(saw_latency);
+}
+
+TEST(HistoryTest, DiffStaysQuietOnJitter) {
+  const std::vector<BenchRunRecord> candidate = {
+      MakeRun("micro", "rev2", 400, 0.102, 0.107, {{"err_q3", 0.305}})};
+  const BenchDiffResult result =
+      DiffBenchRuns(StableHistory(), candidate, BenchDiffOptions());
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_EQ(result.improvements, 0u);
+  for (const BenchComparison& comparison : result.comparisons) {
+    EXPECT_EQ(comparison.verdict, DiffVerdict::kOk)
+        << comparison.metric << " flagged on jitter";
+  }
+}
+
+TEST(HistoryTest, DiffFlagsImprovementsSymmetrically) {
+  const std::vector<BenchRunRecord> candidate = {
+      MakeRun("micro", "rev2", 400, 0.050, 0.055, {{"err_q3", 0.30}})};
+  const BenchDiffResult result =
+      DiffBenchRuns(StableHistory(), candidate, BenchDiffOptions());
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_EQ(result.improvements, 1u);
+}
+
+TEST(HistoryTest, DiffFlagsAccuracyStatRegression) {
+  // Latency unchanged, error metric doubled: the stat machinery must flag it
+  // in its lower-is-better direction.
+  const std::vector<BenchRunRecord> candidate = {
+      MakeRun("micro", "rev2", 400, 0.100, 0.105, {{"err_q3", 0.60}})};
+  const BenchDiffResult result =
+      DiffBenchRuns(StableHistory(), candidate, BenchDiffOptions());
+  EXPECT_EQ(result.regressions, 1u);
+  bool saw_stat = false;
+  for (const BenchComparison& comparison : result.comparisons) {
+    if (comparison.metric == "err_q3") {
+      saw_stat = true;
+      EXPECT_EQ(comparison.verdict, DiffVerdict::kRegression);
+    }
+  }
+  EXPECT_TRUE(saw_stat);
+}
+
+TEST(HistoryTest, DiffExcludesCandidateKeyAndCountsUnmatched) {
+  // History holding only the candidate itself gives no baseline pool.
+  const std::vector<BenchRunRecord> only_self = {
+      MakeRun("micro", "rev1", 100, 0.1, 0.11)};
+  const BenchDiffResult result =
+      DiffBenchRuns(only_self, only_self, BenchDiffOptions());
+  EXPECT_TRUE(result.comparisons.empty());
+  EXPECT_EQ(result.unmatched_cases, 1u);
+}
+
+TEST(HistoryTest, DiffHonoursBaselineRevFilter) {
+  std::vector<BenchRunRecord> history = StableHistory();
+  // A poisoned entry at another revision that would drag the baseline up.
+  history.push_back(MakeRun("micro", "other", 350, 10.0, 10.5));
+  BenchDiffOptions options;
+  options.baseline_rev = "rev1";
+  const std::vector<BenchRunRecord> candidate = {
+      MakeRun("micro", "rev2", 400, 0.200, 0.210)};
+  const BenchDiffResult result = DiffBenchRuns(history, candidate, options);
+  ASSERT_FALSE(result.comparisons.empty());
+  EXPECT_DOUBLE_EQ(result.comparisons[0].baseline, 0.100);
+  EXPECT_EQ(result.regressions, 1u);
+  EXPECT_EQ(result.baseline_rev, "rev1");
+}
+
+TEST(HistoryTest, WriteBenchDiffJsonMatchesSchema) {
+  const std::vector<BenchRunRecord> candidate = {
+      MakeRun("micro", "rev2", 400, 0.200, 0.210)};
+  const BenchDiffOptions options{};
+  const BenchDiffResult result =
+      DiffBenchRuns(StableHistory(), candidate, options);
+  const std::string path = TempPath("benchdiff_out.json");
+  ASSERT_TRUE(WriteBenchDiffJson(path, result, options).ok());
+
+  const auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  const auto parsed = ParseJson(contents.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = parsed.value();
+  EXPECT_EQ(root.StringOr("schema", ""), "pldp.benchdiff/1");
+  EXPECT_EQ(root.StringOr("candidate_rev", ""), "rev2");
+  EXPECT_DOUBLE_EQ(root.NumberOr("regressions", -1.0), 1.0);
+  const JsonValue* comparisons = root.Find("comparisons");
+  ASSERT_NE(comparisons, nullptr);
+  ASSERT_FALSE(comparisons->array_items().empty());
+  const JsonValue& first = comparisons->array_items()[0];
+  EXPECT_EQ(first.StringOr("bench", ""), "micro");
+  EXPECT_EQ(first.StringOr("metric", ""), "median_s");
+  EXPECT_EQ(first.StringOr("verdict", ""), "regression");
+  ASSERT_NE(root.Find("options"), nullptr);
+  EXPECT_DOUBLE_EQ(root.Find("options")->NumberOr("min_rel_delta", 0.0), 0.10);
+}
+
+TEST(HistoryTest, MarkdownListsOnlyFlaggedRows) {
+  const std::vector<BenchRunRecord> regressed = {
+      MakeRun("micro", "rev2", 400, 0.200, 0.210)};
+  const BenchDiffResult bad =
+      DiffBenchRuns(StableHistory(), regressed, BenchDiffOptions());
+  const std::string markdown = BenchDiffMarkdown(bad);
+  EXPECT_NE(markdown.find("REGRESSION"), std::string::npos) << markdown;
+  EXPECT_NE(markdown.find("median_s"), std::string::npos);
+
+  const std::vector<BenchRunRecord> quiet = {
+      MakeRun("micro", "rev2", 400, 0.100, 0.105)};
+  const BenchDiffResult ok =
+      DiffBenchRuns(StableHistory(), quiet, BenchDiffOptions());
+  EXPECT_NE(BenchDiffMarkdown(ok).find("No significant shifts"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pldp

@@ -1,0 +1,140 @@
+#include "obs/json_reader.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_writer.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+TEST(JsonReaderTest, ParsesPrimitives) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_TRUE(ParseJson("true").value().bool_value());
+  EXPECT_FALSE(ParseJson("false").value().bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42").value().number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e3").value().number_value(), -1500.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().string_value(), "hi");
+  EXPECT_TRUE(ParseJson("  [ ]\n").value().array_items().empty());
+  EXPECT_TRUE(ParseJson("{}").value().object_members().empty());
+}
+
+TEST(JsonReaderTest, ParsesNestedDocument) {
+  const auto parsed = ParseJson(
+      R"({"schema":"pldp.bench/1","cases":[{"name":"a","median_s":0.25},)"
+      R"({"name":"b","median_s":0.5}],"manifest":{"git_revision":"abc"}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = parsed.value();
+  EXPECT_EQ(root.StringOr("schema", ""), "pldp.bench/1");
+  const JsonValue* cases = root.Find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_EQ(cases->array_items().size(), 2u);
+  EXPECT_EQ(cases->array_items()[0].StringOr("name", ""), "a");
+  EXPECT_DOUBLE_EQ(cases->array_items()[1].NumberOr("median_s", 0.0), 0.5);
+  const JsonValue* manifest = root.Find("manifest");
+  ASSERT_NE(manifest, nullptr);
+  EXPECT_EQ(manifest->StringOr("git_revision", "?"), "abc");
+}
+
+TEST(JsonReaderTest, AccessorsReturnFallbacksOnTypeMismatch) {
+  const JsonValue root = ParseJson(R"({"s":"x","n":3})").value();
+  // Wrong-typed members fall back instead of aborting.
+  EXPECT_DOUBLE_EQ(root.NumberOr("s", -1.0), -1.0);
+  EXPECT_EQ(root.StringOr("n", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(root.NumberOr("missing", 7.0), 7.0);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+  // Non-object Find is a nullptr, not a crash.
+  EXPECT_EQ(ParseJson("[1]").value().Find("x"), nullptr);
+  // Accessors on a mismatched type give natural zeros.
+  const JsonValue number = ParseJson("5").value();
+  EXPECT_TRUE(number.string_value().empty());
+  EXPECT_TRUE(number.array_items().empty());
+  EXPECT_TRUE(number.object_members().empty());
+}
+
+TEST(JsonReaderTest, DecodesEscapes) {
+  const JsonValue value =
+      ParseJson(R"("a\"b\\c\/d\b\f\n\r\te")").value();
+  EXPECT_EQ(value.string_value(), "a\"b\\c/d\b\f\n\r\te");
+  // BMP escape.
+  EXPECT_EQ(ParseJson("\"\\u0041\"").value().string_value(), "A");
+  // Two-byte and three-byte UTF-8 from \u escapes.
+  EXPECT_EQ(ParseJson("\"\\u00e9\"").value().string_value(), "\xc3\xa9");
+  EXPECT_EQ(ParseJson("\"\\u20ac\"").value().string_value(),
+            "\xe2\x82\xac");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(ParseJson("\"\\ud83d\\ude00\"").value().string_value(),
+            "\xf0\x9f\x98\x80");
+  // An unpaired high surrogate degrades to U+FFFD instead of failing.
+  EXPECT_EQ(ParseJson(R"("\ud83dx")").value().string_value(),
+            "\xef\xbf\xbdx");
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok()) << "trailing tokens must fail";
+  EXPECT_FALSE(ParseJson("\"bad \\x escape\"").ok());
+  // Error messages carry a byte offset for debugging history lines.
+  const auto bad = ParseJson("[1, }");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("byte"), std::string::npos)
+      << bad.status().message();
+}
+
+TEST(JsonReaderTest, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string shallow = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
+  std::ostringstream out;
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Field("name", "bench \"quoted\"\n");
+  writer.Field("value", 0.125);
+  writer.Field("count", uint64_t{7});
+  // JsonWriter spells non-finite doubles as null.
+  writer.Field("bad", std::nan(""));
+  writer.Key("items");
+  writer.BeginArray();
+  writer.Number(1.0);
+  writer.Number(2.0);
+  writer.EndArray();
+  writer.EndObject();
+
+  const auto parsed = ParseJson(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = parsed.value();
+  EXPECT_EQ(root.StringOr("name", ""), "bench \"quoted\"\n");
+  EXPECT_DOUBLE_EQ(root.NumberOr("value", 0.0), 0.125);
+  EXPECT_DOUBLE_EQ(root.NumberOr("count", 0.0), 7.0);
+  ASSERT_NE(root.Find("bad"), nullptr);
+  EXPECT_TRUE(root.Find("bad")->is_null());
+  ASSERT_EQ(root.Find("items")->array_items().size(), 2u);
+}
+
+TEST(JsonReaderTest, ObjectMembersKeepDocumentOrder) {
+  const JsonValue root = ParseJson(R"({"z":1,"a":2,"m":3})").value();
+  const auto& members = root.object_members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pldp

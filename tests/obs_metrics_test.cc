@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -123,6 +124,69 @@ TEST(MetricsTest, SnapshotIsSortedAndComplete) {
   ASSERT_EQ(snapshot.histograms.size(), 1u);
   EXPECT_EQ(snapshot.histograms[0].count, 1u);
   ASSERT_EQ(snapshot.histograms[0].buckets.size(), 2u);
+}
+
+TEST(MetricsTest, ApproxQuantileEmptyHistogramIsNaN) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* histogram = registry.GetHistogram("test.q_empty", {1.0, 2.0});
+  EXPECT_TRUE(std::isnan(histogram->ApproxQuantile(0.5)));
+  EXPECT_TRUE(std::isnan(histogram->ApproxQuantile(0.0)));
+  EXPECT_TRUE(std::isnan(histogram->ApproxQuantile(1.0)));
+}
+
+TEST(MetricsTest, ApproxQuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* histogram =
+      registry.GetHistogram("test.q_interp", {10.0, 20.0, 30.0});
+  // 10 observations in (10, 20]: ranks 1..10 spread linearly across the
+  // bucket, so the median rank 5 sits at 10 + 10 * 5/10 = 15.
+  for (int i = 0; i < 10; ++i) histogram->Observe(15.0);
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(1.0), 20.0);
+  // q=0 resolves to the first observation's interpolated position.
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(0.0), 11.0);
+}
+
+TEST(MetricsTest, ApproxQuantileFirstBucketStartsAtZero) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* histogram = registry.GetHistogram("test.q_first", {8.0, 16.0});
+  for (int i = 0; i < 4; ++i) histogram->Observe(1.0);
+  // All mass in [0, 8]: median rank 2 of 4 -> 8 * 2/4 = 4.
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(0.5), 4.0);
+}
+
+TEST(MetricsTest, ApproxQuantileOverflowBucketReportsLastBound) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* histogram = registry.GetHistogram("test.q_over", {1.0, 2.0});
+  histogram->Observe(0.5);
+  histogram->Observe(50.0);  // +inf bucket
+  histogram->Observe(60.0);  // +inf bucket
+  // Ranks 2 and 3 land in the overflow bucket: no upper edge, report the
+  // largest finite bound.
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(0.95), 2.0);
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(0.66), 2.0);
+}
+
+TEST(MetricsTest, ApproxQuantileAcrossBucketsAndClamping) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* histogram =
+      registry.GetHistogram("test.q_multi", {1.0, 2.0, 4.0});
+  histogram->Observe(0.5);  // bucket [0,1]
+  histogram->Observe(1.5);  // bucket (1,2]
+  histogram->Observe(3.0);  // bucket (2,4]
+  histogram->Observe(3.5);  // bucket (2,4]
+  // Rank q*4=2 -> second bucket (cumulative reaches 2 there), 1 + 1 * 1/1.
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(0.5), 2.0);
+  // Out-of-range q clamps instead of aborting.
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(-1.0),
+                   histogram->ApproxQuantile(0.0));
+  EXPECT_DOUBLE_EQ(histogram->ApproxQuantile(2.0),
+                   histogram->ApproxQuantile(1.0));
 }
 
 TEST(MetricsTest, ResetValuesKeepsRegistrations) {

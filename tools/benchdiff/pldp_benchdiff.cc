@@ -1,0 +1,216 @@
+// Cross-run bench trajectory tool: ingests BENCH_*.json / pldp.run_report/1
+// files into a BENCH_HISTORY.jsonl trajectory and compares a candidate run
+// directory against the pooled history with noise-aware thresholds.
+//
+//   pldp_benchdiff ingest  --dir bench-reports --history BENCH_HISTORY.jsonl
+//   pldp_benchdiff compare --dir bench-reports --history BENCH_HISTORY.jsonl \
+//       [--baseline-rev REV] [--max-baseline N] [--min-rel 0.1] \
+//       [--noise-mult 2.0] [--json diff.json] [--md diff.md] \
+//       [--append] [--no-fail]
+//
+// Exit codes: 0 clean (or --no-fail), 1 confirmed regressions, 2 usage/IO
+// error. `compare --append` folds the candidate into the history after the
+// comparison, which is the CI steady-state loop.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/history.h"
+#include "util/csv.h"
+#include "util/status_or.h"
+
+namespace {
+
+using pldp::Status;
+using pldp::StatusOr;
+using pldp::obs::BenchDiffMarkdown;
+using pldp::obs::BenchDiffOptions;
+using pldp::obs::BenchDiffResult;
+using pldp::obs::BenchRunRecord;
+
+struct Args {
+  std::string command;
+  std::string dir;
+  std::string history = "BENCH_HISTORY.jsonl";
+  std::string json_out;
+  std::string md_out;
+  bool append = false;
+  bool no_fail = false;
+  BenchDiffOptions diff;
+};
+
+void PrintUsage() {
+  std::cerr
+      << "usage: pldp_benchdiff <ingest|compare> --dir <reports-dir>\n"
+         "  common flags:\n"
+         "    --history <file>      trajectory file (BENCH_HISTORY.jsonl)\n"
+         "  compare flags:\n"
+         "    --baseline-rev <rev>  restrict baseline pool to one revision\n"
+         "    --max-baseline <n>    history entries pooled per case (5)\n"
+         "    --min-rel <r>         minimum relative shift to flag (0.10)\n"
+         "    --noise-mult <k>      shift must exceed k x pooled spread (2)\n"
+         "    --json <file>         write the pldp.benchdiff/1 verdict\n"
+         "    --md <file>           write the markdown report\n"
+         "    --append              fold the candidate into the history\n"
+         "    --no-fail             always exit 0 (report-only mode)\n";
+}
+
+StatusOr<Args> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  if (args.command != "ingest" && args.command != "compare") {
+    return Status::InvalidArgument("unknown command: " + args.command);
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--dir") {
+      PLDP_ASSIGN_OR_RETURN(args.dir, next());
+    } else if (flag == "--history") {
+      PLDP_ASSIGN_OR_RETURN(args.history, next());
+    } else if (flag == "--baseline-rev") {
+      PLDP_ASSIGN_OR_RETURN(args.diff.baseline_rev, next());
+    } else if (flag == "--max-baseline") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      args.diff.max_baseline_entries = std::stoul(value);
+    } else if (flag == "--min-rel") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      args.diff.min_rel_delta = std::stod(value);
+    } else if (flag == "--noise-mult") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      args.diff.noise_multiplier = std::stod(value);
+    } else if (flag == "--json") {
+      PLDP_ASSIGN_OR_RETURN(args.json_out, next());
+    } else if (flag == "--md") {
+      PLDP_ASSIGN_OR_RETURN(args.md_out, next());
+    } else if (flag == "--append") {
+      args.append = true;
+    } else if (flag == "--no-fail") {
+      args.no_fail = true;
+    } else {
+      return Status::InvalidArgument("unknown flag: " + flag);
+    }
+  }
+  if (args.dir.empty()) return Status::InvalidArgument("--dir is required");
+  return args;
+}
+
+/// Loads every parseable report in the directory (sorted for determinism);
+/// files that are not pldp reports are skipped with a note on stderr.
+StatusOr<std::vector<BenchRunRecord>> LoadReportsDir(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    if (path.size() < 5 || path.compare(path.size() - 5, 5, ".json") != 0) {
+      continue;
+    }
+    paths.push_back(path);
+  }
+  if (ec) {
+    return Status::IoError("cannot read directory " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<BenchRunRecord> records;
+  for (const std::string& path : paths) {
+    StatusOr<BenchRunRecord> record = pldp::obs::LoadBenchReportFile(path);
+    if (!record.ok()) {
+      std::cerr << "skipping " << path << ": " << record.status().message()
+                << "\n";
+      continue;
+    }
+    records.push_back(std::move(record).value());
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("no pldp reports found in " + dir);
+  }
+  return records;
+}
+
+int Run(const Args& args) {
+  const StatusOr<std::vector<BenchRunRecord>> candidates =
+      LoadReportsDir(args.dir);
+  if (!candidates.ok()) {
+    std::cerr << "error: " << candidates.status().ToString() << "\n";
+    return 2;
+  }
+
+  if (args.command == "ingest") {
+    const StatusOr<size_t> appended =
+        pldp::obs::AppendBenchHistory(args.history, candidates.value());
+    if (!appended.ok()) {
+      std::cerr << "error: " << appended.status().ToString() << "\n";
+      return 2;
+    }
+    std::cout << "ingested " << appended.value() << " run(s) into "
+              << args.history << " (" << candidates.value().size()
+              << " report(s) scanned)\n";
+    return 0;
+  }
+
+  const StatusOr<std::vector<BenchRunRecord>> history =
+      pldp::obs::LoadBenchHistory(args.history);
+  if (!history.ok()) {
+    std::cerr << "error: " << history.status().ToString() << "\n";
+    return 2;
+  }
+  const BenchDiffResult result =
+      DiffBenchRuns(history.value(), candidates.value(), args.diff);
+
+  if (!args.json_out.empty()) {
+    const Status written =
+        pldp::obs::WriteBenchDiffJson(args.json_out, result, args.diff);
+    if (!written.ok()) {
+      std::cerr << "error: " << written.ToString() << "\n";
+      return 2;
+    }
+  }
+  const std::string markdown = BenchDiffMarkdown(result);
+  if (!args.md_out.empty()) {
+    const Status written =
+        pldp::WriteStringToFile(args.md_out, markdown);
+    if (!written.ok()) {
+      std::cerr << "error: " << written.ToString() << "\n";
+      return 2;
+    }
+  }
+  std::cout << markdown;
+
+  if (args.append) {
+    const StatusOr<size_t> appended =
+        pldp::obs::AppendBenchHistory(args.history, candidates.value());
+    if (!appended.ok()) {
+      std::cerr << "error: " << appended.status().ToString() << "\n";
+      return 2;
+    }
+    std::cout << "\nappended " << appended.value() << " run(s) to "
+              << args.history << "\n";
+  }
+
+  if (result.regressions > 0 && !args.no_fail) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const StatusOr<Args> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status().message() << "\n";
+    PrintUsage();
+    return 2;
+  }
+  return Run(args.value());
+}
