@@ -59,6 +59,20 @@ void BM_PcepClientPath(benchmark::State& state) {
 }
 BENCHMARK(BM_PcepClientPath)->Arg(64)->Arg(4096);
 
+/// Decode-rate counters: rows/s over the touched-row stream and the
+/// effective GB/s of count updates (8 bytes per decoded cell). Both are
+/// named *throughput so pldp_benchdiff treats them as higher-is-better.
+void SetDecodeThroughput(benchmark::State& state, const PcepServer& server) {
+  const auto rows = static_cast<double>(server.num_touched_rows());
+  const double cells = rows * static_cast<double>(server.tau_size());
+  state.counters["decode_rows_throughput"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * rows,
+      benchmark::Counter::kIsRate);
+  state.counters["decode_gb_throughput"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * cells * 8.0 / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
 void BM_PcepServerDecode(benchmark::State& state) {
   const uint64_t n = state.range(0);
   const uint64_t tau = state.range(1);
@@ -73,16 +87,18 @@ void BM_PcepServerDecode(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
   state.counters["m"] = static_cast<double>(server.m());
+  SetDecodeThroughput(state, server);
 }
 BENCHMARK(BM_PcepServerDecode)
     ->Args({1000, 64})
     ->Args({10000, 64})
     ->Args({10000, 1024})
-    ->Args({50000, 4096});
+    ->Args({50000, 4096})
+    ->Args({50000, 16384});
 
 void BM_PcepServerDecodeParallel(benchmark::State& state) {
   const uint64_t n = 50000;
-  const uint64_t tau = 4096;
+  const uint64_t tau = 16384;
   PcepParams params;
   PcepServer server = PcepServer::Create(tau, n, params).value();
   Rng rng(5);
@@ -94,6 +110,7 @@ void BM_PcepServerDecodeParallel(benchmark::State& state) {
     benchmark::DoNotOptimize(server.EstimateParallel(threads));
   }
   state.SetItemsProcessed(state.iterations() * n);
+  SetDecodeThroughput(state, server);
 }
 BENCHMARK(BM_PcepServerDecodeParallel)->Arg(1)->Arg(2)->Arg(4);
 

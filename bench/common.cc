@@ -77,7 +77,16 @@ void BenchReport::AddCase(const std::string& case_name,
 
 void BenchReport::AddCaseStat(const std::string& case_name,
                               const std::string& key, double value) {
-  GetCase(case_name)->stats.emplace_back(key, value);
+  Case* c = GetCase(case_name);
+  // Last write wins: repeated google-benchmark repetitions re-report the same
+  // counters, and duplicate keys would make the JSON ambiguous for benchdiff.
+  for (auto& [existing_key, existing_value] : c->stats) {
+    if (existing_key == key) {
+      existing_value = value;
+      return;
+    }
+  }
+  c->stats.emplace_back(key, value);
 }
 
 std::string BenchReport::OutputPath() const {

@@ -52,7 +52,8 @@ class BenchReport {
   void AddSample(const std::string& case_name, double seconds);
   void AddCase(const std::string& case_name,
                const std::vector<double>& seconds);
-  /// Attaches an auxiliary scalar to a case (error, bytes/user, ...).
+  /// Attaches an auxiliary scalar to a case (error, bytes/user,
+  /// throughput, ...). Re-adding an existing key overwrites its value.
   void AddCaseStat(const std::string& case_name, const std::string& key,
                    double value);
 

@@ -37,6 +37,12 @@ class CapturingReporter : public benchmark::ConsoleReporter {
       report_->AddSample(run.benchmark_name(),
                          run.real_accumulated_time /
                              static_cast<double>(run.iterations));
+      // Benchmark counters (already finalized: rate counters are per-second
+      // by now) become case stats, so derived quantities like decode
+      // throughput flow into the pldp.bench/1 report for benchdiff gating.
+      for (const auto& [name, counter] : run.counters) {
+        report_->AddCaseStat(run.benchmark_name(), name, counter.value);
+      }
     }
   }
 

@@ -140,6 +140,7 @@ Status RunCommand(const CliOptions& options, std::ostream& out) {
     PsdaOptions psda_options;
     psda_options.beta = options.beta;
     psda_options.seed = options.seed;
+    psda_options.num_threads = options.threads;
     PLDP_ASSIGN_OR_RETURN(PsdaResult result,
                           RunPsda(taxonomy, users, psda_options));
     if (score_accuracy) {
@@ -243,6 +244,7 @@ obs::RunManifest BuildCliManifest(const CliOptions& options) {
   manifest.AddParam("setting", options.setting);
   manifest.AddParam("beta", options.beta);
   manifest.AddParam("seed", options.seed);
+  manifest.AddParam("threads", static_cast<uint64_t>(options.threads));
   if (options.command == "degrade") {
     manifest.AddParam("dropout_max", options.dropout_max);
     manifest.AddParam("dropout_steps",
@@ -339,6 +341,10 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
     } else if (flag == "--seed") {
       PLDP_ASSIGN_OR_RETURN(const std::string value, next());
       PLDP_ASSIGN_OR_RETURN(options.seed, ParseUint64(value));
+    } else if (flag == "--threads") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t threads, ParseUint64(value));
+      options.threads = static_cast<uint32_t>(threads);
     } else if (flag == "--output") {
       PLDP_ASSIGN_OR_RETURN(options.output_csv, next());
     } else if (flag == "--truth-output") {

@@ -27,6 +27,9 @@ namespace pldp {
 ///   --setting <S1E1|S1E2|S2E1|S2E2>             privacy workload (S2E2)
 ///   --scale <0..1]                              synthetic cohort scale (0.05)
 ///   --beta <b>  --seed <s>                      protocol parameters
+///   --threads <k>                               per-cluster estimation chunk
+///                                               count (0 = thread-pool size;
+///                                               results are independent of k)
 ///   --output <counts.csv>                       private estimate dump
 ///   --truth-output <counts.csv>                 exact histogram dump
 ///   --metrics-out <run.json>                    observability run report:
@@ -57,6 +60,7 @@ struct CliOptions {
   double scale = 0.05;
   double beta = 0.1;
   uint64_t seed = 2016;
+  uint32_t threads = 0;
 
   std::string output_csv;
   std::string truth_output_csv;

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace pldp {
 namespace {
@@ -37,7 +38,13 @@ StatusOr<std::vector<double>> PcepOracle::EstimateCounts(
   params.beta = beta;
   params.seed = seed;
   params.max_reduced_dimension = max_reduced_dimension_;
-  return RunPcep(users, width, params);
+  PLDP_ASSIGN_OR_RETURN(const PcepServer server,
+                        RunPcepCollection(users, width, params));
+  // Decode on the shared pool. EstimateParallel is deterministic for a fixed
+  // thread count, so results depend on PLDP_THREADS / hardware_concurrency
+  // but never on scheduling; PLDP_THREADS=1 reproduces the sequential decode
+  // exactly.
+  return server.EstimateParallel(ThreadPool::Global().num_threads());
 }
 
 StatusOr<std::vector<double>> KrrOracle::EstimateCounts(

@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
-#include <thread>
 
 #include "core/local_randomizer.h"
+#include "core/pcep_decode.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace pldp {
 namespace {
+
+/// Below this cohort size the parallel-encode fan-out costs more than the
+/// perturbation work it distributes; encode runs sequentially.
+constexpr size_t kParallelEncodeMinUsers = 4096;
 
 obs::Counter* ReportsCounter() {
   static obs::Counter* counter =
@@ -22,6 +27,12 @@ obs::Counter* ReportsCounter() {
 obs::Counter* DecodedRowsCounter() {
   static obs::Counter* counter =
       obs::MetricsRegistry::Global().GetCounter("pcep.decoded_rows");
+  return counter;
+}
+
+obs::Counter* MClampedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("pcep.m_clamped");
   return counter;
 }
 
@@ -46,7 +57,16 @@ StatusOr<PcepDimensions> ComputePcepDimensions(uint64_t n, uint64_t tau_size,
                         (dims.delta * dims.delta);
   const double m_ceil = std::ceil(m_real);
   dims.m = m_ceil < 1.0 ? 1 : static_cast<uint64_t>(m_ceil);
-  if (dims.m > max_m) dims.m = max_m;
+  if (dims.m > max_m) {
+    // Capping m keeps memory bounded but weakens the Theorem 4.5 guarantee;
+    // surface it so capped runs are visible in logs and run reports.
+    PLDP_LOG(Warning) << "PCEP reduced dimension m=" << dims.m
+                      << " exceeds max_reduced_dimension=" << max_m
+                      << "; clamping (the Theorem 4.5 error bound no longer "
+                         "applies at the configured confidence)";
+    MClampedCounter()->Increment();
+    dims.m = max_m;
+  }
   return dims;
 }
 
@@ -62,47 +82,24 @@ StatusOr<PcepServer> PcepServer::Create(uint64_t tau_size, uint64_t n_expected,
 
 void PcepServer::Accumulate(uint64_t row, double z) {
   PLDP_CHECK(row < z_.size()) << "row index out of range";
-  if (z_[row] == 0.0) touched_rows_.push_back(row);
+  // A dedicated touched flag, not `z_[row] == 0.0`: reports can cancel an
+  // accumulator back to exactly zero, and keying on the value would push the
+  // row a second time on its next report (double-counting it in decode).
+  if (!row_touched_[row]) {
+    row_touched_[row] = 1;
+    touched_rows_.push_back(row);
+  }
   z_[row] += z;
   ++num_reports_;
   ReportsCounter()->Increment();
 }
 
-namespace {
-
-/// Accumulates the decode contributions of touched rows [begin, end) into
-/// `counts` (sized tau_size).
-void DecodeRowRange(const SignMatrix& matrix, const std::vector<double>& z,
-                    const std::vector<uint64_t>& touched_rows, size_t begin,
-                    size_t end, uint64_t tau_size,
-                    std::vector<double>* counts) {
-  const double scale = matrix.scale();
-  const size_t words = (tau_size + 63) / 64;
-  for (size_t i = begin; i < end; ++i) {
-    const uint64_t row = touched_rows[i];
-    const double zj = z[row];
-    if (zj == 0.0) continue;  // reports on this row cancelled exactly
-    const double contribution = zj * scale;
-    for (size_t w = 0; w < words; ++w) {
-      uint64_t bits = matrix.RowWord(row, w);
-      const size_t base = w * 64;
-      const size_t limit = std::min<size_t>(64, tau_size - base);
-      for (size_t b = 0; b < limit; ++b) {
-        (*counts)[base + b] += (bits & 1) ? contribution : -contribution;
-        bits >>= 1;
-      }
-    }
-  }
-}
-
-}  // namespace
-
 std::vector<double> PcepServer::Estimate() const {
   PLDP_SPAN("pcep.decode");
   DecodedRowsCounter()->Increment(touched_rows_.size());
   std::vector<double> counts(tau_size_, 0.0);
-  DecodeRowRange(matrix_, z_, touched_rows_, 0, touched_rows_.size(),
-                 tau_size_, &counts);
+  DecodeRowsBlocked(matrix_, z_, touched_rows_.data(), touched_rows_.size(),
+                    tau_size_, counts.data());
   return counts;
 }
 
@@ -115,23 +112,19 @@ std::vector<double> PcepServer::EstimateParallel(unsigned num_threads) const {
   // Workers start with an empty span stack of their own; handing them the
   // decode span keeps their spans nested under it in the exported tree.
   const int64_t decode_span = obs::TraceCollector::Global().CurrentSpan();
-  const size_t total = touched_rows_.size();
   std::vector<std::vector<double>> partials(
       num_threads, std::vector<double>(tau_size_, 0.0));
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    const size_t begin = total * t / num_threads;
-    const size_t end = total * (t + 1) / num_threads;
-    workers.emplace_back([this, begin, end, &partials, t, decode_span] {
-      PLDP_SPAN_PARENT("pcep.decode_worker", decode_span);
-      DecodeRowRange(matrix_, z_, touched_rows_, begin, end, tau_size_,
-                     &partials[t]);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+  ThreadPool::Global().ParallelFor(
+      0, touched_rows_.size(), num_threads,
+      [&](unsigned chunk, size_t begin, size_t end) {
+        PLDP_SPAN_PARENT("pcep.decode_worker", decode_span);
+        DecodeRowsBlocked(matrix_, z_, touched_rows_.data() + begin,
+                          end - begin, tau_size_, partials[chunk].data());
+      });
 
-  // Combine in worker order (deterministic for a fixed thread count).
+  // Combine in chunk order: chunk boundaries depend only on the row count
+  // and `num_threads`, so the result is deterministic for a fixed thread
+  // count no matter how the pool scheduled the chunks.
   std::vector<double> counts(tau_size_, 0.0);
   for (unsigned t = 0; t < num_threads; ++t) {
     for (uint64_t k = 0; k < tau_size_; ++k) counts[k] += partials[t][k];
@@ -161,20 +154,57 @@ StatusOr<PcepServer> RunPcepCollection(const std::vector<PcepUser>& users,
   Rng row_rng(seeds.row_assignment);
   const SignMatrix& matrix = server.sign_matrix();
 
-  for (size_t i = 0; i < users.size(); ++i) {
-    const PcepUser& user = users[i];
+  for (const PcepUser& user : users) {
     if (user.location_index >= tau_size) {
       return Status::InvalidArgument("user location index outside the region");
     }
-    const uint64_t row = server.AssignRow(&row_rng);
-    // Fast path: the client's bit x_{l_i} is one entry of the shared implicit
-    // matrix; O(1) on-device work as analyzed in Section IV-A.
-    const bool sign = matrix.SignAt(row, user.location_index);
-    Rng client_rng(seeds.ClientSeed(i));
-    double z = 0.0;
-    PLDP_ASSIGN_OR_RETURN(
-        z, LocalRandomize(sign, server.m(), user.epsilon, &client_rng));
-    server.Accumulate(row, z);
+  }
+
+  // Row assignment (Algorithm 1, line 6) is one serial walk of the shared
+  // RNG; it stays sequential so the schedule matches the message-level
+  // simulation. The per-user perturbation below is where the time goes.
+  std::vector<uint64_t> rows(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    rows[i] = server.AssignRow(&row_rng);
+  }
+
+  // Every client RNG is seeded independently from the user index, so workers
+  // can perturb disjoint user ranges concurrently. Each worker writes its
+  // users' sanitized values into their slots of one index-aligned vector;
+  // draining that vector in user order afterwards reproduces the sequential
+  // accumulate stream bit-for-bit, for any chunk count.
+  ThreadPool& pool = ThreadPool::Global();
+  const unsigned num_chunks =
+      users.size() < kParallelEncodeMinUsers ? 1 : pool.num_threads();
+  const int64_t encode_span = obs::TraceCollector::Global().CurrentSpan();
+  std::vector<double> sanitized(users.size(), 0.0);
+  std::vector<Status> chunk_status(num_chunks, Status::OK());
+  pool.ParallelFor(
+      0, users.size(), num_chunks,
+      [&](unsigned chunk, size_t begin, size_t end) {
+        PLDP_SPAN_PARENT("pcep.encode_worker", encode_span);
+        Rng client_rng(0);
+        for (size_t i = begin; i < end; ++i) {
+          const PcepUser& user = users[i];
+          // Fast path: the client's bit x_{l_i} is one entry of the shared
+          // implicit matrix; O(1) on-device work as analyzed in Section IV-A.
+          const bool sign = matrix.SignAt(rows[i], user.location_index);
+          client_rng.Seed(seeds.ClientSeed(i));
+          const StatusOr<double> z =
+              LocalRandomize(sign, server.m(), user.epsilon, &client_rng);
+          if (!z.ok()) {
+            chunk_status[chunk] = z.status();
+            return;
+          }
+          sanitized[i] = z.value();
+        }
+      });
+  for (const Status& status : chunk_status) {
+    PLDP_RETURN_IF_ERROR(status);
+  }
+
+  for (size_t i = 0; i < users.size(); ++i) {
+    server.Accumulate(rows[i], sanitized[i]);
   }
   return server;
 }

@@ -34,7 +34,9 @@ struct PcepDimensions {
 };
 
 /// Computes (delta, m) for n users over a region of `tau_size` locations.
-/// Fails on n == 0, tau_size == 0, or beta outside (0, 1).
+/// Fails on n == 0, tau_size == 0, or beta outside (0, 1). When the
+/// theoretical m exceeds `max_m` it is clamped, a warning is logged, and the
+/// `pcep.m_clamped` counter is bumped so capped runs show up in run reports.
 StatusOr<PcepDimensions> ComputePcepDimensions(uint64_t n, uint64_t tau_size,
                                                double beta, uint64_t max_m);
 
@@ -88,15 +90,21 @@ class PcepServer {
   /// Number of Accumulate calls so far.
   uint64_t num_reports() const { return num_reports_; }
 
+  /// Number of distinct rows that received at least one report — the length
+  /// of the decode stream (decode cost is num_touched_rows() * tau_size()).
+  uint64_t num_touched_rows() const { return touched_rows_.size(); }
+
   /// Decodes the estimated count of every location in tau (lines 11-13):
   /// f[k] = <Phi e_k, z>, streamed over the rows that received reports.
   std::vector<double> Estimate() const;
 
-  /// Parallel decode over `num_threads` workers. Each worker sums a
-  /// contiguous range of touched rows and the partials are combined in
-  /// worker order, so the result is deterministic for a fixed thread count
-  /// and equal to Estimate() up to floating-point reassociation (relative
-  /// differences at the 1e-12 scale).
+  /// Parallel decode over `num_threads` ordered chunks of the touched rows,
+  /// executed on the shared ThreadPool (util/thread_pool.h). Chunk
+  /// boundaries depend only on the row count and `num_threads`, and the
+  /// per-chunk partials are combined in chunk order, so the result is
+  /// deterministic for a fixed thread count — bit-identical across runs and
+  /// across pool sizes — and equal to Estimate() up to floating-point
+  /// reassociation (relative differences at the 1e-12 scale).
   std::vector<double> EstimateParallel(unsigned num_threads) const;
 
   /// Decodes the estimate of a single location in O(touched rows). This is
@@ -110,12 +118,17 @@ class PcepServer {
       : tau_size_(tau_size),
         dims_(dims),
         matrix_(matrix_seed, dims.m, tau_size),
-        z_(dims.m, 0.0) {}
+        z_(dims.m, 0.0),
+        row_touched_(dims.m, 0) {}
 
   uint64_t tau_size_;
   PcepDimensions dims_;
   SignMatrix matrix_;
   std::vector<double> z_;
+  /// Rows that ever received a report, in first-touch order (the decode
+  /// streaming order), with a flag per row so a report that cancels an
+  /// accumulator back to exactly zero cannot re-enlist the row.
+  std::vector<uint8_t> row_touched_;
   std::vector<uint64_t> touched_rows_;
   uint64_t num_reports_ = 0;
 };

@@ -1,0 +1,81 @@
+#include "core/pcep_decode.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+/// Expands one packed sign word into [limit] +-c contributions. The body is
+/// branch-free: the sign select is arithmetic, so the inner loop
+/// autovectorizes (variable-shift + convert + FMA).
+inline void ExpandWord(uint64_t bits, double c, int limit, double* out) {
+  for (int b = 0; b < limit; ++b) {
+    out[b] += (2.0 * static_cast<double>((bits >> b) & 1) - 1.0) * c;
+  }
+}
+
+}  // namespace
+
+void DecodeRowsBlocked(const SignMatrix& matrix, const std::vector<double>& z,
+                       const uint64_t* touched_rows, size_t num_rows,
+                       uint64_t tau_size, double* counts) {
+  if (tau_size == 0) return;
+
+  // Gather the live rows once: per-row stream seeds (hoisting the row-seed
+  // hash out of the word loop) and pre-scaled contributions.
+  const double scale = matrix.scale();
+  std::vector<uint64_t> streams;
+  std::vector<double> contributions;
+  streams.reserve(num_rows);
+  contributions.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const uint64_t row = touched_rows[i];
+    const double zj = z[row];
+    if (zj == 0.0) continue;  // reports on this row cancelled exactly
+    streams.push_back(matrix.RowStream(row));
+    contributions.push_back(zj * scale);
+  }
+  const size_t live = streams.size();
+
+  const size_t words = (tau_size + 63) / 64;
+  const size_t full_words = tau_size / 64;
+  const int tail_bits = static_cast<int>(tau_size - full_words * 64);
+  const auto word_limit = [full_words, tail_bits](size_t w) {
+    return w < full_words ? 64 : tail_bits;
+  };
+
+  for (size_t block = 0; block < words; block += kDecodeBlockWords) {
+    const size_t block_end = std::min(words, block + kDecodeBlockWords);
+    size_t i = 0;
+    for (; i + 4 <= live; i += 4) {
+      const uint64_t s0 = streams[i], s1 = streams[i + 1];
+      const uint64_t s2 = streams[i + 2], s3 = streams[i + 3];
+      const double c0 = contributions[i], c1 = contributions[i + 1];
+      const double c2 = contributions[i + 2], c3 = contributions[i + 3];
+      for (size_t w = block; w < block_end; ++w) {
+        const uint64_t b0 = SplitMix64(s0 + w), b1 = SplitMix64(s1 + w);
+        const uint64_t b2 = SplitMix64(s2 + w), b3 = SplitMix64(s3 + w);
+        double* out = counts + w * 64;
+        const int limit = word_limit(w);
+        for (int b = 0; b < limit; ++b) {
+          out[b] += (2.0 * static_cast<double>((b0 >> b) & 1) - 1.0) * c0 +
+                    (2.0 * static_cast<double>((b1 >> b) & 1) - 1.0) * c1 +
+                    (2.0 * static_cast<double>((b2 >> b) & 1) - 1.0) * c2 +
+                    (2.0 * static_cast<double>((b3 >> b) & 1) - 1.0) * c3;
+        }
+      }
+    }
+    for (; i < live; ++i) {
+      const uint64_t stream = streams[i];
+      const double c = contributions[i];
+      for (size_t w = block; w < block_end; ++w) {
+        ExpandWord(SplitMix64(stream + w), c, word_limit(w),
+                   counts + w * 64);
+      }
+    }
+  }
+}
+
+}  // namespace pldp

@@ -1,0 +1,49 @@
+#ifndef PLDP_CORE_PCEP_DECODE_H_
+#define PLDP_CORE_PCEP_DECODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/sign_matrix.h"
+
+namespace pldp {
+
+/// The PCEP decode kernel (Algorithm 1, lines 11-13, restricted to rows that
+/// received reports): accumulates, for every location k in [0, tau_size),
+///
+///   counts[k] += sum_i Phi[row_i, k] * z[row_i]
+///
+/// over the `num_rows` rows in `touched_rows`. This is the asymptotically
+/// dominant O(m |tau|) step of the whole pipeline, so it is written as a
+/// branchless blocked kernel:
+///
+///  - each packed 64-bit sign word expands into +-contribution through the
+///    unrolled `(2*bit - 1) * c` form, with no per-bit branch, which the
+///    compiler can turn into vector selects/FMAs;
+///  - rows are processed four at a time so each pass over a counts block
+///    amortizes its loads and stores across four contributions;
+///  - columns are walked in cache-sized blocks (kDecodeBlockWords packed
+///    words at a time), so the touched slice of `counts` stays resident in
+///    L1 while every row's words for that block are regenerated from the
+///    row's stream seed.
+///
+/// Rows whose accumulator cancelled back to exactly 0.0 are skipped, like
+/// the scalar kernel this replaces. The accumulation order within a column
+/// is fixed by the row order (groups of four, then stragglers), so the
+/// result is deterministic for a given `touched_rows` sequence; against a
+/// strictly row-by-row scalar decode it differs only by floating-point
+/// reassociation (relative differences at the 1e-12 scale).
+///
+/// `counts` must point at tau_size doubles; contributions are added to it.
+void DecodeRowsBlocked(const SignMatrix& matrix, const std::vector<double>& z,
+                       const uint64_t* touched_rows, size_t num_rows,
+                       uint64_t tau_size, double* counts);
+
+/// Column-block width of the kernel, in 64-bit packed words (64 words =
+/// 4096 locations = 32 KiB of counts, sized for typical L1).
+inline constexpr size_t kDecodeBlockWords = 64;
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_PCEP_DECODE_H_

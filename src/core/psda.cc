@@ -10,6 +10,7 @@
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace pldp {
 
@@ -40,19 +41,24 @@ StatusOr<PsdaResult> RunPsdaWithOracle(const SpatialTaxonomy& taxonomy,
           : TrivialClusters(taxonomy, groups, cluster_options));
 
   // Lines 6-9: one oracle instance per cluster at confidence beta / |C|,
-  // estimates combined over the location universe.
+  // estimates combined over the location universe. Clusters are independent
+  // protocol instances with independent seeds, so they estimate in parallel
+  // on the shared pool; each cluster's estimate lands in its own slot and
+  // the merge walks the slots in cluster order, which makes the result
+  // independent of the chunking.
   PsdaResult result;
   result.raw_counts.assign(taxonomy.grid().num_cells(), 0.0);
   {
     PLDP_SPAN("psda.estimate_clusters");
+    const size_t num_clusters = clustering.clusters.size();
     const double beta_each =
-        options.beta / static_cast<double>(clustering.clusters.size());
-    for (size_t c = 0; c < clustering.clusters.size(); ++c) {
-      const Cluster& cluster = clustering.clusters[c];
-      const std::vector<CellId> region =
-          taxonomy.RegionCells(cluster.top_region);
+        options.beta / static_cast<double>(num_clusters);
 
-      std::vector<PcepUser> oracle_users;
+    std::vector<std::vector<CellId>> regions(num_clusters);
+    std::vector<std::vector<PcepUser>> cluster_users(num_clusters);
+    for (size_t c = 0; c < num_clusters; ++c) {
+      const Cluster& cluster = clustering.clusters[c];
+      regions[c] = taxonomy.RegionCells(cluster.top_region);
       for (const uint32_t g : cluster.groups) {
         for (const uint32_t user_index : groups[g].members) {
           const UserRecord& user = users[user_index];
@@ -63,20 +69,41 @@ StatusOr<PsdaResult> RunPsdaWithOracle(const SpatialTaxonomy& taxonomy,
           PcepUser oracle_user;
           oracle_user.location_index = static_cast<uint32_t>(*rank);
           oracle_user.epsilon = user.spec.epsilon;
-          oracle_users.push_back(oracle_user);
+          cluster_users[c].push_back(oracle_user);
         }
       }
+    }
 
-      const uint64_t cluster_seed =
-          SplitMix64(options.seed ^ ((c + 1) * 0x9E3779B97F4A7C15ULL));
-      PLDP_ASSIGN_OR_RETURN(
-          std::vector<double> estimates,
-          oracle.EstimateCounts(oracle_users, region.size(), beta_each,
-                                cluster_seed));
-      PLDP_CHECK(estimates.size() == region.size())
+    ThreadPool& pool = ThreadPool::Global();
+    const unsigned num_chunks = static_cast<unsigned>(std::min<size_t>(
+        options.num_threads == 0 ? pool.num_threads() : options.num_threads,
+        num_clusters));
+    const int64_t estimate_span = obs::TraceCollector::Global().CurrentSpan();
+    std::vector<Status> cluster_status(num_clusters, Status::OK());
+    std::vector<std::vector<double>> estimates(num_clusters);
+    pool.ParallelFor(
+        0, num_clusters, num_chunks,
+        [&](unsigned /*chunk*/, size_t begin, size_t end) {
+          PLDP_SPAN_PARENT("psda.estimate_worker", estimate_span);
+          for (size_t c = begin; c < end; ++c) {
+            const uint64_t cluster_seed =
+                SplitMix64(options.seed ^ ((c + 1) * 0x9E3779B97F4A7C15ULL));
+            StatusOr<std::vector<double>> estimate = oracle.EstimateCounts(
+                cluster_users[c], regions[c].size(), beta_each, cluster_seed);
+            if (!estimate.ok()) {
+              cluster_status[c] = estimate.status();
+              continue;
+            }
+            estimates[c] = std::move(estimate).value();
+          }
+        });
+
+    for (size_t c = 0; c < num_clusters; ++c) {
+      PLDP_RETURN_IF_ERROR(cluster_status[c]);
+      PLDP_CHECK(estimates[c].size() == regions[c].size())
           << oracle.Name() << " returned a wrong-size estimate";
-      for (size_t k = 0; k < region.size(); ++k) {
-        result.raw_counts[region[k]] += estimates[k];
+      for (size_t k = 0; k < regions[c].size(); ++k) {
+        result.raw_counts[regions[c][k]] += estimates[c][k];
       }
     }
   }

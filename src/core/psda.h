@@ -30,6 +30,13 @@ struct PsdaOptions {
 
   /// Memory guard forwarded to every PCEP instance.
   uint64_t max_reduced_dimension = uint64_t{1} << 26;
+
+  /// Chunk count for the parallel per-cluster estimation fan-out (clusters
+  /// are independent protocol instances). 0 means "size of the shared
+  /// thread pool" (PLDP_THREADS override, else hardware_concurrency). Every
+  /// cluster's estimate is computed identically and merged in cluster
+  /// order, so this knob changes wall time, never results.
+  unsigned num_threads = 0;
 };
 
 /// Output of a PSDA run.

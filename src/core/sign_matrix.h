@@ -40,6 +40,11 @@ class SignMatrix {
     return SplitMix64(RowSeed(row) + word);
   }
 
+  /// Per-row stream handle: word `w` of the row is SplitMix64(handle + w).
+  /// Lets decode kernels hoist the row-seed derivation out of their word
+  /// loops instead of re-deriving it on every RowWord call.
+  uint64_t RowStream(uint64_t row) const { return RowSeed(row); }
+
   /// Sign bit of entry (row, col); true means +1/sqrt(m).
   bool SignAt(uint64_t row, uint64_t col) const {
     PLDP_DCHECK(row < m_ && col < width_);

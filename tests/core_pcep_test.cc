@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/error_model.h"
+#include "obs/metrics.h"
 
 namespace pldp {
 namespace {
@@ -51,6 +52,40 @@ TEST(PcepServerTest, AccumulateTracksReports) {
   server.Accumulate(0, -0.5);
   server.Accumulate(3, 2.0);
   EXPECT_EQ(server.num_reports(), 3u);
+}
+
+TEST(PcepServerTest, CancelledRowIsNotDoubleCountedOnRevisit) {
+  // Regression: a report that returns a row's accumulator to exactly 0.0
+  // used to re-enlist the row in the touched list on its next report, so the
+  // decode counted the row twice. The server must end up equivalent to one
+  // that only ever saw the net value.
+  PcepParams params;
+  PcepServer cancelled = PcepServer::Create(32, 1000, params).value();
+  cancelled.Accumulate(5, 1.5);
+  cancelled.Accumulate(5, -1.5);  // back to exactly zero
+  cancelled.Accumulate(5, 2.25);  // revisit after cancellation
+  EXPECT_EQ(cancelled.num_touched_rows(), 1u);
+
+  PcepServer direct = PcepServer::Create(32, 1000, params).value();
+  direct.Accumulate(5, 2.25);
+
+  EXPECT_EQ(cancelled.Estimate(), direct.Estimate());
+  EXPECT_DOUBLE_EQ(cancelled.EstimateItem(7), direct.EstimateItem(7));
+}
+
+TEST(PcepDimensionsTest, ClampBumpsCounter) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* clamped = registry.GetCounter("pcep.m_clamped");
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const uint64_t before = clamped->Value();
+  // Theoretical m for a million users far exceeds the cap of 4096.
+  ASSERT_TRUE(ComputePcepDimensions(1'000'000, 100, 0.1, 4096).ok());
+  EXPECT_EQ(clamped->Value(), before + 1);
+  // An uncapped computation must not count.
+  ASSERT_TRUE(ComputePcepDimensions(100, 10, 0.1, 1ull << 30).ok());
+  EXPECT_EQ(clamped->Value(), before + 1);
+  registry.set_enabled(was_enabled);
 }
 
 TEST(PcepServerTest, EstimateOfEmptyProtocolIsZero) {

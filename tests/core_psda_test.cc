@@ -76,6 +76,25 @@ TEST(PsdaTest, DeterministicForFixedSeed) {
   EXPECT_NE(a.counts, c.counts);
 }
 
+TEST(PsdaTest, ResultsIndependentOfThreadCount) {
+  // The per-cluster fan-out merges in cluster order and each cluster's
+  // estimate is computed identically regardless of chunking, so num_threads
+  // is a pure wall-time knob: every setting must give bit-identical results.
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const auto users = MakeCohort(tax, 3000, 11);
+  PsdaOptions options;
+  options.seed = 99;
+  options.num_threads = 1;
+  const auto sequential = RunPsda(tax, users, options).value();
+  for (const unsigned threads : {0u, 2u, 5u}) {
+    options.num_threads = threads;
+    const auto parallel = RunPsda(tax, users, options).value();
+    EXPECT_EQ(parallel.counts, sequential.counts) << "threads " << threads;
+    EXPECT_EQ(parallel.raw_counts, sequential.raw_counts)
+        << "threads " << threads;
+  }
+}
+
 TEST(PsdaTest, CountsSumToCohortSize) {
   const SpatialTaxonomy tax = MakeTaxonomy();
   const auto users = MakeCohort(tax, 5000, 7);
