@@ -3,10 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "core/local_randomizer.h"
 #include "core/pcep.h"
+#include "core/pcep_decode.h"
 #include "core/sign_matrix.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace pldp {
 namespace {
@@ -95,6 +99,72 @@ BENCHMARK(BM_PcepServerDecode)
     ->Args({10000, 1024})
     ->Args({50000, 4096})
     ->Args({50000, 16384});
+
+/// Per-kernel decode cases at the reference configuration (n=50k,
+/// |tau|=16384), forced through the PLDP_DECODE_KERNEL override so the full
+/// Estimate path (gather, scratch, counters) is what gets measured — the
+/// same A/B a benchdiff driver runs with the env set externally. The cases
+/// are named decode_scalar / decode_avx2 in BENCH_micro_pcep.json so
+/// pldp_benchdiff gates both kernels' decode_rows_throughput /
+/// decode_gb_throughput independently.
+const PcepServer& SharedDecodeServer() {
+  static const PcepServer* server = [] {
+    const uint64_t n = 50000;
+    const uint64_t tau = 16384;
+    PcepParams params;
+    auto* loaded = new PcepServer(PcepServer::Create(tau, n, params).value());
+    Rng rng(5);
+    for (uint64_t i = 0; i < n; ++i) {
+      loaded->Accumulate(loaded->AssignRow(&rng),
+                         rng.Bernoulli(0.5) ? 3.0 : -3.0);
+    }
+    return loaded;
+  }();
+  return *server;
+}
+
+/// Seconds per Estimate() of the scalar case, stashed so the avx2 case
+/// (registered and therefore run afterwards) can record the measured
+/// scalar-vs-SIMD ratio as its speedup_vs_scalar stat.
+double g_scalar_decode_seconds = 0.0;
+
+void RunDecodeKernelCase(benchmark::State& state, DecodeKernel kernel) {
+  if (!DecodeKernelAvailable(kernel)) {
+    state.SkipWithError("kernel unavailable on this host/build");
+    return;
+  }
+  setenv("PLDP_DECODE_KERNEL", DecodeKernelName(kernel), 1);
+  ResetDecodeKernelForTesting();
+  const PcepServer& server = SharedDecodeServer();
+  Stopwatch timer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Estimate());
+  }
+  const double seconds_per_iter =
+      timer.ElapsedSeconds() / static_cast<double>(state.iterations());
+  unsetenv("PLDP_DECODE_KERNEL");
+  ResetDecodeKernelForTesting();
+
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(server.num_touched_rows()));
+  SetDecodeThroughput(state, server);
+  if (kernel == DecodeKernel::kScalar) {
+    g_scalar_decode_seconds = seconds_per_iter;
+  } else if (g_scalar_decode_seconds > 0.0 && seconds_per_iter > 0.0) {
+    state.counters["speedup_vs_scalar"] =
+        g_scalar_decode_seconds / seconds_per_iter;
+  }
+}
+
+void BM_PcepDecodeScalar(benchmark::State& state) {
+  RunDecodeKernelCase(state, DecodeKernel::kScalar);
+}
+BENCHMARK(BM_PcepDecodeScalar)->Name("decode_scalar");
+
+void BM_PcepDecodeAvx2(benchmark::State& state) {
+  RunDecodeKernelCase(state, DecodeKernel::kAvx2);
+}
+BENCHMARK(BM_PcepDecodeAvx2)->Name("decode_avx2");
 
 void BM_PcepServerDecodeParallel(benchmark::State& state) {
   const uint64_t n = 50000;

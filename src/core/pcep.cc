@@ -30,6 +30,28 @@ obs::Counter* DecodedRowsCounter() {
   return counter;
 }
 
+obs::Counter* SkippedZeroRowsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("pcep.skipped_zero_rows");
+  return counter;
+}
+
+/// Which decode kernel this process dispatches to (0 = scalar, 1 = avx2).
+/// Re-exported on every decode: the registry may have been enabled after the
+/// first kernel selection, and the set is one relaxed store.
+void ExportDecodeKernelGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("pcep.decode_kernel");
+  gauge->Set(static_cast<double>(ActiveDecodeKernel()));
+}
+
+/// Books a finished decode: `live` rows actually decoded, the rest of the
+/// touched stream skipped because their accumulator cancelled to exactly 0.
+void CountDecodedRows(size_t live, size_t touched) {
+  DecodedRowsCounter()->Increment(live);
+  SkippedZeroRowsCounter()->Increment(touched - live);
+}
+
 obs::Counter* MClampedCounter() {
   static obs::Counter* counter =
       obs::MetricsRegistry::Global().GetCounter("pcep.m_clamped");
@@ -96,10 +118,12 @@ void PcepServer::Accumulate(uint64_t row, double z) {
 
 std::vector<double> PcepServer::Estimate() const {
   PLDP_SPAN("pcep.decode");
-  DecodedRowsCounter()->Increment(touched_rows_.size());
+  ExportDecodeKernelGauge();
   std::vector<double> counts(tau_size_, 0.0);
-  DecodeRowsBlocked(matrix_, z_, touched_rows_.data(), touched_rows_.size(),
-                    tau_size_, counts.data());
+  const size_t live =
+      DecodeRowsBlocked(matrix_, z_, touched_rows_.data(),
+                        touched_rows_.size(), tau_size_, counts.data());
+  CountDecodedRows(live, touched_rows_.size());
   return counts;
 }
 
@@ -108,19 +132,26 @@ std::vector<double> PcepServer::EstimateParallel(unsigned num_threads) const {
     return Estimate();
   }
   PLDP_SPAN("pcep.decode_parallel");
-  DecodedRowsCounter()->Increment(touched_rows_.size());
+  // Resolve the kernel on the issuing thread so the env-driven selection
+  // never happens concurrently on pool workers.
+  ExportDecodeKernelGauge();
   // Workers start with an empty span stack of their own; handing them the
   // decode span keeps their spans nested under it in the exported tree.
   const int64_t decode_span = obs::TraceCollector::Global().CurrentSpan();
   std::vector<std::vector<double>> partials(
       num_threads, std::vector<double>(tau_size_, 0.0));
+  std::vector<size_t> live_per_chunk(num_threads, 0);
   ThreadPool::Global().ParallelFor(
       0, touched_rows_.size(), num_threads,
       [&](unsigned chunk, size_t begin, size_t end) {
         PLDP_SPAN_PARENT("pcep.decode_worker", decode_span);
-        DecodeRowsBlocked(matrix_, z_, touched_rows_.data() + begin,
-                          end - begin, tau_size_, partials[chunk].data());
+        live_per_chunk[chunk] = DecodeRowsBlocked(
+            matrix_, z_, touched_rows_.data() + begin, end - begin, tau_size_,
+            partials[chunk].data());
       });
+  size_t live = 0;
+  for (const size_t chunk_live : live_per_chunk) live += chunk_live;
+  CountDecodedRows(live, touched_rows_.size());
 
   // Combine in chunk order: chunk boundaries depend only on the row count
   // and `num_threads`, so the result is deterministic for a fixed thread

@@ -1,10 +1,17 @@
 #include "core/pcep_decode.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "core/pcep_decode_kernels.h"
+#include "obs/metrics.h"
+#include "util/cpu.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace pldp {
+
+namespace internal_decode {
 namespace {
 
 /// Expands one packed sign word into [limit] +-c contributions. The body is
@@ -18,27 +25,8 @@ inline void ExpandWord(uint64_t bits, double c, int limit, double* out) {
 
 }  // namespace
 
-void DecodeRowsBlocked(const SignMatrix& matrix, const std::vector<double>& z,
-                       const uint64_t* touched_rows, size_t num_rows,
-                       uint64_t tau_size, double* counts) {
-  if (tau_size == 0) return;
-
-  // Gather the live rows once: per-row stream seeds (hoisting the row-seed
-  // hash out of the word loop) and pre-scaled contributions.
-  const double scale = matrix.scale();
-  std::vector<uint64_t> streams;
-  std::vector<double> contributions;
-  streams.reserve(num_rows);
-  contributions.reserve(num_rows);
-  for (size_t i = 0; i < num_rows; ++i) {
-    const uint64_t row = touched_rows[i];
-    const double zj = z[row];
-    if (zj == 0.0) continue;  // reports on this row cancelled exactly
-    streams.push_back(matrix.RowStream(row));
-    contributions.push_back(zj * scale);
-  }
-  const size_t live = streams.size();
-
+void DecodeGatheredScalar(const uint64_t* streams, const double* contributions,
+                          size_t live, uint64_t tau_size, double* counts) {
   const size_t words = (tau_size + 63) / 64;
   const size_t full_words = tau_size / 64;
   const int tail_bits = static_cast<int>(tau_size - full_words * 64);
@@ -76,6 +64,221 @@ void DecodeRowsBlocked(const SignMatrix& matrix, const std::vector<double>& z,
       }
     }
   }
+}
+
+void FillSignWordsScalar(uint64_t stream, uint64_t word_begin,
+                         size_t num_words, uint64_t* out) {
+  for (size_t i = 0; i < num_words; ++i) {
+    out[i] = SplitMix64(stream + word_begin + i);
+  }
+}
+
+}  // namespace internal_decode
+
+namespace {
+
+/// One row of the dispatch table: every kernel family provides the blocked
+/// decode over gathered rows and the packed-word fill.
+struct KernelTable {
+  DecodeKernel kind;
+  void (*decode)(const uint64_t* streams, const double* contributions,
+                 size_t live, uint64_t tau_size, double* counts);
+  void (*fill_words)(uint64_t stream, uint64_t word_begin, size_t num_words,
+                     uint64_t* out);
+};
+
+constexpr KernelTable kScalarTable = {
+    DecodeKernel::kScalar,
+    &internal_decode::DecodeGatheredScalar,
+    &internal_decode::FillSignWordsScalar,
+};
+
+#ifdef PLDP_ENABLE_SIMD
+constexpr KernelTable kAvx2Table = {
+    DecodeKernel::kAvx2,
+    &internal_decode::DecodeGatheredAvx2,
+    &internal_decode::FillSignWordsAvx2,
+};
+#endif
+
+const KernelTable* TableFor(DecodeKernel kernel) {
+  switch (kernel) {
+    case DecodeKernel::kScalar:
+      return &kScalarTable;
+    case DecodeKernel::kAvx2:
+#ifdef PLDP_ENABLE_SIMD
+      return &kAvx2Table;
+#else
+      break;
+#endif
+  }
+  PLDP_LOG(Fatal) << "decode kernel " << DecodeKernelName(kernel)
+                  << " is not compiled into this binary";
+  return nullptr;  // unreachable
+}
+
+/// Applies the PLDP_DECODE_KERNEL override to the detected features and
+/// returns the kernel the dispatching entries should use.
+DecodeKernel SelectKernel() {
+  const SimdKernelChoice choice = DecodeKernelChoiceFromEnv();
+  const DecodeKernel best = DecodeKernelAvailable(DecodeKernel::kAvx2)
+                                ? DecodeKernel::kAvx2
+                                : DecodeKernel::kScalar;
+  DecodeKernel selected = best;
+  switch (choice) {
+    case SimdKernelChoice::kAuto:
+      selected = best;
+      break;
+    case SimdKernelChoice::kScalar:
+      selected = DecodeKernel::kScalar;
+      break;
+    case SimdKernelChoice::kAvx2:
+      if (DecodeKernelAvailable(DecodeKernel::kAvx2)) {
+        selected = DecodeKernel::kAvx2;
+      } else {
+        PLDP_LOG(Warning)
+            << "PLDP_DECODE_KERNEL=avx2 requested but the avx2 kernel is "
+               "unavailable on this host/build; falling back to scalar";
+        selected = DecodeKernel::kScalar;
+      }
+      break;
+  }
+  PLDP_LOG(Info) << "PCEP decode kernel: " << DecodeKernelName(selected)
+                 << " (cpu: " << CpuFeaturesSummary()
+#ifdef PLDP_ENABLE_SIMD
+                 << ", simd kernels compiled in"
+#else
+                 << ", simd kernels not compiled"
+#endif
+                 << ")";
+  return selected;
+}
+
+/// The cached selection. Estimate paths resolve it on the calling thread
+/// before any worker fan-out, so the env read never races the pool.
+std::atomic<const KernelTable*> g_active_table{nullptr};
+
+const KernelTable& ActiveTable() {
+  const KernelTable* table = g_active_table.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = TableFor(SelectKernel());
+    g_active_table.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+obs::Counter* ScratchGrowsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("pcep.decode_scratch_grows");
+  return counter;
+}
+
+/// Gathers the live rows — per-row stream seeds (hoisting the row-seed hash
+/// out of the word loops) and pre-scaled contributions — into `scratch`,
+/// reusing its capacity across calls.
+size_t GatherLiveRows(const SignMatrix& matrix, const std::vector<double>& z,
+                      const uint64_t* touched_rows, size_t num_rows,
+                      DecodeScratch* scratch) {
+  if (num_rows > scratch->streams.capacity() ||
+      num_rows > scratch->contributions.capacity()) {
+    ScratchGrowsCounter()->Increment();
+  }
+  scratch->streams.clear();
+  scratch->contributions.clear();
+  scratch->streams.reserve(num_rows);
+  scratch->contributions.reserve(num_rows);
+  const double scale = matrix.scale();
+  for (size_t i = 0; i < num_rows; ++i) {
+    const uint64_t row = touched_rows[i];
+    const double zj = z[row];
+    if (zj == 0.0) continue;  // reports on this row cancelled exactly
+    scratch->streams.push_back(matrix.RowStream(row));
+    scratch->contributions.push_back(zj * scale);
+  }
+  return scratch->streams.size();
+}
+
+/// The per-thread gather arena used when the caller passes no scratch. Pool
+/// workers are never destroyed (ThreadPool::Global() is immortal), so the
+/// arena persists across blocks, shards, and PSDA clusters.
+DecodeScratch& ThreadLocalScratch() {
+  thread_local DecodeScratch scratch;
+  return scratch;
+}
+
+size_t DecodeWithTable(const KernelTable& table, const SignMatrix& matrix,
+                       const std::vector<double>& z,
+                       const uint64_t* touched_rows, size_t num_rows,
+                       uint64_t tau_size, double* counts,
+                       DecodeScratch* scratch) {
+  if (tau_size == 0) return 0;
+  DecodeScratch& arena = scratch != nullptr ? *scratch : ThreadLocalScratch();
+  const size_t live =
+      GatherLiveRows(matrix, z, touched_rows, num_rows, &arena);
+  if (live > 0) {
+    table.decode(arena.streams.data(), arena.contributions.data(), live,
+                 tau_size, counts);
+  }
+  return live;
+}
+
+}  // namespace
+
+const char* DecodeKernelName(DecodeKernel kernel) {
+  switch (kernel) {
+    case DecodeKernel::kScalar:
+      return "scalar";
+    case DecodeKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool DecodeKernelAvailable(DecodeKernel kernel) {
+  switch (kernel) {
+    case DecodeKernel::kScalar:
+      return true;
+    case DecodeKernel::kAvx2:
+#ifdef PLDP_ENABLE_SIMD
+      // The AVX2 TU is compiled -mavx2 -mfma, so require both.
+      return GetCpuFeatures().avx2 && GetCpuFeatures().fma;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+DecodeKernel ActiveDecodeKernel() { return ActiveTable().kind; }
+
+void ResetDecodeKernelForTesting() {
+  g_active_table.store(nullptr, std::memory_order_release);
+}
+
+size_t DecodeRowsBlocked(const SignMatrix& matrix, const std::vector<double>& z,
+                         const uint64_t* touched_rows, size_t num_rows,
+                         uint64_t tau_size, double* counts,
+                         DecodeScratch* scratch) {
+  return DecodeWithTable(ActiveTable(), matrix, z, touched_rows, num_rows,
+                         tau_size, counts, scratch);
+}
+
+size_t DecodeRowsBlockedWithKernel(DecodeKernel kernel,
+                                   const SignMatrix& matrix,
+                                   const std::vector<double>& z,
+                                   const uint64_t* touched_rows,
+                                   size_t num_rows, uint64_t tau_size,
+                                   double* counts, DecodeScratch* scratch) {
+  PLDP_CHECK(DecodeKernelAvailable(kernel))
+      << "decode kernel " << DecodeKernelName(kernel)
+      << " is unavailable on this host/build";
+  return DecodeWithTable(*TableFor(kernel), matrix, z, touched_rows, num_rows,
+                         tau_size, counts, scratch);
+}
+
+void FillSignWords(uint64_t stream, uint64_t word_begin, size_t num_words,
+                   uint64_t* out) {
+  ActiveTable().fill_words(stream, word_begin, num_words, out);
 }
 
 }  // namespace pldp

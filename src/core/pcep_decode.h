@@ -15,32 +15,86 @@ namespace pldp {
 ///   counts[k] += sum_i Phi[row_i, k] * z[row_i]
 ///
 /// over the `num_rows` rows in `touched_rows`. This is the asymptotically
-/// dominant O(m |tau|) step of the whole pipeline, so it is written as a
-/// branchless blocked kernel:
+/// dominant O(m |tau|) step of the whole pipeline, so it is implemented as a
+/// family of blocked kernels behind a runtime CPU-dispatch layer:
 ///
-///  - each packed 64-bit sign word expands into +-contribution through the
-///    unrolled `(2*bit - 1) * c` form, with no per-bit branch, which the
-///    compiler can turn into vector selects/FMAs;
-///  - rows are processed four at a time so each pass over a counts block
-///    amortizes its loads and stores across four contributions;
-///  - columns are walked in cache-sized blocks (kDecodeBlockWords packed
-///    words at a time), so the touched slice of `counts` stays resident in
-///    L1 while every row's words for that block are regenerated from the
-///    row's stream seed.
+///  - the **scalar** kernel expands each packed 64-bit sign word into
+///    +-contribution through the branchless `(2*bit - 1) * c` form;
+///  - the **avx2** kernel (x86-64 with AVX2, built under PLDP_ENABLE_SIMD)
+///    regenerates four row-words per step with a 4-lane vectorized SplitMix64
+///    and applies signs via the sign-bit-XOR identity, four columns per
+///    vector lane.
 ///
-/// Rows whose accumulator cancelled back to exactly 0.0 are skipped, like
-/// the scalar kernel this replaces. The accumulation order within a column
-/// is fixed by the row order (groups of four, then stragglers), so the
-/// result is deterministic for a given `touched_rows` sequence; against a
-/// strictly row-by-row scalar decode it differs only by floating-point
-/// reassociation (relative differences at the 1e-12 scale).
-///
-/// `counts` must point at tau_size doubles; contributions are added to it.
-void DecodeRowsBlocked(const SignMatrix& matrix, const std::vector<double>& z,
-                       const uint64_t* touched_rows, size_t num_rows,
-                       uint64_t tau_size, double* counts);
+/// Both kernels share the same blocked layout — rows four at a time, columns
+/// in kDecodeBlockWords-sized L1-resident blocks, per-row stream seeds
+/// hoisted — and the same per-column accumulation order, so their results
+/// are **bit-identical** (exact ==, enforced by tests/core_pcep_simd_test).
+/// Against a strictly row-by-row scalar decode they differ only by
+/// floating-point reassociation (relative differences at the 1e-12 scale).
 
-/// Column-block width of the kernel, in 64-bit packed words (64 words =
+/// The available decode kernels. Values are stable (exported as the
+/// `pcep.decode_kernel` gauge: 0 = scalar, 1 = avx2).
+enum class DecodeKernel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// "scalar" / "avx2" — matches the PLDP_DECODE_KERNEL override tokens.
+const char* DecodeKernelName(DecodeKernel kernel);
+
+/// Whether `kernel` can run in this process: kScalar always; kAvx2 only when
+/// the binary was built with PLDP_ENABLE_SIMD and the host CPU + OS support
+/// AVX2 and FMA (util/cpu.h).
+bool DecodeKernelAvailable(DecodeKernel kernel);
+
+/// The kernel the dispatching entry points use. Selected once (then cached):
+/// the PLDP_DECODE_KERNEL env override (`scalar` / `avx2` / `auto`) if set,
+/// else the best available kernel. A forced kernel that is unavailable logs
+/// a warning and falls back to scalar. The selection is logged at info.
+DecodeKernel ActiveDecodeKernel();
+
+/// Drops the cached selection so the next ActiveDecodeKernel() re-reads
+/// PLDP_DECODE_KERNEL. For tests and in-process A/B benchmarks; call it from
+/// the thread that owns the env mutation, before any concurrent decode.
+void ResetDecodeKernelForTesting();
+
+/// Reusable gather buffers for the decode entry points: per-row stream
+/// handles and pre-scaled contributions of the live (non-cancelled) rows.
+/// Passing the same scratch across calls (or passing nullptr, which uses a
+/// per-thread arena) makes the steady state allocation-free — regrowth is
+/// counted by the `pcep.decode_scratch_grows` metric.
+struct DecodeScratch {
+  std::vector<uint64_t> streams;
+  std::vector<double> contributions;
+};
+
+/// Dispatching decode entry: gathers the live rows (skipping rows whose z
+/// cancelled to exactly 0.0, like EstimateItem does) into `scratch` (or the
+/// per-thread arena when nullptr) and runs the active kernel. `counts` must
+/// point at tau_size doubles; contributions are added to it. Returns the
+/// number of live rows actually decoded.
+size_t DecodeRowsBlocked(const SignMatrix& matrix, const std::vector<double>& z,
+                         const uint64_t* touched_rows, size_t num_rows,
+                         uint64_t tau_size, double* counts,
+                         DecodeScratch* scratch = nullptr);
+
+/// Like DecodeRowsBlocked but runs a specific kernel, bypassing the cached
+/// selection (parity tests, per-kernel benchmarks). `kernel` must be
+/// available (checked).
+size_t DecodeRowsBlockedWithKernel(DecodeKernel kernel, const SignMatrix& matrix,
+                                   const std::vector<double>& z,
+                                   const uint64_t* touched_rows, size_t num_rows,
+                                   uint64_t tau_size, double* counts,
+                                   DecodeScratch* scratch = nullptr);
+
+/// Fills out[i] = SplitMix64(stream + word_begin + i) for i in [0,
+/// num_words), through the active kernel's word-fill routine (the same
+/// 4-lane SplitMix64 the AVX2 decode uses). This is the protocol-encode hot
+/// loop: SignMatrix::Row materializes O(|tau|) bits per user from it.
+void FillSignWords(uint64_t stream, uint64_t word_begin, size_t num_words,
+                   uint64_t* out);
+
+/// Column-block width of the kernels, in 64-bit packed words (64 words =
 /// 4096 locations = 32 KiB of counts, sized for typical L1).
 inline constexpr size_t kDecodeBlockWords = 64;
 

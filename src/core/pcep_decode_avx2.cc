@@ -1,0 +1,202 @@
+// AVX2 decode/encode kernels. This translation unit is the only one compiled
+// with -mavx2 -mfma (see src/core/CMakeLists.txt); it is reached exclusively
+// through the runtime dispatch table in pcep_decode.cc, which verifies CPU
+// support first, so no AVX instruction can execute on a non-AVX2 host.
+//
+// Layout of the decode kernel:
+//
+//  - Row words are regenerated with a 4-lane vectorized SplitMix64: one
+//    __m256i holds word w of four consecutive live rows (the 64x64->64
+//    multiply is emulated from 32-bit products, AVX2 has no mullo_epi64).
+//  - Sign application uses the sign-bit-XOR identity: with bit 1 = +c and
+//    bit 0 = -c,  +-c == c XOR ((bit ^ 1) << 63). Each row's inverted sign
+//    word is broadcast and walked four columns at a time (lanes map to
+//    *columns*), the lane bits become 64-bit sign masks, and the XORed
+//    contributions accumulate 4 doubles per add.
+//  - Per column the four row contributions sum left-associated,
+//    ((t0 + t1) + t2) + t3, then straggler rows add one at a time — exactly
+//    the scalar kernel's order. Multiplication by +-1.0 (scalar) and the
+//    sign-bit XOR produce the same IEEE-754 double, every add happens in the
+//    same sequence, and no FMA contraction can change a result (there are no
+//    FP multiplies here), so the kernel is bit-identical to
+//    DecodeGatheredScalar. tests/core_pcep_simd_test.cc enforces exact ==.
+
+#include "core/pcep_decode_kernels.h"
+
+#ifdef PLDP_ENABLE_SIMD
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "core/pcep_decode.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace internal_decode {
+namespace {
+
+/// Low 64 bits of the lane-wise product: AVX2 has no 64-bit mullo, so build
+/// it from 32-bit halves: lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+inline __m256i Mul64(__m256i a, __m256i b) {
+  const __m256i b_swap = _mm256_shuffle_epi32(b, 0xB1);
+  const __m256i cross = _mm256_mullo_epi32(a, b_swap);
+  const __m256i cross_sum =
+      _mm256_add_epi32(_mm256_srli_epi64(cross, 32), cross);
+  const __m256i high = _mm256_slli_epi64(cross_sum, 32);
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b), high);
+}
+
+/// Four SplitMix64 finalizations at once; lane-wise identical to the scalar
+/// SplitMix64 in util/random.h.
+inline __m256i SplitMix64x4(__m256i x) {
+  x = _mm256_add_epi64(
+      x, _mm256_set1_epi64x(static_cast<int64_t>(0x9E3779B97F4A7C15ULL)));
+  x = Mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+            _mm256_set1_epi64x(static_cast<int64_t>(0xBF58476D1CE4E5B9ULL)));
+  x = Mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+            _mm256_set1_epi64x(static_cast<int64_t>(0x94D049BB133111EBULL)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+/// Broadcast of a contribution's bit pattern, ready to XOR with sign masks.
+inline __m256i BroadcastBits(double c) {
+  return _mm256_set1_epi64x(static_cast<int64_t>(std::bit_cast<uint64_t>(c)));
+}
+
+/// +-c for one scalar column: c XOR ((inv_bits >> col & 1) << 63), where
+/// inv_bits is the *inverted* sign word (bit 0 in the original means -c).
+inline double SignApply(uint64_t inv_bits, int col, double c) {
+  const uint64_t mask = ((inv_bits >> col) & 1) << 63;
+  return std::bit_cast<double>(std::bit_cast<uint64_t>(c) ^ mask);
+}
+
+}  // namespace
+
+void DecodeGatheredAvx2(const uint64_t* streams, const double* contributions,
+                        size_t live, uint64_t tau_size, double* counts) {
+  const size_t words = (tau_size + 63) / 64;
+  const size_t full_words = tau_size / 64;
+  const int tail_bits = static_cast<int>(tau_size - full_words * 64);
+  const __m256i lane_shifts = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i ones = _mm256_set1_epi64x(1);
+  const __m256i all_bits = _mm256_set1_epi64x(-1);
+
+  for (size_t block = 0; block < words; block += kDecodeBlockWords) {
+    const size_t block_end = std::min(words, block + kDecodeBlockWords);
+    size_t i = 0;
+    for (; i + 4 <= live; i += 4) {
+      const __m256i stream_vec = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(streams + i));
+      const __m256i c0 = BroadcastBits(contributions[i]);
+      const __m256i c1 = BroadcastBits(contributions[i + 1]);
+      const __m256i c2 = BroadcastBits(contributions[i + 2]);
+      const __m256i c3 = BroadcastBits(contributions[i + 3]);
+      for (size_t w = block; w < block_end; ++w) {
+        // Word w of all four rows in one shot, then inverted so a set bit
+        // means "flip the sign" (original bit 0 encodes -c).
+        const __m256i bits = SplitMix64x4(_mm256_add_epi64(
+            stream_vec, _mm256_set1_epi64x(static_cast<int64_t>(w))));
+        alignas(32) uint64_t inv[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(inv),
+                           _mm256_xor_si256(bits, all_bits));
+        const int limit = w < full_words ? 64 : tail_bits;
+        double* out = counts + w * 64;
+        // v_r lane k holds inv[r] >> (col + k); after each 4-column group
+        // the lanes advance by another 4 bits.
+        __m256i v0 = _mm256_srlv_epi64(_mm256_set1_epi64x(
+                                           static_cast<int64_t>(inv[0])),
+                                       lane_shifts);
+        __m256i v1 = _mm256_srlv_epi64(_mm256_set1_epi64x(
+                                           static_cast<int64_t>(inv[1])),
+                                       lane_shifts);
+        __m256i v2 = _mm256_srlv_epi64(_mm256_set1_epi64x(
+                                           static_cast<int64_t>(inv[2])),
+                                       lane_shifts);
+        __m256i v3 = _mm256_srlv_epi64(_mm256_set1_epi64x(
+                                           static_cast<int64_t>(inv[3])),
+                                       lane_shifts);
+        int col = 0;
+        for (; col + 4 <= limit; col += 4) {
+          const __m256i m0 =
+              _mm256_slli_epi64(_mm256_and_si256(v0, ones), 63);
+          const __m256i m1 =
+              _mm256_slli_epi64(_mm256_and_si256(v1, ones), 63);
+          const __m256i m2 =
+              _mm256_slli_epi64(_mm256_and_si256(v2, ones), 63);
+          const __m256i m3 =
+              _mm256_slli_epi64(_mm256_and_si256(v3, ones), 63);
+          const __m256d t0 = _mm256_castsi256_pd(_mm256_xor_si256(c0, m0));
+          const __m256d t1 = _mm256_castsi256_pd(_mm256_xor_si256(c1, m1));
+          const __m256d t2 = _mm256_castsi256_pd(_mm256_xor_si256(c2, m2));
+          const __m256d t3 = _mm256_castsi256_pd(_mm256_xor_si256(c3, m3));
+          // Same association as the scalar kernel: ((t0 + t1) + t2) + t3.
+          const __m256d sum = _mm256_add_pd(
+              _mm256_add_pd(_mm256_add_pd(t0, t1), t2), t3);
+          _mm256_storeu_pd(out + col,
+                           _mm256_add_pd(_mm256_loadu_pd(out + col), sum));
+          v0 = _mm256_srli_epi64(v0, 4);
+          v1 = _mm256_srli_epi64(v1, 4);
+          v2 = _mm256_srli_epi64(v2, 4);
+          v3 = _mm256_srli_epi64(v3, 4);
+        }
+        for (; col < limit; ++col) {
+          const double t0 = SignApply(inv[0], col, contributions[i]);
+          const double t1 = SignApply(inv[1], col, contributions[i + 1]);
+          const double t2 = SignApply(inv[2], col, contributions[i + 2]);
+          const double t3 = SignApply(inv[3], col, contributions[i + 3]);
+          out[col] += ((t0 + t1) + t2) + t3;
+        }
+      }
+    }
+    for (; i < live; ++i) {
+      const uint64_t stream = streams[i];
+      const double c = contributions[i];
+      const __m256i cq = BroadcastBits(c);
+      for (size_t w = block; w < block_end; ++w) {
+        const uint64_t inv = ~SplitMix64(stream + w);
+        const int limit = w < full_words ? 64 : tail_bits;
+        double* out = counts + w * 64;
+        __m256i v = _mm256_srlv_epi64(
+            _mm256_set1_epi64x(static_cast<int64_t>(inv)), lane_shifts);
+        int col = 0;
+        for (; col + 4 <= limit; col += 4) {
+          const __m256i mask =
+              _mm256_slli_epi64(_mm256_and_si256(v, ones), 63);
+          const __m256d t = _mm256_castsi256_pd(_mm256_xor_si256(cq, mask));
+          _mm256_storeu_pd(out + col,
+                           _mm256_add_pd(_mm256_loadu_pd(out + col), t));
+          v = _mm256_srli_epi64(v, 4);
+        }
+        for (; col < limit; ++col) {
+          out[col] += SignApply(inv, col, c);
+        }
+      }
+    }
+  }
+}
+
+void FillSignWordsAvx2(uint64_t stream, uint64_t word_begin, size_t num_words,
+                       uint64_t* out) {
+  const __m256i base =
+      _mm256_set1_epi64x(static_cast<int64_t>(stream + word_begin));
+  size_t i = 0;
+  for (; i + 4 <= num_words; i += 4) {
+    const __m256i idx = _mm256_add_epi64(
+        base, _mm256_setr_epi64x(static_cast<int64_t>(i),
+                                 static_cast<int64_t>(i + 1),
+                                 static_cast<int64_t>(i + 2),
+                                 static_cast<int64_t>(i + 3)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        SplitMix64x4(idx));
+  }
+  for (; i < num_words; ++i) {
+    out[i] = SplitMix64(stream + word_begin + i);
+  }
+}
+
+}  // namespace internal_decode
+}  // namespace pldp
+
+#endif  // PLDP_ENABLE_SIMD

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/pcep_decode.h"
 #include "obs/metrics.h"
 
 namespace pldp {
@@ -19,6 +20,14 @@ void CountRowMaterialized() {
 double SignMatrix::ComputeScale(uint64_t m) {
   PLDP_CHECK(m > 0) << "sign matrix needs at least one row";
   return 1.0 / std::sqrt(static_cast<double>(m));
+}
+
+BitVector SignMatrix::Row(uint64_t row) const {
+  internal_sign_matrix::CountRowMaterialized();
+  BitVector bits(width_);
+  FillSignWords(RowSeed(row), 0, bits.word_count(), bits.MutableWords());
+  bits.MaskTail();
+  return bits;
 }
 
 }  // namespace pldp

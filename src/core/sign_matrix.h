@@ -57,15 +57,11 @@ class SignMatrix {
   }
 
   /// Materializes one packed row of `width` sign bits (what the server sends
-  /// to a user in Algorithm 1, line 7).
-  BitVector Row(uint64_t row) const {
-    internal_sign_matrix::CountRowMaterialized();
-    BitVector bits(width_);
-    for (size_t w = 0; w < bits.word_count(); ++w) {
-      bits.SetWord(w, RowWord(row, w));
-    }
-    return bits;
-  }
+  /// to a user in Algorithm 1, line 7). This is the protocol-encode hot loop
+  /// — O(|tau|) bits per user — so the words are bulk-filled through the
+  /// dispatched FillSignWords kernel (core/pcep_decode.h); defined in
+  /// sign_matrix.cc to keep this header kernel-free.
+  BitVector Row(uint64_t row) const;
 
  private:
   static double ComputeScale(uint64_t m);

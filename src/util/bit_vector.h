@@ -47,6 +47,20 @@ class BitVector {
     return words_[w];
   }
 
+  /// Mutable raw word storage for bulk fills (vectorized row generation
+  /// writes whole words at a time). Callers that write the last word through
+  /// this pointer must call MaskTail() afterwards to restore the invariant
+  /// that bits beyond size() stay zero.
+  uint64_t* MutableWords() { return words_.data(); }
+
+  /// Clears any bits past size() in the last word (no-op when size() is a
+  /// multiple of 64).
+  void MaskTail() {
+    if ((size_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size_ & 63)) - 1;
+    }
+  }
+
   /// Overwrites word `w`; trailing bits past size() are masked off.
   void SetWord(size_t w, uint64_t value) {
     PLDP_DCHECK(w < words_.size());

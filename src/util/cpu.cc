@@ -1,0 +1,115 @@
+#include "util/cpu.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PLDP_CPU_X86 1
+#include <cpuid.h>
+#endif
+
+namespace pldp {
+namespace {
+
+#ifdef PLDP_CPU_X86
+
+/// XCR0 via xgetbv: which register state the OS saves/restores. Encoded as a
+/// raw byte sequence so it assembles without -mxsave.
+uint64_t ReadXcr0() {
+  uint32_t eax = 0;
+  uint32_t edx = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures DetectX86() {
+  CpuFeatures features;
+  uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return features;
+  const bool osxsave = (ecx >> 27) & 1;
+  const bool avx = (ecx >> 28) & 1;
+  const bool fma = (ecx >> 12) & 1;
+  if (!osxsave || !avx) return features;  // AVX state not saved by the OS
+
+  const uint64_t xcr0 = ReadXcr0();
+  const bool ymm_enabled = (xcr0 & 0x6) == 0x6;          // XMM + YMM state
+  const bool zmm_enabled = (xcr0 & 0xE6) == 0xE6;        // + opmask/ZMM state
+  if (!ymm_enabled) return features;
+
+  uint32_t ebx7 = 0, ecx7 = 0, edx7 = 0;
+  uint32_t eax7 = 0;
+  if (!__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7)) return features;
+  features.avx2 = (ebx7 >> 5) & 1;
+  features.fma = fma;
+  if (zmm_enabled) {
+    features.avx512f = (ebx7 >> 16) & 1;
+    features.avx512dq = (ebx7 >> 17) & 1;
+    features.avx512bw = (ebx7 >> 30) & 1;
+    features.avx512vl = (ebx7 >> 31) & 1;
+  }
+  return features;
+}
+
+#endif  // PLDP_CPU_X86
+
+CpuFeatures Detect() {
+#ifdef PLDP_CPU_X86
+  return DetectX86();
+#else
+  return CpuFeatures{};
+#endif
+}
+
+void AppendFeature(std::string* out, const char* name, bool present) {
+  if (!present) return;
+  if (!out->empty()) out->push_back(',');
+  out->append(name);
+}
+
+bool TokenEquals(const char* value, const char* token) {
+  size_t i = 0;
+  for (; value[i] != '\0' && token[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(value[i])) != token[i]) {
+      return false;
+    }
+  }
+  return value[i] == '\0' && token[i] == '\0';
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::string CpuFeaturesSummary() {
+  const CpuFeatures& f = GetCpuFeatures();
+  std::string out;
+  AppendFeature(&out, "avx2", f.avx2);
+  AppendFeature(&out, "fma", f.fma);
+  AppendFeature(&out, "avx512f", f.avx512f);
+  AppendFeature(&out, "avx512bw", f.avx512bw);
+  AppendFeature(&out, "avx512dq", f.avx512dq);
+  AppendFeature(&out, "avx512vl", f.avx512vl);
+  return out.empty() ? "none" : out;
+}
+
+SimdKernelChoice ParseKernelChoice(const char* value) {
+  if (value == nullptr || value[0] == '\0') return SimdKernelChoice::kAuto;
+  if (TokenEquals(value, "auto")) return SimdKernelChoice::kAuto;
+  if (TokenEquals(value, "scalar")) return SimdKernelChoice::kScalar;
+  if (TokenEquals(value, "avx2")) return SimdKernelChoice::kAvx2;
+  PLDP_LOG(Warning) << "unrecognized kernel choice \"" << value
+                    << "\" (expected scalar/avx2/auto); using auto";
+  return SimdKernelChoice::kAuto;
+}
+
+SimdKernelChoice DecodeKernelChoiceFromEnv() {
+  return ParseKernelChoice(std::getenv("PLDP_DECODE_KERNEL"));
+}
+
+}  // namespace pldp

@@ -1,0 +1,48 @@
+#ifndef PLDP_UTIL_CPU_H_
+#define PLDP_UTIL_CPU_H_
+
+#include <string>
+
+namespace pldp {
+
+/// Instruction-set extensions detected at runtime via cpuid. On non-x86
+/// targets every field is false, so dispatch code falls back to the portable
+/// scalar kernels without any platform ifdefs at the call site.
+///
+/// The AVX fields are only reported true when the OS has enabled the
+/// corresponding register state (OSXSAVE + XCR0), so a true `avx2` means the
+/// instructions are actually safe to execute, not merely that the silicon
+/// has them.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  /// AVX-512 is reported for observability but no kernel requires it; the
+  /// dispatch layer currently tops out at AVX2 (see core/pcep_decode.h).
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+};
+
+/// The host's features, detected once on first call and cached.
+const CpuFeatures& GetCpuFeatures();
+
+/// Comma-separated list of the detected features ("avx2,fma,avx512f,...");
+/// "none" when nothing relevant is available. For selection logs.
+std::string CpuFeaturesSummary();
+
+/// A SIMD kernel request: `kAuto` picks the best kernel the host supports,
+/// the others force a specific implementation (for A/B runs and tests).
+enum class SimdKernelChoice { kAuto, kScalar, kAvx2 };
+
+/// Parses "auto" / "scalar" / "avx2" (case-insensitive). nullptr and "" mean
+/// kAuto; an unrecognized token logs a warning and falls back to kAuto.
+SimdKernelChoice ParseKernelChoice(const char* value);
+
+/// The PLDP_DECODE_KERNEL environment override, re-read on every call so
+/// tests and benchdiff A/B drivers can flip it between kernel selections.
+SimdKernelChoice DecodeKernelChoiceFromEnv();
+
+}  // namespace pldp
+
+#endif  // PLDP_UTIL_CPU_H_
