@@ -1,0 +1,111 @@
+// Crash-recovery cost of the durable checkpoint path: seeded kill/restore
+// epochs through the chaos harness, reporting recovery time, shed fraction,
+// and the recovery-correctness verdicts (bit-identical / within the
+// Theorem 4.5 envelope) as benchdiff-gated case stats.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "data/spec_assignment.h"
+#include "data/synthetic.h"
+#include "eval/chaos.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace pldp;
+  using namespace pldp::bench;
+
+  bench::BenchReport report("chaos_recovery");
+  const BenchProfile profile = GetBenchProfile();
+  // >= 3 epochs per the acceptance criterion; the paper profile runs more.
+  const uint32_t epochs =
+      static_cast<uint32_t>(std::max(3, std::min(profile.runs, 5)));
+  report.AddParam("epochs", static_cast<uint64_t>(epochs));
+
+  const Dataset dataset = GenerateByName("storage", 0.5, 4).value();
+  const UniformGrid grid = dataset.MakeGrid().value();
+  const SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+  const std::vector<CellId> cells = dataset.ToCells(grid);
+  const std::vector<UserRecord> users =
+      AssignSpecs(taxonomy, cells, SafeRegionsS2(), EpsilonsE2(), 2016)
+          .value();
+  report.AddParam("users", static_cast<uint64_t>(users.size()));
+
+  const std::string ckpt_root =
+      (std::filesystem::temp_directory_path() / "pldp_bench_chaos").string();
+
+  std::printf("=== Chaos recovery: kill/restore vs clean and overloaded "
+              "ingest ===\n\n");
+  std::printf("%12s %10s %14s %14s %12s %12s\n", "case", "epochs",
+              "recovery ms", "shed frac", "identical", "in bound");
+
+  struct Scenario {
+    const char* name;
+    double shed;
+    double crash_prob;
+  };
+  const Scenario scenarios[] = {
+      {"clean", 0.0, 0.0},
+      {"overload", 0.1, 0.0},
+      {"crashy", 0.1, 0.05},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    ChaosOptions options;
+    options.epochs = epochs;
+    options.checkpoint_dir = ckpt_root + "/" + scenario.name;
+    options.checkpoint_every = 16;
+    options.faults.crash_probability = scenario.crash_prob;
+    options.retry.max_attempts = 4;
+    if (scenario.shed > 0.0) {
+      options.admission.max_queue_depth = 64;
+      options.admission.service_per_arrival = 1.0 - scenario.shed;
+    }
+    std::filesystem::remove_all(options.checkpoint_dir);
+
+    Stopwatch timer;
+    const auto sweep = RunChaosSweep(taxonomy, users, options);
+    const double wall = timer.ElapsedSeconds();
+    PLDP_CHECK(sweep.ok()) << sweep.status();
+    std::filesystem::remove_all(options.checkpoint_dir);
+
+    double recovery_ms = 0.0, shed_fraction = 0.0;
+    uint64_t identical = 0, within = 0;
+    for (const ChaosEpochResult& r : *sweep) {
+      recovery_ms += r.recovery_ms;
+      shed_fraction += r.shed_fraction;
+      identical += r.identical ? 1 : 0;
+      within += r.within_bound ? 1 : 0;
+      report.AddSample(scenario.name, r.recovery_ms / 1000.0);
+    }
+    recovery_ms /= sweep->size();
+    shed_fraction /= sweep->size();
+
+    report.AddCaseStat(scenario.name, "recovery_time_ms", recovery_ms);
+    report.AddCaseStat(scenario.name, "shed_fraction", shed_fraction);
+    report.AddCaseStat(scenario.name, "identical_epochs",
+                       static_cast<double>(identical));
+    report.AddCaseStat(scenario.name, "within_bound_epochs",
+                       static_cast<double>(within));
+    report.AddCaseStat(scenario.name, "sweep_seconds", wall);
+    std::printf("%12s %10u %14.3f %14.4f %9llu/%llu %9llu/%llu\n",
+                scenario.name, epochs, recovery_ms, shed_fraction,
+                static_cast<unsigned long long>(identical),
+                static_cast<unsigned long long>(sweep->size()),
+                static_cast<unsigned long long>(within),
+                static_cast<unsigned long long>(sweep->size()));
+    PLDP_CHECK(within == sweep->size())
+        << scenario.name << ": recovery left the Theorem 4.5 envelope";
+  }
+
+  std::printf("\nclean recovery is bit-identical by construction; overload "
+              "degrades gracefully within the bound.\n");
+  const Status written = report.Write();
+  PLDP_CHECK(written.ok()) << written.ToString();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "data/spec_assignment.h"
 #include "data/synthetic.h"
 #include "eval/accuracy.h"
+#include "eval/chaos.h"
 #include "eval/degradation.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
@@ -228,6 +229,71 @@ Status RunDegradeCommand(const CliOptions& options, std::ostream& out) {
   return Status::OK();
 }
 
+Status RunChaosCommand(const CliOptions& options, std::ostream& out) {
+  PLDP_ASSIGN_OR_RETURN(Dataset dataset, LoadCliDataset(options));
+  PLDP_ASSIGN_OR_RETURN(UniformGrid grid, dataset.MakeGrid());
+  PLDP_ASSIGN_OR_RETURN(SpatialTaxonomy taxonomy,
+                        SpatialTaxonomy::Build(grid, 4));
+  const std::vector<CellId> cells = dataset.ToCells(grid);
+  PLDP_ASSIGN_OR_RETURN(std::vector<UserRecord> users,
+                        BuildCohort(options, taxonomy, cells));
+
+  ChaosOptions chaos;
+  chaos.epochs = options.epochs;
+  chaos.seed = options.seed;
+  chaos.psda.beta = options.beta;
+  chaos.retry.max_attempts = options.retries;
+  chaos.faults.crash_probability = options.crash_prob;
+  chaos.checkpoint_dir = options.ckpt_dir;
+  chaos.checkpoint_every = options.ckpt_every;
+  if (options.shed > 0.0) {
+    // Overload model: the server frees only (1 - shed) reports' worth of
+    // capacity per arrival behind a bounded queue, so ~shed of the load is
+    // refused and compensated through n_resp rescaling.
+    chaos.admission.max_queue_depth = 64;
+    chaos.admission.service_per_arrival = 1.0 - options.shed;
+  }
+
+  out << "dataset: " << dataset.name << " (" << dataset.num_users()
+      << " users, " << grid.num_cells() << " cells)\n";
+  out << "chaos sweep: " << options.epochs << " epoch(s), checkpoint every "
+      << options.ckpt_every << " report(s) into " << options.ckpt_dir
+      << ", crash-prob " << options.crash_prob << ", shed " << options.shed
+      << "\n";
+
+  PLDP_ASSIGN_OR_RETURN(const std::vector<ChaosEpochResult> results,
+                        RunChaosSweep(taxonomy, users, chaos));
+
+  out << std::fixed << std::setprecision(4);
+  out << "   epoch    kill@    restored    recovery ms    shed    "
+         "max |diff|    verdict\n";
+  uint32_t identical = 0, within = 0;
+  for (const ChaosEpochResult& r : results) {
+    out << "    " << r.epoch << "    " << r.crash_after << "    "
+        << r.restored_reports << (r.restarted_from_scratch ? " (restart)" : "")
+        << "    " << r.recovery_ms << "    " << r.shed_reports << "    "
+        << r.max_abs_diff << "    "
+        << (r.identical ? "bit-identical"
+                        : r.within_bound ? "within bound" : "OUT OF BOUND")
+        << "\n";
+    identical += r.identical ? 1 : 0;
+    within += r.within_bound ? 1 : 0;
+  }
+  out << identical << "/" << results.size() << " epoch(s) bit-identical, "
+      << within << "/" << results.size() << " within the Theorem 4.5 "
+      << "envelope\n";
+  if (within != results.size()) {
+    return Status::Internal(
+        "chaos recovery produced estimates outside the error envelope");
+  }
+
+  if (!options.output_csv.empty()) {
+    PLDP_RETURN_IF_ERROR(WriteChaosCsv(options.output_csv, results));
+    out << "chaos sweep written to " << options.output_csv << "\n";
+  }
+  return Status::OK();
+}
+
 // Describes the run for the observability manifest: every flag that shaped
 // the computation, in the order the usage text lists them.
 obs::RunManifest BuildCliManifest(const CliOptions& options) {
@@ -250,6 +316,13 @@ obs::RunManifest BuildCliManifest(const CliOptions& options) {
     manifest.AddParam("dropout_steps",
                       static_cast<uint64_t>(options.dropout_steps));
     manifest.AddParam("runs", static_cast<uint64_t>(options.runs));
+    manifest.AddParam("retries", static_cast<uint64_t>(options.retries));
+  }
+  if (options.command == "chaos") {
+    manifest.AddParam("epochs", static_cast<uint64_t>(options.epochs));
+    manifest.AddParam("ckpt_every", options.ckpt_every);
+    manifest.AddParam("crash_prob", options.crash_prob);
+    manifest.AddParam("shed", options.shed);
     manifest.AddParam("retries", static_cast<uint64_t>(options.retries));
   }
   return manifest;
@@ -285,14 +358,16 @@ Status WriteCliMetrics(const CliOptions& options, std::ostream& out) {
 }  // namespace
 
 std::string CliUsage() {
-  return "usage: pldp_cli <datasets|schemes|run|degrade> [flags]\n"
+  return "usage: pldp_cli <datasets|schemes|run|degrade|chaos> [flags]\n"
          "  run --dataset road --scheme psda --setting S2E2 --scale 0.05 \\\n"
          "      --output counts.csv\n"
          "  run --input points.csv --domain -125,25,-65,50 --cell 1,1 \\\n"
          "      --scheme psda --output counts.csv\n"
          "  degrade --dataset storage --scale 0.5 --dropout-max 0.5 \\\n"
          "      --dropout-steps 10 --runs 5 --output degradation.csv \\\n"
-         "      --metrics-out run.json\n";
+         "      --metrics-out run.json\n"
+         "  chaos --dataset road --scale 0.02 --epochs 3 --ckpt-every 16 \\\n"
+         "      --ckpt-dir chaos-ckpt --shed 0.1 --output chaos.csv\n";
 }
 
 StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
@@ -302,7 +377,8 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   CliOptions options;
   options.command = args[0];
   if (options.command != "datasets" && options.command != "schemes" &&
-      options.command != "run" && options.command != "degrade") {
+      options.command != "run" && options.command != "degrade" &&
+      options.command != "chaos") {
     return Status::InvalidArgument("unknown command: " + options.command +
                                    "\n" + CliUsage());
   }
@@ -366,6 +442,21 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       PLDP_ASSIGN_OR_RETURN(const std::string value, next());
       PLDP_ASSIGN_OR_RETURN(const uint64_t retries, ParseUint64(value));
       options.retries = static_cast<uint32_t>(retries);
+    } else if (flag == "--epochs") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t epochs, ParseUint64(value));
+      options.epochs = static_cast<uint32_t>(epochs);
+    } else if (flag == "--ckpt-dir") {
+      PLDP_ASSIGN_OR_RETURN(options.ckpt_dir, next());
+    } else if (flag == "--ckpt-every") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.ckpt_every, ParseUint64(value));
+    } else if (flag == "--crash-prob") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.crash_prob, FlagDouble(flag, value));
+    } else if (flag == "--shed") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.shed, FlagDouble(flag, value));
     } else {
       return Status::InvalidArgument("unknown flag: " + flag + "\n" +
                                      CliUsage());
@@ -391,9 +482,14 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
   }
   const bool export_metrics = !options.metrics_out.empty();
   if (export_metrics) obs::EnableCollection();
-  const Status status = options.command == "degrade"
-                            ? RunDegradeCommand(options, out)
-                            : RunCommand(options, out);
+  Status status;
+  if (options.command == "degrade") {
+    status = RunDegradeCommand(options, out);
+  } else if (options.command == "chaos") {
+    status = RunChaosCommand(options, out);
+  } else {
+    status = RunCommand(options, out);
+  }
   PLDP_RETURN_IF_ERROR(status);
   if (export_metrics) PLDP_RETURN_IF_ERROR(WriteCliMetrics(options, out));
   return Status::OK();

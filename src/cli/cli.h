@@ -18,6 +18,11 @@ namespace pldp {
 ///   degrade                      sweep injected dropout through the
 ///                                message-level protocol and report
 ///                                estimation error vs. loss
+///   chaos                        seeded kill/restore runs: checkpoint the
+///                                epoch mid-flight, crash the server at a
+///                                randomized ingest point, recover from the
+///                                durable snapshot, and compare against an
+///                                uninterrupted run
 ///
 /// `run` flags:
 ///   --dataset <road|checkin|landmark|storage>   synthetic input, or
@@ -46,6 +51,18 @@ namespace pldp {
 ///   --runs <n>                   seeded replicates per rate (5)
 ///   --retries <a>                transport attempts per message (3)
 ///   --output <sweep.csv>         per-point degradation CSV
+///
+/// `chaos` takes the same input flags plus:
+///   --epochs <n>                 seeded kill/restore epochs (3)
+///   --ckpt-dir <dir>             checkpoint directory (default
+///                                chaos-ckpt under the working directory)
+///   --ckpt-every <k>             snapshot cadence in accepted reports (16)
+///   --crash-prob <p>             channel crash_probability fault (0)
+///   --shed <f>                   admission overload: serve only 1-f
+///                                reports' capacity per arrival behind a
+///                                bounded queue, shedding ~f of the load (0)
+///   --retries <a>                transport attempts per message (3)
+///   --output <chaos.csv>         per-epoch recovery CSV
 struct CliOptions {
   std::string command;
 
@@ -70,6 +87,12 @@ struct CliOptions {
   uint32_t dropout_steps = 10;
   uint32_t runs = 5;
   uint32_t retries = 3;
+
+  uint32_t epochs = 3;
+  std::string ckpt_dir = "chaos-ckpt";
+  uint64_t ckpt_every = 16;
+  double crash_prob = 0.0;
+  double shed = 0.0;
 };
 
 /// Parses argv (without the program name). Returns a descriptive

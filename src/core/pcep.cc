@@ -116,6 +116,36 @@ void PcepServer::Accumulate(uint64_t row, double z) {
   ReportsCounter()->Increment();
 }
 
+Status PcepServer::RestoreState(const std::vector<double>& z,
+                                const std::vector<uint64_t>& touched_rows,
+                                uint64_t num_reports) {
+  if (z.size() != z_.size()) {
+    return Status::InvalidArgument(
+        "snapshot accumulator length " + std::to_string(z.size()) +
+        " does not match m=" + std::to_string(z_.size()));
+  }
+  if (touched_rows.size() > z_.size()) {
+    return Status::InvalidArgument("snapshot touches more rows than exist");
+  }
+  std::vector<uint8_t> touched_flags(z_.size(), 0);
+  for (const uint64_t row : touched_rows) {
+    if (row >= z_.size()) {
+      return Status::InvalidArgument("snapshot touched row " +
+                                     std::to_string(row) + " out of range");
+    }
+    if (touched_flags[row]) {
+      return Status::InvalidArgument("snapshot lists row " +
+                                     std::to_string(row) + " twice");
+    }
+    touched_flags[row] = 1;
+  }
+  z_ = z;
+  touched_rows_ = touched_rows;
+  row_touched_ = std::move(touched_flags);
+  num_reports_ = num_reports;
+  return Status::OK();
+}
+
 std::vector<double> PcepServer::Estimate() const {
   PLDP_SPAN("pcep.decode");
   ExportDecodeKernelGauge();

@@ -107,6 +107,23 @@ class PcepServer {
   /// reassociation (relative differences at the 1e-12 scale).
   std::vector<double> EstimateParallel(unsigned num_threads) const;
 
+  /// The raw accumulator vector z (length m), exposed so the checkpoint
+  /// subsystem can snapshot an in-flight collection.
+  const std::vector<double>& accumulator() const { return z_; }
+
+  /// Rows that received at least one report, in first-touch order. Restoring
+  /// this order exactly is what keeps a recovered decode bit-identical to an
+  /// uninterrupted one (decode streams rows in touch order).
+  const std::vector<uint64_t>& touched_rows() const { return touched_rows_; }
+
+  /// Restores a snapshot taken from accumulator()/touched_rows()/
+  /// num_reports() into a freshly created server with identical dimensions.
+  /// Validates shape (z length m, row indices < m, no duplicate rows) so a
+  /// corrupt snapshot is rejected here instead of corrupting a decode.
+  Status RestoreState(const std::vector<double>& z,
+                      const std::vector<uint64_t>& touched_rows,
+                      uint64_t num_reports);
+
   /// Decodes the estimate of a single location in O(touched rows). This is
   /// what makes PCEP usable as a *succinct* frequency oracle over domains
   /// too large to enumerate (see core/heavy_hitters.h): the full decode is

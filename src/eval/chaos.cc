@@ -1,0 +1,256 @@
+#include "eval/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "eval/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "protocol/client.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+std::string FormatDouble(double value) { return std::to_string(value); }
+
+std::vector<DeviceClient> MakeClients(const SpatialTaxonomy& taxonomy,
+                                      const std::vector<UserRecord>& users,
+                                      uint64_t seed) {
+  std::vector<DeviceClient> clients;
+  clients.reserve(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    clients.emplace_back(&taxonomy, users[i].cell, users[i].spec,
+                         SplitMix64(seed ^ (i + 1)));
+  }
+  return clients;
+}
+
+/// Worst per-cluster Theorem 4.5 bound of one run, rescaled to cohort scale
+/// (the published counts are the responder estimates times
+/// n_expected / n_responded).
+double RunErrorEnvelope(const ProtocolStats& stats) {
+  double worst = 0.0;
+  for (const ClusterResponseStats& cluster : stats.cluster_response) {
+    if (cluster.n_responded == 0) continue;
+    const double rescale = static_cast<double>(cluster.n_expected) /
+                           static_cast<double>(cluster.n_responded);
+    worst = std::max(worst, rescale * cluster.error_bound);
+  }
+  return worst;
+}
+
+/// Largest per-cluster rescale factor of either run (caps the per-cell shift
+/// a single differing responder can cause).
+double MaxRescale(const ProtocolStats& a, const ProtocolStats& b) {
+  double worst = 1.0;
+  for (const ProtocolStats* stats : {&a, &b}) {
+    for (const ClusterResponseStats& cluster : stats->cluster_response) {
+      if (cluster.n_responded == 0) continue;
+      worst = std::max(worst, static_cast<double>(cluster.n_expected) /
+                                  static_cast<double>(cluster.n_responded));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ChaosEpochResult>> RunChaosSweep(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users,
+    const ChaosOptions& options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("chaos sweep needs users");
+  }
+  PLDP_RETURN_IF_ERROR(ValidateUsers(taxonomy, users));
+  if (options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("chaos sweep needs a checkpoint directory");
+  }
+  if (options.epochs == 0) {
+    return Status::InvalidArgument("chaos sweep needs at least one epoch");
+  }
+  if (!(options.kill_min_fraction >= 0.0 &&
+        options.kill_max_fraction <= 1.0 &&
+        options.kill_min_fraction <= options.kill_max_fraction)) {
+    return Status::InvalidArgument(
+        "kill fractions must satisfy 0 <= min <= max <= 1");
+  }
+
+  PLDP_SPAN("chaos.sweep");
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* epochs_counter = registry.GetCounter("chaos.epochs");
+  static obs::Counter* recoveries_counter =
+      registry.GetCounter("chaos.recoveries");
+  static obs::Counter* restarts_counter =
+      registry.GetCounter("chaos.restarts");
+  static obs::Counter* identical_counter =
+      registry.GetCounter("chaos.identical_epochs");
+  static obs::Gauge* recovery_ms_gauge =
+      registry.GetGauge("chaos.last_recovery_ms");
+
+  std::vector<ChaosEpochResult> results;
+  results.reserve(options.epochs);
+  const uint64_t n = users.size();
+
+  for (uint32_t e = 0; e < options.epochs; ++e) {
+    PLDP_SPAN("chaos.epoch");
+    const uint64_t epoch_seed =
+        SplitMix64(options.seed ^ ((e + 1) * 0xA24BAED4963EE407ULL));
+
+    // Baseline and chaos cohorts are byte-identical: same device seeds, same
+    // protocol seed, same channel seed. Every divergence between the two
+    // runs is therefore attributable to the kill/restore alone.
+    std::vector<DeviceClient> baseline_clients =
+        MakeClients(taxonomy, users, epoch_seed);
+    std::vector<DeviceClient> chaos_clients =
+        MakeClients(taxonomy, users, epoch_seed);
+
+    PsdaOptions psda = options.psda;
+    psda.seed = SplitMix64(epoch_seed ^ 0x9D5A1CEB00F5EEDULL);
+    FaultSpec faults = options.faults;
+    faults.seed = SplitMix64(epoch_seed ^ 0xC8A77E1FA0175EEDULL);
+    const AggregationServer server(&taxonomy, psda, faults, options.retry);
+
+    EpochRunOptions baseline_run;
+    baseline_run.epoch = e;
+    baseline_run.admission = options.admission;
+    ProtocolStats baseline_stats;
+    PLDP_ASSIGN_OR_RETURN(
+        const PsdaResult baseline,
+        server.RunEpoch(&baseline_clients, baseline_run, &baseline_stats));
+
+    // Kill point: uniform over the configured mid-epoch window.
+    Rng kill_rng(SplitMix64(epoch_seed ^ 0x1C11BAD5EED4A5B3ULL));
+    const uint64_t lo = std::max<uint64_t>(
+        1, static_cast<uint64_t>(options.kill_min_fraction *
+                                 static_cast<double>(n)));
+    const uint64_t hi = std::max(
+        lo, static_cast<uint64_t>(options.kill_max_fraction *
+                                  static_cast<double>(n)));
+    const uint64_t crash_after = lo + kill_rng.NextUint64(hi - lo + 1);
+
+    EpochRunOptions chaos_run = baseline_run;
+    chaos_run.checkpoint.dir =
+        options.checkpoint_dir + "/epoch-" + std::to_string(e);
+    chaos_run.checkpoint.every_n_reports = options.checkpoint_every;
+    chaos_run.checkpoint.keep = options.keep;
+    chaos_run.crash_after_ingests = crash_after;
+
+    ChaosEpochResult r;
+    r.epoch = e;
+    r.seed = epoch_seed;
+    r.crash_after = crash_after;
+
+    ProtocolStats crash_stats;
+    StatusOr<PsdaResult> recovered =
+        server.RunEpoch(&chaos_clients, chaos_run, &crash_stats);
+    ProtocolStats recovered_stats = crash_stats;
+    if (recovered.ok()) {
+      // Shedding kept the total ingest below the kill point; the epoch
+      // completed uninterrupted. Still a valid comparison point.
+      r.ingested_at_crash = 0;
+    } else if (recovered.status().code() == StatusCode::kAborted) {
+      r.ingested_at_crash = crash_after;
+      EpochRunOptions resume_run = chaos_run;
+      resume_run.crash_after_ingests = 0;
+      recovered = server.ResumeEpoch(&chaos_clients, resume_run,
+                                     &recovered_stats);
+      if (!recovered.ok() &&
+          recovered.status().code() == StatusCode::kNotFound) {
+        // The kill point preceded the first durable snapshot: nothing to
+        // restore, so the server restarts the epoch from scratch. Devices
+        // answer from their cached reports, so no report is ever perturbed
+        // twice.
+        r.restarted_from_scratch = true;
+        restarts_counter->Increment();
+        recovered = server.RunEpoch(&chaos_clients, resume_run,
+                                    &recovered_stats);
+      } else {
+        recoveries_counter->Increment();
+      }
+      PLDP_RETURN_IF_ERROR(recovered.status());
+    } else {
+      return recovered.status();
+    }
+
+    r.restored_reports = recovered_stats.restored_reports;
+    r.recovery_ms = recovered_stats.recovery_ms;
+    r.shed_reports = recovered_stats.shed_reports;
+    r.baseline_shed_reports = baseline_stats.shed_reports;
+    r.shed_fraction = static_cast<double>(r.shed_reports) /
+                      static_cast<double>(n);
+    r.crashed_deliveries =
+        r.ingested_at_crash == 0
+            ? recovered_stats.crashed_deliveries
+            : crash_stats.crashed_deliveries +
+                  recovered_stats.crashed_deliveries;
+
+    const std::vector<double>& a = baseline.counts;
+    const std::vector<double>& b = recovered->counts;
+    if (a.size() != b.size()) {
+      return Status::Internal("baseline and recovered estimate sizes differ");
+    }
+    for (size_t k = 0; k < a.size(); ++k) {
+      r.max_abs_diff = std::max(r.max_abs_diff, std::abs(a[k] - b[k]));
+    }
+    r.identical = r.max_abs_diff == 0.0;
+
+    // Error envelope for the lossy case: each run is within its Theorem 4.5
+    // bound (at its n_resp, rescaled to cohort scale) of its responder
+    // cohort's truth, and the two responder-cohort truths differ per cell by
+    // at most the number of responders present in one run but not the other,
+    // each shifted by at most the larger rescale factor.
+    const uint64_t differing =
+        r.shed_reports + r.baseline_shed_reports +
+        baseline_stats.dropped_clients + recovered_stats.dropped_clients;
+    r.bound = RunErrorEnvelope(baseline_stats) +
+              RunErrorEnvelope(recovered_stats) +
+              static_cast<double>(differing) *
+                  MaxRescale(baseline_stats, recovered_stats);
+    r.within_bound = r.identical || r.max_abs_diff <= r.bound;
+
+    epochs_counter->Increment();
+    if (r.identical) identical_counter->Increment();
+    recovery_ms_gauge->Set(r.recovery_ms);
+    results.push_back(r);
+  }
+  return results;
+}
+
+Status WriteChaosCsv(const std::string& path,
+                     const std::vector<ChaosEpochResult>& results) {
+  const std::vector<std::string> header = {
+      "epoch",           "seed",
+      "crash_after",     "ingested_at_crash",
+      "restored_reports", "restarted_from_scratch",
+      "recovery_ms",     "shed_reports",
+      "baseline_shed_reports",  "shed_fraction",
+      "crashed_deliveries",     "max_abs_diff",
+      "identical",       "bound",
+      "within_bound"};
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(results.size());
+  for (const ChaosEpochResult& r : results) {
+    rows.push_back({std::to_string(r.epoch), std::to_string(r.seed),
+                    std::to_string(r.crash_after),
+                    std::to_string(r.ingested_at_crash),
+                    std::to_string(r.restored_reports),
+                    std::to_string(r.restarted_from_scratch ? 1 : 0),
+                    FormatDouble(r.recovery_ms),
+                    std::to_string(r.shed_reports),
+                    std::to_string(r.baseline_shed_reports),
+                    FormatDouble(r.shed_fraction),
+                    std::to_string(r.crashed_deliveries),
+                    FormatDouble(r.max_abs_diff),
+                    std::to_string(r.identical ? 1 : 0),
+                    FormatDouble(r.bound),
+                    std::to_string(r.within_bound ? 1 : 0)});
+  }
+  return WriteTableCsv(path, header, rows);
+}
+
+}  // namespace pldp

@@ -1,0 +1,115 @@
+#ifndef PLDP_EVAL_CHAOS_H_
+#define PLDP_EVAL_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/privacy_spec.h"
+#include "core/psda.h"
+#include "geo/taxonomy.h"
+#include "protocol/accumulator.h"
+#include "protocol/channel.h"
+#include "protocol/server.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Configuration of a chaos-recovery sweep: seeded multi-epoch runs through
+/// the FaultyChannel where the server is killed at a randomized mid-epoch
+/// ingest point and restored from its durable checkpoints, and the recovered
+/// estimates are compared against an uninterrupted run of the same epoch.
+///
+/// The contract under test (docs/robustness.md): when no reports are lost
+/// (clean channel, no shedding) the recovered estimates are bit-identical to
+/// the uninterrupted run's; when reports are shed or dropped they stay within
+/// the Theorem 4.5 error envelope evaluated at n_resp.
+struct ChaosOptions {
+  /// Epochs to run; each gets its own cohort seed, kill point, and
+  /// checkpoint subdirectory.
+  uint32_t epochs = 3;
+
+  /// Root seed; every epoch's cohort, protocol, channel, and kill-point
+  /// randomness derives from it, so a sweep is reproducible bit for bit.
+  uint64_t seed = 0xC4A05C0FFEEULL;
+
+  /// Server configuration shared by the baseline and the chaos run (the
+  /// per-epoch protocol seed is derived and overwritten).
+  PsdaOptions psda;
+
+  /// Faults on the client<->server channel, applied to both runs of every
+  /// epoch (crash_probability exercises the kCrashed outcome through the
+  /// retry policy).
+  FaultSpec faults;
+  RetryPolicy retry;
+
+  /// Admission control applied to both runs; enable it to measure graceful
+  /// degradation under overload.
+  AdmissionConfig admission;
+
+  /// Directory for checkpoints; each epoch snapshots into
+  /// `<checkpoint_dir>/epoch-<e>`. Must be non-empty.
+  std::string checkpoint_dir;
+
+  /// Snapshot cadence in accepted reports.
+  uint64_t checkpoint_every = 16;
+
+  /// Snapshots retained per epoch directory.
+  uint64_t keep = 4;
+
+  /// The kill point is drawn uniformly from
+  /// [kill_min_fraction, kill_max_fraction] of the cohort size; points below
+  /// the first checkpoint exercise the restart-from-scratch path.
+  double kill_min_fraction = 0.05;
+  double kill_max_fraction = 0.95;
+};
+
+/// One epoch's kill-restore-compare measurement.
+struct ChaosEpochResult {
+  uint32_t epoch = 0;
+  uint64_t seed = 0;
+
+  /// Ingest count at which the server was killed.
+  uint64_t crash_after = 0;
+  /// Reports the crashed run had ingested when it aborted.
+  uint64_t ingested_at_crash = 0;
+  /// Reports recovered from the checkpoint instead of a fresh exchange
+  /// (0 when the kill point preceded the first snapshot and the epoch
+  /// restarted from scratch).
+  uint64_t restored_reports = 0;
+  /// True when recovery found no loadable snapshot and re-ran the epoch
+  /// (devices still answer from their cached reports).
+  bool restarted_from_scratch = false;
+  /// Wall-clock cost of loading + verifying the snapshot on resume.
+  double recovery_ms = 0.0;
+
+  uint64_t shed_reports = 0;
+  uint64_t baseline_shed_reports = 0;
+  /// Shed reports of the recovered run over the cohort size.
+  double shed_fraction = 0.0;
+  uint64_t crashed_deliveries = 0;
+
+  /// Max per-cell |recovered - uninterrupted| over the final counts.
+  double max_abs_diff = 0.0;
+  /// True when the recovered estimates match the uninterrupted run exactly.
+  bool identical = false;
+  /// Error envelope for the non-identical case: the two runs' Theorem 4.5
+  /// bounds at their respective n_resp (rescaled to cohort scale) plus the
+  /// worst-case shift from responder-set differences. |diff| above this
+  /// envelope means recovery corrupted state rather than just re-sampling.
+  double bound = 0.0;
+  bool within_bound = false;
+};
+
+/// Runs the sweep over `users`; one ChaosEpochResult per epoch, in order.
+StatusOr<std::vector<ChaosEpochResult>> RunChaosSweep(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users,
+    const ChaosOptions& options);
+
+/// Writes the sweep as CSV: one row per epoch, header included.
+Status WriteChaosCsv(const std::string& path,
+                     const std::vector<ChaosEpochResult>& results);
+
+}  // namespace pldp
+
+#endif  // PLDP_EVAL_CHAOS_H_

@@ -1,0 +1,210 @@
+#include "protocol/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace pldp {
+namespace {
+
+obs::Counter* IngestAcceptedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("ingest.accepted");
+  return counter;
+}
+
+obs::Counter* IngestDuplicateCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("ingest.duplicates");
+  return counter;
+}
+
+obs::Counter* IngestShedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("ingest.shed");
+  return counter;
+}
+
+}  // namespace
+
+bool AdmissionController::Admit() {
+  if (!config_.enabled()) {
+    ++admitted_;
+    return true;
+  }
+  // Drain the service capacity freed since the last arrival, then decide
+  // whether the queue can take one more report.
+  backlog_ = std::max(0.0, backlog_ - config_.service_per_arrival);
+  const double projected = backlog_ + 1.0;
+  const bool depth_exceeded =
+      config_.max_queue_depth > 0 &&
+      projected > static_cast<double>(config_.max_queue_depth);
+  const bool deadline_exceeded =
+      config_.deadline_budget_ms > 0.0 &&
+      projected * config_.per_report_service_ms > config_.deadline_budget_ms;
+  if (depth_exceeded || deadline_exceeded) {
+    ++shed_;
+    return false;
+  }
+  backlog_ = projected;
+  ++admitted_;
+  return true;
+}
+
+StatusOr<ClusterAccumulator> ClusterAccumulator::Create(
+    uint32_t cluster_index, NodeId region, uint64_t tau_size,
+    uint64_t n_expected, const PcepParams& params) {
+  PLDP_ASSIGN_OR_RETURN(PcepServer pcep,
+                        PcepServer::Create(tau_size, n_expected, params));
+  return ClusterAccumulator(cluster_index, region, n_expected,
+                            std::move(pcep));
+}
+
+void ClusterAccumulator::IngestReport(uint64_t row, double value,
+                                      double varsigma_term) {
+  pcep_.Accumulate(row, value);
+  ++n_responded_;
+  varsigma_responded_ += varsigma_term;
+}
+
+ClusterAccumulatorState ClusterAccumulator::Snapshot() const {
+  ClusterAccumulatorState state;
+  state.cluster_index = cluster_index_;
+  state.region = region_;
+  state.tau_size = pcep_.tau_size();
+  state.n_expected = n_expected_;
+  state.m = pcep_.m();
+  state.num_reports = pcep_.num_reports();
+  state.n_responded = n_responded_;
+  state.n_shed = n_shed_;
+  state.varsigma_responded = varsigma_responded_;
+  state.touched_rows = pcep_.touched_rows();
+  state.touched_values.reserve(state.touched_rows.size());
+  const std::vector<double>& z = pcep_.accumulator();
+  for (const uint64_t row : state.touched_rows) {
+    state.touched_values.push_back(z[row]);
+  }
+  return state;
+}
+
+Status ClusterAccumulator::Restore(const ClusterAccumulatorState& state) {
+  if (state.cluster_index != cluster_index_ || state.region != region_) {
+    return Status::InvalidArgument("cluster snapshot identity mismatch");
+  }
+  if (state.tau_size != pcep_.tau_size() || state.m != pcep_.m() ||
+      state.n_expected != n_expected_) {
+    return Status::InvalidArgument(
+        "cluster snapshot dimensions do not match this configuration");
+  }
+  if (state.touched_rows.size() != state.touched_values.size()) {
+    return Status::InvalidArgument("cluster snapshot row/value length skew");
+  }
+  if (state.n_responded > state.num_reports ||
+      (state.num_reports > 0 && state.touched_rows.empty())) {
+    return Status::InvalidArgument("cluster snapshot counter inconsistency");
+  }
+  if (!std::isfinite(state.varsigma_responded) ||
+      state.varsigma_responded < 0.0) {
+    return Status::InvalidArgument("cluster snapshot varsigma not finite");
+  }
+  for (const double value : state.touched_values) {
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument("cluster snapshot accumulator not "
+                                     "finite");
+    }
+  }
+  std::vector<double> z(pcep_.m(), 0.0);
+  for (size_t i = 0; i < state.touched_rows.size(); ++i) {
+    const uint64_t row = state.touched_rows[i];
+    if (row >= z.size()) {
+      return Status::InvalidArgument("cluster snapshot row out of range");
+    }
+    z[row] = state.touched_values[i];
+  }
+  PLDP_RETURN_IF_ERROR(
+      pcep_.RestoreState(z, state.touched_rows, state.num_reports));
+  n_responded_ = state.n_responded;
+  n_shed_ = state.n_shed;
+  varsigma_responded_ = state.varsigma_responded;
+  return Status::OK();
+}
+
+EpochAccumulator::EpochAccumulator(uint64_t cohort_size,
+                                   const AdmissionConfig& admission)
+    : cohort_size_(cohort_size),
+      admission_(admission),
+      reported_(cohort_size) {}
+
+Status EpochAccumulator::AddCluster(uint32_t cluster_index, NodeId region,
+                                    uint64_t tau_size, uint64_t n_expected,
+                                    const PcepParams& params) {
+  PLDP_ASSIGN_OR_RETURN(
+      ClusterAccumulator accumulator,
+      ClusterAccumulator::Create(cluster_index, region, tau_size, n_expected,
+                                 params));
+  clusters_.push_back(std::move(accumulator));
+  return Status::OK();
+}
+
+bool EpochAccumulator::Seen(uint64_t user_index) const {
+  return user_index < cohort_size_ && reported_.Get(user_index);
+}
+
+EpochAccumulator::IngestResult EpochAccumulator::IngestReport(
+    size_t cluster_index, uint64_t user_index, uint64_t row, double value,
+    double varsigma_term) {
+  PLDP_CHECK(cluster_index < clusters_.size());
+  PLDP_CHECK(user_index < cohort_size_);
+  if (reported_.Get(user_index)) {
+    IngestDuplicateCounter()->Increment();
+    return IngestResult::kDuplicate;
+  }
+  reported_.Set(user_index, true);
+  clusters_[cluster_index].IngestReport(row, value, varsigma_term);
+  ++total_ingested_;
+  IngestAcceptedCounter()->Increment();
+  return IngestResult::kAccepted;
+}
+
+bool EpochAccumulator::AdmitOrShed(size_t cluster_index) {
+  PLDP_CHECK(cluster_index < clusters_.size());
+  if (admission_.Admit()) return true;
+  clusters_[cluster_index].RecordShed();
+  IngestShedCounter()->Increment();
+  return false;
+}
+
+std::vector<uint64_t> EpochAccumulator::DedupWords() const {
+  std::vector<uint64_t> words;
+  words.reserve(reported_.word_count());
+  for (size_t w = 0; w < reported_.word_count(); ++w) {
+    words.push_back(reported_.Word(w));
+  }
+  return words;
+}
+
+Status EpochAccumulator::RestoreDedup(const std::vector<uint64_t>& words) {
+  if (words.size() != reported_.word_count()) {
+    return Status::InvalidArgument(
+        "dedup snapshot word count does not match the cohort");
+  }
+  if (!words.empty() && (cohort_size_ & 63) != 0) {
+    const uint64_t tail_mask = (uint64_t{1} << (cohort_size_ & 63)) - 1;
+    if ((words.back() & ~tail_mask) != 0) {
+      return Status::InvalidArgument(
+          "dedup snapshot has bits past the cohort size");
+    }
+  }
+  uint64_t restored = 0;
+  for (size_t w = 0; w < words.size(); ++w) {
+    reported_.SetWord(w, words[w]);
+    restored += static_cast<uint64_t>(__builtin_popcountll(words[w]));
+  }
+  total_ingested_ = restored;
+  return Status::OK();
+}
+
+}  // namespace pldp

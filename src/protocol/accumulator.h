@@ -1,0 +1,200 @@
+#ifndef PLDP_PROTOCOL_ACCUMULATOR_H_
+#define PLDP_PROTOCOL_ACCUMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pcep.h"
+#include "geo/taxonomy.h"
+#include "util/bit_vector.h"
+#include "util/status_or.h"
+
+namespace pldp {
+
+/// Admission control for the server's ingest path. The model is a virtual
+/// bounded queue in front of the accumulators: every report is one arrival,
+/// the server drains `service_per_arrival` reports' worth of work between
+/// arrivals, and a report is shed (refused, never exchanged) when admitting
+/// it would overflow the queue or blow the deadline budget. Everything is
+/// deterministic — no randomness, no wall clock — so a seeded run sheds the
+/// same reports every time.
+///
+/// Shedding is graceful degradation, not failure: a shed report is accounted
+/// exactly like a dropped-out user, so the existing n/n_resp rescaling keeps
+/// the estimator unbiased and the Theorem 4.5 bound re-evaluated at n_resp
+/// still describes the published estimate.
+struct AdmissionConfig {
+  /// Maximum virtual queue depth; 0 disables the depth check.
+  uint64_t max_queue_depth = 0;
+
+  /// Reports' worth of service capacity freed per arrival. Values >= 1 mean
+  /// the server keeps up and the queue never grows; 1 - service_per_arrival
+  /// is the steady-state shed fraction under overload (e.g. 0.8 sheds ~20%).
+  double service_per_arrival = 1.0;
+
+  /// Simulated service cost of one queued report, used with
+  /// `deadline_budget_ms` to shed reports whose projected queueing delay
+  /// would exceed the epoch's latency budget.
+  double per_report_service_ms = 0.0;
+
+  /// Shed a report when backlog * per_report_service_ms would exceed this;
+  /// 0 disables the deadline check.
+  double deadline_budget_ms = 0.0;
+
+  bool enabled() const {
+    return max_queue_depth > 0 || deadline_budget_ms > 0.0;
+  }
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// One report arrives; returns true when it is admitted, false when shed.
+  /// With admission disabled this always admits.
+  bool Admit();
+
+  uint64_t admitted() const { return admitted_; }
+  uint64_t shed() const { return shed_; }
+  double backlog() const { return backlog_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  double backlog_ = 0.0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+};
+
+/// Checkpointable state of one cluster's accumulator; the payload the
+/// checkpoint subsystem serializes per cluster (protocol/checkpoint.h).
+struct ClusterAccumulatorState {
+  uint32_t cluster_index = 0;
+  NodeId region = kInvalidNode;
+  uint64_t tau_size = 0;
+  uint64_t n_expected = 0;
+  uint64_t m = 0;
+  uint64_t num_reports = 0;
+  uint64_t n_responded = 0;
+  uint64_t n_shed = 0;
+  double varsigma_responded = 0.0;
+  /// Sparse accumulator snapshot: touched rows in first-touch order with
+  /// their current sums. Order matters — decode streams rows in touch order,
+  /// and restoring it exactly keeps recovery bit-identical.
+  std::vector<uint64_t> touched_rows;
+  std::vector<double> touched_values;
+};
+
+/// One cluster's streaming ingest state: the PCEP accumulator z (O(m)
+/// memory) plus response accounting. Reports are folded in one at a time;
+/// nothing about the cohort is materialized.
+class ClusterAccumulator {
+ public:
+  static StatusOr<ClusterAccumulator> Create(uint32_t cluster_index,
+                                             NodeId region, uint64_t tau_size,
+                                             uint64_t n_expected,
+                                             const PcepParams& params);
+
+  uint32_t cluster_index() const { return cluster_index_; }
+  NodeId region() const { return region_; }
+  uint64_t n_expected() const { return n_expected_; }
+  uint64_t n_responded() const { return n_responded_; }
+  uint64_t n_shed() const { return n_shed_; }
+  double varsigma_responded() const { return varsigma_responded_; }
+
+  const PcepServer& pcep() const { return pcep_; }
+
+  /// Folds one sanitized report into z. The caller is responsible for
+  /// epoch-level duplicate suppression (EpochAccumulator::IngestReport).
+  void IngestReport(uint64_t row, double value, double varsigma_term);
+
+  /// Books one report shed by admission control (never exchanged, never
+  /// accumulated; compensated by rescaling like any non-responder).
+  void RecordShed() { ++n_shed_; }
+
+  /// Decodes the per-location estimates of everything ingested so far.
+  std::vector<double> Estimate() const { return pcep_.Estimate(); }
+
+  ClusterAccumulatorState Snapshot() const;
+
+  /// Restores a snapshot into this freshly created accumulator. Fails on any
+  /// shape mismatch (wrong m, out-of-range rows, duplicate rows, counter
+  /// inconsistencies) so a corrupt checkpoint can never be half-applied.
+  Status Restore(const ClusterAccumulatorState& state);
+
+ private:
+  ClusterAccumulator(uint32_t cluster_index, NodeId region,
+                     uint64_t n_expected, PcepServer pcep)
+      : cluster_index_(cluster_index),
+        region_(region),
+        n_expected_(n_expected),
+        pcep_(std::move(pcep)) {}
+
+  uint32_t cluster_index_;
+  NodeId region_;
+  uint64_t n_expected_;
+  PcepServer pcep_;
+  uint64_t n_responded_ = 0;
+  uint64_t n_shed_ = 0;
+  double varsigma_responded_ = 0.0;
+};
+
+/// The server's whole-epoch ingest state: one ClusterAccumulator per
+/// cluster, a cohort-wide dedup bitset (one bit per roster position, so
+/// duplicate suppression survives serialization at n/8 bytes), and the
+/// admission controller. This is the unit the checkpoint subsystem
+/// snapshots and restores: a restart that reloads an EpochAccumulator can
+/// never double-count a report, because every accumulated user's bit
+/// travels with the accumulator sums.
+class EpochAccumulator {
+ public:
+  EpochAccumulator(uint64_t cohort_size, const AdmissionConfig& admission);
+
+  Status AddCluster(uint32_t cluster_index, NodeId region, uint64_t tau_size,
+                    uint64_t n_expected, const PcepParams& params);
+
+  size_t num_clusters() const { return clusters_.size(); }
+  ClusterAccumulator& cluster(size_t i) { return clusters_[i]; }
+  const ClusterAccumulator& cluster(size_t i) const { return clusters_[i]; }
+  const AdmissionController& admission() const { return admission_; }
+  uint64_t cohort_size() const { return cohort_size_; }
+
+  /// True when `user_index`'s report is already folded into some cluster
+  /// (either in this process or in a restored checkpoint).
+  bool Seen(uint64_t user_index) const;
+
+  enum class IngestResult { kAccepted, kDuplicate };
+
+  /// Streams one user's sanitized report into their cluster. Duplicate
+  /// suppression is exact: the second and later calls for the same user are
+  /// rejected without touching z.
+  IngestResult IngestReport(size_t cluster_index, uint64_t user_index,
+                            uint64_t row, double value, double varsigma_term);
+
+  /// Admission decision for the next report of `cluster_index`. A shed
+  /// report is counted against the cluster and the ingest.shed metric.
+  bool AdmitOrShed(size_t cluster_index);
+
+  /// Total reports accepted across clusters (checkpoint cadence and chaos
+  /// crash points count these).
+  uint64_t total_ingested() const { return total_ingested_; }
+
+  /// Dedup bitset words (cohort_size bits), for checkpointing.
+  std::vector<uint64_t> DedupWords() const;
+
+  /// Restores the dedup bitset from checkpoint words; rejects word counts
+  /// that do not match the cohort and stray bits past cohort_size.
+  Status RestoreDedup(const std::vector<uint64_t>& words);
+
+ private:
+  uint64_t cohort_size_;
+  AdmissionController admission_;
+  std::vector<ClusterAccumulator> clusters_;
+  BitVector reported_;
+  uint64_t total_ingested_ = 0;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_PROTOCOL_ACCUMULATOR_H_

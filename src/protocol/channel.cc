@@ -12,6 +12,8 @@ Status Delivery::ToStatus() const {
       return Status::DeadlineExceeded("message dropped in transit");
     case DeliveryOutcome::kTimedOut:
       return Status::DeadlineExceeded("message latency exceeded the deadline");
+    case DeliveryOutcome::kCrashed:
+      return Status::Aborted("peer connection crashed mid-delivery");
   }
   return Status::Internal("unknown delivery outcome");
 }
@@ -46,6 +48,15 @@ Delivery FaultyChannel::Transfer(std::vector<uint8_t> bytes) {
     delivery.outcome = DeliveryOutcome::kDropped;
     // The sender cannot tell a drop from slowness: it waits out the deadline.
     if (spec_.deadline_ms > 0.0) delivery.latency_ms = spec_.deadline_ms;
+    delivery.bytes.clear();
+    return delivery;
+  }
+  if (spec_.crash_probability > 0.0 &&
+      rng_.Bernoulli(spec_.crash_probability)) {
+    // Unlike a drop, a crash is observed as an immediate connection reset:
+    // the accrued latency stands (no deadline wait) and the sender may retry
+    // at once through the regular policy.
+    delivery.outcome = DeliveryOutcome::kCrashed;
     delivery.bytes.clear();
     return delivery;
   }

@@ -26,6 +26,13 @@ struct FaultSpec {
   /// Probability that a delivered message has 1-4 random bit flips.
   double corrupt_probability = 0.0;
 
+  /// Probability that the peer's connection aborts mid-delivery (process
+  /// kill, container eviction). Distinct from a drop in how the sender
+  /// experiences it: a drop is silence until the deadline expires, a crash
+  /// is an immediate connection reset, so no deadline is waited out and the
+  /// sender can retry right away.
+  double crash_probability = 0.0;
+
   /// Probability that a delivered message is cut to a random prefix.
   double truncate_probability = 0.0;
 
@@ -47,8 +54,8 @@ struct FaultSpec {
   /// True when any fault or latency injection is configured.
   bool any_faults() const {
     return drop_probability > 0.0 || corrupt_probability > 0.0 ||
-           truncate_probability > 0.0 || duplicate_probability > 0.0 ||
-           mean_latency_ms > 0.0;
+           crash_probability > 0.0 || truncate_probability > 0.0 ||
+           duplicate_probability > 0.0 || mean_latency_ms > 0.0;
   }
 };
 
@@ -67,6 +74,9 @@ enum class DeliveryOutcome : uint8_t {
   kDelivered = 0,
   kDropped = 1,
   kTimedOut = 2,
+  /// The peer aborted mid-delivery: the sender sees a connection reset
+  /// instead of deadline silence, so the failure is observed immediately.
+  kCrashed = 3,
 };
 
 /// Result of pushing one message through a FaultyChannel.
@@ -87,7 +97,8 @@ struct Delivery {
   int copies() const { return delivered() ? (duplicated ? 2 : 1) : 0; }
 
   /// OK for delivered messages; DeadlineExceeded for drops and timeouts
-  /// (both look the same to the sender: no reply before the deadline).
+  /// (both look the same to the sender: no reply before the deadline);
+  /// Aborted for crashes (connection reset, observed immediately).
   Status ToStatus() const;
 };
 

@@ -1,0 +1,546 @@
+#include "protocol/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "protocol/serialization.h"
+#include "util/crc32c.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pldp {
+namespace {
+
+// Section ids of the version-1 layout. Every section is mandatory and must
+// appear exactly once.
+enum SectionId : uint32_t {
+  kSectionMeta = 1,
+  kSectionSpecs = 2,
+  kSectionDedup = 3,
+  kSectionClusters = 4,
+};
+constexpr uint32_t kSectionCount = 4;
+
+obs::Counter* WritesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("checkpoint.writes");
+  return counter;
+}
+
+obs::Counter* WriteBytesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("checkpoint.write_bytes");
+  return counter;
+}
+
+obs::Counter* RestoresCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("checkpoint.restores");
+  return counter;
+}
+
+obs::Counter* CorruptRejectedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("checkpoint.corrupt_rejected");
+  return counter;
+}
+
+obs::Counter* PrunedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("checkpoint.pruned");
+  return counter;
+}
+
+obs::Gauge* LastWriteMsGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("checkpoint.last_write_ms");
+  return gauge;
+}
+
+obs::Gauge* LastRecoveryMsGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("checkpoint.last_recovery_ms");
+  return gauge;
+}
+
+std::vector<uint8_t> EncodeMeta(const EpochCheckpoint& checkpoint) {
+  Writer writer;
+  writer.PutVarint64(checkpoint.epoch);
+  writer.PutVarint64(checkpoint.psda_seed);
+  writer.PutDouble(checkpoint.beta);
+  writer.PutVarint64(checkpoint.cohort_size);
+  writer.PutVarint64(checkpoint.ingested);
+  writer.PutVarint64(checkpoint.specs.size());
+  writer.PutVarint64(checkpoint.clusters.size());
+  return std::move(writer.bytes());
+}
+
+std::vector<uint8_t> EncodeSpecs(const EpochCheckpoint& checkpoint) {
+  Writer writer;
+  for (size_t i = 0; i < checkpoint.specs.size(); ++i) {
+    writer.PutVarint64(checkpoint.specs[i].safe_region);
+    writer.PutDouble(checkpoint.specs[i].epsilon);
+    writer.PutVarint64(checkpoint.roster[i]);
+  }
+  return std::move(writer.bytes());
+}
+
+std::vector<uint8_t> EncodeDedup(const EpochCheckpoint& checkpoint) {
+  Writer writer;
+  writer.PutVarint64(checkpoint.dedup_words.size());
+  for (const uint64_t word : checkpoint.dedup_words) {
+    writer.PutFixed64(word);
+  }
+  return std::move(writer.bytes());
+}
+
+std::vector<uint8_t> EncodeClusters(const EpochCheckpoint& checkpoint) {
+  Writer writer;
+  for (const ClusterAccumulatorState& cluster : checkpoint.clusters) {
+    writer.PutVarint64(cluster.cluster_index);
+    writer.PutVarint64(cluster.region);
+    writer.PutVarint64(cluster.tau_size);
+    writer.PutVarint64(cluster.n_expected);
+    writer.PutVarint64(cluster.m);
+    writer.PutVarint64(cluster.num_reports);
+    writer.PutVarint64(cluster.n_responded);
+    writer.PutVarint64(cluster.n_shed);
+    writer.PutDouble(cluster.varsigma_responded);
+    writer.PutVarint64(cluster.touched_rows.size());
+    for (size_t i = 0; i < cluster.touched_rows.size(); ++i) {
+      writer.PutVarint64(cluster.touched_rows[i]);
+      writer.PutDouble(cluster.touched_values[i]);
+    }
+  }
+  return std::move(writer.bytes());
+}
+
+Status DecodeMeta(Reader* reader, EpochCheckpoint* out, uint64_t* spec_count,
+                  uint64_t* cluster_count) {
+  PLDP_ASSIGN_OR_RETURN(out->epoch, reader->GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(out->psda_seed, reader->GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(out->beta, reader->GetDouble());
+  PLDP_ASSIGN_OR_RETURN(out->cohort_size, reader->GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(out->ingested, reader->GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(*spec_count, reader->GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(*cluster_count, reader->GetVarint64());
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("checkpoint meta has trailing bytes");
+  }
+  if (!(out->beta > 0.0 && out->beta < 1.0)) {
+    return Status::InvalidArgument("checkpoint meta beta out of range");
+  }
+  if (*spec_count > out->cohort_size) {
+    return Status::InvalidArgument(
+        "checkpoint meta claims more responders than the cohort");
+  }
+  if (out->ingested > out->cohort_size) {
+    return Status::InvalidArgument(
+        "checkpoint meta claims more reports than the cohort");
+  }
+  return Status::OK();
+}
+
+Status DecodeSpecs(Reader* reader, uint64_t spec_count, EpochCheckpoint* out) {
+  for (uint64_t i = 0; i < spec_count; ++i) {
+    PrivacySpec spec;
+    PLDP_ASSIGN_OR_RETURN(const uint64_t region, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(spec.epsilon, reader->GetDouble());
+    PLDP_ASSIGN_OR_RETURN(const uint64_t roster_index, reader->GetVarint64());
+    if (region >= kInvalidNode) {
+      return Status::InvalidArgument("checkpoint spec region out of range");
+    }
+    if (!std::isfinite(spec.epsilon) || spec.epsilon <= 0.0) {
+      return Status::InvalidArgument("checkpoint spec epsilon invalid");
+    }
+    if (roster_index >= out->cohort_size) {
+      return Status::InvalidArgument(
+          "checkpoint roster index past the cohort");
+    }
+    spec.safe_region = static_cast<NodeId>(region);
+    out->specs.push_back(spec);
+    out->roster.push_back(static_cast<uint32_t>(roster_index));
+  }
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("checkpoint specs have trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeDedup(Reader* reader, EpochCheckpoint* out) {
+  PLDP_ASSIGN_OR_RETURN(const uint64_t word_count, reader->GetVarint64());
+  const uint64_t expected_words = (out->cohort_size + 63) / 64;
+  if (word_count != expected_words) {
+    return Status::InvalidArgument(
+        "checkpoint dedup word count does not match the cohort");
+  }
+  for (uint64_t w = 0; w < word_count; ++w) {
+    PLDP_ASSIGN_OR_RETURN(const uint64_t word, reader->GetFixed64());
+    out->dedup_words.push_back(word);
+  }
+  if (!out->dedup_words.empty() && (out->cohort_size & 63) != 0) {
+    const uint64_t tail_mask = (uint64_t{1} << (out->cohort_size & 63)) - 1;
+    if ((out->dedup_words.back() & ~tail_mask) != 0) {
+      return Status::InvalidArgument(
+          "checkpoint dedup has bits past the cohort size");
+    }
+  }
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("checkpoint dedup has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeClusters(Reader* reader, uint64_t cluster_count,
+                      EpochCheckpoint* out) {
+  for (uint64_t c = 0; c < cluster_count; ++c) {
+    ClusterAccumulatorState cluster;
+    PLDP_ASSIGN_OR_RETURN(const uint64_t index, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(const uint64_t region, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(cluster.tau_size, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(cluster.n_expected, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(cluster.m, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(cluster.num_reports, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(cluster.n_responded, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(cluster.n_shed, reader->GetVarint64());
+    PLDP_ASSIGN_OR_RETURN(cluster.varsigma_responded, reader->GetDouble());
+    PLDP_ASSIGN_OR_RETURN(const uint64_t touched, reader->GetVarint64());
+    if (index != c) {
+      return Status::InvalidArgument("checkpoint clusters out of order");
+    }
+    if (region >= kInvalidNode) {
+      return Status::InvalidArgument("checkpoint cluster region invalid");
+    }
+    if (touched > cluster.m) {
+      return Status::InvalidArgument(
+          "checkpoint cluster touches more rows than m");
+    }
+    if (cluster.n_responded > cluster.num_reports ||
+        cluster.n_responded > cluster.n_expected) {
+      return Status::InvalidArgument(
+          "checkpoint cluster counters are inconsistent");
+    }
+    cluster.cluster_index = static_cast<uint32_t>(index);
+    cluster.region = static_cast<NodeId>(region);
+    for (uint64_t i = 0; i < touched; ++i) {
+      PLDP_ASSIGN_OR_RETURN(const uint64_t row, reader->GetVarint64());
+      PLDP_ASSIGN_OR_RETURN(const double value, reader->GetDouble());
+      if (row >= cluster.m) {
+        return Status::InvalidArgument("checkpoint cluster row out of range");
+      }
+      cluster.touched_rows.push_back(row);
+      cluster.touched_values.push_back(value);
+    }
+    out->clusters.push_back(std::move(cluster));
+  }
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("checkpoint clusters have trailing bytes");
+  }
+  return Status::OK();
+}
+
+void AppendSection(uint32_t id, const std::vector<uint8_t>& payload,
+                   Writer* writer) {
+  writer->PutFixed32(id);
+  writer->PutFixed64(payload.size());
+  writer->PutFixed32(Crc32c(payload));
+  writer->PutRaw(payload.data(), payload.size());
+}
+
+Status CloseAndReport(int fd, const std::string& what) {
+  if (::close(fd) != 0) {
+    return Status::IoError(what + ": close failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCheckpoint(const EpochCheckpoint& checkpoint) {
+  PLDP_CHECK(checkpoint.specs.size() == checkpoint.roster.size())
+      << "specs and roster must be index-aligned";
+  Writer writer;
+  writer.PutRaw(reinterpret_cast<const uint8_t*>(kCheckpointMagic), 8);
+  writer.PutFixed32(kCheckpointVersion);
+  writer.PutFixed32(kSectionCount);
+  AppendSection(kSectionMeta, EncodeMeta(checkpoint), &writer);
+  AppendSection(kSectionSpecs, EncodeSpecs(checkpoint), &writer);
+  AppendSection(kSectionDedup, EncodeDedup(checkpoint), &writer);
+  AppendSection(kSectionClusters, EncodeClusters(checkpoint), &writer);
+  return std::move(writer.bytes());
+}
+
+StatusOr<EpochCheckpoint> DecodeCheckpoint(const uint8_t* data, size_t len) {
+  Reader reader(data, len);
+  if (reader.RemainingSize() < 8 + 4 + 4) {
+    return Status::InvalidArgument("checkpoint shorter than its header");
+  }
+  if (std::memcmp(reader.Remaining(), kCheckpointMagic, 8) != 0) {
+    return Status::InvalidArgument("checkpoint magic mismatch");
+  }
+  reader.Skip(8);
+  PLDP_ASSIGN_OR_RETURN(const uint32_t version, reader.GetFixed32());
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  PLDP_ASSIGN_OR_RETURN(const uint32_t section_count, reader.GetFixed32());
+  if (section_count != kSectionCount) {
+    return Status::InvalidArgument("checkpoint section count mismatch");
+  }
+
+  // Pass 1: verify the section framing and every payload's CRC before
+  // trusting any content.
+  struct Section {
+    const uint8_t* data = nullptr;
+    size_t len = 0;
+    bool present = false;
+  };
+  Section sections[kSectionCount + 1];
+  for (uint32_t s = 0; s < section_count; ++s) {
+    PLDP_ASSIGN_OR_RETURN(const uint32_t id, reader.GetFixed32());
+    PLDP_ASSIGN_OR_RETURN(const uint64_t payload_len, reader.GetFixed64());
+    PLDP_ASSIGN_OR_RETURN(const uint32_t expected_crc, reader.GetFixed32());
+    if (id < kSectionMeta || id > kSectionClusters) {
+      return Status::InvalidArgument("checkpoint has unknown section id " +
+                                     std::to_string(id));
+    }
+    if (sections[id].present) {
+      return Status::InvalidArgument("checkpoint repeats section " +
+                                     std::to_string(id));
+    }
+    if (payload_len > reader.RemainingSize()) {
+      return Status::InvalidArgument("checkpoint section " +
+                                     std::to_string(id) +
+                                     " is longer than the file (torn write)");
+    }
+    const uint8_t* payload = reader.Remaining();
+    if (Crc32c(payload, payload_len) != expected_crc) {
+      return Status::InvalidArgument("checkpoint section " +
+                                     std::to_string(id) + " fails its CRC");
+    }
+    sections[id] = {payload, static_cast<size_t>(payload_len), true};
+    reader.Skip(payload_len);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("checkpoint has trailing bytes");
+  }
+  for (uint32_t id = kSectionMeta; id <= kSectionClusters; ++id) {
+    if (!sections[id].present) {
+      return Status::InvalidArgument("checkpoint is missing section " +
+                                     std::to_string(id));
+    }
+  }
+
+  // Pass 2: decode the verified payloads.
+  EpochCheckpoint checkpoint;
+  uint64_t spec_count = 0, cluster_count = 0;
+  Reader meta(sections[kSectionMeta].data, sections[kSectionMeta].len);
+  PLDP_RETURN_IF_ERROR(
+      DecodeMeta(&meta, &checkpoint, &spec_count, &cluster_count));
+  Reader specs(sections[kSectionSpecs].data, sections[kSectionSpecs].len);
+  PLDP_RETURN_IF_ERROR(DecodeSpecs(&specs, spec_count, &checkpoint));
+  Reader dedup(sections[kSectionDedup].data, sections[kSectionDedup].len);
+  PLDP_RETURN_IF_ERROR(DecodeDedup(&dedup, &checkpoint));
+  Reader clusters(sections[kSectionClusters].data,
+                  sections[kSectionClusters].len);
+  PLDP_RETURN_IF_ERROR(DecodeClusters(&clusters, cluster_count, &checkpoint));
+  return checkpoint;
+}
+
+StatusOr<EpochCheckpoint> DecodeCheckpoint(const std::vector<uint8_t>& bytes) {
+  return DecodeCheckpoint(bytes.data(), bytes.size());
+}
+
+Status WriteFileDurable(const std::string& path,
+                        const std::vector<uint8_t>& bytes) {
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp_path + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IoError(
+          "write to " + tmp_path + " failed: " +
+          std::string(std::strerror(errno)));
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IoError("fsync " + tmp_path + " failed: " +
+                                          std::string(std::strerror(errno)));
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  PLDP_RETURN_IF_ERROR(CloseAndReport(fd, tmp_path));
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const Status status = Status::IoError(
+        "rename " + tmp_path + " -> " + path + " failed: " +
+        std::string(std::strerror(errno)));
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  // fsync the directory so the rename itself survives a power cut.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dir_fd =
+      ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+Status WriteCheckpointFile(const std::string& path,
+                           const EpochCheckpoint& checkpoint) {
+  PLDP_SPAN("checkpoint.write");
+  Stopwatch timer;
+  const std::vector<uint8_t> bytes = EncodeCheckpoint(checkpoint);
+  PLDP_RETURN_IF_ERROR(WriteFileDurable(path, bytes));
+  WritesCounter()->Increment();
+  WriteBytesCounter()->Increment(bytes.size());
+  LastWriteMsGauge()->Set(timer.ElapsedSeconds() * 1000.0);
+  return Status::OK();
+}
+
+StatusOr<EpochCheckpoint> ReadCheckpointFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(st.st_size));
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t n = ::read(fd, bytes.data() + offset, bytes.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("read " + path + " failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;  // concurrent truncation; decode will reject
+    offset += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  bytes.resize(offset);
+  StatusOr<EpochCheckpoint> decoded = DecodeCheckpoint(bytes);
+  if (!decoded.ok()) {
+    CorruptRejectedCounter()->Increment();
+    return Status(decoded.status().code(),
+                  path + ": " + decoded.status().message());
+  }
+  return decoded;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, uint64_t keep)
+    : dir_(std::move(dir)), keep_(std::max<uint64_t>(1, keep)) {}
+
+Status CheckpointStore::EnsureDirAndScan() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint dir " + dir_ + ": " +
+                           ec.message());
+  }
+  if (scanned_) return Status::OK();
+  // Resume the sequence past anything already on disk so a restarted server
+  // never overwrites a snapshot in place.
+  for (const std::string& path : ListFiles()) {
+    const std::string name = std::filesystem::path(path).filename().string();
+    const uint64_t seq = std::strtoull(name.c_str() + 5, nullptr, 10);
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+  scanned_ = true;
+  return Status::OK();
+}
+
+std::vector<std::string> CheckpointStore::ListFiles() const {
+  std::vector<std::string> files;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return files;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 &&
+        name.size() > 10 &&
+        name.compare(name.size() - 5, 5, ".pldp") == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Status CheckpointStore::Save(const EpochCheckpoint& checkpoint) {
+  PLDP_RETURN_IF_ERROR(EnsureDirAndScan());
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%010llu.pldp",
+                static_cast<unsigned long long>(next_seq_));
+  const std::string path = dir_ + "/" + name;
+  PLDP_RETURN_IF_ERROR(WriteCheckpointFile(path, checkpoint));
+  ++next_seq_;
+  // Retention: drop the oldest snapshots past the keep limit. Pruning is
+  // best-effort — a failed unlink never fails the save.
+  const std::vector<std::string> files = ListFiles();
+  if (files.size() > keep_) {
+    for (size_t i = 0; i + keep_ < files.size(); ++i) {
+      std::error_code ec;
+      if (std::filesystem::remove(files[i], ec) && !ec) {
+        PrunedCounter()->Increment();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<EpochCheckpoint> CheckpointStore::RestoreLatest() {
+  PLDP_SPAN("checkpoint.restore");
+  Stopwatch timer;
+  PLDP_RETURN_IF_ERROR(EnsureDirAndScan());
+  const std::vector<std::string> files = ListFiles();
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    StatusOr<EpochCheckpoint> checkpoint = ReadCheckpointFile(*it);
+    if (checkpoint.ok()) {
+      RestoresCounter()->Increment();
+      LastRecoveryMsGauge()->Set(timer.ElapsedSeconds() * 1000.0);
+      return checkpoint;
+    }
+    // Torn or corrupt snapshot: fall back to the previous one rather than
+    // failing recovery outright.
+    PLDP_LOG(Warning) << "skipping unloadable checkpoint " << *it << ": "
+                      << checkpoint.status();
+  }
+  return Status::NotFound("no loadable checkpoint in " + dir_);
+}
+
+}  // namespace pldp

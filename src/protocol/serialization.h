@@ -34,6 +34,20 @@ class Writer {
 
   void PutByte(uint8_t value) { bytes_.push_back(value); }
 
+  /// Fixed-width little-endian integers, used where a reader must be able to
+  /// validate structure before trusting any content (checkpoint headers).
+  void PutFixed32(uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void PutFixed64(uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+    }
+  }
+
   void PutRaw(const uint8_t* data, size_t len) {
     bytes_.insert(bytes_.end(), data, data + len);
   }
@@ -78,6 +92,26 @@ class Reader {
   StatusOr<uint8_t> GetByte() {
     if (pos_ >= len_) return Status::InvalidArgument("truncated byte");
     return data_[pos_++];
+  }
+
+  StatusOr<uint32_t> GetFixed32() {
+    if (len_ - pos_ < 4) return Status::InvalidArgument("truncated fixed32");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  StatusOr<uint64_t> GetFixed64() {
+    if (len_ - pos_ < 8) return Status::InvalidArgument("truncated fixed64");
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return value;
   }
 
   const uint8_t* Remaining() const { return data_ + pos_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <utility>
 
 #include "core/consistency.h"
 #include "core/error_model.h"
@@ -18,7 +19,7 @@ namespace pldp {
 
 bool operator==(const ClusterResponseStats& a, const ClusterResponseStats& b) {
   return a.cluster_index == b.cluster_index && a.n_expected == b.n_expected &&
-         a.n_responded == b.n_responded &&
+         a.n_responded == b.n_responded && a.n_shed == b.n_shed &&
          a.response_rate == b.response_rate && a.error_bound == b.error_bound;
 }
 
@@ -29,23 +30,30 @@ bool operator==(const ProtocolStats& a, const ProtocolStats& b) {
          a.messages_to_server == b.messages_to_server &&
          a.dropped_clients == b.dropped_clients && a.retries == b.retries &&
          a.dropped_messages == b.dropped_messages &&
-         a.timeouts == b.timeouts && a.corrupt_parses == b.corrupt_parses &&
+         a.timeouts == b.timeouts &&
+         a.crashed_deliveries == b.crashed_deliveries &&
+         a.corrupt_parses == b.corrupt_parses &&
          a.refused_assignments == b.refused_assignments &&
          a.duplicate_reports == b.duplicate_reports &&
+         a.shed_reports == b.shed_reports &&
+         a.restored_reports == b.restored_reports &&
          a.spec_responders == b.spec_responders &&
          a.simulated_latency_ms == b.simulated_latency_ms &&
+         a.recovery_ms == b.recovery_ms &&
          a.global_rescale == b.global_rescale &&
          a.cluster_response == b.cluster_response;
 }
 
 namespace {
 
-/// Books a lost message (drop or timeout) into the stats.
+/// Books a lost message (drop, timeout, or mid-delivery crash) into the stats.
 void CountLoss(const Delivery& delivery, ProtocolStats* stats) {
   if (delivery.outcome == DeliveryOutcome::kDropped) {
     ++stats->dropped_messages;
   } else if (delivery.outcome == DeliveryOutcome::kTimedOut) {
     ++stats->timeouts;
+  } else if (delivery.outcome == DeliveryOutcome::kCrashed) {
+    ++stats->crashed_deliveries;
   }
 }
 
@@ -68,23 +76,34 @@ void PublishProtocolStats(const ProtocolStats& stats) {
   static obs::Counter* dropped_messages =
       registry.GetCounter("protocol.dropped_messages");
   static obs::Counter* timeouts = registry.GetCounter("protocol.timeouts");
+  static obs::Counter* crashed =
+      registry.GetCounter("protocol.crashed_deliveries");
   static obs::Counter* corrupt_parses =
       registry.GetCounter("protocol.corrupt_parses");
   static obs::Counter* refused =
       registry.GetCounter("protocol.refused_assignments");
   static obs::Counter* duplicates =
       registry.GetCounter("protocol.duplicate_reports");
+  static obs::Counter* shed = registry.GetCounter("protocol.shed_reports");
+  static obs::Counter* restored =
+      registry.GetCounter("protocol.restored_reports");
   static obs::Counter* spec_responders =
       registry.GetCounter("protocol.spec_responders");
   static obs::Counter* cluster_rounds =
       registry.GetCounter("protocol.cluster_rounds");
   static obs::Counter* responders = registry.GetCounter("protocol.responders");
+  static obs::Counter* cluster_shed =
+      registry.GetCounter("protocol.cluster_shed");
   static obs::Gauge* latency =
       registry.GetGauge("protocol.simulated_latency_ms");
+  static obs::Gauge* recovery = registry.GetGauge("protocol.recovery_ms");
   static obs::Gauge* rescale = registry.GetGauge("protocol.global_rescale");
   static obs::Histogram* response_rate = registry.GetHistogram(
       "protocol.cluster_response_rate",
       {0.25, 0.5, 0.75, 0.9, 0.99, 1.0});
+  static obs::Histogram* shed_fraction = registry.GetHistogram(
+      "protocol.cluster_shed_fraction",
+      {0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0});
 
   runs->Increment();
   bytes_down->Increment(stats.bytes_to_clients);
@@ -95,21 +114,83 @@ void PublishProtocolStats(const ProtocolStats& stats) {
   retries->Increment(stats.retries);
   dropped_messages->Increment(stats.dropped_messages);
   timeouts->Increment(stats.timeouts);
+  crashed->Increment(stats.crashed_deliveries);
   corrupt_parses->Increment(stats.corrupt_parses);
   refused->Increment(stats.refused_assignments);
   duplicates->Increment(stats.duplicate_reports);
+  shed->Increment(stats.shed_reports);
+  restored->Increment(stats.restored_reports);
   spec_responders->Increment(stats.spec_responders);
   cluster_rounds->Increment(stats.cluster_response.size());
   latency->Add(stats.simulated_latency_ms);
+  recovery->Set(stats.recovery_ms);
   rescale->Set(stats.global_rescale);
   for (const ClusterResponseStats& cluster : stats.cluster_response) {
     responders->Increment(cluster.n_responded);
+    cluster_shed->Increment(cluster.n_shed);
     response_rate->Observe(cluster.response_rate);
+    shed_fraction->Observe(
+        cluster.n_expected == 0
+            ? 0.0
+            : static_cast<double>(cluster.n_shed) /
+                  static_cast<double>(cluster.n_expected));
   }
 }
 
 StatusOr<PsdaResult> AggregationServer::Collect(
     std::vector<DeviceClient>* clients, ProtocolStats* stats) const {
+  return RunEpoch(clients, EpochRunOptions(), stats);
+}
+
+StatusOr<PsdaResult> AggregationServer::RunEpoch(
+    std::vector<DeviceClient>* clients, const EpochRunOptions& run,
+    ProtocolStats* stats) const {
+  return Execute(clients, run, /*restored=*/nullptr, /*restore_ms=*/0.0,
+                 stats);
+}
+
+StatusOr<PsdaResult> AggregationServer::ResumeEpoch(
+    std::vector<DeviceClient>* clients, const EpochRunOptions& run,
+    ProtocolStats* stats) const {
+  PLDP_CHECK(clients != nullptr);
+  if (!run.checkpoint.enabled()) {
+    return Status::InvalidArgument(
+        "ResumeEpoch needs a checkpoint directory to restore from");
+  }
+  Stopwatch timer;
+  CheckpointStore store(run.checkpoint.dir, run.checkpoint.keep);
+  PLDP_ASSIGN_OR_RETURN(const EpochCheckpoint checkpoint,
+                        store.RestoreLatest());
+  // The snapshot must describe *this* configuration: a checkpoint from a
+  // different epoch, seed, confidence level, or cohort would replay into
+  // mismatched clusters and silently publish garbage.
+  if (checkpoint.epoch != run.epoch) {
+    return Status::FailedPrecondition(
+        "checkpoint is for epoch " + std::to_string(checkpoint.epoch) +
+        ", not epoch " + std::to_string(run.epoch));
+  }
+  if (checkpoint.psda_seed != options_.seed) {
+    return Status::FailedPrecondition(
+        "checkpoint was taken under a different protocol seed");
+  }
+  if (checkpoint.beta != options_.beta) {
+    return Status::FailedPrecondition(
+        "checkpoint was taken under a different confidence level beta");
+  }
+  if (checkpoint.cohort_size != clients->size()) {
+    return Status::FailedPrecondition(
+        "checkpoint cohort size " + std::to_string(checkpoint.cohort_size) +
+        " does not match the " + std::to_string(clients->size()) +
+        " connected clients");
+  }
+  const double restore_ms = timer.ElapsedSeconds() * 1000.0;
+  return Execute(clients, run, &checkpoint, restore_ms, stats);
+}
+
+StatusOr<PsdaResult> AggregationServer::Execute(
+    std::vector<DeviceClient>* clients, const EpochRunOptions& run,
+    const EpochCheckpoint* restored, double restore_ms,
+    ProtocolStats* stats) const {
   PLDP_CHECK(clients != nullptr);
   if (clients->empty()) {
     return Status::InvalidArgument("protocol needs at least one client");
@@ -138,58 +219,71 @@ StatusOr<PsdaResult> AggregationServer::Collect(
   // injection an upload can be lost or mangled; the server re-polls up to the
   // retry budget and excludes the client from the run when it is exhausted
   // (utility loss only; the client simply did not participate).
-  phase_span.emplace("protocol.spec_phase");
+  //
+  // On a resume the spec phase is skipped entirely: the roster is part of
+  // the snapshot, and grouping/clustering below are deterministic functions
+  // of it, so the recovered run rebuilds the exact cluster layout the
+  // crashed run was accumulating into.
   std::vector<PrivacySpec> specs;
   std::vector<uint32_t> roster;  // specs[k] came from (*clients)[roster[k]]
-  specs.reserve(clients->size());
-  roster.reserve(clients->size());
-  for (uint32_t i = 0; i < clients->size(); ++i) {
-    const DeviceClient& client = (*clients)[i];
-    bool registered = false;
-    for (uint32_t attempt = 0; attempt < max_attempts && !registered;
-         ++attempt) {
-      if (attempt > 0) charge_backoff(attempt);
-      Delivery up = channel.Transfer(client.UploadSpec());
-      local_stats.simulated_latency_ms += up.latency_ms;
-      if (!up.delivered()) {
-        CountLoss(up, &local_stats);
-        continue;
+  if (restored != nullptr) {
+    specs = restored->specs;
+    roster = restored->roster;
+    local_stats.restored_reports = restored->ingested;
+    local_stats.recovery_ms = restore_ms;
+  } else {
+    phase_span.emplace("protocol.spec_phase");
+    specs.reserve(clients->size());
+    roster.reserve(clients->size());
+    for (uint32_t i = 0; i < clients->size(); ++i) {
+      const DeviceClient& client = (*clients)[i];
+      bool registered = false;
+      for (uint32_t attempt = 0; attempt < max_attempts && !registered;
+           ++attempt) {
+        if (attempt > 0) charge_backoff(attempt);
+        Delivery up = channel.Transfer(client.UploadSpec());
+        local_stats.simulated_latency_ms += up.latency_ms;
+        if (!up.delivered()) {
+          CountLoss(up, &local_stats);
+          continue;
+        }
+        // A duplicated registration is idempotent: both copies are accounted,
+        // the first one is parsed.
+        for (int copy = 0; copy < up.copies(); ++copy) {
+          local_stats.bytes_to_server += up.bytes.size();
+          ++local_stats.messages_to_server;
+        }
+        const StatusOr<SpecUploadMsg> msg = SpecUploadMsg::Parse(up.bytes);
+        if (!msg.ok()) {
+          ++local_stats.corrupt_parses;
+          continue;
+        }
+        const PrivacySpec spec{msg->safe_region, msg->epsilon};
+        // A corrupted upload can still parse; a bogus spec must not poison the
+        // grouping, so it is treated exactly like a parse failure. The second
+        // check guards the estimator arithmetic: a bit-flipped epsilon can be
+        // finite yet outside the range where c_eps = (e^eps+1)/(e^eps-1) is
+        // representable, and one non-finite magnitude would turn every count
+        // in the cluster into NaN.
+        if (!ValidatePrivacySpec(*taxonomy_, spec).ok() ||
+            !std::isfinite(CEpsilon(spec.epsilon))) {
+          ++local_stats.corrupt_parses;
+          continue;
+        }
+        specs.push_back(spec);
+        roster.push_back(i);
+        registered = true;
       }
-      // A duplicated registration is idempotent: both copies are accounted,
-      // the first one is parsed.
-      for (int copy = 0; copy < up.copies(); ++copy) {
-        local_stats.bytes_to_server += up.bytes.size();
-        ++local_stats.messages_to_server;
+      if (!registered) {
+        ++local_stats.dropped_clients;
+        PLDP_LOG(Warning) << "client " << i
+                          << " dropped during spec collection after "
+                          << max_attempts << " attempt(s)";
       }
-      const StatusOr<SpecUploadMsg> msg = SpecUploadMsg::Parse(up.bytes);
-      if (!msg.ok()) {
-        ++local_stats.corrupt_parses;
-        continue;
-      }
-      const PrivacySpec spec{msg->safe_region, msg->epsilon};
-      // A corrupted upload can still parse; a bogus spec must not poison the
-      // grouping, so it is treated exactly like a parse failure. The second
-      // check guards the estimator arithmetic: a bit-flipped epsilon can be
-      // finite yet outside the range where c_eps = (e^eps+1)/(e^eps-1) is
-      // representable, and one non-finite magnitude would turn every count
-      // in the cluster into NaN.
-      if (!ValidatePrivacySpec(*taxonomy_, spec).ok() ||
-          !std::isfinite(CEpsilon(spec.epsilon))) {
-        ++local_stats.corrupt_parses;
-        continue;
-      }
-      specs.push_back(spec);
-      roster.push_back(i);
-      registered = true;
     }
-    if (!registered) {
-      ++local_stats.dropped_clients;
-      PLDP_LOG(Warning) << "client " << i << " dropped during spec collection"
-                        << " after " << max_attempts << " attempt(s)";
-    }
+    phase_span.reset();
   }
   local_stats.spec_responders = specs.size();
-  phase_span.reset();
   if (specs.empty()) {
     return Status::DeadlineExceeded(
         "every client dropped out during spec collection");
@@ -208,16 +302,17 @@ StatusOr<PsdaResult> AggregationServer::Collect(
           ? ClusterUserGroups(*taxonomy_, groups, cluster_options)
           : TrivialClusters(*taxonomy_, groups, cluster_options));
 
-  // Lines 6-9: one message-level PCEP per cluster.
-  phase_span.emplace("protocol.pcep_phase");
-  PsdaResult result;
-  result.raw_counts.assign(taxonomy_->grid().num_cells(), 0.0);
+  // Streaming ingest state: one O(m) accumulator per cluster behind a
+  // cohort-wide dedup bitset. Nothing about the cohort is ever materialized;
+  // a report is folded into z the moment its exchange completes.
   const double beta_each =
       options_.beta / static_cast<double>(clustering.clusters.size());
+  EpochAccumulator epoch(clients->size(), run.admission);
+  std::vector<std::vector<CellId>> regions;
+  regions.reserve(clustering.clusters.size());
   for (size_t c = 0; c < clustering.clusters.size(); ++c) {
     const Cluster& cluster = clustering.clusters[c];
-    const std::vector<CellId> region =
-        taxonomy_->RegionCells(cluster.top_region);
+    regions.push_back(taxonomy_->RegionCells(cluster.top_region));
 
     PcepParams params;
     params.beta = beta_each;
@@ -227,24 +322,91 @@ StatusOr<PsdaResult> AggregationServer::Collect(
 
     uint64_t cluster_n = 0;
     for (const uint32_t g : cluster.groups) cluster_n += groups[g].n();
-    PLDP_ASSIGN_OR_RETURN(PcepServer pcep,
-                          PcepServer::Create(region.size(), cluster_n, params));
-    const PcepSeeds seeds(params.seed);
+    PLDP_RETURN_IF_ERROR(epoch.AddCluster(static_cast<uint32_t>(c),
+                                          cluster.top_region,
+                                          regions.back().size(), cluster_n,
+                                          params));
+  }
+
+  if (restored != nullptr) {
+    // Replay the snapshot into the freshly built accumulators. Every check
+    // here (and inside Restore) guards the invariant that a checkpoint that
+    // does not exactly describe this cluster layout is rejected before a
+    // single value is trusted.
+    if (restored->clusters.size() != epoch.num_clusters()) {
+      return Status::FailedPrecondition(
+          "checkpoint has " + std::to_string(restored->clusters.size()) +
+          " clusters, this configuration builds " +
+          std::to_string(epoch.num_clusters()));
+    }
+    for (size_t c = 0; c < epoch.num_clusters(); ++c) {
+      PLDP_RETURN_IF_ERROR(epoch.cluster(c).Restore(restored->clusters[c]));
+    }
+    PLDP_RETURN_IF_ERROR(epoch.RestoreDedup(restored->dedup_words));
+  }
+
+  // Durable snapshots: write-to-temp + atomic rename, numbered files, pruned
+  // past the retention limit. The snapshot captures specs + roster + dedup
+  // bitset + every accumulator, so a restart resumes mid-epoch without
+  // re-running the spec phase and without double-counting any report.
+  std::optional<CheckpointStore> store;
+  if (run.checkpoint.enabled()) {
+    store.emplace(run.checkpoint.dir, run.checkpoint.keep);
+  }
+  const auto save_snapshot = [&]() -> Status {
+    EpochCheckpoint snapshot;
+    snapshot.epoch = run.epoch;
+    snapshot.psda_seed = options_.seed;
+    snapshot.beta = options_.beta;
+    snapshot.cohort_size = clients->size();
+    snapshot.specs = specs;
+    snapshot.roster = roster;
+    snapshot.dedup_words = epoch.DedupWords();
+    snapshot.clusters.reserve(epoch.num_clusters());
+    for (size_t c = 0; c < epoch.num_clusters(); ++c) {
+      snapshot.clusters.push_back(epoch.cluster(c).Snapshot());
+    }
+    snapshot.ingested = epoch.total_ingested();
+    return store->Save(snapshot);
+  };
+
+  // Lines 6-9: one message-level PCEP per cluster, streamed into the epoch
+  // accumulator.
+  phase_span.emplace("protocol.pcep_phase");
+  for (size_t c = 0; c < clustering.clusters.size(); ++c) {
+    const Cluster& cluster = clustering.clusters[c];
+    ClusterAccumulator& acc = epoch.cluster(c);
+    const PcepSeeds seeds(
+        SplitMix64(options_.seed ^ ((c + 1) * 0x9E3779B97F4A7C15ULL)));
     Rng row_rng(seeds.row_assignment);
 
-    uint64_t n_responded = 0;
-    double varsigma_responded = 0.0;
     for (const uint32_t g : cluster.groups) {
       for (const uint32_t spec_index : groups[g].members) {
         const uint32_t user_index = roster[spec_index];
         DeviceClient& client = (*clients)[user_index];
-        const uint64_t row = pcep.AssignRow(&row_rng);
+        // The row is always drawn, even for users whose report is already in
+        // a restored accumulator: the per-cluster assignment stream must
+        // replay identically for recovery to reproduce the original
+        // transcript byte for byte.
+        const uint64_t row = acc.pcep().AssignRow(&row_rng);
+        if (epoch.Seen(user_index)) {
+          continue;  // restored from the checkpoint; never re-exchanged
+        }
+        // Admission control: refuse the report before any exchange when the
+        // virtual ingest queue is saturated. A shed report is graceful
+        // degradation — the cluster's rescaling treats it exactly like a
+        // dropout, so accuracy degrades per the Theorem 4.5 error model
+        // instead of the server falling over.
+        if (!epoch.AdmitOrShed(c)) {
+          ++local_stats.shed_reports;
+          continue;
+        }
 
         RowAssignmentMsg assignment;
         assignment.region = cluster.top_region;
-        assignment.m = pcep.m();
+        assignment.m = acc.pcep().m();
         assignment.row_index = row;
-        assignment.row_bits = pcep.sign_matrix().Row(row);
+        assignment.row_bits = acc.pcep().sign_matrix().Row(row);
         const std::vector<uint8_t> down_bytes = assignment.Serialize();
 
         bool accumulated = false;
@@ -303,12 +465,16 @@ StatusOr<PsdaResult> AggregationServer::Collect(
               }
               const double magnitude =
                   CEpsilon(specs[spec_index].epsilon) *
-                  std::sqrt(static_cast<double>(pcep.m()));
-              pcep.Accumulate(row, report->positive ? magnitude : -magnitude);
+                  std::sqrt(static_cast<double>(acc.pcep().m()));
+              if (epoch.IngestReport(
+                      c, user_index, row,
+                      report->positive ? magnitude : -magnitude,
+                      PrivacyFactorTerm(specs[spec_index].epsilon)) ==
+                  EpochAccumulator::IngestResult::kDuplicate) {
+                ++local_stats.duplicate_reports;
+                continue;
+              }
               accumulated = true;
-              ++n_responded;
-              varsigma_responded +=
-                  PrivacyFactorTerm(specs[spec_index].epsilon);
             }
           }
         }
@@ -318,14 +484,49 @@ StatusOr<PsdaResult> AggregationServer::Collect(
               << "client " << user_index << " dropped during PCEP of cluster "
               << c << (refused ? " (refused assignment)"
                               : " (transport failure after retries)");
+          continue;
+        }
+        // Chaos hook first, cadence second: when a kill point coincides with
+        // the snapshot cadence the crash wins, so the report at the kill
+        // point is never already durable — the most adversarial recovery.
+        if (run.crash_after_ingests > 0 &&
+            epoch.total_ingested() >= run.crash_after_ingests) {
+          phase_span.reset();
+          if (stats != nullptr) *stats = local_stats;
+          return Status::Aborted(
+              "injected crash after " +
+              std::to_string(epoch.total_ingested()) + " ingested reports");
+        }
+        if (store.has_value() && run.checkpoint.every_n_reports > 0 &&
+            epoch.total_ingested() % run.checkpoint.every_n_reports == 0) {
+          PLDP_RETURN_IF_ERROR(save_snapshot());
         }
       }
     }
+  }
+  phase_span.reset();
+
+  // The final snapshot makes the fully ingested epoch durable before decode:
+  // a crash between ingest and publish recovers with zero re-exchanges.
+  if (store.has_value()) {
+    PLDP_RETURN_IF_ERROR(save_snapshot());
+  }
+
+  // Lines 11-13: decode every cluster from its accumulator.
+  phase_span.emplace("protocol.decode_phase");
+  PsdaResult result;
+  result.raw_counts.assign(taxonomy_->grid().num_cells(), 0.0);
+  for (size_t c = 0; c < epoch.num_clusters(); ++c) {
+    const ClusterAccumulator& acc = epoch.cluster(c);
+    const std::vector<CellId>& region = regions[c];
+    const uint64_t cluster_n = acc.n_expected();
+    const uint64_t n_responded = acc.n_responded();
 
     ClusterResponseStats response;
     response.cluster_index = static_cast<uint32_t>(c);
     response.n_expected = cluster_n;
     response.n_responded = n_responded;
+    response.n_shed = acc.n_shed();
     response.response_rate =
         cluster_n == 0
             ? 0.0
@@ -335,7 +536,7 @@ StatusOr<PsdaResult> AggregationServer::Collect(
             ? 0.0
             : PcepErrorBound(beta_each, static_cast<double>(n_responded),
                              static_cast<double>(region.size()),
-                             varsigma_responded);
+                             acc.varsigma_responded());
     local_stats.cluster_response.push_back(response);
 
     if (n_responded == 0) {
@@ -343,18 +544,18 @@ StatusOr<PsdaResult> AggregationServer::Collect(
                         << " received no reports; its region contributes 0";
       continue;
     }
-    // Missing-completely-at-random dropout thins every count by the response
-    // rate in expectation; rescaling by its inverse keeps the estimator
-    // unbiased (scale is exactly 1.0 when nobody dropped, preserving the
-    // reliable transcript bit-for-bit).
+    // Missing-completely-at-random dropout — and admission shedding, which
+    // refuses reports independently of their content — thins every count by
+    // the response rate in expectation; rescaling by its inverse keeps the
+    // estimator unbiased (scale is exactly 1.0 when nobody dropped,
+    // preserving the reliable transcript bit-for-bit).
     const double rescale = static_cast<double>(cluster_n) /
                            static_cast<double>(n_responded);
-    const std::vector<double> estimates = pcep.Estimate();
+    const std::vector<double> estimates = acc.Estimate();
     for (size_t k = 0; k < region.size(); ++k) {
       result.raw_counts[region[k]] += estimates[k] * rescale;
     }
   }
-
   phase_span.reset();
 
   // Line 10: consistency post-processing on public constraints. Groups hold

@@ -2,11 +2,14 @@
 #define PLDP_PROTOCOL_SERVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/psda.h"
 #include "geo/taxonomy.h"
+#include "protocol/accumulator.h"
 #include "protocol/channel.h"
+#include "protocol/checkpoint.h"
 #include "protocol/client.h"
 #include "util/status_or.h"
 
@@ -20,6 +23,9 @@ struct ClusterResponseStats {
   uint64_t n_expected = 0;
   /// Users whose sanitized report was received and accumulated.
   uint64_t n_responded = 0;
+  /// Users refused by admission control before any exchange (graceful
+  /// degradation; compensated by the same rescaling as dropout).
+  uint64_t n_shed = 0;
   double response_rate = 1.0;
   /// err(beta_c, n_responded, |tau|, varsigma_responded): the Theorem 4.5
   /// error model re-evaluated at the effective cohort, i.e. what the bound
@@ -32,7 +38,7 @@ bool operator==(const ClusterResponseStats& a, const ClusterResponseStats& b);
 /// Communication and degradation accounting for one protocol execution. The
 /// first block is byte-exact on the reliable path (identical to the original
 /// lossless simulation); the second block is only non-zero under fault
-/// injection.
+/// injection, admission pressure, or crash recovery.
 struct ProtocolStats {
   uint64_t bytes_to_clients = 0;
   uint64_t bytes_to_server = 0;
@@ -51,6 +57,8 @@ struct ProtocolStats {
   uint64_t dropped_messages = 0;
   /// Messages whose simulated latency exceeded the deadline.
   uint64_t timeouts = 0;
+  /// Deliveries cut off by a mid-transfer connection crash.
+  uint64_t crashed_deliveries = 0;
   /// Delivered messages that failed to parse or validate (corruption,
   /// truncation).
   uint64_t corrupt_parses = 0;
@@ -60,10 +68,16 @@ struct ProtocolStats {
   /// Reports received more than once for the same user and discarded by the
   /// dedup rule (never double-counted).
   uint64_t duplicate_reports = 0;
+  /// Reports refused by admission control before their exchange started.
+  uint64_t shed_reports = 0;
+  /// Reports recovered from a checkpoint instead of a fresh exchange.
+  uint64_t restored_reports = 0;
   /// Clients whose spec upload was registered (phase-1 responders).
   uint64_t spec_responders = 0;
   /// Total simulated transport latency plus retry backoff (never slept).
   double simulated_latency_ms = 0.0;
+  /// Wall-clock cost of loading and verifying the checkpoint on resume.
+  double recovery_ms = 0.0;
   /// Factor applied to the final counts to compensate spec-phase dropout
   /// (total clients / spec responders); exactly 1 on the reliable path.
   double global_rescale = 1.0;
@@ -78,6 +92,31 @@ bool operator==(const ProtocolStats& a, const ProtocolStats& b);
 /// calls this itself; it is exposed for callers that replay recorded stats.
 /// A no-op while the registry is disabled.
 void PublishProtocolStats(const ProtocolStats& stats);
+
+/// When and where the server persists durable epoch snapshots
+/// (protocol/checkpoint.h). An empty `dir` disables checkpointing.
+struct CheckpointPolicy {
+  std::string dir;
+  /// Snapshot after every N accepted reports (0 = only the final snapshot).
+  uint64_t every_n_reports = 0;
+  /// Snapshots retained in `dir`.
+  uint64_t keep = 4;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Per-epoch execution options for RunEpoch / ResumeEpoch.
+struct EpochRunOptions {
+  /// Epoch number recorded in every snapshot; a resume refuses a checkpoint
+  /// from a different epoch.
+  uint64_t epoch = 0;
+  CheckpointPolicy checkpoint;
+  AdmissionConfig admission;
+  /// Chaos hook: abort the run (Status::Aborted) as soon as this many total
+  /// reports have been ingested, simulating a server crash mid-epoch.
+  /// 0 disables. Partial stats are still written to the caller's out-param.
+  uint64_t crash_after_ingests = 0;
+};
 
 /// The untrusted aggregation server of Figure 1, executing Algorithm 4 at the
 /// message level: every interaction with a DeviceClient goes through the
@@ -96,6 +135,12 @@ void PublishProtocolStats(const ProtocolStats& stats);
 /// by n_expected / n_responded (and the final counts by the spec-phase
 /// response rate). With the default (fault-free) spec the channel is inactive
 /// and Collect is byte-identical to the lossless exchange.
+///
+/// Ingest is streaming: reports fold one at a time into per-cluster
+/// accumulators (O(m) memory per cluster) behind a cohort-wide dedup bitset
+/// and optional admission control, and the whole epoch state can be
+/// checkpointed durably mid-flight and resumed after a crash without ever
+/// double-counting a report (see docs/robustness.md).
 class AggregationServer {
  public:
   /// `taxonomy` must outlive the server.
@@ -114,11 +159,37 @@ class AggregationServer {
 
   /// Runs the full protocol over `clients`. Client RNG state advances, so the
   /// vector is mutable. `stats` may be null. Returns DeadlineExceeded if
-  /// every client dropped out during spec collection.
+  /// every client dropped out during spec collection. Equivalent to RunEpoch
+  /// with default EpochRunOptions (no checkpointing, no admission control).
   StatusOr<PsdaResult> Collect(std::vector<DeviceClient>* clients,
                                ProtocolStats* stats) const;
 
+  /// Runs one epoch with checkpointing, admission control, and the chaos
+  /// crash hook per `run`. On Status::Aborted (injected crash) the partial
+  /// stats are still stored into `stats`, and any snapshots written so far
+  /// remain on disk for ResumeEpoch.
+  StatusOr<PsdaResult> RunEpoch(std::vector<DeviceClient>* clients,
+                                const EpochRunOptions& run,
+                                ProtocolStats* stats) const;
+
+  /// Resumes a crashed epoch from the newest loadable snapshot in
+  /// `run.checkpoint.dir`. The spec phase is skipped (the roster is part of
+  /// the snapshot); the ingest loop replays deterministically, skipping the
+  /// exchange for every user whose report the snapshot already contains —
+  /// devices answer the remaining exchanges from their cached reports, so on
+  /// a clean channel the recovered estimates are bit-identical to an
+  /// uninterrupted run. Fails FailedPrecondition when the snapshot does not
+  /// match this configuration (seed, beta, epoch, cohort size).
+  StatusOr<PsdaResult> ResumeEpoch(std::vector<DeviceClient>* clients,
+                                   const EpochRunOptions& run,
+                                   ProtocolStats* stats) const;
+
  private:
+  StatusOr<PsdaResult> Execute(std::vector<DeviceClient>* clients,
+                               const EpochRunOptions& run,
+                               const EpochCheckpoint* restored,
+                               double restore_ms, ProtocolStats* stats) const;
+
   const SpatialTaxonomy* taxonomy_;
   PsdaOptions options_;
   FaultSpec fault_spec_;

@@ -1,0 +1,68 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace pldp {
+namespace {
+
+/// 8 slicing tables, built once at first use. Table 0 is the classic
+/// byte-at-a-time table for the reflected Castagnoli polynomial; table k
+/// advances the CRC by k additional zero bytes, which lets the hot loop
+/// consume 8 input bytes per iteration.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t slice = 1; slice < 8; ++slice) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[slice][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const uint8_t* data, size_t n) {
+  const Crc32cTables& tables = Tables();
+  crc = ~crc;
+  while (n >= 8) {
+    // Little-endian-independent: assemble the two words byte by byte so the
+    // checksum is identical on any host.
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(data[0]) |
+                               static_cast<uint32_t>(data[1]) << 8 |
+                               static_cast<uint32_t>(data[2]) << 16 |
+                               static_cast<uint32_t>(data[3]) << 24);
+    crc = tables.t[7][lo & 0xFF] ^ tables.t[6][(lo >> 8) & 0xFF] ^
+          tables.t[5][(lo >> 16) & 0xFF] ^ tables.t[4][lo >> 24] ^
+          tables.t[3][data[4]] ^ tables.t[2][data[5]] ^
+          tables.t[1][data[6]] ^ tables.t[0][data[7]];
+    data += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = tables.t[0][(crc ^ *data++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const uint8_t* data, size_t n) {
+  return ExtendCrc32c(0, data, n);
+}
+
+}  // namespace pldp

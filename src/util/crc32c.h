@@ -1,0 +1,29 @@
+#ifndef PLDP_UTIL_CRC32C_H_
+#define PLDP_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pldp {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78), the
+/// checksum used by the checkpoint subsystem to detect torn writes and bit
+/// rot. Software slicing-by-8 implementation: no hardware dependency, so a
+/// checkpoint written on one host always verifies on another.
+///
+/// `Crc32c(data, n)` is the standard CRC of the buffer (matches the RFC 3720
+/// test vectors, e.g. Crc32c("123456789") == 0xE3069283).
+uint32_t Crc32c(const uint8_t* data, size_t n);
+
+/// Incremental form: extends `crc` (a previous Crc32c/ExtendCrc32c result)
+/// with `n` more bytes. ExtendCrc32c(Crc32c(a), b) == Crc32c(a + b).
+uint32_t ExtendCrc32c(uint32_t crc, const uint8_t* data, size_t n);
+
+inline uint32_t Crc32c(const std::vector<uint8_t>& bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+}  // namespace pldp
+
+#endif  // PLDP_UTIL_CRC32C_H_

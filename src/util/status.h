@@ -21,6 +21,7 @@ enum class StatusCode : uint8_t {
   kIoError = 6,
   kUnimplemented = 7,
   kDeadlineExceeded = 8,
+  kAborted = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -67,6 +68,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -201,6 +202,45 @@ TEST(CliRunTest, MetricsOutCsvWritesFlatSnapshot) {
   EXPECT_NE(contents->find("counter,protocol.collect_runs,"),
             std::string::npos);
   std::remove(report.c_str());
+}
+
+TEST(CliParseTest, ParsesChaosFlags) {
+  const CliOptions options =
+      ParseCliArgs({"chaos", "--dataset", "storage", "--scale", "0.5",
+                    "--epochs", "5", "--ckpt-dir", "/tmp/ck", "--ckpt-every",
+                    "8", "--crash-prob", "0.1", "--shed", "0.2", "--retries",
+                    "4", "--output", "/tmp/chaos.csv"})
+          .value();
+  EXPECT_EQ(options.command, "chaos");
+  EXPECT_EQ(options.epochs, 5u);
+  EXPECT_EQ(options.ckpt_dir, "/tmp/ck");
+  EXPECT_EQ(options.ckpt_every, 8u);
+  EXPECT_DOUBLE_EQ(options.crash_prob, 0.1);
+  EXPECT_DOUBLE_EQ(options.shed, 0.2);
+  EXPECT_EQ(options.retries, 4u);
+  EXPECT_EQ(options.output_csv, "/tmp/chaos.csv");
+}
+
+TEST(CliRunTest, ChaosRunOnCleanChannelReportsIdenticalRecovery) {
+  const std::string ckpt_dir = ::testing::TempDir() + "/pldp_cli_chaos_ckpt";
+  const std::string output = ::testing::TempDir() + "/pldp_cli_chaos.csv";
+  const CliOptions options =
+      ParseCliArgs({"chaos", "--dataset", "storage", "--scale", "0.5",
+                    "--epochs", "2", "--ckpt-dir", ckpt_dir, "--ckpt-every",
+                    "16", "--output", output})
+          .value();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+  // Clean channel, no shedding: every epoch recovers bit-identical.
+  EXPECT_NE(out.str().find("bit-identical"), std::string::npos);
+  EXPECT_EQ(out.str().find("OUT OF BOUND"), std::string::npos) << out.str();
+
+  const auto contents = ReadFileToString(output);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("crash_after"), std::string::npos);
+  EXPECT_NE(contents->find("within_bound"), std::string::npos);
+  std::remove(output.c_str());
+  std::filesystem::remove_all(ckpt_dir);
 }
 
 TEST(CliRunTest, EndToEndCsvInputRun) {

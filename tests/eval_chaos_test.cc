@@ -1,0 +1,196 @@
+// Chaos-recovery harness: seeded kill/restore epochs through the fault
+// channel. Acceptance per docs/robustness.md — on a clean channel the
+// recovered estimates are bit-identical to the uninterrupted run; with
+// shedding or channel faults they stay within the Theorem 4.5 envelope.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/spec_assignment.h"
+#include "eval/chaos.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+struct Workload {
+  UniformGrid grid;
+  SpatialTaxonomy taxonomy;
+  std::vector<UserRecord> users;
+};
+
+Workload MakeWorkload(size_t n, uint64_t seed) {
+  UniformGrid grid = UniformGrid::Create(BoundingBox{0, 0, 8, 8}, 1, 1).value();
+  SpatialTaxonomy taxonomy = SpatialTaxonomy::Build(grid, 4).value();
+  Rng rng(seed);
+  std::vector<CellId> cells;
+  cells.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cells.push_back(static_cast<CellId>(rng.NextUint64(grid.num_cells())));
+  }
+  std::vector<UserRecord> users =
+      AssignSpecs(taxonomy, cells, SafeRegionsS2(), EpsilonsE2(), seed)
+          .value();
+  return Workload{std::move(grid), std::move(taxonomy), std::move(users)};
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(ChaosSweepTest, RejectsBadInput) {
+  const Workload w = MakeWorkload(50, 1);
+  ChaosOptions options;
+  options.checkpoint_dir = FreshDir("pldp_chaos_bad");
+  EXPECT_FALSE(RunChaosSweep(w.taxonomy, {}, options).ok());
+  {
+    ChaosOptions no_dir = options;
+    no_dir.checkpoint_dir.clear();
+    EXPECT_FALSE(RunChaosSweep(w.taxonomy, w.users, no_dir).ok());
+  }
+  {
+    ChaosOptions no_epochs = options;
+    no_epochs.epochs = 0;
+    EXPECT_FALSE(RunChaosSweep(w.taxonomy, w.users, no_epochs).ok());
+  }
+  {
+    ChaosOptions bad_window = options;
+    bad_window.kill_min_fraction = 0.9;
+    bad_window.kill_max_fraction = 0.1;
+    EXPECT_FALSE(RunChaosSweep(w.taxonomy, w.users, bad_window).ok());
+  }
+}
+
+// Acceptance: a seeded kill-and-restore over >= 3 epochs on a clean channel
+// recovers estimates bit-identical to the uninterrupted run, in every epoch.
+TEST(ChaosSweepTest, CleanChannelRecoveryIsBitIdenticalAcrossThreeEpochs) {
+  const Workload w = MakeWorkload(800, 2016);
+  ChaosOptions options;
+  options.epochs = 3;
+  options.checkpoint_dir = FreshDir("pldp_chaos_clean");
+  options.checkpoint_every = 16;
+
+  const std::vector<ChaosEpochResult> results =
+      RunChaosSweep(w.taxonomy, w.users, options).value();
+  ASSERT_EQ(results.size(), 3u);
+  for (const ChaosEpochResult& r : results) {
+    EXPECT_GT(r.crash_after, 0u);
+    EXPECT_EQ(r.ingested_at_crash, r.crash_after);
+    EXPECT_TRUE(r.identical)
+        << "epoch " << r.epoch << " diverged by " << r.max_abs_diff
+        << " after crash at " << r.crash_after;
+    EXPECT_EQ(r.max_abs_diff, 0.0);
+    EXPECT_TRUE(r.within_bound);
+    EXPECT_EQ(r.shed_reports, 0u);
+    if (!r.restarted_from_scratch) {
+      EXPECT_GT(r.restored_reports, 0u);
+    }
+  }
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+// A kill point forced before the first snapshot exercises the
+// restart-from-scratch path, which must still be bit-identical: devices
+// answer the re-run from their cached reports.
+TEST(ChaosSweepTest, RestartFromScratchIsStillBitIdentical) {
+  const Workload w = MakeWorkload(300, 7);
+  ChaosOptions options;
+  options.epochs = 2;
+  options.checkpoint_dir = FreshDir("pldp_chaos_restart");
+  options.checkpoint_every = 100000;  // cadence never fires before the kill
+  options.kill_min_fraction = 0.2;
+  options.kill_max_fraction = 0.5;
+
+  const std::vector<ChaosEpochResult> results =
+      RunChaosSweep(w.taxonomy, w.users, options).value();
+  ASSERT_EQ(results.size(), 2u);
+  for (const ChaosEpochResult& r : results) {
+    EXPECT_TRUE(r.restarted_from_scratch);
+    EXPECT_EQ(r.restored_reports, 0u);
+    EXPECT_TRUE(r.identical);
+  }
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+// Acceptance: with reports shed by admission control and crashes on the
+// channel, recovered estimates stay within the Theorem 4.5 envelope.
+TEST(ChaosSweepTest, ShedAndFaultyEpochsStayWithinTheErrorEnvelope) {
+  const Workload w = MakeWorkload(1200, 99);
+  ChaosOptions options;
+  options.epochs = 3;
+  options.checkpoint_dir = FreshDir("pldp_chaos_faulty");
+  options.checkpoint_every = 16;
+  options.admission.max_queue_depth = 64;
+  options.admission.service_per_arrival = 0.9;  // sheds ~10% at steady state
+  options.faults.crash_probability = 0.05;
+  options.retry.max_attempts = 4;
+
+  const std::vector<ChaosEpochResult> results =
+      RunChaosSweep(w.taxonomy, w.users, options).value();
+  ASSERT_EQ(results.size(), 3u);
+  for (const ChaosEpochResult& r : results) {
+    // The uninterrupted baseline always saturates the queue; the recovered
+    // run sheds only when enough arrivals remain after the restore.
+    EXPECT_GT(r.baseline_shed_reports, 0u);
+    EXPECT_GT(r.crashed_deliveries, 0u);
+    EXPECT_GT(r.bound, 0.0);
+    EXPECT_TRUE(r.within_bound)
+        << "epoch " << r.epoch << ": |diff| " << r.max_abs_diff
+        << " exceeds the envelope " << r.bound;
+  }
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+TEST(ChaosSweepTest, SweepsAreSeedDeterministic) {
+  const Workload w = MakeWorkload(250, 3);
+  ChaosOptions options;
+  options.epochs = 2;
+  options.checkpoint_every = 8;
+
+  options.checkpoint_dir = FreshDir("pldp_chaos_det_a");
+  const auto a = RunChaosSweep(w.taxonomy, w.users, options).value();
+  std::filesystem::remove_all(options.checkpoint_dir);
+  options.checkpoint_dir = FreshDir("pldp_chaos_det_b");
+  const auto b = RunChaosSweep(w.taxonomy, w.users, options).value();
+  std::filesystem::remove_all(options.checkpoint_dir);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].crash_after, b[i].crash_after);
+    EXPECT_EQ(a[i].restored_reports, b[i].restored_reports);
+    EXPECT_EQ(a[i].shed_reports, b[i].shed_reports);
+    EXPECT_DOUBLE_EQ(a[i].max_abs_diff, b[i].max_abs_diff);
+    EXPECT_EQ(a[i].identical, b[i].identical);
+  }
+}
+
+TEST(ChaosSweepTest, WritesCsvWithOneRowPerEpoch) {
+  const Workload w = MakeWorkload(200, 5);
+  ChaosOptions options;
+  options.epochs = 2;
+  options.checkpoint_dir = FreshDir("pldp_chaos_csv");
+  const std::vector<ChaosEpochResult> results =
+      RunChaosSweep(w.taxonomy, w.users, options).value();
+  std::filesystem::remove_all(options.checkpoint_dir);
+
+  const std::string path = ::testing::TempDir() + "/pldp_chaos.csv";
+  ASSERT_TRUE(WriteChaosCsv(path, results).ok());
+  const auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("crash_after"), std::string::npos);
+  EXPECT_NE(contents->find("within_bound"), std::string::npos);
+  size_t lines = 0;
+  for (const char c : *contents) lines += c == '\n';
+  EXPECT_EQ(lines, 3u);  // header + one row per epoch
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pldp

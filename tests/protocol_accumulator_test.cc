@@ -1,0 +1,230 @@
+// Streaming epoch accumulators: admission-control determinism and shed
+// accounting, snapshot/restore round trips, rejection of corrupt snapshots,
+// and the dedup bitset that makes restarts double-count-proof.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pcep.h"
+#include "protocol/accumulator.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+PcepParams SmallParams(uint64_t seed = 77) {
+  PcepParams params;
+  params.beta = 0.1;
+  params.seed = seed;
+  return params;
+}
+
+TEST(AdmissionControllerTest, DisabledConfigAdmitsEverything) {
+  AdmissionController controller{AdmissionConfig{}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(controller.Admit());
+  }
+  EXPECT_EQ(controller.admitted(), 1000u);
+  EXPECT_EQ(controller.shed(), 0u);
+}
+
+TEST(AdmissionControllerTest, OverloadShedsTheExpectedSteadyStateFraction) {
+  // service_per_arrival = 0.8: the queue fills, then ~20% of arrivals shed.
+  AdmissionConfig config;
+  config.max_queue_depth = 32;
+  config.service_per_arrival = 0.8;
+  AdmissionController controller(config);
+  const int arrivals = 10000;
+  for (int i = 0; i < arrivals; ++i) controller.Admit();
+  const double shed_fraction =
+      static_cast<double>(controller.shed()) / arrivals;
+  EXPECT_NEAR(shed_fraction, 0.2, 0.02);
+  EXPECT_EQ(controller.admitted() + controller.shed(),
+            static_cast<uint64_t>(arrivals));
+}
+
+TEST(AdmissionControllerTest, DecisionsAreDeterministic) {
+  AdmissionConfig config;
+  config.max_queue_depth = 8;
+  config.service_per_arrival = 0.5;
+  AdmissionController a(config);
+  AdmissionController b(config);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.Admit(), b.Admit()) << "arrival " << i;
+  }
+}
+
+TEST(AdmissionControllerTest, DeadlineBudgetShedsProjectedLateReports) {
+  AdmissionConfig config;
+  config.per_report_service_ms = 10.0;
+  config.deadline_budget_ms = 55.0;  // backlog of 5+ reports blows the budget
+  config.service_per_arrival = 0.0;  // nothing drains
+  AdmissionController controller(config);
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (controller.Admit()) ++admitted;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_LT(admitted, 8);
+  EXPECT_EQ(controller.shed(), 100u - admitted);
+}
+
+TEST(ClusterAccumulatorTest, SnapshotRestoreRoundTripIsExact) {
+  auto acc = ClusterAccumulator::Create(3, NodeId{9}, 64, 500, SmallParams())
+                 .value();
+  Rng rng(123);
+  for (int i = 0; i < 200; ++i) {
+    acc.IngestReport(acc.pcep().AssignRow(&rng),
+                     rng.Bernoulli(0.5) ? 1.25 : -1.25, 0.7);
+  }
+  acc.RecordShed();
+  acc.RecordShed();
+  const ClusterAccumulatorState state = acc.Snapshot();
+  EXPECT_EQ(state.cluster_index, 3u);
+  EXPECT_EQ(state.n_responded, 200u);
+  EXPECT_EQ(state.n_shed, 2u);
+  EXPECT_EQ(state.touched_rows.size(), state.touched_values.size());
+
+  auto restored =
+      ClusterAccumulator::Create(3, NodeId{9}, 64, 500, SmallParams()).value();
+  ASSERT_TRUE(restored.Restore(state).ok());
+  EXPECT_EQ(restored.n_responded(), acc.n_responded());
+  EXPECT_EQ(restored.n_shed(), acc.n_shed());
+  EXPECT_DOUBLE_EQ(restored.varsigma_responded(), acc.varsigma_responded());
+  // Touch order survives the round trip, so the decode is bit-identical.
+  EXPECT_EQ(restored.pcep().touched_rows(), acc.pcep().touched_rows());
+  EXPECT_EQ(restored.pcep().accumulator(), acc.pcep().accumulator());
+  EXPECT_EQ(restored.Estimate(), acc.Estimate());
+}
+
+TEST(ClusterAccumulatorTest, RestoreRejectsCorruptSnapshots) {
+  auto acc = ClusterAccumulator::Create(0, NodeId{1}, 16, 100, SmallParams())
+                 .value();
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    acc.IngestReport(acc.pcep().AssignRow(&rng), 1.0, 0.5);
+  }
+  const ClusterAccumulatorState good = acc.Snapshot();
+
+  const auto fresh = [&] {
+    return ClusterAccumulator::Create(0, NodeId{1}, 16, 100, SmallParams())
+        .value();
+  };
+
+  {  // Row index out of range.
+    ClusterAccumulatorState bad = good;
+    bad.touched_rows[0] = bad.m + 7;
+    EXPECT_FALSE(fresh().Restore(bad).ok());
+  }
+  {  // Duplicate row entries.
+    ASSERT_GE(good.touched_rows.size(), 2u);
+    ClusterAccumulatorState bad = good;
+    bad.touched_rows[1] = bad.touched_rows[0];
+    EXPECT_FALSE(fresh().Restore(bad).ok());
+  }
+  {  // Rows/values length mismatch.
+    ClusterAccumulatorState bad = good;
+    bad.touched_values.pop_back();
+    EXPECT_FALSE(fresh().Restore(bad).ok());
+  }
+  {  // Wrong reduced dimension.
+    ClusterAccumulatorState bad = good;
+    bad.m += 1;
+    EXPECT_FALSE(fresh().Restore(bad).ok());
+  }
+  {  // Counter inconsistency: more responders than accumulated reports.
+    ClusterAccumulatorState bad = good;
+    bad.num_reports = 0;
+    EXPECT_FALSE(fresh().Restore(bad).ok());
+  }
+  {  // Non-finite accumulator values.
+    ClusterAccumulatorState bad = good;
+    bad.touched_values[0] = std::nan("");
+    EXPECT_FALSE(fresh().Restore(bad).ok());
+  }
+  // The good snapshot still restores after all the rejected attempts.
+  EXPECT_TRUE(fresh().Restore(good).ok());
+}
+
+TEST(EpochAccumulatorTest, DuplicateSuppressionIsExact) {
+  EpochAccumulator epoch(100, AdmissionConfig{});
+  ASSERT_TRUE(epoch.AddCluster(0, NodeId{1}, 32, 100, SmallParams()).ok());
+
+  EXPECT_FALSE(epoch.Seen(42));
+  EXPECT_EQ(epoch.IngestReport(0, 42, 3, 1.0, 0.5),
+            EpochAccumulator::IngestResult::kAccepted);
+  EXPECT_TRUE(epoch.Seen(42));
+  // The duplicate never reaches z.
+  EXPECT_EQ(epoch.IngestReport(0, 42, 5, -1.0, 0.5),
+            EpochAccumulator::IngestResult::kDuplicate);
+  EXPECT_EQ(epoch.total_ingested(), 1u);
+  EXPECT_EQ(epoch.cluster(0).n_responded(), 1u);
+  EXPECT_EQ(epoch.cluster(0).pcep().num_reports(), 1u);
+}
+
+TEST(EpochAccumulatorTest, DedupBitsetSurvivesSerialization) {
+  EpochAccumulator epoch(130, AdmissionConfig{});
+  ASSERT_TRUE(epoch.AddCluster(0, NodeId{1}, 32, 130, SmallParams()).ok());
+  const std::vector<uint64_t> users = {0, 1, 63, 64, 65, 127, 128, 129};
+  for (uint64_t u : users) {
+    ASSERT_EQ(epoch.IngestReport(0, u, u % 7, 1.0, 0.5),
+              EpochAccumulator::IngestResult::kAccepted);
+  }
+  const std::vector<uint64_t> words = epoch.DedupWords();
+
+  EpochAccumulator restarted(130, AdmissionConfig{});
+  ASSERT_TRUE(restarted.AddCluster(0, NodeId{1}, 32, 130, SmallParams()).ok());
+  ASSERT_TRUE(restarted.RestoreDedup(words).ok());
+  for (uint64_t u : users) {
+    EXPECT_TRUE(restarted.Seen(u)) << "user " << u;
+    // A restart can never double-count a restored user's report.
+    EXPECT_EQ(restarted.IngestReport(0, u, u % 7, 1.0, 0.5),
+              EpochAccumulator::IngestResult::kDuplicate);
+  }
+  for (uint64_t u : {2u, 62u, 66u, 126u}) {
+    EXPECT_FALSE(restarted.Seen(u)) << "user " << u;
+  }
+}
+
+TEST(EpochAccumulatorTest, RestoreDedupRejectsMalformedWords) {
+  EpochAccumulator epoch(70, AdmissionConfig{});
+  {  // Wrong word count for the cohort (70 bits needs 2 words).
+    EXPECT_FALSE(epoch.RestoreDedup({0xFFULL}).ok());
+    EXPECT_FALSE(epoch.RestoreDedup({0, 0, 0}).ok());
+  }
+  {  // Stray bits past cohort_size in the tail word.
+    std::vector<uint64_t> words(2, 0);
+    words[1] = uint64_t{1} << 20;  // bit 84 > 69
+    EXPECT_FALSE(epoch.RestoreDedup(words).ok());
+  }
+  {  // Valid tail bits are accepted.
+    std::vector<uint64_t> words(2, 0);
+    words[1] = uint64_t{1} << 5;  // bit 69, the last valid position
+    EXPECT_TRUE(epoch.RestoreDedup(words).ok());
+    EXPECT_TRUE(epoch.Seen(69));
+  }
+}
+
+TEST(EpochAccumulatorTest, ShedReportsAreBookedAgainstTheirCluster) {
+  AdmissionConfig config;
+  config.max_queue_depth = 4;
+  config.service_per_arrival = 0.0;  // everything past the depth sheds
+  EpochAccumulator epoch(50, config);
+  ASSERT_TRUE(epoch.AddCluster(0, NodeId{1}, 16, 25, SmallParams()).ok());
+  ASSERT_TRUE(epoch.AddCluster(1, NodeId{2}, 16, 25, SmallParams(88)).ok());
+
+  uint64_t admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (epoch.AdmitOrShed(i % 2)) ++admitted;
+  }
+  EXPECT_GT(admitted, 0u);
+  EXPECT_LT(admitted, 20u);
+  EXPECT_EQ(epoch.cluster(0).n_shed() + epoch.cluster(1).n_shed(),
+            20u - admitted);
+  EXPECT_EQ(epoch.admission().shed(), 20u - admitted);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -455,5 +455,76 @@ TEST(DeviceClientDedupTest, RetransmissionServedFromCacheDifferentRefused) {
   EXPECT_TRUE(client.HandleRowAssignment(same_region).ok());
 }
 
+TEST(FaultyChannelCrashTest, CrashFaultAbortsDeliveryWithoutDeadlineWait) {
+  FaultSpec spec;
+  spec.crash_probability = 1.0;
+  spec.deadline_ms = 50.0;
+  spec.seed = 7;
+  EXPECT_TRUE(spec.any_faults());
+  FaultyChannel channel(spec);
+
+  const Delivery d = channel.Transfer({1, 2, 3});
+  EXPECT_EQ(d.outcome, DeliveryOutcome::kCrashed);
+  EXPECT_FALSE(d.delivered());
+  EXPECT_EQ(d.copies(), 0);
+  EXPECT_TRUE(d.bytes.empty());
+  // A crash is a connection reset, not silence: the sender observes it
+  // immediately, so the latency is never clamped to the deadline.
+  EXPECT_LT(d.latency_ms, spec.deadline_ms);
+}
+
+TEST(FaultyChannelCrashTest, DeliveryOutcomeToStatusCoversEveryOutcome) {
+  Delivery d;
+  d.outcome = DeliveryOutcome::kDelivered;
+  EXPECT_TRUE(d.ToStatus().ok());
+  d.outcome = DeliveryOutcome::kDropped;
+  EXPECT_EQ(d.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  d.outcome = DeliveryOutcome::kTimedOut;
+  EXPECT_EQ(d.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  d.outcome = DeliveryOutcome::kCrashed;
+  EXPECT_EQ(d.ToStatus().code(), StatusCode::kAborted);
+}
+
+TEST(FaultyChannelCrashTest, CrashRateMatchesSpecApproximately) {
+  FaultSpec spec;
+  spec.crash_probability = 0.3;
+  spec.seed = 11;
+  FaultyChannel channel(spec);
+  int crashed = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    if (channel.Transfer({42}).outcome == DeliveryOutcome::kCrashed) {
+      ++crashed;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(crashed) / trials, 0.3, 0.03);
+}
+
+TEST(FaultInjectionCollectTest, CrashFaultsAreRetriedAndCounted) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  std::vector<double> truth;
+  auto clients = MakeClients(tax, 2000, 97, &truth);
+
+  FaultSpec faults;
+  faults.crash_probability = 0.2;
+  faults.seed = 5;
+  RetryPolicy retry;
+  retry.max_attempts = 6;
+
+  AggregationServer server(&tax, PsdaOptions(), faults, retry);
+  ProtocolStats stats;
+  const PsdaResult result = server.Collect(&clients, &stats).value();
+
+  // Crashes are observed (counted) losses recovered through the regular
+  // retry policy, so nearly everyone still lands.
+  EXPECT_GT(stats.crashed_deliveries, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.dropped_messages, 0u);
+  EXPECT_LT(stats.dropped_clients, 2000u / 50);
+  const double total =
+      std::accumulate(result.counts.begin(), result.counts.end(), 0.0);
+  EXPECT_NEAR(total, 2000.0, 2000.0 * 0.05);
+}
+
 }  // namespace
 }  // namespace pldp
