@@ -1,6 +1,9 @@
 #include "cli/cli.h"
 
+#include <chrono>
+#include <csignal>
 #include <iomanip>
+#include <thread>
 
 #include "baselines/uniform_grid.h"
 #include "core/psda.h"
@@ -14,6 +17,8 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "geo/taxonomy.h"
+#include "net/epoch_engine.h"
+#include "net/server.h"
 #include "obs/chrome_trace.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -355,10 +360,102 @@ Status WriteCliMetrics(const CliOptions& options, std::ostream& out) {
   return status;
 }
 
+/// Set by the SIGTERM/SIGINT handler while `serve` runs; the serve loop
+/// polls it (async-signal-safe: the handler only stores a flag).
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+Status RunServeCommand(const CliOptions& options, std::ostream& out) {
+  PLDP_ASSIGN_OR_RETURN(Dataset dataset, LoadCliDataset(options));
+  PLDP_ASSIGN_OR_RETURN(UniformGrid grid, dataset.MakeGrid());
+  PLDP_ASSIGN_OR_RETURN(SpatialTaxonomy taxonomy,
+                        SpatialTaxonomy::Build(grid, 4));
+
+  net::EpochEngineOptions engine_options;
+  engine_options.psda.beta = options.beta;
+  engine_options.psda.seed = options.seed;
+  engine_options.psda.num_threads = options.threads;
+  engine_options.epoch = options.epoch;
+  if (options.ckpt_dir_set) {
+    engine_options.checkpoint.dir = options.ckpt_dir;
+  }
+  if (options.shed > 0.0) {
+    engine_options.admission.max_queue_depth = 64;
+    engine_options.admission.service_per_arrival = 1.0 - options.shed;
+  }
+  net::EpochEngine engine(&taxonomy, engine_options);
+  if (options.resume) {
+    PLDP_RETURN_IF_ERROR(engine.RestoreLatest());
+    out << "resumed epoch " << options.epoch << " from " << options.ckpt_dir
+        << " (" << engine.stats().restored_reports
+        << " reports restored)\n";
+  }
+
+  net::NetServerOptions server_options;
+  server_options.bind_address = options.bind;
+  server_options.port = static_cast<uint16_t>(options.port);
+  server_options.backlog = static_cast<int>(options.backlog);
+  server_options.io_threads = options.io_threads;
+  net::NetServer server(&engine, server_options);
+  PLDP_RETURN_IF_ERROR(server.Start());
+  // Scripts scrape this line for the (possibly kernel-assigned) port.
+  out << "pldp daemon listening on " << options.bind << ":" << server.port()
+      << " (" << net::ResolveIoThreads(server_options.io_threads)
+      << " io threads, " << grid.num_cells() << " cells)\n";
+  out.flush();
+
+  g_serve_stop = 0;
+  void (*prev_term)(int) = std::signal(SIGTERM, HandleServeSignal);
+  void (*prev_int)(int) = std::signal(SIGINT, HandleServeSignal);
+  while (g_serve_stop == 0) {
+    if (options.serve_once &&
+        engine.phase() == net::EpochEngine::Phase::kPublished) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const bool interrupted = g_serve_stop != 0;
+  std::signal(SIGTERM, prev_term);
+  std::signal(SIGINT, prev_int);
+  server.Stop();
+
+  const net::NetServerStats socket_stats = server.stats();
+  const net::NetEpochStats epoch_stats = engine.stats();
+  out << "connections: " << socket_stats.connections_accepted << " accepted, "
+      << socket_stats.frame_errors << " protocol errors\n";
+  out << "frames: " << socket_stats.frames_received << " in / "
+      << socket_stats.frames_sent << " out (" << socket_stats.bytes_received
+      << " / " << socket_stats.bytes_sent << " bytes)\n";
+  out << "reports: " << epoch_stats.reports_staged << " staged, "
+      << epoch_stats.reports_duplicate << " duplicate, "
+      << epoch_stats.reports_shed << " shed, " << epoch_stats.late_frames
+      << " late\n";
+
+  if (interrupted &&
+      engine.phase() == net::EpochEngine::Phase::kCollectingReports &&
+      engine_options.checkpoint.enabled()) {
+    // Graceful SIGTERM mid-epoch: flush a durable snapshot so a --resume
+    // restart picks up without re-collecting the staged reports.
+    PLDP_RETURN_IF_ERROR(engine.Checkpoint());
+    out << "checkpoint flushed to " << options.ckpt_dir << "\n";
+  }
+  if (engine.phase() == net::EpochEngine::Phase::kPublished) {
+    out << "epoch published: " << engine.published().size() << " cells\n";
+    if (!options.output_csv.empty()) {
+      PLDP_RETURN_IF_ERROR(
+          WriteCountsCsv(options.output_csv, grid, engine.published()));
+      out << "estimate written to " << options.output_csv << "\n";
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string CliUsage() {
-  return "usage: pldp_cli <datasets|schemes|run|degrade|chaos> [flags]\n"
+  return "usage: pldp_cli <datasets|schemes|run|degrade|chaos|serve> "
+         "[flags]\n"
          "  run --dataset road --scheme psda --setting S2E2 --scale 0.05 \\\n"
          "      --output counts.csv\n"
          "  run --input points.csv --domain -125,25,-65,50 --cell 1,1 \\\n"
@@ -367,7 +464,9 @@ std::string CliUsage() {
          "      --dropout-steps 10 --runs 5 --output degradation.csv \\\n"
          "      --metrics-out run.json\n"
          "  chaos --dataset road --scale 0.02 --epochs 3 --ckpt-every 16 \\\n"
-         "      --ckpt-dir chaos-ckpt --shed 0.1 --output chaos.csv\n";
+         "      --ckpt-dir chaos-ckpt --shed 0.1 --output chaos.csv\n"
+         "  serve --dataset road --scale 0.05 --port 7787 --io-threads 2 \\\n"
+         "      --ckpt-dir net-ckpt --once --output counts.csv\n";
 }
 
 StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
@@ -378,7 +477,7 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   options.command = args[0];
   if (options.command != "datasets" && options.command != "schemes" &&
       options.command != "run" && options.command != "degrade" &&
-      options.command != "chaos") {
+      options.command != "chaos" && options.command != "serve") {
     return Status::InvalidArgument("unknown command: " + options.command +
                                    "\n" + CliUsage());
   }
@@ -448,6 +547,7 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.epochs = static_cast<uint32_t>(epochs);
     } else if (flag == "--ckpt-dir") {
       PLDP_ASSIGN_OR_RETURN(options.ckpt_dir, next());
+      options.ckpt_dir_set = true;
     } else if (flag == "--ckpt-every") {
       PLDP_ASSIGN_OR_RETURN(const std::string value, next());
       PLDP_ASSIGN_OR_RETURN(options.ckpt_every, ParseUint64(value));
@@ -457,6 +557,30 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
     } else if (flag == "--shed") {
       PLDP_ASSIGN_OR_RETURN(const std::string value, next());
       PLDP_ASSIGN_OR_RETURN(options.shed, FlagDouble(flag, value));
+    } else if (flag == "--bind") {
+      PLDP_ASSIGN_OR_RETURN(options.bind, next());
+    } else if (flag == "--port") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t port, ParseUint64(value));
+      if (port > 65535) {
+        return Status::InvalidArgument("--port out of range");
+      }
+      options.port = static_cast<uint32_t>(port);
+    } else if (flag == "--backlog") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t backlog, ParseUint64(value));
+      options.backlog = static_cast<uint32_t>(backlog);
+    } else if (flag == "--io-threads") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t io_threads, ParseUint64(value));
+      options.io_threads = static_cast<uint32_t>(io_threads);
+    } else if (flag == "--epoch") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.epoch, ParseUint64(value));
+    } else if (flag == "--resume") {
+      options.resume = true;
+    } else if (flag == "--once") {
+      options.serve_once = true;
     } else {
       return Status::InvalidArgument("unknown flag: " + flag + "\n" +
                                      CliUsage());
@@ -487,6 +611,8 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
     status = RunDegradeCommand(options, out);
   } else if (options.command == "chaos") {
     status = RunChaosCommand(options, out);
+  } else if (options.command == "serve") {
+    status = RunServeCommand(options, out);
   } else {
     status = RunCommand(options, out);
   }

@@ -23,6 +23,11 @@ namespace pldp {
 ///                                randomized ingest point, recover from the
 ///                                durable snapshot, and compare against an
 ///                                uninterrupted run
+///   serve                        run the socket-served aggregation daemon
+///                                (docs/service.md): a TCP epoll server
+///                                feeding one epoch engine; SIGTERM/SIGINT
+///                                shut down gracefully, flushing a durable
+///                                checkpoint when --ckpt-dir is set
 ///
 /// `run` flags:
 ///   --dataset <road|checkin|landmark|storage>   synthetic input, or
@@ -63,6 +68,22 @@ namespace pldp {
 ///                                bounded queue, shedding ~f of the load (0)
 ///   --retries <a>                transport attempts per message (3)
 ///   --output <chaos.csv>         per-epoch recovery CSV
+///
+/// `serve` takes the dataset/--beta/--seed/--threads flags (they define the
+/// public taxonomy and the protocol parameters, which must match the
+/// clients') plus:
+///   --bind <addr>                listen address (127.0.0.1)
+///   --port <p>                   listen port (0 = kernel-assigned,
+///                                printed on stdout)
+///   --backlog <n>                listen(2) backlog (1024)
+///   --io-threads <n>             epoll I/O threads (0 = $PLDP_NET_THREADS,
+///                                else 2)
+///   --epoch <n>                  epoch number stamped into checkpoints (0)
+///   --ckpt-dir <dir>             enable durable snapshots in <dir>
+///   --resume                     restore the newest snapshot before serving
+///   --shed <f>                   admission overload (as in chaos)
+///   --once                       exit once the epoch publishes
+///   --output <counts.csv>        published estimate dump (with --once)
 struct CliOptions {
   std::string command;
 
@@ -90,9 +111,20 @@ struct CliOptions {
 
   uint32_t epochs = 3;
   std::string ckpt_dir = "chaos-ckpt";
+  /// True when --ckpt-dir was passed explicitly; `serve` only checkpoints
+  /// then (the chaos default dir must not silently enable daemon snapshots).
+  bool ckpt_dir_set = false;
   uint64_t ckpt_every = 16;
   double crash_prob = 0.0;
   double shed = 0.0;
+
+  std::string bind = "127.0.0.1";
+  uint32_t port = 0;
+  uint32_t backlog = 1024;
+  uint32_t io_threads = 0;
+  uint64_t epoch = 0;
+  bool resume = false;
+  bool serve_once = false;
 };
 
 /// Parses argv (without the program name). Returns a descriptive

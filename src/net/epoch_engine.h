@@ -1,0 +1,230 @@
+#ifndef PLDP_NET_EPOCH_ENGINE_H_
+#define PLDP_NET_EPOCH_ENGINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/psda.h"
+#include "core/user_group.h"
+#include "geo/taxonomy.h"
+#include "net/wire.h"
+#include "protocol/accumulator.h"
+#include "protocol/checkpoint.h"
+#include "protocol/server.h"
+#include "util/status_or.h"
+
+namespace pldp {
+namespace net {
+
+/// Configuration of one socket-served aggregation epoch.
+struct EpochEngineOptions {
+  /// Protocol parameters; `psda.seed` drives every server-side random draw
+  /// exactly as it does for AggregationServer::RunEpoch.
+  PsdaOptions psda;
+
+  /// Epoch number stamped into checkpoints; a restore refuses snapshots from
+  /// a different epoch.
+  uint64_t epoch = 0;
+
+  /// Durable snapshots (empty dir disables). The final snapshot is written
+  /// at epoch seal before decode; Checkpoint() can be called any time after
+  /// the spec seal (the graceful-SIGTERM path).
+  CheckpointPolicy checkpoint;
+
+  /// Arrival-time admission control: a report refused here is never staged
+  /// and the cluster's n/n_resp rescale compensates it like a dropout.
+  AdmissionConfig admission;
+};
+
+/// Aggregate frame/report accounting of one engine lifetime.
+struct NetEpochStats {
+  uint64_t specs_accepted = 0;
+  uint64_t specs_duplicate = 0;
+  uint64_t specs_invalid = 0;
+  uint64_t reports_staged = 0;
+  uint64_t reports_duplicate = 0;
+  uint64_t reports_shed = 0;
+  /// kReport frames that arrived after the epoch seal. Never ingested; the
+  /// publish-time rescale already compensated their absence, so counting
+  /// (not folding) them is what keeps the published estimate unbiased.
+  uint64_t late_frames = 0;
+  uint64_t unknown_user_frames = 0;
+  uint64_t wrong_phase_frames = 0;
+  /// Reports restored from a checkpoint rather than received on a socket.
+  uint64_t restored_reports = 0;
+  uint64_t checkpoints_written = 0;
+};
+
+/// Verdict of RegisterSpec.
+enum class SpecOutcome : uint8_t {
+  kAccepted = 0,
+  /// Same user id already registered this epoch (idempotent).
+  kDuplicate = 1,
+  /// The spec failed validation (bogus region or non-representable epsilon);
+  /// dropped exactly like a corrupt upload in the in-process protocol.
+  kInvalid = 2,
+  kWrongPhase = 3,
+};
+
+/// The server-side brain of the aggregation daemon: one epoch of Algorithm 4
+/// driven by decoded wire frames instead of in-process exchanges.
+///
+/// The engine replicates AggregationServer::Execute bit for bit on the clean
+/// path. Everything order-sensitive is derived in *roster order* (ascending
+/// user id), never in frame-arrival order:
+///
+///  - grouping, clustering, and the per-cluster PCEP seed schedule are the
+///    same deterministic functions of the registered specs;
+///  - row assignments replay the per-cluster assignment RNG over the roster
+///    exactly as the in-process ingest loop does;
+///  - reports are *staged* on arrival (O(1) per report) and folded into the
+///    per-cluster O(m) accumulators in canonical roster order at seal time,
+///    because floating-point accumulation order is part of the determinism
+///    contract (docs/performance.md) and socket arrival order is not
+///    deterministic.
+///
+/// A SealEpoch over the same report multiset therefore publishes estimates
+/// bit-identical to RunEpoch over the same cohort (regression-tested in
+/// tests/net_epoch_engine_test.cc). Runs that checkpoint mid-epoch and
+/// resume fold in more than one batch, which reassociates sums: those
+/// publish within the Theorem 4.5 envelope instead (same contract as chaos
+/// recovery under faults).
+///
+/// All public methods are thread-safe; the I/O threads of net/server.h call
+/// straight into the engine.
+class EpochEngine {
+ public:
+  enum class Phase : uint8_t {
+    kCollectingSpecs = 0,
+    kCollectingReports = 1,
+    kPublished = 2,
+  };
+
+  /// `taxonomy` must outlive the engine.
+  EpochEngine(const SpatialTaxonomy* taxonomy, EpochEngineOptions options);
+
+  Phase phase() const;
+  const EpochEngineOptions& options() const { return options_; }
+
+  /// Registers one user's public spec (phase kCollectingSpecs only).
+  SpecOutcome RegisterSpec(uint64_t user_id, const SpecUploadMsg& msg);
+
+  /// Ends the spec phase: sorts the roster, builds groups/clusters/
+  /// accumulators, and precomputes every row assignment. `cohort_size` is
+  /// the full population (registered users must have ids below it); the
+  /// publish-time global rescale is cohort_size / responders, matching the
+  /// in-process spec-dropout compensation.
+  Status SealSpecs(uint64_t cohort_size);
+
+  /// The row assignment of a sealed user (phase kCollectingReports or
+  /// later). NotFound for users outside the roster.
+  StatusOr<RowAssignmentMsg> Assignment(uint64_t user_id) const;
+
+  /// Stages one sanitized report. Never blocks on the accumulators; the
+  /// outcome is the wire-level verdict carried in kReportAck.
+  ReportOutcome SubmitReport(uint64_t user_id, const ReportMsg& msg);
+
+  /// Folds all staged reports (canonical order, parallel over clusters on
+  /// the shared thread pool), writes the final checkpoint when configured,
+  /// decodes every cluster, applies consistency post-processing and the
+  /// global rescale, and publishes.
+  Status SealEpoch();
+
+  /// Folds what has been staged so far and writes a durable snapshot (the
+  /// graceful-shutdown path). FailedPrecondition before the spec seal;
+  /// InvalidArgument when checkpointing is disabled.
+  Status Checkpoint();
+
+  /// Restores a sealed-spec epoch from the newest loadable snapshot. Must be
+  /// called on a fresh engine (no specs registered); after it returns the
+  /// engine is in kCollectingReports with the snapshot's reports already
+  /// folded and deduplicated.
+  Status RestoreLatest();
+
+  /// Published per-cell estimates; empty before SealEpoch.
+  const std::vector<double>& published() const;
+
+  /// Per-cluster delivery accounting, filled by SealEpoch (decode order).
+  const std::vector<ClusterResponseStats>& cluster_response() const;
+
+  NetEpochStats stats() const;
+  uint64_t num_clusters() const;
+  uint64_t spec_responders() const;
+  uint64_t cohort_size() const;
+
+ private:
+  /// How one roster slot's report stands. A slot leaves kStaged for kFolded
+  /// exactly once, so a second fold pass never double-counts.
+  enum class SlotState : uint8_t {
+    kNone = 0,
+    kStaged = 1,
+    kShed = 2,
+    kFolded = 3,
+    /// Folded by a restored checkpoint, not by this process.
+    kRestored = 4,
+  };
+
+  struct Slot {
+    SlotState state = SlotState::kNone;
+    bool positive = false;
+  };
+
+  struct RowAssignment {
+    uint32_t cluster = 0;
+    uint64_t row = 0;
+  };
+
+  /// Rebuilds groups/clusters/accumulators/assignments from specs_/roster_.
+  /// Shared by SealSpecs and RestoreLatest; caller holds mu_.
+  Status BuildClustersLocked();
+
+  /// Folds staged reports into the accumulators in canonical order; caller
+  /// holds mu_.
+  void FoldStagedLocked();
+
+  /// Serializes the current accumulator state; caller holds mu_.
+  Status SaveSnapshotLocked();
+
+  const SpatialTaxonomy* taxonomy_;
+  EpochEngineOptions options_;
+
+  mutable std::mutex mu_;
+  Phase phase_ = Phase::kCollectingSpecs;
+  NetEpochStats stats_;
+
+  /// Spec phase: user id -> spec, arrival order irrelevant.
+  std::unordered_map<uint64_t, PrivacySpec> pending_specs_;
+
+  /// Sealed roster, ascending user id; specs_[k] belongs to roster_[k].
+  std::vector<PrivacySpec> specs_;
+  std::vector<uint32_t> roster_;
+  uint64_t cohort_size_ = 0;
+
+  std::vector<UserGroup> groups_;
+  ClusteringResult clustering_;
+  double beta_each_ = 0.0;
+  std::vector<std::vector<CellId>> regions_;
+  std::vector<ClusterAccumulator> accumulators_;
+
+  /// Per roster slot: assignment + staging state.
+  std::vector<RowAssignment> assignments_;
+  std::vector<Slot> slots_;
+  /// user id -> roster slot.
+  std::unordered_map<uint64_t, uint32_t> slot_of_user_;
+  /// Per cluster: roster slots in the in-process ingest iteration order
+  /// (groups within the cluster, members within the group).
+  std::vector<std::vector<uint32_t>> cluster_order_;
+
+  AdmissionController admission_{AdmissionConfig{}};
+
+  std::vector<double> published_;
+  std::vector<ClusterResponseStats> cluster_response_;
+};
+
+}  // namespace net
+}  // namespace pldp
+
+#endif  // PLDP_NET_EPOCH_ENGINE_H_

@@ -1,0 +1,475 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace pldp {
+namespace net {
+
+namespace {
+
+constexpr unsigned kDefaultIoThreads = 2;
+constexpr unsigned kMaxIoThreads = 64;
+constexpr int kEpollBatch = 64;
+constexpr size_t kReadChunk = 64 * 1024;
+
+obs::Counter* NetCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+unsigned ResolveIoThreads(unsigned requested) {
+  unsigned threads = requested;
+  if (threads == 0) {
+    if (const char* env = std::getenv("PLDP_NET_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) threads = static_cast<unsigned>(parsed);
+    }
+  }
+  if (threads == 0) threads = kDefaultIoThreads;
+  if (threads > kMaxIoThreads) threads = kMaxIoThreads;
+  return threads;
+}
+
+/// One accepted socket owned by exactly one I/O loop.
+struct NetServer::Connection {
+  explicit Connection(int fd_in, uint64_t max_payload)
+      : fd(fd_in), decoder(/*expect_magic=*/true, max_payload) {}
+
+  int fd;
+  FrameDecoder decoder;
+  /// Pending outbound bytes: [out_consumed, out.size()) awaits the socket.
+  std::vector<uint8_t> out;
+  size_t out_consumed = 0;
+  bool want_write = false;
+};
+
+/// One epoll loop: its fds, its connections, and the transfer queue other
+/// threads park newly accepted sockets on.
+struct NetServer::IoLoop {
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::mutex mu;
+  std::vector<int> pending;  // accepted fds awaiting adoption (guarded by mu)
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+};
+
+NetServer::NetServer(EpochEngine* engine, NetServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  if (options_.max_frame_payload > kMaxFramePayload) {
+    options_.max_frame_payload = kMaxFramePayload;
+  }
+}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server is already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string err = strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + err);
+  }
+
+  const unsigned io_threads = ResolveIoThreads(options_.io_threads);
+  loops_.clear();
+  for (unsigned i = 0; i < io_threads; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->event_fd < 0) {
+      Stop();
+      return Status::IoError("epoll/eventfd setup failed");
+    }
+    epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->event_fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->event_fd, &ev);
+    loops_.push_back(std::move(loop));
+  }
+  {
+    epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+
+  running_.store(true, std::memory_order_release);
+  threads_.reserve(io_threads);
+  for (unsigned i = 0; i < io_threads; ++i) {
+    threads_.emplace_back(
+        [this, i] { LoopMain(loops_[i].get(), /*is_acceptor=*/i == 0); });
+  }
+  PLDP_LOG(Info) << "pldp daemon listening on " << options_.bind_address
+                 << ":" << port_ << " with " << io_threads
+                 << " I/O thread(s)";
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!running_.load(std::memory_order_acquire) &&
+      threads_.empty() && listen_fd_ < 0) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+  for (auto& loop : loops_) {
+    if (loop->event_fd >= 0) {
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(loop->event_fd, &one, sizeof(one));
+    }
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  for (auto& loop : loops_) {
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+    if (loop->event_fd >= 0) ::close(loop->event_fd);
+    for (auto& entry : loop->conns) ::close(entry.second->fd);
+    for (const int fd : loop->pending) ::close(fd);
+  }
+  loops_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      connections_closed_.load(std::memory_order_relaxed);
+  stats.frames_received = frames_received_.load(std::memory_order_relaxed);
+  stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  stats.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  stats.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void NetServer::LoopMain(IoLoop* loop, bool is_acceptor) {
+  epoll_event events[kEpollBatch];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop->epoll_fd, events, kEpollBatch, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PLDP_LOG(Warning) << "epoll_wait: " << strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop->event_fd) {
+        uint64_t drain = 0;
+        while (::read(loop->event_fd, &drain, sizeof(drain)) > 0) {
+        }
+        AcceptPending(loop);
+        continue;
+      }
+      if (is_acceptor && fd == listen_fd_) {
+        while (true) {
+          const int conn_fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (conn_fd < 0) break;  // EAGAIN, or teardown
+          const int one = 1;
+          ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+          static obs::Counter* accepted = NetCounter("net.connections");
+          accepted->Increment();
+          IoLoop* target =
+              loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                     loops_.size()]
+                  .get();
+          {
+            std::lock_guard<std::mutex> guard(target->mu);
+            target->pending.push_back(conn_fd);
+          }
+          if (target == loop) {
+            // Own loop: adopt immediately (outside the lock — AcceptPending
+            // re-locks mu).
+            AcceptPending(loop);
+          } else {
+            const uint64_t one_signal = 1;
+            [[maybe_unused]] ssize_t w = ::write(
+                target->event_fd, &one_signal, sizeof(one_signal));
+          }
+        }
+        continue;
+      }
+      const auto it = loop->conns.find(fd);
+      if (it == loop->conns.end()) continue;  // already closed this batch
+      Connection* conn = it->second.get();
+      bool alive = true;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        alive = false;
+      }
+      if (alive && (events[i].events & EPOLLIN)) {
+        alive = HandleReadable(loop, conn);
+      }
+      if (alive && (events[i].events & EPOLLOUT)) {
+        alive = FlushWrites(loop, conn);
+      }
+      if (!alive) CloseConnection(loop, conn);
+    }
+  }
+  // Teardown: Stop() closes the fds after the join, nothing to do here.
+}
+
+void NetServer::AcceptPending(IoLoop* loop) {
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> guard(loop->mu);
+    adopted.swap(loop->pending);
+  }
+  for (const int fd : adopted) {
+    epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      connections_closed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    loop->conns.emplace(
+        fd, std::make_unique<Connection>(fd, options_.max_frame_payload));
+  }
+}
+
+bool NetServer::HandleReadable(IoLoop* loop, Connection* conn) {
+  static obs::Counter* rx_bytes = NetCounter("net.bytes_received");
+  static obs::Counter* rx_frames = NetCounter("net.frames_received");
+  static obs::Counter* frame_errors = NetCounter("net.frame_errors");
+
+  uint8_t buf[kReadChunk];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      bytes_received_.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+      rx_bytes->Increment(static_cast<uint64_t>(n));
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  while (true) {
+    StatusOr<Frame> frame = conn->decoder.Next();
+    if (frame.ok()) {
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      rx_frames->Increment();
+      if (!HandleFrame(conn, *frame)) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        frame_errors->Increment();
+        return false;
+      }
+      continue;
+    }
+    if (frame.status().code() == StatusCode::kNotFound) break;
+    // Protocol violation: the decoder is poisoned, the connection dies.
+    frame_errors_.fetch_add(1, std::memory_order_relaxed);
+    frame_errors->Increment();
+    return false;
+  }
+  return FlushWrites(loop, conn);
+}
+
+bool NetServer::HandleFrame(Connection* conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kSpecUpload: {
+      const StatusOr<SpecUploadBody> body = ParseSpecUploadBody(frame.body);
+      if (!body.ok()) return false;
+      const SpecOutcome outcome =
+          engine_->RegisterSpec(body->user_id, body->msg);
+      const uint8_t accepted = (outcome == SpecOutcome::kAccepted ||
+                                outcome == SpecOutcome::kDuplicate)
+                                   ? 1
+                                   : 0;
+      QueueFrame(conn, FrameType::kSpecAck, {accepted});
+      return true;
+    }
+    case FrameType::kSealSpecs: {
+      const StatusOr<uint64_t> cohort = ParseSealSpecsBody(frame.body);
+      if (!cohort.ok()) return false;
+      const Status sealed = engine_->SealSpecs(*cohort);
+      if (!sealed.ok()) {
+        QueueFrame(conn, FrameType::kError, EncodeErrorBody(sealed));
+        return true;
+      }
+      QueueFrame(conn, FrameType::kSealSpecsAck,
+                 EncodeSealSpecsAckBody(engine_->num_clusters(),
+                                        engine_->spec_responders()));
+      return true;
+    }
+    case FrameType::kRowRequest: {
+      const StatusOr<uint64_t> user_id = ParseRowRequestBody(frame.body);
+      if (!user_id.ok()) return false;
+      const StatusOr<RowAssignmentMsg> assignment =
+          engine_->Assignment(*user_id);
+      if (!assignment.ok()) {
+        QueueFrame(conn, FrameType::kError,
+                   EncodeErrorBody(assignment.status()));
+        return true;
+      }
+      QueueFrame(conn, FrameType::kRowAssignment, assignment->Serialize());
+      return true;
+    }
+    case FrameType::kReport: {
+      const StatusOr<ReportBody> body = ParseReportBody(frame.body);
+      if (!body.ok()) return false;
+      const ReportOutcome outcome =
+          engine_->SubmitReport(body->user_id, body->msg);
+      QueueFrame(conn, FrameType::kReportAck,
+                 {static_cast<uint8_t>(outcome)});
+      return true;
+    }
+    case FrameType::kSealEpoch: {
+      const Status sealed = engine_->SealEpoch();
+      if (!sealed.ok()) {
+        QueueFrame(conn, FrameType::kError, EncodeErrorBody(sealed));
+        return true;
+      }
+      QueueFrame(conn, FrameType::kSealEpochAck,
+                 EncodeSealEpochAckBody(engine_->published().size()));
+      return true;
+    }
+    case FrameType::kFetchEstimates: {
+      if (engine_->phase() != EpochEngine::Phase::kPublished) {
+        QueueFrame(conn, FrameType::kError,
+                   EncodeErrorBody(Status::FailedPrecondition(
+                       "estimates are published after seal_epoch")));
+        return true;
+      }
+      QueueFrame(conn, FrameType::kEstimates,
+                 EncodeEstimatesBody(engine_->published()));
+      return true;
+    }
+    default:
+      // Server-bound streams never carry ack/error frames; receiving one is
+      // a protocol violation, same as a CRC mismatch.
+      return false;
+  }
+}
+
+void NetServer::QueueFrame(Connection* conn, FrameType type,
+                           const std::vector<uint8_t>& body) {
+  static obs::Counter* tx_frames = NetCounter("net.frames_sent");
+  const std::vector<uint8_t> encoded = EncodeFrame(type, body);
+  conn->out.insert(conn->out.end(), encoded.begin(), encoded.end());
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  tx_frames->Increment();
+}
+
+bool NetServer::FlushWrites(IoLoop* loop, Connection* conn) {
+  static obs::Counter* tx_bytes = NetCounter("net.bytes_sent");
+  while (conn->out_consumed < conn->out.size()) {
+    const ssize_t n =
+        ::write(conn->fd, conn->out.data() + conn->out_consumed,
+                conn->out.size() - conn->out_consumed);
+    if (n > 0) {
+      bytes_sent_.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
+      tx_bytes->Increment(static_cast<uint64_t>(n));
+      conn->out_consumed += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        epoll_event ev;
+        memset(&ev, 0, sizeof(ev));
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+        conn->want_write = true;
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  conn->out.clear();
+  conn->out_consumed = 0;
+  if (conn->want_write) {
+    epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->want_write = false;
+  }
+  return true;
+}
+
+void NetServer::CloseConnection(IoLoop* loop, Connection* conn) {
+  static obs::Counter* closed = NetCounter("net.connections_closed");
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  closed->Increment();
+  loop->conns.erase(conn->fd);
+}
+
+}  // namespace net
+}  // namespace pldp

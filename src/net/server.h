@@ -1,0 +1,140 @@
+#ifndef PLDP_NET_SERVER_H_
+#define PLDP_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/epoch_engine.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace pldp {
+namespace net {
+
+/// Configuration of the TCP front half of the aggregation daemon.
+struct NetServerOptions {
+  /// Listen address; the loopback default suits tests and the loadgen.
+  std::string bind_address = "127.0.0.1";
+
+  /// Port to bind; 0 asks the kernel for an ephemeral port (read it back
+  /// with port() after Start).
+  uint16_t port = 0;
+
+  /// listen(2) backlog.
+  int backlog = 1024;
+
+  /// I/O threads, each running its own epoll loop over a share of the
+  /// connections; 0 reads PLDP_NET_THREADS (clamped to [1, 64]), defaulting
+  /// to 2. Frame handling calls straight into the mutex-guarded EpochEngine;
+  /// report arrival stays O(1) per frame (staging), so a small set saturates
+  /// loopback well before the engine does.
+  unsigned io_threads = 0;
+
+  /// Per-connection frame payload ceiling (clamped to kMaxFramePayload).
+  uint64_t max_frame_payload = kMaxFramePayload;
+};
+
+/// Resolves the effective I/O thread count (options value, else
+/// PLDP_NET_THREADS, else 2; clamped to [1, 64]).
+unsigned ResolveIoThreads(unsigned requested);
+
+/// Aggregate socket accounting, readable while the server runs.
+struct NetServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  /// Connections dropped for protocol violations (bad magic, CRC mismatch,
+  /// oversized or unknown frames). Never causes partial ingest: the decoder
+  /// poisons before any byte of the bad frame is interpreted.
+  uint64_t frame_errors = 0;
+};
+
+/// Non-blocking epoll TCP daemon serving one EpochEngine.
+///
+/// Layout: Start() binds + listens, then spawns `io_threads` event loops.
+/// The listener lives on loop 0; accepted connections are handed round-robin
+/// to the loops via an eventfd-signalled transfer queue. Each loop owns its
+/// connections outright (per-connection FrameDecoder + write queue), so no
+/// connection state is ever shared between threads — the only cross-thread
+/// object is the engine, which guards itself.
+///
+/// Frame dispatch is synchronous: a decoded report frame is one O(1)
+/// EpochEngine::SubmitReport call (staging, no accumulator work), so the
+/// expensive O(m)-per-cluster fold never runs on the I/O path — it happens
+/// once, at seal, on the shared thread pool.
+///
+/// Stop() is graceful: stops accepting, drains the loops, closes every
+/// connection, joins the threads. The caller owns the durability decision
+/// (the CLI's SIGTERM handler calls Stop() then EpochEngine::Checkpoint()).
+class NetServer {
+ public:
+  /// `engine` must outlive the server.
+  NetServer(EpochEngine* engine, NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and spawns the I/O threads. Fails IoError on any
+  /// socket-layer refusal (port in use, bad address).
+  Status Start();
+
+  /// The bound port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// True between a successful Start() and Stop().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful shutdown; idempotent. Safe to call from a signal-driven path
+  /// (it only flags + writes eventfds, the loops do the teardown).
+  void Stop();
+
+  NetServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct IoLoop;
+
+  void LoopMain(IoLoop* loop, bool is_acceptor);
+  void AcceptPending(IoLoop* loop);
+  /// Reads until EAGAIN, decodes frames, dispatches. False => close.
+  bool HandleReadable(IoLoop* loop, Connection* conn);
+  /// Flushes the write queue until EAGAIN. False => close.
+  bool FlushWrites(IoLoop* loop, Connection* conn);
+  /// Dispatches one decoded frame into the engine, queueing the response.
+  /// False => protocol violation, close the connection.
+  bool HandleFrame(Connection* conn, const Frame& frame);
+  void QueueFrame(Connection* conn, FrameType type,
+                  const std::vector<uint8_t>& body);
+  void CloseConnection(IoLoop* loop, Connection* conn);
+
+  EpochEngine* engine_;
+  NetServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> next_loop_{0};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> frame_errors_{0};
+};
+
+}  // namespace net
+}  // namespace pldp
+
+#endif  // PLDP_NET_SERVER_H_

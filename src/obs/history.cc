@@ -184,13 +184,17 @@ bool Contains(const std::string& haystack, const char* needle) {
 
 StatDirection ClassifyStatDirection(const std::string& name) {
   // Lower-is-better tokens first: "violation_rate" must not match the
-  // higher-is-better "rate" family.
+  // higher-is-better "rate" family. "_ms" covers the net-service ingest
+  // latency percentiles (ingest_p95_ms) and any other millisecond timing;
+  // "shed" covers the daemon's shed_fraction.
   for (const char* token : {"err", "kl", "mae", "loss", "violation", "bytes",
-                            "retries", "dropped", "timeout", "latency"}) {
+                            "retries", "dropped", "timeout", "latency",
+                            "shed", "_ms"}) {
     if (Contains(name, token)) return StatDirection::kLowerIsBetter;
   }
   for (const char* token :
-       {"recall", "precision", "coverage", "throughput", "responders"}) {
+       {"recall", "precision", "coverage", "throughput", "responders",
+        "per_sec", "bit_identical"}) {
     if (Contains(name, token)) return StatDirection::kHigherIsBetter;
   }
   return StatDirection::kUnknown;

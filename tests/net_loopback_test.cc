@@ -1,0 +1,276 @@
+// Loopback integration of the aggregation daemon: a real NetServer on
+// 127.0.0.1 driven by real NetClient connections must publish estimates
+// bit-identical to the in-process AggregationServer over the same cohort,
+// reject corrupted streams by closing, and — stopped mid-epoch the way the
+// CLI's SIGTERM handler does — leave a checkpoint a fresh engine restores.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/psda.h"
+#include "net/client.h"
+#include "net/epoch_engine.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "protocol/client.h"
+#include "protocol/messages.h"
+#include "protocol/server.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace net {
+namespace {
+
+SpatialTaxonomy MakeTaxonomy(uint32_t side = 8) {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, static_cast<double>(side),
+                                      static_cast<double>(side)},
+                          1, 1)
+          .value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+struct Cohort {
+  std::vector<PrivacySpec> specs;
+  std::vector<CellId> cells;
+};
+
+Cohort MakeCohort(const SpatialTaxonomy& tax, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Cohort cohort;
+  const double epsilons[] = {0.5, 1.0};
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell =
+        static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    const uint32_t level = static_cast<uint32_t>(rng.NextUint64(3));
+    PrivacySpec spec;
+    spec.safe_region = tax.AncestorAbove(tax.LeafNodeOfCell(cell), level);
+    spec.epsilon = epsilons[rng.NextUint64(2)];
+    cohort.specs.push_back(spec);
+    cohort.cells.push_back(cell);
+  }
+  return cohort;
+}
+
+std::vector<DeviceClient> MakeClients(const SpatialTaxonomy& tax,
+                                      const Cohort& cohort, uint64_t seed) {
+  std::vector<DeviceClient> clients;
+  clients.reserve(cohort.specs.size());
+  for (size_t i = 0; i < cohort.specs.size(); ++i) {
+    clients.emplace_back(&tax, cohort.cells[i], cohort.specs[i],
+                         SplitMix64(seed ^ (i + 1)));
+  }
+  return clients;
+}
+
+// Uploads specs for users [begin, end) over `conn` and, after the spec seal,
+// replays the report round for the same slice.
+void UploadSpecsOver(NetClient* conn, const Cohort& cohort, size_t begin,
+                     size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    SpecUploadMsg msg;
+    msg.safe_region = cohort.specs[i].safe_region;
+    msg.epsilon = cohort.specs[i].epsilon;
+    const auto accepted = conn->UploadSpec(i, msg);
+    ASSERT_TRUE(accepted.ok()) << accepted.status();
+    EXPECT_TRUE(accepted.value()) << "user " << i;
+  }
+}
+
+void ReportOver(NetClient* conn, std::vector<DeviceClient>* devices,
+                size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    const auto assignment = conn->FetchAssignment(i);
+    ASSERT_TRUE(assignment.ok()) << assignment.status();
+    const auto reply =
+        (*devices)[i].HandleRowAssignment(assignment->Serialize());
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    const ReportMsg report = ReportMsg::Parse(reply.value()).value();
+    const auto outcome = conn->SubmitReport(i, report);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome.value(), ReportOutcome::kAccepted) << "user " << i;
+  }
+}
+
+TEST(NetLoopbackTest, BitIdenticalToInProcessRun) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 400;
+  const uint64_t seed = 42;
+  const Cohort cohort = MakeCohort(tax, n, seed);
+
+  PsdaOptions psda;
+  psda.seed = seed;
+  EpochEngineOptions engine_options;
+  engine_options.psda = psda;
+  EpochEngine engine(&tax, engine_options);
+
+  NetServerOptions server_options;
+  server_options.io_threads = 2;
+  NetServer server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  ASSERT_GT(port, 0);
+
+  // Three concurrent connections, each owning a contiguous user slice —
+  // the smallest shape that still exercises cross-connection ingest.
+  NetClient conns[3];
+  const size_t bounds[4] = {0, n / 3, 2 * n / 3, n};
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_TRUE(conns[c].Connect("127.0.0.1", port).ok());
+    UploadSpecsOver(&conns[c], cohort, bounds[c], bounds[c + 1]);
+  }
+
+  const auto seal = conns[0].SealSpecs(n);
+  ASSERT_TRUE(seal.ok()) << seal.status();
+  EXPECT_EQ(seal->spec_responders, static_cast<uint64_t>(n));
+  EXPECT_GT(seal->num_clusters, 0u);
+
+  std::vector<DeviceClient> devices = MakeClients(tax, cohort, seed);
+  for (int c = 0; c < 3; ++c) {
+    ReportOver(&conns[c], &devices, bounds[c], bounds[c + 1]);
+  }
+
+  const auto sealed = conns[1].SealEpoch();
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+  EXPECT_EQ(sealed.value(), tax.grid().num_cells());
+
+  const auto estimates = conns[2].FetchEstimates();
+  ASSERT_TRUE(estimates.ok()) << estimates.status();
+  server.Stop();
+
+  auto clients = MakeClients(tax, cohort, seed);
+  AggregationServer in_process(&tax, psda);
+  const PsdaResult baseline = in_process.Collect(&clients, nullptr).value();
+  ASSERT_EQ(estimates->size(), baseline.counts.size());
+  for (size_t k = 0; k < baseline.counts.size(); ++k) {
+    EXPECT_EQ((*estimates)[k], baseline.counts[k]) << "cell " << k;
+  }
+
+  const NetServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 3u);
+  EXPECT_GT(stats.frames_received, static_cast<uint64_t>(2 * n));
+  EXPECT_EQ(stats.frame_errors, 0u);
+}
+
+TEST(NetLoopbackTest, CorruptFrameClosesConnectionCleanly) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  EpochEngineOptions engine_options;
+  engine_options.psda.seed = 9;
+  EpochEngine engine(&tax, engine_options);
+  NetServerOptions server_options;
+  server_options.io_threads = 1;
+  NetServer server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient bad;
+  ASSERT_TRUE(bad.Connect("127.0.0.1", server.port()).ok());
+  // A structurally complete frame whose payload bit was flipped: the CRC
+  // cannot verify, so the server must close without interpreting a byte.
+  std::vector<uint8_t> frame =
+      EncodeFrame(FrameType::kRowRequest, EncodeRowRequestBody(1));
+  frame.back() ^= 0x04;
+  ASSERT_TRUE(bad.SendRaw(frame).ok());
+  const auto reply = bad.ReadAssignment();
+  EXPECT_FALSE(reply.ok());
+
+  // The engine saw nothing and a healthy connection still works.
+  NetClient good;
+  ASSERT_TRUE(good.Connect("127.0.0.1", server.port()).ok());
+  SpecUploadMsg msg;
+  msg.safe_region = tax.root();
+  msg.epsilon = 1.0;
+  const auto accepted = good.UploadSpec(0, msg);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_TRUE(accepted.value());
+
+  server.Stop();
+  EXPECT_GE(server.stats().frame_errors, 1u);
+  EXPECT_EQ(engine.stats().unknown_user_frames, 0u);
+}
+
+TEST(NetLoopbackTest, ErrorFramesCarryStatusAcrossTheWire) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  EpochEngineOptions engine_options;
+  engine_options.psda.seed = 11;
+  EpochEngine engine(&tax, engine_options);
+  NetServer server(&engine, NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+  // Estimates before any publish: the daemon answers kError with the
+  // engine's FailedPrecondition, which the client surfaces as that Status.
+  const auto estimates = conn.FetchEstimates();
+  ASSERT_FALSE(estimates.ok());
+  EXPECT_EQ(estimates.status().code(), StatusCode::kFailedPrecondition);
+
+  // The connection survives an error frame (it is a reply, not a violation).
+  SpecUploadMsg msg;
+  msg.safe_region = tax.root();
+  msg.epsilon = 0.5;
+  const auto accepted = conn.UploadSpec(3, msg);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  server.Stop();
+}
+
+TEST(NetLoopbackTest, StopMidEpochLeavesRestorableCheckpoint) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 300;
+  const uint64_t seed = 65;
+  const Cohort cohort = MakeCohort(tax, n, seed);
+  const std::string dir = ::testing::TempDir() + "/pldp_net_loopback_restore";
+
+  PsdaOptions psda;
+  psda.seed = seed;
+  EpochEngineOptions engine_options;
+  engine_options.psda = psda;
+  engine_options.epoch = 2;
+  engine_options.checkpoint.dir = dir;
+
+  // First daemon: specs sealed, half the reports ingested, then the CLI's
+  // SIGTERM sequence — Stop() the sockets, Checkpoint() the engine.
+  {
+    EpochEngine engine(&tax, engine_options);
+    NetServer server(&engine, NetServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    NetClient conn;
+    ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+    UploadSpecsOver(&conn, cohort, 0, n);
+    ASSERT_TRUE(conn.SealSpecs(n).ok());
+    std::vector<DeviceClient> devices = MakeClients(tax, cohort, seed);
+    ReportOver(&conn, &devices, 0, n / 2);
+    server.Stop();
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    EXPECT_EQ(engine.phase(), EpochEngine::Phase::kCollectingReports);
+  }
+
+  // Second daemon: restore, then finish the epoch over a fresh socket.
+  EpochEngine engine(&tax, engine_options);
+  ASSERT_TRUE(engine.RestoreLatest().ok());
+  EXPECT_EQ(engine.phase(), EpochEngine::Phase::kCollectingReports);
+  EXPECT_EQ(engine.stats().restored_reports, static_cast<uint64_t>(n / 2));
+
+  NetServer server(&engine, NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  NetClient conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+  std::vector<DeviceClient> devices = MakeClients(tax, cohort, seed);
+  ReportOver(&conn, &devices, n / 2, n);
+  const auto sealed = conn.SealEpoch();
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+  const auto estimates = conn.FetchEstimates();
+  ASSERT_TRUE(estimates.ok()) << estimates.status();
+  server.Stop();
+
+  const double total =
+      std::accumulate(estimates->begin(), estimates->end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(n), 1e-6);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pldp

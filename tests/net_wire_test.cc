@@ -1,0 +1,245 @@
+// Wire format v1 (docs/service.md): frame encode/decode round-trips, typed
+// body codecs, and the FrameDecoder's incremental-feed and poisoning
+// discipline. The bit-exactness of the estimates body is load-bearing — the
+// loadgen's bit-identity check compares doubles shipped through it.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+#include "protocol/messages.h"
+#include "util/bit_vector.h"
+
+namespace pldp {
+namespace net {
+namespace {
+
+std::vector<uint8_t> WithMagic(const std::vector<uint8_t>& frames) {
+  std::vector<uint8_t> stream(reinterpret_cast<const uint8_t*>(kNetMagic),
+                              reinterpret_cast<const uint8_t*>(kNetMagic) +
+                                  kNetMagicLen);
+  stream.insert(stream.end(), frames.begin(), frames.end());
+  return stream;
+}
+
+TEST(NetWireTest, FrameRoundTripsThroughDecoder) {
+  const std::vector<uint8_t> body = {0x01, 0x02, 0xFF, 0x00, 0x7F};
+  const std::vector<uint8_t> encoded = EncodeFrame(FrameType::kReport, body);
+  ASSERT_EQ(encoded.size(), kFrameHeaderLen + 1 + body.size());
+
+  FrameDecoder decoder(/*expect_magic=*/false);
+  decoder.Feed(encoded);
+  const auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, FrameType::kReport);
+  EXPECT_EQ(frame->body, body);
+  EXPECT_EQ(decoder.buffered(), 0u);
+
+  // No more frames: NotFound is "need more bytes", not an error.
+  const auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(decoder.poisoned());
+}
+
+TEST(NetWireTest, DecoderConsumesMagicThenFrames) {
+  std::vector<uint8_t> frames = EncodeFrame(FrameType::kSealEpoch, {});
+  const std::vector<uint8_t> more = EncodeFrame(FrameType::kFetchEstimates, {});
+  frames.insert(frames.end(), more.begin(), more.end());
+
+  FrameDecoder decoder(/*expect_magic=*/true);
+  decoder.Feed(WithMagic(frames));
+  const auto first = decoder.Next();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->type, FrameType::kSealEpoch);
+  const auto second = decoder.Next();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->type, FrameType::kFetchEstimates);
+}
+
+TEST(NetWireTest, DecoderHandlesByteAtATimeFeed) {
+  const std::vector<uint8_t> body(300, 0xAB);
+  const std::vector<uint8_t> stream =
+      WithMagic(EncodeFrame(FrameType::kRowAssignment, body));
+
+  FrameDecoder decoder(/*expect_magic=*/true);
+  size_t frames_seen = 0;
+  for (const uint8_t byte : stream) {
+    decoder.Feed(&byte, 1);
+    const auto frame = decoder.Next();
+    if (frame.ok()) {
+      ++frames_seen;
+      EXPECT_EQ(frame->body, body);
+    } else {
+      ASSERT_EQ(frame.status().code(), StatusCode::kNotFound)
+          << frame.status();
+    }
+  }
+  EXPECT_EQ(frames_seen, 1u);
+}
+
+TEST(NetWireTest, BadMagicPoisons) {
+  std::vector<uint8_t> stream = WithMagic(EncodeFrame(FrameType::kReport, {}));
+  stream[3] ^= 0x01;
+  FrameDecoder decoder(/*expect_magic=*/true);
+  decoder.Feed(stream);
+  const auto frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(NetWireTest, CrcMismatchPoisonsStickily) {
+  std::vector<uint8_t> encoded = EncodeFrame(FrameType::kReport, {0x01});
+  encoded.back() ^= 0x10;  // flip a payload bit; CRC no longer verifies
+
+  FrameDecoder decoder(/*expect_magic=*/false);
+  decoder.Feed(encoded);
+  const auto bad = decoder.Next();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoder.poisoned());
+
+  // Sticky: even a fresh valid frame cannot resynchronize the stream.
+  decoder.Feed(EncodeFrame(FrameType::kReport, {0x01}));
+  const auto still_bad = decoder.Next();
+  ASSERT_FALSE(still_bad.ok());
+  EXPECT_EQ(still_bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, OversizedLengthPoisonsBeforeBuffering) {
+  // A length field above max_payload must poison immediately — the decoder
+  // must never try to buffer attacker-chosen gigabytes.
+  FrameDecoder decoder(/*expect_magic=*/false, /*max_payload=*/64);
+  const uint32_t huge = 1024;
+  std::vector<uint8_t> header(8, 0);
+  memcpy(header.data(), &huge, 4);
+  decoder.Feed(header);
+  const auto frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(NetWireTest, UnknownFrameTypePoisons) {
+  FrameDecoder decoder(/*expect_magic=*/false);
+  decoder.Feed(EncodeFrame(static_cast<FrameType>(200), {0x00}));
+  const auto frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, EmptyPayloadFrameIsRejected) {
+  // A frame needs at least the type byte; a zero-length payload cannot name
+  // a frame type and must poison rather than decode.
+  const uint32_t zero_len = 0;
+  std::vector<uint8_t> raw(8, 0);
+  memcpy(raw.data(), &zero_len, 4);
+  FrameDecoder decoder(/*expect_magic=*/false);
+  decoder.Feed(raw);
+  EXPECT_FALSE(decoder.Next().ok());
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(NetWireTest, SpecUploadBodyRoundTrips) {
+  SpecUploadMsg msg;
+  msg.safe_region = 17;
+  msg.epsilon = 0.75;
+  const auto body = EncodeSpecUploadBody(0xDEADBEEFCAFEull, msg);
+  const auto parsed = ParseSpecUploadBody(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->user_id, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(parsed->msg.safe_region, 17u);
+  EXPECT_DOUBLE_EQ(parsed->msg.epsilon, 0.75);
+
+  // Trailing garbage after the embedded message is a protocol violation.
+  auto trailing = body;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(ParseSpecUploadBody(trailing).ok());
+}
+
+TEST(NetWireTest, SealSpecsBodiesRoundTrip) {
+  const auto body = EncodeSealSpecsBody(1000000);
+  const auto parsed = ParseSealSpecsBody(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value(), 1000000u);
+
+  const auto ack = EncodeSealSpecsAckBody(37, 999983);
+  const auto parsed_ack = ParseSealSpecsAckBody(ack);
+  ASSERT_TRUE(parsed_ack.ok()) << parsed_ack.status();
+  EXPECT_EQ(parsed_ack->num_clusters, 37u);
+  EXPECT_EQ(parsed_ack->spec_responders, 999983u);
+  EXPECT_FALSE(ParseSealSpecsAckBody({}).ok());
+}
+
+TEST(NetWireTest, RowRequestAndReportBodiesRoundTrip) {
+  const auto req = EncodeRowRequestBody(42);
+  const auto parsed_req = ParseRowRequestBody(req);
+  ASSERT_TRUE(parsed_req.ok());
+  EXPECT_EQ(parsed_req.value(), 42u);
+
+  ReportMsg report;
+  report.positive = true;
+  const auto body = EncodeReportBody(7, report);
+  const auto parsed = ParseReportBody(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->user_id, 7u);
+  EXPECT_TRUE(parsed->msg.positive);
+  EXPECT_FALSE(ParseReportBody({}).ok());
+}
+
+TEST(NetWireTest, SealEpochAckRoundTrips) {
+  const auto body = EncodeSealEpochAckBody(4096);
+  const auto parsed = ParseSealEpochAckBody(body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), 4096u);
+}
+
+TEST(NetWireTest, EstimatesBodyIsBitExact) {
+  // Estimates travel as raw IEEE-754 bits: denormals, negative zero, and
+  // values with no short decimal form must survive unchanged.
+  const std::vector<double> counts = {0.0, -0.0, 1.0 / 3.0,
+                                      5e-324,  // smallest denormal
+                                      -123456.789012345,
+                                      1.7976931348623157e308};
+  const auto body = EncodeEstimatesBody(counts);
+  const auto parsed = ParseEstimatesBody(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), counts.size());
+  EXPECT_EQ(0, memcmp(parsed->data(), counts.data(),
+                      counts.size() * sizeof(double)));
+
+  // Truncated payload: count promises more doubles than are present.
+  auto truncated = body;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(ParseEstimatesBody(truncated).ok());
+}
+
+TEST(NetWireTest, ErrorBodyCarriesStatus) {
+  const Status status = Status::FailedPrecondition("epoch already sealed");
+  const auto body = EncodeErrorBody(status);
+  const auto parsed = ParseErrorBody(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(parsed->message, "epoch already sealed");
+  const Status round = parsed->ToStatus();
+  EXPECT_EQ(round.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetWireTest, ReportOutcomeParseValidatesRange) {
+  for (uint8_t b = 0; b <= 5; ++b) {
+    const auto outcome = ParseReportOutcome(b);
+    ASSERT_TRUE(outcome.ok()) << static_cast<int>(b);
+    EXPECT_EQ(static_cast<uint8_t>(outcome.value()), b);
+    EXPECT_NE(ReportOutcomeName(outcome.value()), nullptr);
+  }
+  EXPECT_FALSE(ParseReportOutcome(6).ok());
+  EXPECT_FALSE(ParseReportOutcome(255).ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pldp

@@ -186,6 +186,26 @@ TEST(HistoryTest, ClassifyStatDirection) {
   EXPECT_EQ(ClassifyStatDirection("recall_at_10"),
             StatDirection::kHigherIsBetter);
   EXPECT_EQ(ClassifyStatDirection("merges"), StatDirection::kUnknown);
+
+  // Net-service stats (BENCH_net_service.json): throughput up, ingest
+  // latency percentiles and shed fraction down, bit-identity up.
+  EXPECT_EQ(ClassifyStatDirection("ingest.reports_per_sec"),
+            StatDirection::kHigherIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("spec_upload.specs_per_sec"),
+            StatDirection::kHigherIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("ingest.ingest_p50_ms"),
+            StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("ingest.ingest_p95_ms"),
+            StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("ingest.ingest_p99_ms"),
+            StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("ingest.shed_fraction"),
+            StatDirection::kLowerIsBetter);
+  // "bytes" outranks "per_sec": a bandwidth stat stays lower-is-better.
+  EXPECT_EQ(ClassifyStatDirection("net.bytes_per_sec"),
+            StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("ingest.bit_identical"),
+            StatDirection::kHigherIsBetter);
 }
 
 std::vector<BenchRunRecord> StableHistory() {
