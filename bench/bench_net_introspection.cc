@@ -1,0 +1,223 @@
+// Scrape-under-load cost of the live-introspection plane: two loopback
+// epochs over identical cohorts, one with every observability surface off,
+// one with the flight recorder + metrics registry enabled and an admin
+// scraper (GET /metrics) plus a kStatsRequest poller hammering the daemon at
+// ~10ms cadence while reports ingest. Reports/sec of both legs and the
+// overhead fraction land in BENCH_net_introspection.json; the benchdiff gate
+// classifies reports_per_sec as higher-is-better and scrape_overhead_frac as
+// lower-is-better, so a scrape path that starts costing ingest throughput
+// fails the diff.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "geo/taxonomy.h"
+#include "net/admin.h"
+#include "net/client.h"
+#include "net/epoch_engine.h"
+#include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "protocol/client.h"
+#include "protocol/messages.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace pldp {
+namespace {
+
+using net::NetClient;
+
+struct Cohort {
+  std::vector<PrivacySpec> specs;
+  std::vector<CellId> cells;
+};
+
+SpatialTaxonomy MakeTaxonomy() {
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 16, 16}, 1, 1).value();
+  return SpatialTaxonomy::Build(grid, 4).value();
+}
+
+Cohort MakeCohort(const SpatialTaxonomy& tax, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Cohort cohort;
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell =
+        static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    PrivacySpec spec;
+    spec.safe_region = tax.AncestorAbove(
+        tax.LeafNodeOfCell(cell), static_cast<uint32_t>(rng.NextUint64(3)));
+    spec.epsilon = rng.Bernoulli(0.5) ? 0.5 : 1.0;
+    cohort.specs.push_back(spec);
+    cohort.cells.push_back(cell);
+  }
+  return cohort;
+}
+
+void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// One full loopback epoch; returns the report-phase wall seconds. With
+/// `introspect` the flight recorder, the metrics registry, an admin HTTP
+/// scraper, and a control-frame stats poller all run against the live
+/// daemon for the whole phase.
+double RunEpochLeg(const SpatialTaxonomy& tax, const Cohort& cohort,
+                   uint64_t seed, bool introspect) {
+  auto& recorder = obs::FlightRecorder::Global();
+  auto& registry = obs::MetricsRegistry::Global();
+  if (introspect) {
+    recorder.Enable(65536);
+    registry.set_enabled(true);
+  } else {
+    recorder.Disable();
+    registry.set_enabled(false);
+  }
+
+  const size_t n = cohort.specs.size();
+  net::EpochEngineOptions engine_options;
+  engine_options.psda.seed = seed;
+  net::EpochEngine engine(&tax, engine_options);
+  net::NetServerOptions server_options;
+  server_options.io_threads = 2;
+  net::NetServer server(&engine, server_options);
+  CheckOk(server.Start(), "server start");
+
+  std::unique_ptr<net::AdminServer> admin;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> aux;
+  if (introspect) {
+    admin = std::make_unique<net::AdminServer>(
+        net::AdminServerOptions{},
+        [&server] { return net::RenderStatusJson(server.ServiceStats()); });
+    CheckOk(admin->Start(), "admin start");
+    const uint16_t admin_port = admin->port();
+    aux.emplace_back([admin_port, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)net::HttpGet("127.0.0.1", admin_port, "/metrics");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    const uint16_t port = server.port();
+    aux.emplace_back([port, &stop] {
+      NetClient poller;
+      if (!poller.Connect("127.0.0.1", port).ok()) return;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!poller.FetchStats().ok()) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      poller.Close();
+    });
+  }
+
+  NetClient conn;
+  CheckOk(conn.Connect("127.0.0.1", server.port()), "connect");
+  for (size_t i = 0; i < n; ++i) {
+    SpecUploadMsg msg;
+    msg.safe_region = cohort.specs[i].safe_region;
+    msg.epsilon = cohort.specs[i].epsilon;
+    CheckOk(conn.UploadSpec(i, msg).status(), "spec upload");
+  }
+  CheckOk(conn.SealSpecs(n).status(), "seal specs");
+
+  std::vector<DeviceClient> devices;
+  devices.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    devices.emplace_back(&tax, cohort.cells[i], cohort.specs[i],
+                         SplitMix64(seed ^ (i + 1)));
+  }
+
+  Stopwatch ingest_timer;
+  for (size_t i = 0; i < n; ++i) {
+    const auto assignment = conn.FetchAssignment(i);
+    CheckOk(assignment.status(), "assignment");
+    const auto reply = devices[i].HandleRowAssignment(assignment->Serialize());
+    CheckOk(reply.status(), "device report");
+    CheckOk(
+        conn.SubmitReport(i, ReportMsg::Parse(reply.value()).value()).status(),
+        "report");
+  }
+  const double ingest_seconds = ingest_timer.ElapsedSeconds();
+
+  CheckOk(conn.SealEpoch().status(), "seal epoch");
+  CheckOk(conn.FetchEstimates().status(), "estimates");
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : aux) t.join();
+  if (admin) admin->Stop();
+  conn.Close();
+  server.Stop();
+
+  // BenchReport enabled collection at startup; keep the registry live after
+  // a baseline leg so the embedded snapshot still accumulates.
+  registry.set_enabled(true);
+  recorder.Disable();
+  return ingest_seconds;
+}
+
+int Run() {
+  const BenchProfile profile = GetBenchProfile();
+  bench::PrintProfileBanner("net_introspection", profile);
+  const size_t n = static_cast<size_t>(
+      std::max(400.0, 40000.0 * profile.scale));
+  const uint64_t seed = 2016;
+
+  bench::BenchReport report("net_introspection");
+  report.AddParam("profile", profile.name);
+  report.AddParam("users", static_cast<uint64_t>(n));
+  report.AddParam("runs", profile.runs);
+
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const Cohort cohort = MakeCohort(tax, n, seed);
+
+  // One untimed epoch absorbs cold-start costs (page faults, listener
+  // setup, allocator warm-up) that would otherwise bias whichever leg
+  // happens to run first.
+  (void)RunEpochLeg(tax, cohort, seed + 9999, /*introspect=*/false);
+
+  std::vector<double> base_rates;
+  std::vector<double> intro_rates;
+  for (int run = 0; run < profile.runs; ++run) {
+    const double base_s =
+        RunEpochLeg(tax, cohort, seed + run, /*introspect=*/false);
+    const double intro_s =
+        RunEpochLeg(tax, cohort, seed + run, /*introspect=*/true);
+    report.AddSample("baseline", base_s);
+    report.AddSample("introspected", intro_s);
+    base_rates.push_back(static_cast<double>(n) / base_s);
+    intro_rates.push_back(static_cast<double>(n) / intro_s);
+    std::printf("run %d: baseline %.0f reports/s, introspected %.0f "
+                "reports/s\n",
+                run, base_rates.back(), intro_rates.back());
+  }
+
+  const double base = bench::Median(base_rates);
+  const double intro = bench::Median(intro_rates);
+  const double overhead = base > 0.0 ? (base - intro) / base : 0.0;
+  report.AddCaseStat("baseline", "reports_per_sec", base);
+  report.AddCaseStat("introspected", "reports_per_sec", intro);
+  report.AddCaseStat("introspected", "scrape_overhead_frac", overhead);
+  std::printf("median: baseline %.0f reports/s, introspected %.0f reports/s "
+              "(overhead %.2f%%)\n",
+              base, intro, overhead * 100.0);
+
+  CheckOk(report.Write(), "bench report");
+  std::printf("report written to %s\n", report.OutputPath().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pldp
+
+int main() { return pldp::Run(); }

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <csignal>
 #include <iomanip>
+#include <memory>
 #include <thread>
 
 #include "baselines/uniform_grid.h"
@@ -17,9 +18,12 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "geo/taxonomy.h"
+#include "net/admin.h"
+#include "net/client.h"
 #include "net/epoch_engine.h"
 #include "net/server.h"
 #include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
@@ -330,6 +334,20 @@ obs::RunManifest BuildCliManifest(const CliOptions& options) {
     manifest.AddParam("shed", options.shed);
     manifest.AddParam("retries", static_cast<uint64_t>(options.retries));
   }
+  if (options.command == "serve") {
+    manifest.AddParam("bind", options.bind);
+    manifest.AddParam("port", static_cast<uint64_t>(options.port));
+    manifest.AddParam("io_threads", static_cast<uint64_t>(options.io_threads));
+    manifest.AddParam("epoch", options.epoch);
+    manifest.AddParam("shed", options.shed);
+    if (options.admin_port_set) {
+      manifest.AddParam("admin_port", static_cast<uint64_t>(options.admin_port));
+    }
+    if (!options.flight_out.empty()) {
+      manifest.AddParam("flight_out", options.flight_out);
+      manifest.AddParam("flight_events", options.flight_events);
+    }
+  }
   return manifest;
 }
 
@@ -366,6 +384,12 @@ volatile std::sig_atomic_t g_serve_stop = 0;
 
 void HandleServeSignal(int) { g_serve_stop = 1; }
 
+/// Set by the SIGUSR1 handler; the serve loop performs the actual flight
+/// recorder dump (file I/O never happens in the handler).
+volatile std::sig_atomic_t g_serve_dump = 0;
+
+void HandleDumpSignal(int) { g_serve_dump = 1; }
+
 Status RunServeCommand(const CliOptions& options, std::ostream& out) {
   PLDP_ASSIGN_OR_RETURN(Dataset dataset, LoadCliDataset(options));
   PLDP_ASSIGN_OR_RETURN(UniformGrid grid, dataset.MakeGrid());
@@ -392,33 +416,104 @@ Status RunServeCommand(const CliOptions& options, std::ostream& out) {
         << " reports restored)\n";
   }
 
+  // The flight recorder must be live before the first connection so the
+  // earliest frames land in the ring; the ring is sized up front and never
+  // reallocated while the I/O threads record into it.
+  auto& recorder = obs::FlightRecorder::Global();
+  const bool flight_enabled = !options.flight_out.empty();
+  if (flight_enabled) {
+    recorder.Enable(static_cast<size_t>(options.flight_events));
+    out << "flight recorder enabled: " << recorder.capacity()
+        << " event ring, dumping to " << options.flight_out << "\n";
+  }
+
+  // Handlers go in before the listening banner: anything scripting the
+  // daemon keys on that line, and may signal immediately after seeing it.
+  g_serve_stop = 0;
+  g_serve_dump = 0;
+  void (*prev_term)(int) = std::signal(SIGTERM, HandleServeSignal);
+  void (*prev_int)(int) = std::signal(SIGINT, HandleServeSignal);
+  void (*prev_usr1)(int) = std::signal(SIGUSR1, HandleDumpSignal);
+  const auto restore_signals = [&] {
+    std::signal(SIGTERM, prev_term);
+    std::signal(SIGINT, prev_int);
+    std::signal(SIGUSR1, prev_usr1);
+  };
+
   net::NetServerOptions server_options;
   server_options.bind_address = options.bind;
   server_options.port = static_cast<uint16_t>(options.port);
   server_options.backlog = static_cast<int>(options.backlog);
   server_options.io_threads = options.io_threads;
   net::NetServer server(&engine, server_options);
-  PLDP_RETURN_IF_ERROR(server.Start());
+  const Status server_started = server.Start();
+  if (!server_started.ok()) {
+    restore_signals();
+    return server_started;
+  }
   // Scripts scrape this line for the (possibly kernel-assigned) port.
   out << "pldp daemon listening on " << options.bind << ":" << server.port()
       << " (" << net::ResolveIoThreads(server_options.io_threads)
       << " io threads, " << grid.num_cells() << " cells)\n";
   out.flush();
 
-  g_serve_stop = 0;
-  void (*prev_term)(int) = std::signal(SIGTERM, HandleServeSignal);
-  void (*prev_int)(int) = std::signal(SIGINT, HandleServeSignal);
+  // The admin endpoint serves the live registry and the same status snapshot
+  // the kStatsResponse frame carries; it runs on its own listener + thread so
+  // a scrape never competes with data-plane epoll work.
+  std::unique_ptr<net::AdminServer> admin;
+  if (options.admin_port_set) {
+    net::AdminServerOptions admin_options;
+    admin_options.bind_address = options.bind;
+    admin_options.port = static_cast<uint16_t>(options.admin_port);
+    admin = std::make_unique<net::AdminServer>(
+        admin_options,
+        [&server] { return net::RenderStatusJson(server.ServiceStats()); });
+    const Status admin_started = admin->Start();
+    if (!admin_started.ok()) {
+      server.Stop();
+      restore_signals();
+      return admin_started;
+    }
+    // Same scrapeable shape as the daemon line above.
+    out << "admin endpoint listening on " << options.bind << ":"
+        << admin->port() << "\n";
+    out.flush();
+  }
+
+  const auto dump_flight = [&](const char* why) {
+    if (!flight_enabled) return;
+    const Status dumped = recorder.DumpChromeTrace(options.flight_out);
+    if (dumped.ok()) {
+      out << "flight recorder dump (" << why << "): " << options.flight_out
+          << " (" << recorder.recorded() << " recorded, "
+          << recorder.overwritten() << " overwritten)\n";
+      out.flush();
+    } else {
+      out << "flight recorder dump failed: " << dumped.ToString() << "\n";
+    }
+  };
+
   while (g_serve_stop == 0) {
     if (options.serve_once &&
         engine.phase() == net::EpochEngine::Phase::kPublished) {
       break;
     }
+    if (g_serve_dump != 0) {
+      g_serve_dump = 0;
+      dump_flight("SIGUSR1");
+    }
+    if (recorder.ConsumeDumpRequest()) {
+      // A recording site (decoder poison) asked for a dump; the serve loop
+      // does the file I/O so the hot path never blocks on disk.
+      dump_flight("poison");
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   const bool interrupted = g_serve_stop != 0;
-  std::signal(SIGTERM, prev_term);
-  std::signal(SIGINT, prev_int);
+  restore_signals();
+  if (admin) admin->Stop();
   server.Stop();
+  dump_flight("shutdown");
 
   const net::NetServerStats socket_stats = server.stats();
   const net::NetEpochStats epoch_stats = engine.stats();
@@ -451,10 +546,107 @@ Status RunServeCommand(const CliOptions& options, std::ostream& out) {
   return Status::OK();
 }
 
+const char* StatPhaseName(uint8_t phase) {
+  switch (phase) {
+    case 0:
+      return "collecting specs";
+    case 1:
+      return "collecting reports";
+    case 2:
+      return "published";
+  }
+  return "unknown";
+}
+
+/// Renders one status frame as the single-screen `pldp_cli stat` view.
+/// `reports_per_sec` < 0 means "no previous sample to difference against".
+void RenderStatScreen(std::ostream& out, const std::string& target,
+                      const net::StatsBody& stats, double reports_per_sec) {
+  out << "pldp daemon " << target << " — " << StatPhaseName(stats.phase)
+      << (stats.draining ? " (draining)" : "") << ", up "
+      << stats.uptime_ms / 1000 << "." << std::setw(1)
+      << (stats.uptime_ms % 1000) / 100 << "s\n";
+  out << "  epoch    cohort " << stats.cohort_size << ", responders "
+      << stats.spec_responders << ", clusters " << stats.num_clusters
+      << ", published cells " << stats.published_cells << "\n";
+  out << "  specs    " << stats.specs_accepted << " accepted, "
+      << stats.specs_duplicate << " duplicate, " << stats.specs_invalid
+      << " invalid\n";
+  out << "  reports  " << stats.reports_staged << " staged, "
+      << stats.reports_folded << " folded, " << stats.reports_shed
+      << " shed, " << stats.reports_duplicate << " duplicate, "
+      << stats.late_frames << " late";
+  if (reports_per_sec >= 0.0) {
+    out << "  (+" << static_cast<uint64_t>(reports_per_sec) << "/s)";
+  }
+  out << "\n";
+  out << "  anomaly  " << stats.unknown_user_frames << " unknown-user, "
+      << stats.wrong_phase_frames << " wrong-phase, " << stats.frame_errors
+      << " protocol errors\n";
+  out << "  durable  " << stats.checkpoints_written << " checkpoints, "
+      << stats.restored_reports << " restored reports\n";
+  out << "  sockets  " << stats.connections_accepted << " accepted / "
+      << stats.connections_closed << " closed, " << stats.frames_received
+      << " frames in / " << stats.frames_sent << " out, "
+      << stats.bytes_received << " B in / " << stats.bytes_sent << " B out\n";
+  out.flush();
+}
+
+Status RunStatCommand(const CliOptions& options, std::ostream& out) {
+  if (options.connect.empty()) {
+    return Status::InvalidArgument("stat needs --connect host:port");
+  }
+  const size_t colon = options.connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= options.connect.size()) {
+    return Status::InvalidArgument("--connect wants host:port, got " +
+                                   options.connect);
+  }
+  const std::string host = options.connect.substr(0, colon);
+  PLDP_ASSIGN_OR_RETURN(const uint64_t port,
+                        ParseUint64(options.connect.substr(colon + 1)));
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("--connect port out of range");
+  }
+
+  net::NetClient client;
+  PLDP_RETURN_IF_ERROR(client.Connect(host, static_cast<uint16_t>(port)));
+  PLDP_ASSIGN_OR_RETURN(net::StatsBody stats, client.FetchStats());
+  RenderStatScreen(out, options.connect, stats, -1.0);
+  if (options.watch == 0) return Status::OK();
+
+  // Watch mode: re-render every --watch seconds over the same connection,
+  // differencing reports_staged into a live rate. Ctrl-C exits cleanly.
+  g_serve_stop = 0;
+  void (*prev_int)(int) = std::signal(SIGINT, HandleServeSignal);
+  uint64_t prev_staged = stats.reports_staged;
+  Status status = Status::OK();
+  while (g_serve_stop == 0) {
+    for (uint32_t waited = 0;
+         waited < options.watch * 10u && g_serve_stop == 0; ++waited) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_serve_stop != 0) break;
+    const StatusOr<net::StatsBody> next = client.FetchStats();
+    if (!next.ok()) {
+      status = next.status();
+      break;
+    }
+    const double rate =
+        static_cast<double>(next->reports_staged - prev_staged) /
+        static_cast<double>(options.watch);
+    prev_staged = next->reports_staged;
+    out << "\x1b[2J\x1b[H";  // clear + home: single-screen live view
+    RenderStatScreen(out, options.connect, *next, rate);
+  }
+  std::signal(SIGINT, prev_int);
+  return status;
+}
+
 }  // namespace
 
 std::string CliUsage() {
-  return "usage: pldp_cli <datasets|schemes|run|degrade|chaos|serve> "
+  return "usage: pldp_cli <datasets|schemes|run|degrade|chaos|serve|stat> "
          "[flags]\n"
          "  run --dataset road --scheme psda --setting S2E2 --scale 0.05 \\\n"
          "      --output counts.csv\n"
@@ -466,7 +658,9 @@ std::string CliUsage() {
          "  chaos --dataset road --scale 0.02 --epochs 3 --ckpt-every 16 \\\n"
          "      --ckpt-dir chaos-ckpt --shed 0.1 --output chaos.csv\n"
          "  serve --dataset road --scale 0.05 --port 7787 --io-threads 2 \\\n"
-         "      --ckpt-dir net-ckpt --once --output counts.csv\n";
+         "      --ckpt-dir net-ckpt --once --output counts.csv \\\n"
+         "      --admin-port 7788 --flight-out flight.json\n"
+         "  stat --connect 127.0.0.1:7787 --watch 2\n";
 }
 
 StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
@@ -477,7 +671,8 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   options.command = args[0];
   if (options.command != "datasets" && options.command != "schemes" &&
       options.command != "run" && options.command != "degrade" &&
-      options.command != "chaos" && options.command != "serve") {
+      options.command != "chaos" && options.command != "serve" &&
+      options.command != "stat") {
     return Status::InvalidArgument("unknown command: " + options.command +
                                    "\n" + CliUsage());
   }
@@ -581,6 +776,33 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.resume = true;
     } else if (flag == "--once") {
       options.serve_once = true;
+    } else if (flag == "--admin-port") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t admin_port, ParseUint64(value));
+      if (admin_port > 65535) {
+        return Status::InvalidArgument("--admin-port out of range");
+      }
+      options.admin_port = static_cast<uint32_t>(admin_port);
+      options.admin_port_set = true;
+    } else if (flag == "--flight-out") {
+      PLDP_ASSIGN_OR_RETURN(options.flight_out, next());
+    } else if (flag == "--flight-events") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(options.flight_events, ParseUint64(value));
+      if (options.flight_events == 0 ||
+          options.flight_events > (uint64_t{1} << 24)) {
+        return Status::InvalidArgument(
+            "--flight-events wants 1..16777216 ring slots");
+      }
+    } else if (flag == "--connect") {
+      PLDP_ASSIGN_OR_RETURN(options.connect, next());
+    } else if (flag == "--watch") {
+      PLDP_ASSIGN_OR_RETURN(const std::string value, next());
+      PLDP_ASSIGN_OR_RETURN(const uint64_t watch, ParseUint64(value));
+      if (watch > 3600) {
+        return Status::InvalidArgument("--watch wants 0..3600 seconds");
+      }
+      options.watch = static_cast<uint32_t>(watch);
     } else {
       return Status::InvalidArgument("unknown flag: " + flag + "\n" +
                                      CliUsage());
@@ -613,6 +835,8 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
     status = RunChaosCommand(options, out);
   } else if (options.command == "serve") {
     status = RunServeCommand(options, out);
+  } else if (options.command == "stat") {
+    status = RunStatCommand(options, out);
   } else {
     status = RunCommand(options, out);
   }

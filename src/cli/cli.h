@@ -27,7 +27,11 @@ namespace pldp {
 ///                                (docs/service.md): a TCP epoll server
 ///                                feeding one epoch engine; SIGTERM/SIGINT
 ///                                shut down gracefully, flushing a durable
-///                                checkpoint when --ckpt-dir is set
+///                                checkpoint when --ckpt-dir is set;
+///                                SIGUSR1 dumps the flight recorder
+///   stat                         query a running daemon's live status over
+///                                the control-plane kStatsRequest frame and
+///                                render it as a single-screen view
 ///
 /// `run` flags:
 ///   --dataset <road|checkin|landmark|storage>   synthetic input, or
@@ -84,6 +88,20 @@ namespace pldp {
 ///   --shed <f>                   admission overload (as in chaos)
 ///   --once                       exit once the epoch publishes
 ///   --output <counts.csv>        published estimate dump (with --once)
+///   --admin-port <p>             serve the live-introspection HTTP endpoint
+///                                (GET /metrics Prometheus text, GET /status
+///                                JSON) on this port (0 = kernel-assigned;
+///                                flag absent = endpoint disabled)
+///   --flight-out <dump.json>     enable the flight recorder; the ring is
+///                                dumped to this Chrome-trace file on
+///                                SIGUSR1, on decoder poison, and at
+///                                graceful shutdown
+///   --flight-events <n>          flight-recorder ring capacity (65536)
+///
+/// `stat` flags:
+///   --connect <host:port>        daemon to query (required)
+///   --watch <seconds>            re-render every N seconds until
+///                                interrupted (0 = print once and exit)
 struct CliOptions {
   std::string command;
 
@@ -125,6 +143,17 @@ struct CliOptions {
   uint64_t epoch = 0;
   bool resume = false;
   bool serve_once = false;
+
+  /// serve introspection: --admin-port enables the HTTP endpoint,
+  /// --flight-out enables the flight recorder.
+  uint32_t admin_port = 0;
+  bool admin_port_set = false;
+  std::string flight_out;
+  uint64_t flight_events = 65536;
+
+  /// stat: the daemon to query and the re-render cadence.
+  std::string connect;
+  uint32_t watch = 0;
 };
 
 /// Parses argv (without the program name). Returns a descriptive

@@ -1,0 +1,97 @@
+#ifndef PLDP_NET_ADMIN_H_
+#define PLDP_NET_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/wire.h"
+#include "util/status_or.h"
+
+namespace pldp {
+namespace net {
+
+/// Configuration of the daemon's admin (introspection) listener.
+struct AdminServerOptions {
+  /// Loopback by default: the admin plane exposes operational counters, not
+  /// aggregation payloads, but there is still no reason to serve it wide.
+  std::string bind_address = "127.0.0.1";
+
+  /// Port to bind; 0 asks the kernel for an ephemeral port (read it back
+  /// with port() after Start).
+  uint16_t port = 0;
+
+  int backlog = 64;
+};
+
+/// Renders one status snapshot as the admin endpoint's JSON document
+/// (schema "pldp.status/1"). Also used by `pldp_cli stat` tests to check
+/// frame/scrape consistency.
+std::string RenderStatusJson(const StatsBody& stats);
+
+/// Minimal HTTP/1.1 GET server for live introspection, deliberately separate
+/// from the PLDPNET1 data plane: its own listener, its own thread, close
+/// after every response. Routes:
+///
+///   GET /metrics  -> Prometheus 0.0.4 text of the live MetricsRegistry
+///   GET /status   -> JSON from the status provider (same snapshot the
+///                    kStatsResponse frame carries)
+///   GET /         -> plain-text index
+///
+/// Serving a scrape takes one registry snapshot (the registry's own mutex,
+/// never the engine fold path) and one provider call, so hitting it
+/// mid-epoch cannot perturb results. Accepted sockets are handled serially
+/// on the admin thread with short socket timeouts — an admin client that
+/// stalls cannot wedge the daemon, only delay the next scrape.
+class AdminServer {
+ public:
+  /// `provider` returns the /status JSON body; it is called on the admin
+  /// thread and must be thread-safe (the CLI passes a lambda over
+  /// NetServer::ServiceStats).
+  AdminServer(AdminServerOptions options,
+              std::function<std::string()> provider);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Requests served so far (any route).
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ServeLoop();
+  void ServeOne(int fd);
+
+  AdminServerOptions options_;
+  std::function<std::string()> provider_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+/// Blocking single-shot HTTP GET against a local admin endpoint; returns the
+/// status code and body. Test/bench helper, not a general HTTP client.
+struct HttpResponse {
+  int status_code = 0;
+  std::string body;
+};
+StatusOr<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                               const std::string& path);
+
+}  // namespace net
+}  // namespace pldp
+
+#endif  // PLDP_NET_ADMIN_H_

@@ -217,5 +217,21 @@ StatusOr<std::vector<double>> NetClient::FetchEstimates() {
   return ParseEstimatesBody(reply.body);
 }
 
+StatusOr<StatsBody> NetClient::FetchStats() {
+  PLDP_RETURN_IF_ERROR(SendFrame(FrameType::kStatsRequest, {}));
+  PLDP_ASSIGN_OR_RETURN(const Frame reply,
+                        ReadExpected(FrameType::kStatsResponse));
+  return ParseStatsBody(reply.body);
+}
+
+Status NetClient::Drain() {
+  PLDP_RETURN_IF_ERROR(SendFrame(FrameType::kDrain, {}));
+  PLDP_ASSIGN_OR_RETURN(const Frame reply, ReadExpected(FrameType::kDrainAck));
+  if (reply.body.size() != 1 || reply.body[0] != 1) {
+    return Status::InvalidArgument("malformed drain ack");
+  }
+  return Status::OK();
+}
+
 }  // namespace net
 }  // namespace pldp

@@ -73,6 +73,13 @@ class NetClient {
   /// Fetches the published estimates (bit-exact fixed64 transport).
   StatusOr<std::vector<double>> FetchEstimates();
 
+  /// Control plane: fetches a live status snapshot (any phase, any time).
+  StatusOr<StatsBody> FetchStats();
+
+  /// Control plane: asks the daemon to stop accepting new connections.
+  /// Existing connections (including this one) keep being served.
+  Status Drain();
+
  private:
   /// Sends one encoded frame (blocking until fully written).
   Status SendFrame(FrameType type, const std::vector<uint8_t>& body);

@@ -8,6 +8,7 @@
 #include "core/consistency.h"
 #include "core/error_model.h"
 #include "core/pcep.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -121,6 +122,9 @@ Status EpochEngine::SealSpecs(uint64_t cohort_size) {
   static obs::Gauge* responders = registry.GetGauge("net.spec_responders");
   clusters->Set(static_cast<double>(accumulators_.size()));
   responders->Set(static_cast<double>(specs_.size()));
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kPhase,
+                                       "phase.collecting_reports",
+                                       specs_.size(), cohort_size_);
   return Status::OK();
 }
 
@@ -256,6 +260,8 @@ ReportOutcome EpochEngine::SubmitReport(uint64_t user_id,
     slot.state = SlotState::kShed;
     ++stats_.reports_shed;
     shed->Increment();
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kShed,
+                                         "report.shed", user_id);
     return ReportOutcome::kShed;
   }
   slot.state = SlotState::kStaged;
@@ -292,6 +298,14 @@ void EpochEngine::FoldStagedLocked() {
           }
         }
       });
+  // Recount after the fan-out instead of incrementing a shared counter from
+  // the workers: one O(n) scan per fold (seal or checkpoint) is cheap and
+  // keeps the hot loop write-free outside its own cluster.
+  uint64_t folded = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == SlotState::kFolded) ++folded;
+  }
+  stats_.reports_folded = folded;
 }
 
 Status EpochEngine::SealEpoch() {
@@ -387,6 +401,9 @@ Status EpochEngine::SealEpoch() {
   static obs::Gauge* cells = registry.GetGauge("net.published_cells");
   epochs->Increment();
   cells->Set(static_cast<double>(published_.size()));
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kPhase,
+                                       "phase.published", published_.size(),
+                                       stats_.reports_folded);
   return Status::OK();
 }
 
@@ -435,6 +452,9 @@ Status EpochEngine::SaveSnapshotLocked() {
   auto& registry = obs::MetricsRegistry::Global();
   static obs::Counter* checkpoints = registry.GetCounter("net.checkpoints");
   checkpoints->Increment();
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kCheckpoint,
+                                       "checkpoint.write", folded,
+                                       stats_.checkpoints_written);
   return Status::OK();
 }
 
@@ -520,6 +540,8 @@ Status EpochEngine::RestoreLatest() {
       registry.GetCounter("net.restored_reports");
   restores->Increment();
   restored_reports->Increment(restored);
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kPhase,
+                                       "phase.restored", restored);
   return Status::OK();
 }
 
@@ -553,6 +575,20 @@ uint64_t EpochEngine::spec_responders() const {
 uint64_t EpochEngine::cohort_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cohort_size_;
+}
+
+EpochEngine::StatusView EpochEngine::StatusSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatusView view;
+  view.phase = phase_;
+  view.stats = stats_;
+  view.num_clusters = accumulators_.size();
+  view.spec_responders = phase_ == Phase::kCollectingSpecs
+                             ? pending_specs_.size()
+                             : specs_.size();
+  view.cohort_size = cohort_size_;
+  view.published_cells = published_.size();
+  return view;
 }
 
 }  // namespace net

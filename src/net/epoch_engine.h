@@ -45,6 +45,9 @@ struct NetEpochStats {
   uint64_t specs_duplicate = 0;
   uint64_t specs_invalid = 0;
   uint64_t reports_staged = 0;
+  /// Staged reports folded into the accumulators so far (at seal, or by a
+  /// mid-epoch checkpoint fold). Monotone within one engine lifetime.
+  uint64_t reports_folded = 0;
   uint64_t reports_duplicate = 0;
   uint64_t reports_shed = 0;
   /// kReport frames that arrived after the epoch seal. Never ingested; the
@@ -154,6 +157,19 @@ class EpochEngine {
   uint64_t num_clusters() const;
   uint64_t spec_responders() const;
   uint64_t cohort_size() const;
+
+  /// One consistent view of everything a status frame reports, read under a
+  /// single lock acquisition (phase/stats/published_cells from separate
+  /// accessors could tear across a concurrent SealEpoch).
+  struct StatusView {
+    Phase phase = Phase::kCollectingSpecs;
+    NetEpochStats stats;
+    uint64_t num_clusters = 0;
+    uint64_t spec_responders = 0;
+    uint64_t cohort_size = 0;
+    uint64_t published_cells = 0;
+  };
+  StatusView StatusSnapshot() const;
 
  private:
   /// How one roster slot's report stands. A slot leaves kStaged for kFolded

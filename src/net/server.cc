@@ -11,12 +11,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -33,6 +35,58 @@ constexpr size_t kReadChunk = 64 * 1024;
 
 obs::Counter* NetCounter(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+/// Ingests above this threshold get a kSlowIngest flight event: an engine
+/// call that held the I/O thread long enough to stall its whole epoll share.
+constexpr double kSlowIngestMs = 5.0;
+
+/// Per-frame-type ingest-latency histogram, registered on first use. The
+/// bounds span 1 µs .. ~130 ms exponentially — staging is O(1) and sits in
+/// the lowest buckets; seal frames land near the top.
+obs::Histogram* IngestHistogram(FrameType type) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto make = [&registry](const char* name) {
+    return registry.GetHistogram(name, obs::ExponentialBounds(0.001, 2.0, 18));
+  };
+  switch (type) {
+    case FrameType::kSpecUpload: {
+      static obs::Histogram* h = make("net.ingest_latency_spec_upload_ms");
+      return h;
+    }
+    case FrameType::kSealSpecs: {
+      static obs::Histogram* h = make("net.ingest_latency_seal_specs_ms");
+      return h;
+    }
+    case FrameType::kRowRequest: {
+      static obs::Histogram* h = make("net.ingest_latency_row_request_ms");
+      return h;
+    }
+    case FrameType::kReport: {
+      static obs::Histogram* h = make("net.ingest_latency_report_ms");
+      return h;
+    }
+    case FrameType::kSealEpoch: {
+      static obs::Histogram* h = make("net.ingest_latency_seal_epoch_ms");
+      return h;
+    }
+    case FrameType::kFetchEstimates: {
+      static obs::Histogram* h = make("net.ingest_latency_fetch_estimates_ms");
+      return h;
+    }
+    case FrameType::kStatsRequest: {
+      static obs::Histogram* h = make("net.ingest_latency_stats_ms");
+      return h;
+    }
+    case FrameType::kDrain: {
+      static obs::Histogram* h = make("net.ingest_latency_drain_ms");
+      return h;
+    }
+    default: {
+      static obs::Histogram* h = make("net.ingest_latency_other_ms");
+      return h;
+    }
+  }
 }
 
 }  // namespace
@@ -150,6 +204,8 @@ Status NetServer::Start() {
     ::epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
   }
 
+  draining_.store(false, std::memory_order_release);
+  start_time_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
   threads_.reserve(io_threads);
   for (unsigned i = 0; i < io_threads; ++i) {
@@ -191,6 +247,55 @@ void NetServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+}
+
+StatsBody NetServer::ServiceStats() const {
+  const EpochEngine::StatusView view = engine_->StatusSnapshot();
+  StatsBody body;
+  body.phase = static_cast<uint8_t>(view.phase);
+  body.draining = draining() ? 1 : 0;
+  body.uptime_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  body.cohort_size = view.cohort_size;
+  body.spec_responders = view.spec_responders;
+  body.num_clusters = view.num_clusters;
+  body.published_cells = view.published_cells;
+  body.specs_accepted = view.stats.specs_accepted;
+  body.specs_duplicate = view.stats.specs_duplicate;
+  body.specs_invalid = view.stats.specs_invalid;
+  body.reports_staged = view.stats.reports_staged;
+  body.reports_folded = view.stats.reports_folded;
+  body.reports_duplicate = view.stats.reports_duplicate;
+  body.reports_shed = view.stats.reports_shed;
+  body.late_frames = view.stats.late_frames;
+  body.unknown_user_frames = view.stats.unknown_user_frames;
+  body.wrong_phase_frames = view.stats.wrong_phase_frames;
+  body.restored_reports = view.stats.restored_reports;
+  body.checkpoints_written = view.stats.checkpoints_written;
+  body.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  body.connections_closed =
+      connections_closed_.load(std::memory_order_relaxed);
+  body.frames_received = frames_received_.load(std::memory_order_relaxed);
+  body.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  body.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  body.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  body.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  return body;
+}
+
+void NetServer::BeginDrain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  // Removing the listener from loop 0's epoll set stops new accepts without
+  // disturbing established connections; epoll_ctl is safe from any thread.
+  if (listen_fd_ >= 0 && !loops_.empty()) {
+    ::epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  }
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kDrain,
+                                       "drain.begin");
+  PLDP_LOG(Info) << "pldp daemon draining: listener closed to new connections";
 }
 
 NetServerStats NetServer::stats() const {
@@ -315,14 +420,45 @@ bool NetServer::HandleReadable(IoLoop* loop, Connection* conn) {
     if (errno == EINTR) continue;
     return false;
   }
+  // Timing a frame costs two clock reads, so it only happens when someone is
+  // listening (registry or recorder enabled). The untimed path is the
+  // default and is byte-for-byte the pre-introspection dispatch.
+  auto& recorder = obs::FlightRecorder::Global();
+  const bool timed =
+      obs::MetricsRegistry::Global().enabled() || recorder.enabled();
   while (true) {
     StatusOr<Frame> frame = conn->decoder.Next();
     if (frame.ok()) {
       frames_received_.fetch_add(1, std::memory_order_relaxed);
       rx_frames->Increment();
-      if (!HandleFrame(conn, *frame)) {
+      bool handled;
+      if (timed) {
+        const auto begin = std::chrono::steady_clock::now();
+        handled = HandleFrame(conn, *frame);
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        IngestHistogram(frame->type)->Observe(elapsed_ms);
+        if (recorder.enabled()) {
+          recorder.Record(obs::FlightEventType::kFrame, "frame.ingest",
+                          static_cast<uint64_t>(frame->type),
+                          static_cast<uint64_t>(elapsed_ms * 1000.0));
+          if (elapsed_ms > kSlowIngestMs) {
+            recorder.Record(obs::FlightEventType::kSlowIngest, "frame.slow",
+                            static_cast<uint64_t>(frame->type),
+                            static_cast<uint64_t>(elapsed_ms * 1000.0));
+          }
+        }
+      } else {
+        handled = HandleFrame(conn, *frame);
+      }
+      if (!handled) {
         frame_errors_.fetch_add(1, std::memory_order_relaxed);
         frame_errors->Increment();
+        recorder.Record(obs::FlightEventType::kPoison, "frame.violation",
+                        static_cast<uint64_t>(frame->type));
+        recorder.RequestDump();
         return false;
       }
       continue;
@@ -331,6 +467,9 @@ bool NetServer::HandleReadable(IoLoop* loop, Connection* conn) {
     // Protocol violation: the decoder is poisoned, the connection dies.
     frame_errors_.fetch_add(1, std::memory_order_relaxed);
     frame_errors->Increment();
+    recorder.Record(obs::FlightEventType::kPoison, "decoder.poison",
+                    static_cast<uint64_t>(conn->fd));
+    recorder.RequestDump();
     return false;
   }
   return FlushWrites(loop, conn);
@@ -404,6 +543,21 @@ bool NetServer::HandleFrame(Connection* conn, const Frame& frame) {
       }
       QueueFrame(conn, FrameType::kEstimates,
                  EncodeEstimatesBody(engine_->published()));
+      return true;
+    }
+    case FrameType::kStatsRequest: {
+      // Control plane: answered straight from the epoll thread with one
+      // engine-lock snapshot plus relaxed atomic reads — the fold path is
+      // never touched, so a stats poll mid-epoch cannot perturb results.
+      if (!frame.body.empty()) return false;
+      QueueFrame(conn, FrameType::kStatsResponse,
+                 EncodeStatsBody(ServiceStats()));
+      return true;
+    }
+    case FrameType::kDrain: {
+      if (!frame.body.empty()) return false;
+      BeginDrain();
+      QueueFrame(conn, FrameType::kDrainAck, {uint8_t{1}});
       return true;
     }
     default:

@@ -2,6 +2,7 @@
 #define PLDP_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -98,6 +99,18 @@ class NetServer {
 
   NetServerStats stats() const;
 
+  /// The full status frame payload: engine counters (one consistent engine
+  /// snapshot), socket tallies, uptime, and the draining flag. This is what
+  /// kStatsResponse carries and what the admin endpoint's /status renders —
+  /// both paths read the same snapshot so the counts agree.
+  StatsBody ServiceStats() const;
+
+  /// Stops accepting new connections (removes the listener from its epoll
+  /// set) while existing connections keep being served; idempotent. The
+  /// control-plane kDrain frame lands here.
+  void BeginDrain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
  private:
   struct Connection;
   struct IoLoop;
@@ -121,6 +134,8 @@ class NetServer {
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point start_time_{};
   std::vector<std::unique_ptr<IoLoop>> loops_;
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> next_loop_{0};

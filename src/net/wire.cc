@@ -187,6 +187,78 @@ StatusOr<std::vector<double>> ParseEstimatesBody(
   return counts;
 }
 
+std::vector<uint8_t> EncodeStatsBody(const StatsBody& stats) {
+  Writer writer;
+  writer.PutByte(stats.phase);
+  writer.PutByte(stats.draining);
+  writer.PutVarint64(stats.uptime_ms);
+  writer.PutVarint64(stats.cohort_size);
+  writer.PutVarint64(stats.spec_responders);
+  writer.PutVarint64(stats.num_clusters);
+  writer.PutVarint64(stats.published_cells);
+  writer.PutVarint64(stats.specs_accepted);
+  writer.PutVarint64(stats.specs_duplicate);
+  writer.PutVarint64(stats.specs_invalid);
+  writer.PutVarint64(stats.reports_staged);
+  writer.PutVarint64(stats.reports_folded);
+  writer.PutVarint64(stats.reports_duplicate);
+  writer.PutVarint64(stats.reports_shed);
+  writer.PutVarint64(stats.late_frames);
+  writer.PutVarint64(stats.unknown_user_frames);
+  writer.PutVarint64(stats.wrong_phase_frames);
+  writer.PutVarint64(stats.restored_reports);
+  writer.PutVarint64(stats.checkpoints_written);
+  writer.PutVarint64(stats.connections_accepted);
+  writer.PutVarint64(stats.connections_closed);
+  writer.PutVarint64(stats.frames_received);
+  writer.PutVarint64(stats.frames_sent);
+  writer.PutVarint64(stats.bytes_received);
+  writer.PutVarint64(stats.bytes_sent);
+  writer.PutVarint64(stats.frame_errors);
+  return std::move(writer.bytes());
+}
+
+StatusOr<StatsBody> ParseStatsBody(const std::vector<uint8_t>& body) {
+  Reader reader(body);
+  StatsBody parsed;
+  PLDP_ASSIGN_OR_RETURN(parsed.phase, reader.GetByte());
+  if (parsed.phase > 2) {
+    return Status::InvalidArgument("unknown phase in stats body");
+  }
+  PLDP_ASSIGN_OR_RETURN(parsed.draining, reader.GetByte());
+  if (parsed.draining > 1) {
+    return Status::InvalidArgument("bad draining flag in stats body");
+  }
+  PLDP_ASSIGN_OR_RETURN(parsed.uptime_ms, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.cohort_size, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.spec_responders, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.num_clusters, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.published_cells, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.specs_accepted, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.specs_duplicate, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.specs_invalid, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.reports_staged, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.reports_folded, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.reports_duplicate, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.reports_shed, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.late_frames, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.unknown_user_frames, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.wrong_phase_frames, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.restored_reports, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.checkpoints_written, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.connections_accepted, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.connections_closed, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.frames_received, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.frames_sent, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.bytes_received, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.bytes_sent, reader.GetVarint64());
+  PLDP_ASSIGN_OR_RETURN(parsed.frame_errors, reader.GetVarint64());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in stats body");
+  }
+  return parsed;
+}
+
 std::vector<uint8_t> EncodeErrorBody(const Status& status) {
   Writer writer;
   writer.PutVarint64(static_cast<uint64_t>(status.code()));
@@ -268,7 +340,7 @@ StatusOr<Frame> FrameDecoder::Next() {
   }
   const uint8_t type_byte = payload[0];
   if (type_byte < static_cast<uint8_t>(FrameType::kSpecUpload) ||
-      type_byte > static_cast<uint8_t>(FrameType::kError)) {
+      type_byte > static_cast<uint8_t>(FrameType::kDrainAck)) {
     return Poison("unknown frame type");
   }
   Frame frame;

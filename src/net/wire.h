@@ -62,6 +62,16 @@ enum class FrameType : uint8_t {
   kEstimates = 12,
   /// server -> client: varint StatusCode | remaining bytes = message.
   kError = 13,
+  /// client -> server: empty body. Control plane: requests a live status
+  /// snapshot; answered from the epoll loop without touching the fold path.
+  kStatsRequest = 14,
+  /// server -> client: StatsBody bytes (see EncodeStatsBody).
+  kStatsResponse = 15,
+  /// client -> server: empty body. Control plane: stop accepting new
+  /// connections; existing connections keep being served.
+  kDrain = 16,
+  /// server -> client: byte draining (always 1 after a kDrain).
+  kDrainAck = 17,
 };
 
 /// Server-side verdict on one kReport frame, carried in kReportAck.
@@ -135,6 +145,40 @@ StatusOr<uint64_t> ParseSealEpochAckBody(const std::vector<uint8_t>& body);
 std::vector<uint8_t> EncodeEstimatesBody(const std::vector<double>& counts);
 StatusOr<std::vector<double>> ParseEstimatesBody(
     const std::vector<uint8_t>& body);
+
+/// Live status snapshot carried by kStatsResponse: one consistent read of
+/// the engine's counters plus the server's socket-level tallies. All counts
+/// are observational — serving this frame never touches the fold path.
+struct StatsBody {
+  uint8_t phase = 0;     ///< NetEpochPhase as its wire value (0/1/2)
+  uint8_t draining = 0;  ///< 1 once a kDrain closed the listener
+  uint64_t uptime_ms = 0;
+  uint64_t cohort_size = 0;
+  uint64_t spec_responders = 0;
+  uint64_t num_clusters = 0;
+  uint64_t published_cells = 0;
+  uint64_t specs_accepted = 0;
+  uint64_t specs_duplicate = 0;
+  uint64_t specs_invalid = 0;
+  uint64_t reports_staged = 0;
+  uint64_t reports_folded = 0;
+  uint64_t reports_duplicate = 0;
+  uint64_t reports_shed = 0;
+  uint64_t late_frames = 0;
+  uint64_t unknown_user_frames = 0;
+  uint64_t wrong_phase_frames = 0;
+  uint64_t restored_reports = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t frame_errors = 0;
+};
+std::vector<uint8_t> EncodeStatsBody(const StatsBody& stats);
+StatusOr<StatsBody> ParseStatsBody(const std::vector<uint8_t>& body);
 
 std::vector<uint8_t> EncodeErrorBody(const Status& status);
 struct ErrorBody {

@@ -1,0 +1,200 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Nanoseconds since the first call in this process, so dump timestamps
+/// start near zero regardless of the machine's steady-clock epoch.
+uint64_t NsSinceAnchor() {
+  static const uint64_t anchor = SteadyNowNs();
+  const uint64_t now = SteadyNowNs();
+  return now >= anchor ? now - anchor : 0;
+}
+
+/// Small dense thread ids (0, 1, 2, ...) in recording order, matching the
+/// trace collector's convention so Perfetto rows stay readable.
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next_tid{0};
+  thread_local uint32_t tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+size_t RoundUpPow2(size_t value) {
+  size_t pow2 = 8;
+  while (pow2 < value) pow2 <<= 1;
+  return pow2;
+}
+
+}  // namespace
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kFrame:
+      return "frame";
+    case FlightEventType::kPoison:
+      return "poison";
+    case FlightEventType::kShed:
+      return "shed";
+    case FlightEventType::kPhase:
+      return "phase";
+    case FlightEventType::kCheckpoint:
+      return "checkpoint";
+    case FlightEventType::kSlowIngest:
+      return "slow_ingest";
+    case FlightEventType::kDrain:
+      return "drain";
+    case FlightEventType::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Enable(size_t capacity) {
+  enabled_.store(false, std::memory_order_relaxed);
+  capacity_ = RoundUpPow2(capacity);
+  mask_ = capacity_ - 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+  next_.store(0, std::memory_order_relaxed);
+  dump_requested_.store(false, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Record(FlightEventType type, const char* label,
+                            uint64_t a0, uint64_t a1) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Mark the slot as mid-write so a concurrent reader discards it. The
+  // release fence keeps the field stores below from being reordered above
+  // the seq=0 store; the final release store of ticket+1 publishes them, so
+  // a reader that sees seq == ticket + 1 on both sides of its copy saw a
+  // consistent slot.
+  slot.seq.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.ts_ns.store(NsSinceAnchor(), std::memory_order_relaxed);
+  slot.a0.store(a0, std::memory_order_relaxed);
+  slot.a1.store(a1, std::memory_order_relaxed);
+  slot.label.store(reinterpret_cast<uint64_t>(label),
+                   std::memory_order_relaxed);
+  slot.meta.store(static_cast<uint64_t>(type) |
+                      (static_cast<uint64_t>(CurrentThreadId()) << 8),
+                  std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+uint64_t FlightRecorder::overwritten() const {
+  const uint64_t total = recorded();
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  if (!slots_) return events;
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  events.reserve(static_cast<size_t>(end - begin));
+  for (uint64_t ticket = begin; ticket < end; ++ticket) {
+    const Slot& slot = slots_[ticket & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != ticket + 1) continue;
+    FlightEvent event;
+    event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    event.a0 = slot.a0.load(std::memory_order_relaxed);
+    event.a1 = slot.a1.load(std::memory_order_relaxed);
+    const uint64_t label = slot.label.load(std::memory_order_relaxed);
+    const uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    // Re-check after copying: a writer lapping us mid-copy leaves a torn
+    // slot, which the changed sequence word exposes. The acquire fence keeps
+    // the field loads above from sinking below this check.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != ticket + 1) continue;
+    event.label = label ? reinterpret_cast<const char*>(label) : "";
+    event.tid = static_cast<uint32_t>(meta >> 8);
+    event.type = static_cast<FlightEventType>(meta & 0xff);
+    events.push_back(event);
+  }
+  return events;
+}
+
+void FlightRecorder::WriteChromeTraceJson(std::ostream* out) const {
+  const std::vector<FlightEvent> events = Snapshot();
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.Field("displayTimeUnit", "ms");
+  writer.Field("pldp_flight_recorded", recorded());
+  writer.Field("pldp_flight_overwritten", overwritten());
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  writer.BeginObject();
+  writer.Field("name", "process_name");
+  writer.Field("ph", "M");
+  writer.Field("pid", 1);
+  writer.Field("tid", 0);
+  writer.Key("args");
+  writer.BeginObject();
+  writer.Field("name", "pldp-flight-recorder");
+  writer.EndObject();
+  writer.EndObject();
+  for (const FlightEvent& event : events) {
+    writer.BeginObject();
+    writer.Field("name", event.label);
+    writer.Field("cat", FlightEventTypeName(event.type));
+    writer.Field("ph", "i");
+    writer.Field("s", "t");  // thread-scoped instant
+    writer.Field("ts", static_cast<double>(event.ts_ns) / 1000.0);
+    writer.Field("pid", 1);
+    writer.Field("tid", static_cast<uint64_t>(event.tid));
+    writer.Key("args");
+    writer.BeginObject();
+    writer.Field("a0", event.a0);
+    writer.Field("a1", event.a1);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  *out << "\n";
+}
+
+Status FlightRecorder::DumpChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  WriteChromeTraceJson(&out);
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing flight recorder dump to " + path);
+  }
+  return Status::OK();
+}
+
+void FlightRecorder::Reset() {
+  if (slots_) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(0, std::memory_order_relaxed);
+    }
+  }
+  next_.store(0, std::memory_order_relaxed);
+  dump_requested_.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace pldp

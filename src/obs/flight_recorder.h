@@ -1,0 +1,138 @@
+#ifndef PLDP_OBS_FLIGHT_RECORDER_H_
+#define PLDP_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pldp {
+namespace obs {
+
+/// What one flight-recorder event describes. The categories mirror the
+/// daemon's interesting moments (docs/observability.md): wire-level frame
+/// verdicts, decoder poisons, admission sheds, epoch phase transitions,
+/// checkpoint writes, and ingest calls that ran over the slow threshold.
+enum class FlightEventType : uint8_t {
+  kFrame = 0,
+  kPoison = 1,
+  kShed = 2,
+  kPhase = 3,
+  kCheckpoint = 4,
+  kSlowIngest = 5,
+  kDrain = 6,
+  kCustom = 7,
+};
+
+const char* FlightEventTypeName(FlightEventType type);
+
+/// One recorded event, as read back by Snapshot(). `label` is the static
+/// string the recording site passed (never owned); a0/a1 are site-defined
+/// payload words (a user id, a frame type, a duration in microseconds, ...).
+struct FlightEvent {
+  uint64_t ts_ns = 0;  ///< steady-clock nanoseconds since process anchor
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+  const char* label = "";
+  uint32_t tid = 0;  ///< small per-thread id, stable within the process
+  FlightEventType type = FlightEventType::kCustom;
+};
+
+/// Lock-free in-memory flight recorder: a fixed-size ring of structured
+/// events the net hot paths stamp on the way through. Like the metrics
+/// registry it starts *disabled* — Record() is then a single relaxed load
+/// and a branch — and recording never allocates, locks, or syscalls, so it
+/// can run on the epoll I/O threads without changing results (the
+/// "instrumentation never changes results" invariant of
+/// docs/observability.md).
+///
+/// The ring overwrites oldest-first: a ticket counter is claimed with one
+/// fetch_add and every slot is a per-slot seqlock (fields are relaxed
+/// atomics, the sequence word is stored last with release). Readers copy a
+/// slot and re-check its sequence, discarding torn entries, so Snapshot()
+/// and dumps are safe while writers keep recording.
+///
+/// Enable()/Disable() are NOT safe concurrent with Record(): configure the
+/// recorder before the server starts (the CLI does), or around a quiesced
+/// ring in tests.
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder every PLDP recording site uses. Never
+  /// destroyed, so recording during static teardown stays safe.
+  static FlightRecorder& Global();
+
+  /// Allocates a ring of at least `capacity` events (rounded up to a power
+  /// of two, minimum 8) and enables recording. Re-enabling resets the ring.
+  void Enable(size_t capacity);
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+  /// Records one event. `label` must have static storage duration (a string
+  /// literal); the ring stores the pointer, not the bytes. No-op while
+  /// disabled.
+  void Record(FlightEventType type, const char* label, uint64_t a0 = 0,
+              uint64_t a1 = 0);
+
+  /// Total events ever recorded (including those already overwritten).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to ring wraparound: max(0, recorded - capacity).
+  uint64_t overwritten() const;
+
+  /// Flags that a dump is wanted (cheap + async-signal-safe-ish: one relaxed
+  /// store). The serve loop polls ConsumeDumpRequest() and writes the file
+  /// outside the hot path — recording sites (e.g. a decoder poison) must
+  /// never do file I/O themselves.
+  void RequestDump() { dump_requested_.store(true, std::memory_order_release); }
+  bool ConsumeDumpRequest() {
+    return dump_requested_.exchange(false, std::memory_order_acq_rel);
+  }
+
+  /// Copies the ring oldest-to-newest, skipping torn slots. Safe under
+  /// concurrent Record().
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Writes the ring as a Chrome trace_event JSON document of instant
+  /// events (Perfetto-loadable), with recorded/overwritten totals in the
+  /// top-level fields.
+  void WriteChromeTraceJson(std::ostream* out) const;
+  Status DumpChromeTrace(const std::string& path) const;
+
+  /// Clears the ring and counters, keeping the enabled state and capacity.
+  /// Test helper; not safe concurrent with Record().
+  void Reset();
+
+ private:
+  /// Per-slot seqlock: `seq` is 0 while a writer is mid-flight and
+  /// ticket + 1 once the slot's fields are consistent.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> a0{0};
+    std::atomic<uint64_t> a1{0};
+    std::atomic<uint64_t> label{0};  // const char* bits
+    std::atomic<uint64_t> meta{0};   // type | tid << 8
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> dump_requested_{false};
+  std::atomic<uint64_t> next_{0};
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_FLIGHT_RECORDER_H_

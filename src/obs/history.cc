@@ -186,10 +186,11 @@ StatDirection ClassifyStatDirection(const std::string& name) {
   // Lower-is-better tokens first: "violation_rate" must not match the
   // higher-is-better "rate" family. "_ms" covers the net-service ingest
   // latency percentiles (ingest_p95_ms) and any other millisecond timing;
-  // "shed" covers the daemon's shed_fraction.
+  // "shed" covers the daemon's shed_fraction; "overhead" covers the
+  // introspection bench's scrape_overhead_frac.
   for (const char* token : {"err", "kl", "mae", "loss", "violation", "bytes",
                             "retries", "dropped", "timeout", "latency",
-                            "shed", "_ms"}) {
+                            "shed", "_ms", "overhead"}) {
     if (Contains(name, token)) return StatDirection::kLowerIsBetter;
   }
   for (const char* token :

@@ -1,0 +1,272 @@
+// Admin (introspection) endpoint: the in-daemon HTTP listener must serve
+// Prometheus 0.0.4 text and the pldp.status/1 JSON document concurrently
+// with live ingest, without perturbing the epoch; routing and malformed
+// requests get clean HTTP verdicts; the status JSON round-trips through the
+// repo's own JSON reader and agrees with the kStatsResponse control frame.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/admin.h"
+#include "net/client.h"
+#include "net/epoch_engine.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "obs/json_reader.h"
+#include "obs/metrics.h"
+#include "protocol/client.h"
+#include "protocol/messages.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace net {
+namespace {
+
+// Sends one raw request (possibly not a well-formed GET) and returns the
+// full response text; exercises paths HttpGet cannot produce.
+std::string RawHttp(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return raw;
+}
+
+TEST(NetAdminTest, RoutesAndVerdicts) {
+  AdminServer admin(AdminServerOptions{},
+                    [] { return std::string("{\"ok\":true}"); });
+  ASSERT_TRUE(admin.Start().ok());
+  ASSERT_GT(admin.port(), 0);
+
+  auto index = HttpGet("127.0.0.1", admin.port(), "/");
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(index->status_code, 200);
+  EXPECT_NE(index->body.find("/metrics"), std::string::npos);
+
+  auto status = HttpGet("127.0.0.1", admin.port(), "/status");
+  ASSERT_TRUE(status.ok()) << status.status();
+  EXPECT_EQ(status->status_code, 200);
+  EXPECT_EQ(status->body, "{\"ok\":true}");
+
+  // /statusz is an alias, query strings are ignored in routing.
+  auto statusz = HttpGet("127.0.0.1", admin.port(), "/statusz?pretty=1");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_EQ(statusz->status_code, 200);
+
+  auto metrics = HttpGet("127.0.0.1", admin.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->status_code, 200);
+
+  auto missing = HttpGet("127.0.0.1", admin.port(), "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+
+  const std::string post =
+      RawHttp(admin.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+
+  const std::string garbage = RawHttp(admin.port(), "nonsense\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos);
+
+  EXPECT_GE(admin.requests(), 6u);
+  admin.Stop();
+  EXPECT_FALSE(admin.running());
+}
+
+TEST(NetAdminTest, StatusJsonRoundTripsThroughJsonReader) {
+  StatsBody stats;
+  stats.phase = 1;
+  stats.draining = 1;
+  stats.uptime_ms = 5000;
+  stats.cohort_size = 400;
+  stats.reports_staged = 123;
+  stats.reports_folded = 120;
+  stats.connections_accepted = 3;
+  stats.frame_errors = 1;
+
+  const auto root = obs::ParseJson(RenderStatusJson(stats));
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ(root->StringOr("schema", ""), "pldp.status/1");
+  EXPECT_EQ(root->StringOr("phase", ""), "collecting_reports");
+  const obs::JsonValue* draining = root->Find("draining");
+  ASSERT_NE(draining, nullptr);
+  EXPECT_TRUE(draining->bool_value());
+  EXPECT_EQ(root->NumberOr("uptime_ms", -1), 5000.0);
+
+  const obs::JsonValue* epoch = root->Find("epoch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(epoch->NumberOr("cohort_size", -1), 400.0);
+  EXPECT_EQ(epoch->NumberOr("reports_staged", -1), 123.0);
+  EXPECT_EQ(epoch->NumberOr("reports_folded", -1), 120.0);
+
+  const obs::JsonValue* sockets = root->Find("sockets");
+  ASSERT_NE(sockets, nullptr);
+  EXPECT_EQ(sockets->NumberOr("connections_accepted", -1), 3.0);
+  EXPECT_EQ(sockets->NumberOr("frame_errors", -1), 1.0);
+
+  ASSERT_NE(root->Find("flight_recorder"), nullptr);
+}
+
+// The acceptance shape of the tentpole: a live daemon mid-epoch, scraped
+// concurrently from several threads while reports stream in, must answer
+// every request with 200 and a parseable document, and the daemon's results
+// must be unaffected (the estimates publish normally afterwards).
+TEST(NetAdminTest, ConcurrentScrapesDuringLiveIngest) {
+  obs::MetricsRegistry::Global().set_enabled(true);
+
+  const UniformGrid grid =
+      UniformGrid::Create(BoundingBox{0, 0, 8, 8}, 1, 1).value();
+  const SpatialTaxonomy tax = SpatialTaxonomy::Build(grid, 4).value();
+  const size_t n = 200;
+  EpochEngineOptions engine_options;
+  engine_options.psda.seed = 21;
+  EpochEngine engine(&tax, engine_options);
+  NetServerOptions server_options;
+  server_options.io_threads = 2;
+  NetServer server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  AdminServer admin(AdminServerOptions{},
+                    [&server] { return RenderStatusJson(server.ServiceStats()); });
+  ASSERT_TRUE(admin.Start().ok());
+  const uint16_t admin_port = admin.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scrapes_ok{0};
+  std::atomic<uint64_t> scrapes_bad{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&, t] {
+      const std::string path = (t % 2 == 0) ? "/metrics" : "/status";
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto response = HttpGet("127.0.0.1", admin_port, path);
+        if (!response.ok() || response->status_code != 200) {
+          scrapes_bad.fetch_add(1);
+          continue;
+        }
+        if (path == "/status") {
+          const auto parsed = obs::ParseJson(response->body);
+          if (!parsed.ok() ||
+              parsed->StringOr("schema", "") != "pldp.status/1") {
+            scrapes_bad.fetch_add(1);
+            continue;
+          }
+        }
+        scrapes_ok.fetch_add(1);
+      }
+    });
+  }
+
+  // Drive a full epoch while the scrapers hammer the admin plane.
+  Rng rng(21);
+  NetClient conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+  std::vector<PrivacySpec> specs;
+  std::vector<CellId> cells;
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell =
+        static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    PrivacySpec spec;
+    spec.safe_region = tax.AncestorAbove(
+        tax.LeafNodeOfCell(cell), static_cast<uint32_t>(rng.NextUint64(3)));
+    spec.epsilon = 1.0;
+    specs.push_back(spec);
+    cells.push_back(cell);
+    SpecUploadMsg msg;
+    msg.safe_region = spec.safe_region;
+    msg.epsilon = spec.epsilon;
+    const auto accepted = conn.UploadSpec(i, msg);
+    ASSERT_TRUE(accepted.ok()) << accepted.status();
+  }
+  ASSERT_TRUE(conn.SealSpecs(n).ok());
+  for (size_t i = 0; i < n; ++i) {
+    const auto assignment = conn.FetchAssignment(i);
+    ASSERT_TRUE(assignment.ok()) << assignment.status();
+    DeviceClient device(&tax, cells[i], specs[i], SplitMix64(21 ^ (i + 1)));
+    const auto reply = device.HandleRowAssignment(assignment->Serialize());
+    ASSERT_TRUE(reply.ok());
+    const auto outcome =
+        conn.SubmitReport(i, ReportMsg::Parse(reply.value()).value());
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+  }
+
+  // One deliberate mid-epoch consistency probe: the HTTP status document and
+  // the kStatsResponse control frame must describe the same epoch.
+  const auto frame_stats = conn.FetchStats();
+  ASSERT_TRUE(frame_stats.ok()) << frame_stats.status();
+  const auto http_status = HttpGet("127.0.0.1", admin_port, "/status");
+  ASSERT_TRUE(http_status.ok());
+  const auto doc = obs::ParseJson(http_status->body);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const obs::JsonValue* epoch = doc->Find("epoch");
+  ASSERT_NE(epoch, nullptr);
+  // All reports were acked before either probe, so both views are settled.
+  EXPECT_EQ(frame_stats->reports_staged, static_cast<uint64_t>(n));
+  EXPECT_EQ(epoch->NumberOr("reports_staged", -1), static_cast<double>(n));
+  EXPECT_EQ(doc->StringOr("phase", ""), "collecting_reports");
+
+  const auto metrics = HttpGet("127.0.0.1", admin_port, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status_code, 200);
+  // The live registry carries the net counter and ingest-latency histogram
+  // families in Prometheus text form.
+  EXPECT_NE(metrics->body.find("# TYPE pldp_net_reports_staged_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "# TYPE pldp_net_ingest_latency_report_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("pldp_net_ingest_latency_report_ms_count"),
+            std::string::npos);
+
+  ASSERT_TRUE(conn.SealEpoch().ok());
+  const auto estimates = conn.FetchEstimates();
+  ASSERT_TRUE(estimates.ok()) << estimates.status();
+  EXPECT_EQ(estimates->size(), tax.grid().num_cells());
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : scrapers) t.join();
+  admin.Stop();
+  server.Stop();
+  obs::MetricsRegistry::Global().set_enabled(false);
+
+  EXPECT_GT(scrapes_ok.load(), 0u);
+  EXPECT_EQ(scrapes_bad.load(), 0u);
+}
+
+TEST(NetAdminTest, StartRejectsBadBindAddress) {
+  AdminServerOptions options;
+  options.bind_address = "not-an-ip";
+  AdminServer admin(options, nullptr);
+  EXPECT_FALSE(admin.Start().ok());
+  EXPECT_FALSE(admin.running());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pldp

@@ -42,6 +42,8 @@ std::vector<uint8_t> ValidStream() {
       EncodeFrame(FrameType::kReport, EncodeReportBody(11, report)),
       EncodeFrame(FrameType::kSealEpoch, {}),
       EncodeFrame(FrameType::kFetchEstimates, {}),
+      EncodeFrame(FrameType::kStatsRequest, {}),
+      EncodeFrame(FrameType::kDrain, {}),
   };
   for (const auto& f : frames) stream.insert(stream.end(), f.begin(), f.end());
   return stream;
@@ -71,7 +73,7 @@ TEST(NetFuzzTest, EveryTruncationIsCleanAndNeverPoisons) {
   {
     FrameDecoder decoder;
     full_frames = Drain(&decoder, stream);
-    EXPECT_EQ(full_frames, 6u);
+    EXPECT_EQ(full_frames, 8u);
     EXPECT_FALSE(decoder.poisoned());
   }
   for (size_t cut = 0; cut < stream.size(); ++cut) {
@@ -97,7 +99,7 @@ TEST(NetFuzzTest, EverySingleBitFlipEndsInCleanVerdict) {
     // stream: either the decoder poisons or an inflated length leaves the
     // tail incomplete.
     if (!decoder.poisoned()) {
-      EXPECT_LT(frames, 6u) << "bit " << bit;
+      EXPECT_LT(frames, 8u) << "bit " << bit;
     }
   }
 }
@@ -170,6 +172,7 @@ TEST(NetFuzzTest, TypedBodyParsersSurviveRandomBytes) {
     (void)ParseSealEpochAckBody(bytes);
     (void)ParseEstimatesBody(bytes);
     (void)ParseErrorBody(bytes);
+    (void)ParseStatsBody(bytes);
   }
 }
 

@@ -16,6 +16,8 @@
 #include "net/epoch_engine.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "protocol/client.h"
 #include "protocol/messages.h"
 #include "protocol/server.h"
@@ -154,6 +156,142 @@ TEST(NetLoopbackTest, BitIdenticalToInProcessRun) {
   EXPECT_EQ(stats.connections_accepted, 3u);
   EXPECT_GT(stats.frames_received, static_cast<uint64_t>(2 * n));
   EXPECT_EQ(stats.frame_errors, 0u);
+}
+
+// The instrumentation-never-changes-results gate: with the flight recorder
+// AND the metrics registry fully enabled (the timed ingest path, per-frame
+// histograms, flight events on every frame), the daemon's published
+// estimates must stay bit-identical to the uninstrumented in-process run.
+TEST(NetLoopbackTest, BitIdenticalWithIntrospectionFullyEnabled) {
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Enable(1024);
+  obs::MetricsRegistry::Global().set_enabled(true);
+
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 400;
+  const uint64_t seed = 42;
+  const Cohort cohort = MakeCohort(tax, n, seed);
+
+  PsdaOptions psda;
+  psda.seed = seed;
+  EpochEngineOptions engine_options;
+  engine_options.psda = psda;
+  EpochEngine engine(&tax, engine_options);
+  NetServerOptions server_options;
+  server_options.io_threads = 2;
+  NetServer server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+  UploadSpecsOver(&conn, cohort, 0, n);
+  ASSERT_TRUE(conn.SealSpecs(n).ok());
+  std::vector<DeviceClient> devices = MakeClients(tax, cohort, seed);
+  ReportOver(&conn, &devices, 0, n);
+
+  // Poll the control plane mid-epoch, exactly as `pldp_cli stat` would.
+  const auto mid = conn.FetchStats();
+  ASSERT_TRUE(mid.ok()) << mid.status();
+  EXPECT_EQ(mid->phase, 1);  // collecting reports
+  EXPECT_EQ(mid->reports_staged, static_cast<uint64_t>(n));
+
+  ASSERT_TRUE(conn.SealEpoch().ok());
+  const auto estimates = conn.FetchEstimates();
+  ASSERT_TRUE(estimates.ok()) << estimates.status();
+  server.Stop();
+
+  obs::MetricsRegistry::Global().set_enabled(false);
+  EXPECT_GT(recorder.recorded(), 0u);
+  recorder.Disable();
+
+  auto clients = MakeClients(tax, cohort, seed);
+  AggregationServer in_process(&tax, psda);
+  const PsdaResult baseline = in_process.Collect(&clients, nullptr).value();
+  ASSERT_EQ(estimates->size(), baseline.counts.size());
+  for (size_t k = 0; k < baseline.counts.size(); ++k) {
+    EXPECT_EQ((*estimates)[k], baseline.counts[k]) << "cell " << k;
+  }
+}
+
+TEST(NetLoopbackTest, StatsFrameIsConsistentAcrossTheEpoch) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const size_t n = 100;
+  const Cohort cohort = MakeCohort(tax, n, 7);
+  EpochEngineOptions engine_options;
+  engine_options.psda.seed = 7;
+  EpochEngine engine(&tax, engine_options);
+  NetServer server(&engine, NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+
+  // Fresh daemon: collecting specs, nothing counted yet.
+  auto stats = conn.FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->phase, 0);
+  EXPECT_EQ(stats->draining, 0);
+  EXPECT_EQ(stats->specs_accepted, 0u);
+  EXPECT_EQ(stats->connections_accepted, 1u);
+
+  UploadSpecsOver(&conn, cohort, 0, n);
+  stats = conn.FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->specs_accepted, static_cast<uint64_t>(n));
+  EXPECT_EQ(stats->spec_responders, static_cast<uint64_t>(n));
+
+  ASSERT_TRUE(conn.SealSpecs(n).ok());
+  std::vector<DeviceClient> devices = MakeClients(tax, cohort, 7);
+  ReportOver(&conn, &devices, 0, n / 2);
+  stats = conn.FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->phase, 1);
+  EXPECT_EQ(stats->reports_staged, static_cast<uint64_t>(n / 2));
+  EXPECT_EQ(stats->cohort_size, static_cast<uint64_t>(n));
+  EXPECT_GT(stats->num_clusters, 0u);
+  EXPECT_GT(stats->frames_received, static_cast<uint64_t>(n));
+  EXPECT_GT(stats->uptime_ms + 1, 0u);  // monotone, may round to 0 early
+
+  ReportOver(&conn, &devices, n / 2, n);
+  ASSERT_TRUE(conn.SealEpoch().ok());
+  stats = conn.FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->phase, 2);
+  EXPECT_EQ(stats->reports_folded, static_cast<uint64_t>(n));
+  EXPECT_EQ(stats->published_cells,
+            static_cast<uint64_t>(tax.grid().num_cells()));
+  server.Stop();
+}
+
+TEST(NetLoopbackTest, DrainStopsNewConnectionsButFinishesExisting) {
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  EpochEngineOptions engine_options;
+  engine_options.psda.seed = 13;
+  EpochEngine engine(&tax, engine_options);
+  NetServer server(&engine, NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(conn.Drain().ok());
+  EXPECT_TRUE(server.draining());
+
+  // The draining flag is visible over the control plane...
+  const auto stats = conn.FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->draining, 1);
+
+  // ...the established connection still serves data frames...
+  SpecUploadMsg msg;
+  msg.safe_region = tax.root();
+  msg.epsilon = 1.0;
+  const auto accepted = conn.UploadSpec(0, msg);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_TRUE(accepted.value());
+
+  // ...and a second Drain is an idempotent no-op.
+  EXPECT_TRUE(conn.Drain().ok());
+  server.Stop();
 }
 
 TEST(NetLoopbackTest, CorruptFrameClosesConnectionCleanly) {

@@ -229,6 +229,91 @@ TEST(NetWireTest, ErrorBodyCarriesStatus) {
   EXPECT_EQ(round.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(NetWireTest, StatsBodyRoundTrips) {
+  StatsBody stats;
+  stats.phase = 1;
+  stats.draining = 1;
+  stats.uptime_ms = 123456789;
+  stats.cohort_size = 1000000;
+  stats.spec_responders = 999983;
+  stats.num_clusters = 37;
+  stats.published_cells = 4096;
+  stats.specs_accepted = 999983;
+  stats.specs_duplicate = 17;
+  stats.specs_invalid = 3;
+  stats.reports_staged = 500000;
+  stats.reports_folded = 499000;
+  stats.reports_duplicate = 42;
+  stats.reports_shed = 1000;
+  stats.late_frames = 5;
+  stats.unknown_user_frames = 2;
+  stats.wrong_phase_frames = 1;
+  stats.restored_reports = 250000;
+  stats.checkpoints_written = 12;
+  stats.connections_accepted = 64;
+  stats.connections_closed = 8;
+  stats.frames_received = 2000000;
+  stats.frames_sent = 2000001;
+  stats.bytes_received = 0xFFFFFFFFFFull;
+  stats.bytes_sent = 0x123456789Aull;
+  stats.frame_errors = 7;
+
+  const auto body = EncodeStatsBody(stats);
+  const auto parsed = ParseStatsBody(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->phase, stats.phase);
+  EXPECT_EQ(parsed->draining, stats.draining);
+  EXPECT_EQ(parsed->uptime_ms, stats.uptime_ms);
+  EXPECT_EQ(parsed->cohort_size, stats.cohort_size);
+  EXPECT_EQ(parsed->spec_responders, stats.spec_responders);
+  EXPECT_EQ(parsed->num_clusters, stats.num_clusters);
+  EXPECT_EQ(parsed->published_cells, stats.published_cells);
+  EXPECT_EQ(parsed->specs_accepted, stats.specs_accepted);
+  EXPECT_EQ(parsed->specs_duplicate, stats.specs_duplicate);
+  EXPECT_EQ(parsed->specs_invalid, stats.specs_invalid);
+  EXPECT_EQ(parsed->reports_staged, stats.reports_staged);
+  EXPECT_EQ(parsed->reports_folded, stats.reports_folded);
+  EXPECT_EQ(parsed->reports_duplicate, stats.reports_duplicate);
+  EXPECT_EQ(parsed->reports_shed, stats.reports_shed);
+  EXPECT_EQ(parsed->late_frames, stats.late_frames);
+  EXPECT_EQ(parsed->unknown_user_frames, stats.unknown_user_frames);
+  EXPECT_EQ(parsed->wrong_phase_frames, stats.wrong_phase_frames);
+  EXPECT_EQ(parsed->restored_reports, stats.restored_reports);
+  EXPECT_EQ(parsed->checkpoints_written, stats.checkpoints_written);
+  EXPECT_EQ(parsed->connections_accepted, stats.connections_accepted);
+  EXPECT_EQ(parsed->connections_closed, stats.connections_closed);
+  EXPECT_EQ(parsed->frames_received, stats.frames_received);
+  EXPECT_EQ(parsed->frames_sent, stats.frames_sent);
+  EXPECT_EQ(parsed->bytes_received, stats.bytes_received);
+  EXPECT_EQ(parsed->bytes_sent, stats.bytes_sent);
+  EXPECT_EQ(parsed->frame_errors, stats.frame_errors);
+}
+
+TEST(NetWireTest, StatsBodyRejectsMalformedInput) {
+  StatsBody stats;
+  const auto body = EncodeStatsBody(stats);
+
+  // Trailing garbage after the last counter is a protocol violation.
+  auto trailing = body;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(ParseStatsBody(trailing).ok());
+
+  // Truncated: counters missing off the end.
+  auto truncated = body;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(ParseStatsBody(truncated).ok());
+
+  // Out-of-range phase (only 0..2 exist) and draining (a boolean).
+  auto bad_phase = body;
+  bad_phase[0] = 3;
+  EXPECT_FALSE(ParseStatsBody(bad_phase).ok());
+  auto bad_draining = body;
+  bad_draining[1] = 2;
+  EXPECT_FALSE(ParseStatsBody(bad_draining).ok());
+
+  EXPECT_FALSE(ParseStatsBody({}).ok());
+}
+
 TEST(NetWireTest, ReportOutcomeParseValidatesRange) {
   for (uint8_t b = 0; b <= 5; ++b) {
     const auto outcome = ParseReportOutcome(b);

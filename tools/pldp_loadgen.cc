@@ -35,6 +35,7 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +91,10 @@ struct LoadgenOptions {
   double dropout_prob = 0.0;  // fetch the assignment but never report
   unsigned corrupt_conns = 0; // sacrificial connections sending bad frames
 
+  // Progress reporting: poll the daemon's kStatsRequest control frame every
+  // N seconds on a dedicated connection and print a one-line summary.
+  unsigned progress = 0;
+
   // Verification / reporting.
   bool compare = false;  // bit-identity assert vs in-process RunEpoch
   std::string bench_name = "net_service";
@@ -107,6 +112,7 @@ void PrintUsage() {
          "  --dup F            duplicate-report probability\n"
          "  --drop F           dropout probability (skip the report)\n"
          "  --corrupt K        extra connections sending corrupt frames\n"
+         "  --progress N       poll daemon stats every N seconds (0 = off)\n"
          "  --shed F           (--serve) admission overload fraction\n"
          "  --io-threads N     (--serve) daemon I/O threads\n"
          "  --threads N        (--serve) fold chunk count\n"
@@ -180,6 +186,9 @@ StatusOr<LoadgenOptions> ParseArgs(int argc, char** argv) {
     } else if (flag == "--corrupt") {
       PLDP_ASSIGN_OR_RETURN(const uint64_t n, next_u64());
       options.corrupt_conns = static_cast<unsigned>(n);
+    } else if (flag == "--progress") {
+      PLDP_ASSIGN_OR_RETURN(const uint64_t n, next_u64());
+      options.progress = static_cast<unsigned>(n);
     } else if (flag == "--compare") {
       options.compare = true;
     } else if (flag == "--bench-name") {
@@ -419,6 +428,84 @@ Status RunCorruptConnections(const LoadgenOptions& options, uint16_t port) {
   return Status::OK();
 }
 
+/// Background progress reporter: one dedicated connection polling the
+/// daemon's kStatsRequest control frame every `--progress` seconds and
+/// printing a one-line summary per poll. The control plane is answered from
+/// the epoll loop without touching the fold path, so the monitor is safe to
+/// run alongside the workers (it is exactly what `pldp_cli stat --watch`
+/// does, minus the screen clearing).
+class ProgressMonitor {
+ public:
+  ~ProgressMonitor() { Stop(); }
+
+  Status Start(const LoadgenOptions& options, uint16_t port) {
+    // Connect on the caller's thread so a refused connection surfaces as a
+    // startup error rather than a silent dead monitor.
+    PLDP_RETURN_IF_ERROR(client_.Connect(options.host, port));
+    const unsigned interval_s = options.progress;
+    thread_ = std::thread([this, interval_s] { Run(interval_s); });
+    return Status::OK();
+  }
+
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+    client_.Close();
+  }
+
+ private:
+  static const char* PhaseName(uint8_t phase) {
+    switch (phase) {
+      case 0:
+        return "collecting_specs";
+      case 1:
+        return "collecting_reports";
+      case 2:
+        return "published";
+    }
+    return "unknown";
+  }
+
+  void Run(unsigned interval_s) {
+    uint64_t prev_staged = 0;
+    auto prev_time = Clock::now();
+    bool have_prev = false;
+    while (!stop_.load(std::memory_order_acquire)) {
+      // Sleep in short slices so Stop() never waits a full interval.
+      for (unsigned slice = 0; slice < interval_s * 10; ++slice) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      const StatusOr<net::StatsBody> stats = client_.FetchStats();
+      if (!stats.ok()) return;  // daemon gone or draining: go quiet
+      const auto now = Clock::now();
+      const double elapsed_s =
+          std::chrono::duration<double>(now - prev_time).count();
+      std::ostringstream line;
+      line << "progress: phase=" << PhaseName(stats.value().phase)
+           << " staged=" << stats.value().reports_staged
+           << " folded=" << stats.value().reports_folded
+           << " shed=" << stats.value().reports_shed
+           << " late=" << stats.value().late_frames;
+      if (have_prev && elapsed_s > 0.0) {
+        const double rate =
+            static_cast<double>(stats.value().reports_staged - prev_staged) /
+            elapsed_s;
+        line << " (+" << static_cast<uint64_t>(rate) << " reports/s)";
+      }
+      line << "\n";
+      std::cout << line.str() << std::flush;
+      prev_staged = stats.value().reports_staged;
+      prev_time = now;
+      have_prev = true;
+    }
+  }
+
+  NetClient client_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 StatusOr<std::vector<double>> RunInProcessBaseline(
     const LoadgenOptions& options, const SpatialTaxonomy& taxonomy,
     const std::vector<UserRecord>& users) {
@@ -516,6 +603,15 @@ int RunLoadgen(const LoadgenOptions& options) {
       return 1;
     }
   }
+  ProgressMonitor progress;
+  if (options.progress > 0) {
+    const Status started = progress.Start(options, port);
+    if (!started.ok()) {
+      std::cerr << "progress monitor: " << started.ToString() << "\n";
+      return 1;
+    }
+  }
+
   auto slice = [&](unsigned w) -> std::pair<uint64_t, uint64_t> {
     const uint64_t per = n / workers;
     const uint64_t extra = n % workers;
@@ -656,6 +752,7 @@ int RunLoadgen(const LoadgenOptions& options) {
   }
   std::cout << "published: " << estimates.value().size() << " cells in "
             << seal_timer.ElapsedSeconds() << "s\n";
+  progress.Stop();
 
   // --- Bit-identity assert vs the in-process protocol. ---
   int exit_code = 0;
