@@ -8,6 +8,7 @@
 #include "core/local_randomizer.h"
 #include "core/pcep.h"
 #include "core/pcep_decode.h"
+#include "core/pcep_encode.h"
 #include "core/sign_matrix.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -165,6 +166,104 @@ void BM_PcepDecodeAvx2(benchmark::State& state) {
   RunDecodeKernelCase(state, DecodeKernel::kAvx2);
 }
 BENCHMARK(BM_PcepDecodeAvx2)->Name("decode_avx2");
+
+void BM_PcepDecodeAvx512(benchmark::State& state) {
+  RunDecodeKernelCase(state, DecodeKernel::kAvx512);
+}
+BENCHMARK(BM_PcepDecodeAvx512)->Name("decode_avx512");
+
+/// Shared input for the forced-kernel encode cases: the reference
+/// configuration (n=50k users, |tau|=16384, m=2^16) with mixed epsilons, the
+/// same shape RunPcepCollection feeds EncodeUserRange per chunk.
+struct EncodeFixture {
+  uint64_t m = 1 << 16;
+  SignMatrix matrix{7, 1 << 16, 16384};
+  SeedSchedule schedule{11, PcepSeeds::kClientSeedStride};
+  std::vector<PcepUser> users;
+  std::vector<uint64_t> rows;
+  std::vector<double> out;
+};
+
+EncodeFixture& SharedEncodeFixture() {
+  static EncodeFixture* fixture = [] {
+    auto* f = new EncodeFixture;
+    const uint64_t n = 50000;
+    const uint64_t tau = 16384;
+    Rng rng(5);
+    f->users.reserve(n);
+    f->rows.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      f->users.push_back({static_cast<uint32_t>(rng.NextUint64(tau)),
+                          rng.Bernoulli(0.5) ? 0.25 : 1.0});
+      f->rows.push_back(rng.NextUint64(f->m));
+    }
+    f->out.assign(n, 0.0);
+    return f;
+  }();
+  return *fixture;
+}
+
+/// Seconds per EncodeUserRange of the scalar case, stashed so the avx2 case
+/// can record the measured scalar-vs-SIMD ratio as speedup_vs_scalar.
+double g_scalar_encode_seconds = 0.0;
+
+/// Per-kernel encode cases forced through PLDP_ENCODE_KERNEL, measuring the
+/// full EncodeUserRange path. encode_scalar runs the sequential reference
+/// (real SignAt + LocalRandomize per user, exp() included); encode_avx2
+/// runs the batched closed-form SIMD path — so speedup_vs_scalar is the
+/// speedup of batched SIMD encode over the sequential path it replaced.
+/// Named encode_scalar / encode_avx2 in BENCH_micro_pcep.json;
+/// encode_users_per_sec is the stat the benchdiff gate classifies
+/// (higher-is-better via the per_sec token).
+void RunEncodeKernelCase(benchmark::State& state, EncodeKernel kernel) {
+  if (!EncodeKernelAvailable(kernel)) {
+    state.SkipWithError("kernel unavailable on this host/build");
+    return;
+  }
+  setenv("PLDP_ENCODE_KERNEL", EncodeKernelName(kernel), 1);
+  ResetEncodeKernelForTesting();
+  EncodeFixture& fixture = SharedEncodeFixture();
+  Stopwatch timer;
+  for (auto _ : state) {
+    const Status status = EncodeUserRange(
+        fixture.matrix, fixture.m, fixture.schedule, fixture.users.data(),
+        fixture.rows.data(), 0, fixture.users.size(), nullptr,
+        fixture.out.data());
+    if (!status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(fixture.out.data());
+    benchmark::ClobberMemory();
+  }
+  const double seconds_per_iter =
+      timer.ElapsedSeconds() / static_cast<double>(state.iterations());
+  unsetenv("PLDP_ENCODE_KERNEL");
+  ResetEncodeKernelForTesting();
+
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.users.size()));
+  state.counters["encode_users_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(fixture.users.size()),
+      benchmark::Counter::kIsRate);
+  if (kernel == EncodeKernel::kScalar) {
+    g_scalar_encode_seconds = seconds_per_iter;
+  } else if (g_scalar_encode_seconds > 0.0 && seconds_per_iter > 0.0) {
+    state.counters["speedup_vs_scalar"] =
+        g_scalar_encode_seconds / seconds_per_iter;
+  }
+}
+
+void BM_PcepEncodeScalar(benchmark::State& state) {
+  RunEncodeKernelCase(state, EncodeKernel::kScalar);
+}
+BENCHMARK(BM_PcepEncodeScalar)->Name("encode_scalar");
+
+void BM_PcepEncodeAvx2(benchmark::State& state) {
+  RunEncodeKernelCase(state, EncodeKernel::kAvx2);
+}
+BENCHMARK(BM_PcepEncodeAvx2)->Name("encode_avx2");
 
 void BM_PcepServerDecodeParallel(benchmark::State& state) {
   const uint64_t n = 50000;

@@ -1,13 +1,15 @@
 #include "core/pcep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 
-#include "core/local_randomizer.h"
 #include "core/pcep_decode.h"
+#include "core/pcep_encode.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cpu.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -17,6 +19,10 @@ namespace {
 /// Below this cohort size the parallel-encode fan-out costs more than the
 /// perturbation work it distributes; encode runs sequentially.
 constexpr size_t kParallelEncodeMinUsers = 4096;
+
+/// Below this region size the EstimateParallel partial-combine runs
+/// serially; the fan-out only pays for itself on wide regions.
+constexpr uint64_t kParallelCombineMinColumns = 4096;
 
 obs::Counter* ReportsCounter() {
   static obs::Counter* counter =
@@ -36,13 +42,23 @@ obs::Counter* SkippedZeroRowsCounter() {
   return counter;
 }
 
-/// Which decode kernel this process dispatches to (0 = scalar, 1 = avx2).
-/// Re-exported on every decode: the registry may have been enabled after the
-/// first kernel selection, and the set is one relaxed store.
+/// Which decode kernel this process dispatches to (0 = scalar, 1 = avx2,
+/// 2 = avx512). Re-exported on every decode: the registry may have been
+/// enabled after the first kernel selection, and the set is one relaxed
+/// store.
 void ExportDecodeKernelGauge() {
   static obs::Gauge* gauge =
       obs::MetricsRegistry::Global().GetGauge("pcep.decode_kernel");
   gauge->Set(static_cast<double>(ActiveDecodeKernel()));
+}
+
+/// Same for the encode kernel (0 = scalar, 1 = avx2). Also resolves the
+/// cached selection on the issuing thread, so the env-driven selection never
+/// happens concurrently on pool workers.
+void ExportEncodeKernelGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("pcep.encode_kernel");
+  gauge->Set(static_cast<double>(ActiveEncodeKernel()));
 }
 
 /// Books a finished decode: `live` rows actually decoded, the rest of the
@@ -168,13 +184,16 @@ std::vector<double> PcepServer::EstimateParallel(unsigned num_threads) const {
   // Workers start with an empty span stack of their own; handing them the
   // decode span keeps their spans nested under it in the exported tree.
   const int64_t decode_span = obs::TraceCollector::Global().CurrentSpan();
-  std::vector<std::vector<double>> partials(
-      num_threads, std::vector<double>(tau_size_, 0.0));
+  // Each chunk's partial accumulator is allocated *inside* its worker, so
+  // first-touch places it on the worker's NUMA node / cache domain instead
+  // of concentrating every partial on the issuing thread's node.
+  std::vector<std::vector<double>> partials(num_threads);
   std::vector<size_t> live_per_chunk(num_threads, 0);
   ThreadPool::Global().ParallelFor(
       0, touched_rows_.size(), num_threads,
       [&](unsigned chunk, size_t begin, size_t end) {
         PLDP_SPAN_PARENT("pcep.decode_worker", decode_span);
+        partials[chunk].assign(tau_size_, 0.0);
         live_per_chunk[chunk] = DecodeRowsBlocked(
             matrix_, z_, touched_rows_.data() + begin, end - begin, tau_size_,
             partials[chunk].data());
@@ -185,10 +204,29 @@ std::vector<double> PcepServer::EstimateParallel(unsigned num_threads) const {
 
   // Combine in chunk order: chunk boundaries depend only on the row count
   // and `num_threads`, so the result is deterministic for a fixed thread
-  // count no matter how the pool scheduled the chunks.
+  // count no matter how the pool scheduled the chunks. The combine itself
+  // fans out over disjoint *column* shards — within each column the
+  // partials still add in ascending chunk order, so the result is
+  // bit-identical to the old serial combine for any combine-shard count
+  // (regression-tested in tests/core_pcep_test.cc).
   std::vector<double> counts(tau_size_, 0.0);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    for (uint64_t k = 0; k < tau_size_; ++k) counts[k] += partials[t][k];
+  const auto combine_columns = [&](size_t col_begin, size_t col_end) {
+    for (unsigned t = 0; t < num_threads; ++t) {
+      const std::vector<double>& partial = partials[t];
+      if (partial.empty()) continue;  // chunk never ran (empty row range)
+      for (size_t k = col_begin; k < col_end; ++k) counts[k] += partial[k];
+    }
+  };
+  if (tau_size_ < kParallelCombineMinColumns) {
+    combine_columns(0, tau_size_);
+  } else {
+    const unsigned combine_chunks = TopologyAlignedChunks(num_threads);
+    ThreadPool::Global().ParallelFor(
+        0, tau_size_, combine_chunks,
+        [&](unsigned, size_t col_begin, size_t col_end) {
+          PLDP_SPAN_PARENT("pcep.decode_combine", decode_span);
+          combine_columns(col_begin, col_end);
+        });
   }
   return counts;
 }
@@ -230,34 +268,40 @@ StatusOr<PcepServer> RunPcepCollection(const std::vector<PcepUser>& users,
   }
 
   // Every client RNG is seeded independently from the user index, so workers
-  // can perturb disjoint user ranges concurrently. Each worker writes its
-  // users' sanitized values into their slots of one index-aligned vector;
-  // draining that vector in user order afterwards reproduces the sequential
-  // accumulate stream bit-for-bit, for any chunk count.
+  // can perturb disjoint user ranges concurrently through the batched encode
+  // kernels (core/pcep_encode.h), which are bit-identical to the sequential
+  // SignAt + LocalRandomize loop. Each worker writes its users' sanitized
+  // values into their slots of one index-aligned vector; draining that
+  // vector in user order afterwards reproduces the sequential accumulate
+  // stream bit-for-bit, for any chunk count. Chunk counts are rounded to the
+  // topology group count so ranges split evenly across NUMA nodes / cache
+  // domains.
   ThreadPool& pool = ThreadPool::Global();
   const unsigned num_chunks =
-      users.size() < kParallelEncodeMinUsers ? 1 : pool.num_threads();
+      users.size() < kParallelEncodeMinUsers
+          ? 1
+          : TopologyAlignedChunks(pool.num_threads());
+  // Resolve the kernel on the issuing thread so the env-driven selection
+  // never happens concurrently on pool workers.
+  ExportEncodeKernelGauge();
   const int64_t encode_span = obs::TraceCollector::Global().CurrentSpan();
   std::vector<double> sanitized(users.size(), 0.0);
   std::vector<Status> chunk_status(num_chunks, Status::OK());
+  // A failed chunk raises `abort` so sibling chunks stop at their next batch
+  // boundary instead of encoding users whose output will be discarded.
+  std::atomic<bool> abort{false};
+  const SeedSchedule schedule{seeds.client_base, PcepSeeds::kClientSeedStride};
   pool.ParallelFor(
       0, users.size(), num_chunks,
       [&](unsigned chunk, size_t begin, size_t end) {
         PLDP_SPAN_PARENT("pcep.encode_worker", encode_span);
-        Rng client_rng(0);
-        for (size_t i = begin; i < end; ++i) {
-          const PcepUser& user = users[i];
-          // Fast path: the client's bit x_{l_i} is one entry of the shared
-          // implicit matrix; O(1) on-device work as analyzed in Section IV-A.
-          const bool sign = matrix.SignAt(rows[i], user.location_index);
-          client_rng.Seed(seeds.ClientSeed(i));
-          const StatusOr<double> z =
-              LocalRandomize(sign, server.m(), user.epsilon, &client_rng);
-          if (!z.ok()) {
-            chunk_status[chunk] = z.status();
-            return;
-          }
-          sanitized[i] = z.value();
+        const Status status =
+            EncodeUserRange(matrix, server.m(), schedule, users.data(),
+                            rows.data(), begin, end, &abort,
+                            sanitized.data());
+        if (!status.ok()) {
+          chunk_status[chunk] = status;
+          abort.store(true, std::memory_order_relaxed);
         }
       });
   for (const Status& status : chunk_status) {

@@ -56,9 +56,12 @@ struct PcepSeeds {
         row_assignment(SplitMix64(root_seed ^ 0x0F0F0F0F12345678ULL)),
         client_base(SplitMix64(root_seed ^ 0x3C3C3C3C87654321ULL)) {}
 
+  /// Stride of the affine per-user seed schedule below. The batched encode
+  /// kernels (core/pcep_encode.h) regenerate the same schedule lane-wise.
+  static constexpr uint64_t kClientSeedStride = 0xD1B54A32D192ED03ULL;
+
   uint64_t ClientSeed(uint64_t user_index) const {
-    return SplitMix64(client_base ^
-                      ((user_index + 1) * 0xD1B54A32D192ED03ULL));
+    return SplitMix64(client_base ^ ((user_index + 1) * kClientSeedStride));
   }
 
   uint64_t matrix;

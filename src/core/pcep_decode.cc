@@ -99,6 +99,13 @@ constexpr KernelTable kAvx2Table = {
     &internal_decode::DecodeGatheredAvx2,
     &internal_decode::FillSignWordsAvx2,
 };
+#ifdef PLDP_ENABLE_AVX512
+constexpr KernelTable kAvx512Table = {
+    DecodeKernel::kAvx512,
+    &internal_decode::DecodeGatheredAvx512,
+    &internal_decode::FillSignWordsAvx512,
+};
+#endif
 #endif
 
 const KernelTable* TableFor(DecodeKernel kernel) {
@@ -111,19 +118,35 @@ const KernelTable* TableFor(DecodeKernel kernel) {
 #else
       break;
 #endif
+    case DecodeKernel::kAvx512:
+#if defined(PLDP_ENABLE_SIMD) && defined(PLDP_ENABLE_AVX512)
+      return &kAvx512Table;
+#else
+      break;
+#endif
   }
   PLDP_LOG(Fatal) << "decode kernel " << DecodeKernelName(kernel)
                   << " is not compiled into this binary";
   return nullptr;  // unreachable
 }
 
+/// The best kernel the host/build can actually run; kernel requests that
+/// cannot be honoured fall back to this.
+DecodeKernel BestAvailableKernel() {
+  if (DecodeKernelAvailable(DecodeKernel::kAvx512)) {
+    return DecodeKernel::kAvx512;
+  }
+  if (DecodeKernelAvailable(DecodeKernel::kAvx2)) {
+    return DecodeKernel::kAvx2;
+  }
+  return DecodeKernel::kScalar;
+}
+
 /// Applies the PLDP_DECODE_KERNEL override to the detected features and
 /// returns the kernel the dispatching entries should use.
 DecodeKernel SelectKernel() {
   const SimdKernelChoice choice = DecodeKernelChoiceFromEnv();
-  const DecodeKernel best = DecodeKernelAvailable(DecodeKernel::kAvx2)
-                                ? DecodeKernel::kAvx2
-                                : DecodeKernel::kScalar;
+  const DecodeKernel best = BestAvailableKernel();
   DecodeKernel selected = best;
   switch (choice) {
     case SimdKernelChoice::kAuto:
@@ -138,8 +161,20 @@ DecodeKernel SelectKernel() {
       } else {
         PLDP_LOG(Warning)
             << "PLDP_DECODE_KERNEL=avx2 requested but the avx2 kernel is "
-               "unavailable on this host/build; falling back to scalar";
-        selected = DecodeKernel::kScalar;
+               "unavailable on this host/build; falling back to "
+            << DecodeKernelName(best);
+        selected = best;
+      }
+      break;
+    case SimdKernelChoice::kAvx512:
+      if (DecodeKernelAvailable(DecodeKernel::kAvx512)) {
+        selected = DecodeKernel::kAvx512;
+      } else {
+        PLDP_LOG(Warning)
+            << "PLDP_DECODE_KERNEL=avx512 requested but the avx512 kernel is "
+               "unavailable on this host/build; falling back to "
+            << DecodeKernelName(best);
+        selected = best;
       }
       break;
   }
@@ -230,6 +265,8 @@ const char* DecodeKernelName(DecodeKernel kernel) {
       return "scalar";
     case DecodeKernel::kAvx2:
       return "avx2";
+    case DecodeKernel::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -242,6 +279,14 @@ bool DecodeKernelAvailable(DecodeKernel kernel) {
 #ifdef PLDP_ENABLE_SIMD
       // The AVX2 TU is compiled -mavx2 -mfma, so require both.
       return GetCpuFeatures().avx2 && GetCpuFeatures().fma;
+#else
+      return false;
+#endif
+    case DecodeKernel::kAvx512:
+#if defined(PLDP_ENABLE_SIMD) && defined(PLDP_ENABLE_AVX512)
+      // The avx512 TU is compiled -mavx512f only; GetCpuFeatures only
+      // reports avx512f when XCR0 says the OS saves opmask/ZMM state.
+      return GetCpuFeatures().avx512f;
 #else
       return false;
 #endif

@@ -1,0 +1,204 @@
+// AVX-512 decode kernel. This translation unit is the only one compiled with
+// -mavx512f (see src/core/CMakeLists.txt); it is reached exclusively through
+// the runtime dispatch table in pcep_decode.cc, which checks cpuid + XCR0
+// (opmask/ZMM state) first, so no 512-bit instruction can execute on a host
+// that does not support it.
+//
+// The kernel keeps the AVX2 kernel's structure exactly — rows in groups of
+// four, per-row words regenerated with the 4-lane SplitMix64 (on 256-bit
+// vectors; -mavx512f implies AVX2), signs applied via the sign-bit-XOR
+// identity, per-column sums left-associated ((t0 + t1) + t2) + t3 — but
+// walks **eight** columns per step with 512-bit lanes. Column order and
+// association are unchanged, there are no FP multiplies, so the result is
+// bit-identical to the scalar and AVX2 kernels (tests/core_pcep_simd_test.cc
+// enforces exact ==).
+//
+// AVX-512F has no 64-bit mullo either (that is AVX512DQ), so the SplitMix64
+// multiply uses the same 32-bit-product emulation as the AVX2 TU, widened to
+// 512 bits for the 8-lane word fill.
+
+#include "core/pcep_decode_kernels.h"
+
+#if defined(PLDP_ENABLE_SIMD) && defined(PLDP_ENABLE_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "core/pcep_decode.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace internal_decode {
+namespace {
+
+inline __m256i Mul64(__m256i a, __m256i b) {
+  const __m256i b_swap = _mm256_shuffle_epi32(b, 0xB1);
+  const __m256i cross = _mm256_mullo_epi32(a, b_swap);
+  const __m256i cross_sum =
+      _mm256_add_epi32(_mm256_srli_epi64(cross, 32), cross);
+  const __m256i high = _mm256_slli_epi64(cross_sum, 32);
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b), high);
+}
+
+/// Four SplitMix64 finalizations at once (row-word generation); lane-wise
+/// identical to the scalar SplitMix64 in util/random.h.
+inline __m256i SplitMix64x4(__m256i x) {
+  x = _mm256_add_epi64(
+      x, _mm256_set1_epi64x(static_cast<int64_t>(0x9E3779B97F4A7C15ULL)));
+  x = Mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+            _mm256_set1_epi64x(static_cast<int64_t>(0xBF58476D1CE4E5B9ULL)));
+  x = Mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+            _mm256_set1_epi64x(static_cast<int64_t>(0x94D049BB133111EBULL)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+/// 512-bit lane-wise low 64 bits of the product, same emulation as Mul64.
+inline __m512i Mul64x8(__m512i a, __m512i b) {
+  const __m512i b_swap =
+      _mm512_shuffle_epi32(b, static_cast<_MM_PERM_ENUM>(0xB1));
+  const __m512i cross = _mm512_mullo_epi32(a, b_swap);
+  const __m512i cross_sum =
+      _mm512_add_epi32(_mm512_srli_epi64(cross, 32), cross);
+  const __m512i high = _mm512_slli_epi64(cross_sum, 32);
+  return _mm512_add_epi64(_mm512_mul_epu32(a, b), high);
+}
+
+/// Eight SplitMix64 finalizations at once (word fill).
+inline __m512i SplitMix64x8(__m512i x) {
+  x = _mm512_add_epi64(
+      x, _mm512_set1_epi64(static_cast<int64_t>(0x9E3779B97F4A7C15ULL)));
+  x = Mul64x8(_mm512_xor_si512(x, _mm512_srli_epi64(x, 30)),
+              _mm512_set1_epi64(static_cast<int64_t>(0xBF58476D1CE4E5B9ULL)));
+  x = Mul64x8(_mm512_xor_si512(x, _mm512_srli_epi64(x, 27)),
+              _mm512_set1_epi64(static_cast<int64_t>(0x94D049BB133111EBULL)));
+  return _mm512_xor_si512(x, _mm512_srli_epi64(x, 31));
+}
+
+inline __m512i BroadcastBits(double c) {
+  return _mm512_set1_epi64(static_cast<int64_t>(std::bit_cast<uint64_t>(c)));
+}
+
+inline double SignApply(uint64_t inv_bits, int col, double c) {
+  const uint64_t mask = ((inv_bits >> col) & 1) << 63;
+  return std::bit_cast<double>(std::bit_cast<uint64_t>(c) ^ mask);
+}
+
+}  // namespace
+
+void DecodeGatheredAvx512(const uint64_t* streams, const double* contributions,
+                          size_t live, uint64_t tau_size, double* counts) {
+  const size_t words = (tau_size + 63) / 64;
+  const size_t full_words = tau_size / 64;
+  const int tail_bits = static_cast<int>(tau_size - full_words * 64);
+  const __m512i lane_shifts = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+  const __m512i ones = _mm512_set1_epi64(1);
+  const __m256i all_bits = _mm256_set1_epi64x(-1);
+
+  for (size_t block = 0; block < words; block += kDecodeBlockWords) {
+    const size_t block_end = std::min(words, block + kDecodeBlockWords);
+    size_t i = 0;
+    for (; i + 4 <= live; i += 4) {
+      const __m256i stream_vec = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(streams + i));
+      const __m512i c0 = BroadcastBits(contributions[i]);
+      const __m512i c1 = BroadcastBits(contributions[i + 1]);
+      const __m512i c2 = BroadcastBits(contributions[i + 2]);
+      const __m512i c3 = BroadcastBits(contributions[i + 3]);
+      for (size_t w = block; w < block_end; ++w) {
+        // Word w of all four rows, inverted so a set bit means "flip".
+        const __m256i bits = SplitMix64x4(_mm256_add_epi64(
+            stream_vec, _mm256_set1_epi64x(static_cast<int64_t>(w))));
+        alignas(32) uint64_t inv[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(inv),
+                           _mm256_xor_si256(bits, all_bits));
+        const int limit = w < full_words ? 64 : tail_bits;
+        double* out = counts + w * 64;
+        // v_r lane k holds inv[r] >> (col + k); lanes advance 8 bits per
+        // 8-column group.
+        __m512i v0 = _mm512_srlv_epi64(
+            _mm512_set1_epi64(static_cast<int64_t>(inv[0])), lane_shifts);
+        __m512i v1 = _mm512_srlv_epi64(
+            _mm512_set1_epi64(static_cast<int64_t>(inv[1])), lane_shifts);
+        __m512i v2 = _mm512_srlv_epi64(
+            _mm512_set1_epi64(static_cast<int64_t>(inv[2])), lane_shifts);
+        __m512i v3 = _mm512_srlv_epi64(
+            _mm512_set1_epi64(static_cast<int64_t>(inv[3])), lane_shifts);
+        int col = 0;
+        for (; col + 8 <= limit; col += 8) {
+          const __m512i m0 = _mm512_slli_epi64(_mm512_and_si512(v0, ones), 63);
+          const __m512i m1 = _mm512_slli_epi64(_mm512_and_si512(v1, ones), 63);
+          const __m512i m2 = _mm512_slli_epi64(_mm512_and_si512(v2, ones), 63);
+          const __m512i m3 = _mm512_slli_epi64(_mm512_and_si512(v3, ones), 63);
+          const __m512d t0 = _mm512_castsi512_pd(_mm512_xor_si512(c0, m0));
+          const __m512d t1 = _mm512_castsi512_pd(_mm512_xor_si512(c1, m1));
+          const __m512d t2 = _mm512_castsi512_pd(_mm512_xor_si512(c2, m2));
+          const __m512d t3 = _mm512_castsi512_pd(_mm512_xor_si512(c3, m3));
+          // Same association as the scalar kernel: ((t0 + t1) + t2) + t3.
+          const __m512d sum =
+              _mm512_add_pd(_mm512_add_pd(_mm512_add_pd(t0, t1), t2), t3);
+          _mm512_storeu_pd(out + col,
+                           _mm512_add_pd(_mm512_loadu_pd(out + col), sum));
+          v0 = _mm512_srli_epi64(v0, 8);
+          v1 = _mm512_srli_epi64(v1, 8);
+          v2 = _mm512_srli_epi64(v2, 8);
+          v3 = _mm512_srli_epi64(v3, 8);
+        }
+        for (; col < limit; ++col) {
+          const double t0 = SignApply(inv[0], col, contributions[i]);
+          const double t1 = SignApply(inv[1], col, contributions[i + 1]);
+          const double t2 = SignApply(inv[2], col, contributions[i + 2]);
+          const double t3 = SignApply(inv[3], col, contributions[i + 3]);
+          out[col] += ((t0 + t1) + t2) + t3;
+        }
+      }
+    }
+    for (; i < live; ++i) {
+      const uint64_t stream = streams[i];
+      const double c = contributions[i];
+      const __m512i cq = BroadcastBits(c);
+      for (size_t w = block; w < block_end; ++w) {
+        const uint64_t inv = ~SplitMix64(stream + w);
+        const int limit = w < full_words ? 64 : tail_bits;
+        double* out = counts + w * 64;
+        __m512i v = _mm512_srlv_epi64(
+            _mm512_set1_epi64(static_cast<int64_t>(inv)), lane_shifts);
+        int col = 0;
+        for (; col + 8 <= limit; col += 8) {
+          const __m512i mask =
+              _mm512_slli_epi64(_mm512_and_si512(v, ones), 63);
+          const __m512d t = _mm512_castsi512_pd(_mm512_xor_si512(cq, mask));
+          _mm512_storeu_pd(out + col,
+                           _mm512_add_pd(_mm512_loadu_pd(out + col), t));
+          v = _mm512_srli_epi64(v, 8);
+        }
+        for (; col < limit; ++col) {
+          out[col] += SignApply(inv, col, c);
+        }
+      }
+    }
+  }
+}
+
+void FillSignWordsAvx512(uint64_t stream, uint64_t word_begin,
+                         size_t num_words, uint64_t* out) {
+  const __m512i base =
+      _mm512_set1_epi64(static_cast<int64_t>(stream + word_begin));
+  const __m512i lane_offsets = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+  size_t i = 0;
+  for (; i + 8 <= num_words; i += 8) {
+    const __m512i idx = _mm512_add_epi64(
+        _mm512_add_epi64(base, _mm512_set1_epi64(static_cast<int64_t>(i))),
+        lane_offsets);
+    _mm512_storeu_si512(out + i, SplitMix64x8(idx));
+  }
+  for (; i < num_words; ++i) {
+    out[i] = SplitMix64(stream + word_begin + i);
+  }
+}
+
+}  // namespace internal_decode
+}  // namespace pldp
+
+#endif  // PLDP_ENABLE_SIMD && PLDP_ENABLE_AVX512

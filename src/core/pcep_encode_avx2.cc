@@ -1,0 +1,244 @@
+// AVX2 encode kernels, four users per lane group, two groups in flight.
+// This translation unit is compiled with -mavx2 -mfma (see
+// src/core/CMakeLists.txt) and reached only through the dispatch table in
+// pcep_encode.cc, which verifies CPU support first.
+//
+// Per 4-user group, everything is regenerated lane-wise (lanes map to
+// *users*, unlike the decode kernels where lanes map to columns):
+//
+//  - seed_i  = SplitMix64(base ^ ((index + 1) * stride))   (SeedSchedule)
+//  - the first xoshiro256** draw depends only on state_[1], i.e. two more
+//    chained SplitMix64 applications of the seed, then
+//    rotl(state1 * 5, 7) * 9 — the *5 and *9 are shift-adds, no multiply;
+//  - keep_i  = (draw >> 11) < threshold_i, an exact integer reformulation
+//    of `NextDouble() < p` (see ComputeLrConstants), done with a signed
+//    64-bit compare (both sides < 2^53);
+//  - sign_i  = bit (loc & 63) of SplitMix64(row_stream + (loc >> 6)), the
+//    same derivation as SignMatrix::SignAt, with the row stream itself
+//    vectorized from the raw matrix seed;
+//  - z_i     = magnitude_i with its sign bit XORed by (sign_i ^ keep_i) —
+//    the sign-bit-XOR identity, bit-identical to +-1.0 * magnitude.
+//
+// Every step is integer (the only FP appears as bit patterns), so the
+// results match EncodeUsersScalar exactly; tests/core_pcep_encode_test.cc
+// enforces exact ==.
+//
+// Performance shape: AVX2 has no 64x64->64 multiply, and a naive emulation
+// (vpshufd + vpmulld + vpmuludq) leaves the kernel latency-bound on the
+// chained SplitMix64 rounds — barely ahead of scalar imul. Three things fix
+// that here:
+//  - every multiply in the hot path has a *constant* operand (the SplitMix64
+//    finalizer constants, gamma), so it lowers to three vpmuludq against
+//    precomputed 32-bit halves — fewer uops and ~40% less latency than the
+//    generic emulation;
+//  - (index + 1) * stride is carried incrementally (+ 4 * stride per group,
+//    exact mod 2^64), removing the one non-constant multiply and giving each
+//    iteration a dependency-free chain head;
+//  - the main loop runs two independent 4-user groups per iteration so the
+//    out-of-order scheduler always has a second SplitMix64 chain to fill the
+//    multiplier with.
+
+#include "core/pcep_encode_kernels.h"
+
+#ifdef PLDP_ENABLE_SIMD
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "util/random.h"
+
+namespace pldp {
+namespace internal_encode {
+namespace {
+
+constexpr uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+inline __m256i Gamma4() {
+  return _mm256_set1_epi64x(static_cast<int64_t>(kGamma));
+}
+
+/// x * C mod 2^64 with a compile-time-constant C, as three vpmuludq against
+/// the splatted 32-bit halves of C:
+///   x * C = x_lo * C_lo + ((x_lo * C_hi + x_hi * C_lo) << 32).
+/// Exact for all x (higher cross terms leave the low 64 bits).
+template <uint64_t C>
+inline __m256i MulConst(__m256i x) {
+  const __m256i c_lo =
+      _mm256_set1_epi64x(static_cast<int64_t>(C & 0xFFFFFFFFULL));
+  const __m256i c_hi = _mm256_set1_epi64x(static_cast<int64_t>(C >> 32));
+  const __m256i lo = _mm256_mul_epu32(x, c_lo);
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(x, c_hi),
+      _mm256_mul_epu32(_mm256_srli_epi64(x, 32), c_lo));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Four SplitMix64 finalizations at once; lane-wise identical to the scalar
+/// SplitMix64 in util/random.h.
+inline __m256i SplitMix64x4(__m256i x) {
+  x = _mm256_add_epi64(x, Gamma4());
+  x = MulConst<0xBF58476D1CE4E5B9ULL>(
+      _mm256_xor_si256(x, _mm256_srli_epi64(x, 30)));
+  x = MulConst<0x94D049BB133111EBULL>(
+      _mm256_xor_si256(x, _mm256_srli_epi64(x, 27)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+/// First 53-bit draws (operator()() >> 11) of four Rngs seeded with
+/// SplitMix64(u_lane), where u_lane = base ^ ((index + 1) * stride) is
+/// passed in precomputed (the caller carries the index * stride products
+/// incrementally). Rng::Seed chains seed -> SplitMix64(seed + gamma) per
+/// lane; the first xoshiro draw reads only state_[1], so two chained
+/// applications suffice.
+inline __m256i FirstDraws4(__m256i u) {
+  const __m256i seeds = SplitMix64x4(u);
+  const __m256i state0 = SplitMix64x4(_mm256_add_epi64(seeds, Gamma4()));
+  const __m256i state1 = SplitMix64x4(_mm256_add_epi64(state0, Gamma4()));
+  // result = rotl(state1 * 5, 7) * 9; *5 and *9 via shift-add.
+  const __m256i times5 =
+      _mm256_add_epi64(state1, _mm256_slli_epi64(state1, 2));
+  const __m256i rot = _mm256_or_si256(_mm256_slli_epi64(times5, 7),
+                                      _mm256_srli_epi64(times5, 57));
+  const __m256i result = _mm256_add_epi64(rot, _mm256_slli_epi64(rot, 3));
+  return _mm256_srli_epi64(result, 11);
+}
+
+/// keep lanes as all-ones masks: draw < threshold. Both operands are below
+/// 2^53, so the signed 64-bit compare is exact.
+inline __m256i KeepMask4(__m256i draws, const uint64_t* thresholds,
+                         size_t i) {
+  const __m256i limit = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(thresholds + i));
+  return _mm256_cmpgt_epi64(limit, draws);
+}
+
+inline int PopcountMask4(__m256i mask) {
+  return std::popcount(static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(mask))));
+}
+
+/// Location indices of users [i, i + 4), widened to 64-bit lanes. Four
+/// scalar uint32 loads + a vector build: cheaper than a gather and keeps the
+/// prepass from having to stage a locs array.
+inline __m256i LoadLocs4(const PcepUser* users, size_t i) {
+  return _mm256_setr_epi64x(
+      static_cast<int64_t>(users[i].location_index),
+      static_cast<int64_t>(users[i + 1].location_index),
+      static_cast<int64_t>(users[i + 2].location_index),
+      static_cast<int64_t>(users[i + 3].location_index));
+}
+
+/// Encodes users [i, i + 4) given their precomputed u = base ^ idx * stride
+/// vector; returns the group's keep count.
+inline int Encode4(const EncodeBatchArgs& args, __m256i u, size_t i,
+                   double* out_z) {
+  const __m256i ones = _mm256_set1_epi64x(1);
+  const __m256i draws = FirstDraws4(u);
+  const __m256i keep_mask = KeepMask4(draws, args.thresholds, i);
+
+  // Row streams: SplitMix64(matrix_seed ^ ((row + 1) * gamma)), then the
+  // packed word holding each user's location bit.
+  const __m256i rows =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(args.rows + i));
+  const __m256i streams = SplitMix64x4(_mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<int64_t>(args.matrix_seed)),
+      MulConst<kGamma>(_mm256_add_epi64(rows, ones))));
+  const __m256i locs = LoadLocs4(args.users, i);
+  const __m256i words =
+      SplitMix64x4(_mm256_add_epi64(streams, _mm256_srli_epi64(locs, 6)));
+  const __m256i sign_bits = _mm256_and_si256(
+      _mm256_srlv_epi64(words,
+                        _mm256_and_si256(locs, _mm256_set1_epi64x(63))),
+      ones);
+
+  // flip = sign ^ keep; z = magnitude XOR (flip << 63).
+  const __m256i keep_bits = _mm256_and_si256(keep_mask, ones);
+  const __m256i flip =
+      _mm256_slli_epi64(_mm256_xor_si256(sign_bits, keep_bits), 63);
+  const __m256i magnitudes = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(args.magnitudes + i));
+  _mm256_storeu_pd(out_z + i,
+                   _mm256_castsi256_pd(_mm256_xor_si256(magnitudes, flip)));
+  return PopcountMask4(keep_mask);
+}
+
+/// (index_base + i + 1 + lane) * stride for lanes 0..3, computed once per
+/// kernel call with plain uint64 multiplies (exact mod 2^64) and then
+/// carried by vector adds.
+inline __m256i IndexStride4(uint64_t index_base, uint64_t stride, size_t i) {
+  const uint64_t first = index_base + i + 1;
+  return _mm256_setr_epi64x(static_cast<int64_t>(first * stride),
+                            static_cast<int64_t>((first + 1) * stride),
+                            static_cast<int64_t>((first + 2) * stride),
+                            static_cast<int64_t>((first + 3) * stride));
+}
+
+}  // namespace
+
+size_t EncodeUsersAvx2(const EncodeBatchArgs& args, size_t n, double* out_z) {
+  const __m256i base =
+      _mm256_set1_epi64x(static_cast<int64_t>(args.seed_base));
+  const __m256i stride4 =
+      _mm256_set1_epi64x(static_cast<int64_t>(4 * args.seed_stride));
+  const __m256i stride8 =
+      _mm256_set1_epi64x(static_cast<int64_t>(8 * args.seed_stride));
+  __m256i idx_a = IndexStride4(args.index_base, args.seed_stride, 0);
+  __m256i idx_b = _mm256_add_epi64(idx_a, stride4);
+  size_t keeps = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    keeps += Encode4(args, _mm256_xor_si256(base, idx_a), i, out_z);
+    keeps += Encode4(args, _mm256_xor_si256(base, idx_b), i + 4, out_z);
+    idx_a = _mm256_add_epi64(idx_a, stride8);
+    idx_b = _mm256_add_epi64(idx_b, stride8);
+  }
+  if (i + 4 <= n) {
+    keeps += Encode4(args, _mm256_xor_si256(base, idx_a), i, out_z);
+    i += 4;
+  }
+  if (i < n) {
+    // Straggler users (n % 4) run through the scalar kernel, which is
+    // bit-identical per user.
+    EncodeBatchArgs tail = args;
+    tail.index_base = args.index_base + i;
+    tail.users = args.users + i;
+    tail.rows = args.rows + i;
+    tail.thresholds = args.thresholds + i;
+    tail.magnitudes = args.magnitudes + i;
+    keeps += EncodeUsersScalar(tail, n - i, out_z + i);
+  }
+  return keeps;
+}
+
+size_t KeepDecisionsAvx2(uint64_t seed_base, uint64_t seed_stride,
+                         uint64_t index_base, const uint64_t* thresholds,
+                         size_t n, uint8_t* keep) {
+  const __m256i base = _mm256_set1_epi64x(static_cast<int64_t>(seed_base));
+  const __m256i stride4 =
+      _mm256_set1_epi64x(static_cast<int64_t>(4 * seed_stride));
+  __m256i idx = IndexStride4(index_base, seed_stride, 0);
+  size_t keeps = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i draws = FirstDraws4(_mm256_xor_si256(base, idx));
+    const __m256i keep_mask = KeepMask4(draws, thresholds, i);
+    idx = _mm256_add_epi64(idx, stride4);
+    const int bits = _mm256_movemask_pd(_mm256_castsi256_pd(keep_mask));
+    keep[i] = bits & 1;
+    keep[i + 1] = (bits >> 1) & 1;
+    keep[i + 2] = (bits >> 2) & 1;
+    keep[i + 3] = (bits >> 3) & 1;
+    keeps += std::popcount(static_cast<unsigned>(bits));
+  }
+  if (i < n) {
+    keeps += KeepDecisionsScalar(seed_base, seed_stride, index_base + i,
+                                 thresholds + i, n - i, keep + i);
+  }
+  return keeps;
+}
+
+}  // namespace internal_encode
+}  // namespace pldp
+
+#endif  // PLDP_ENABLE_SIMD

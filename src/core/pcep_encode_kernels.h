@@ -1,0 +1,68 @@
+#ifndef PLDP_CORE_PCEP_ENCODE_KERNELS_H_
+#define PLDP_CORE_PCEP_ENCODE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/pcep.h"
+
+// Internal kernel entry points shared by pcep_encode.cc (registry + scalar
+// implementations) and pcep_encode_avx2.cc (the SIMD translation unit, built
+// with -mavx2 -mfma when PLDP_ENABLE_SIMD is on). Not part of the public
+// encode API — include core/pcep_encode.h instead.
+//
+// Every encode kernel must produce, per user, exactly the values of the
+// sequential path (see core/pcep_encode.h): the keep decision is the integer
+// threshold compare against the first 53-bit draw of the user's seeded
+// xoshiro256** RNG, and the output is magnitudes[i] with its sign bit XORed
+// by (sign_bit ^ keep) — bit-identical to +-1.0 * magnitude for finite
+// magnitudes. All of this is integer arithmetic, so kernels agree exactly.
+
+namespace pldp {
+namespace internal_encode {
+
+/// One prepared batch. All arrays hold `n` entries for users with cohort
+/// indices [index_base, index_base + n); callers pre-validate epsilons and
+/// pre-derive thresholds/magnitudes (pcep_encode.cc memoizes per epsilon).
+/// Location indices are read straight from `users` (one uint32 load per
+/// lane) rather than staged through a scratch array — the prepass is
+/// store-port-bound, so every array it does not have to fill is throughput.
+struct EncodeBatchArgs {
+  uint64_t matrix_seed = 0;  // SignMatrix::seed()
+  uint64_t seed_base = 0;    // SeedSchedule
+  uint64_t seed_stride = 1;
+  uint64_t index_base = 0;
+  const PcepUser* users = nullptr;       // location_index per user
+  const uint64_t* rows = nullptr;        // assigned row per user
+  const uint64_t* thresholds = nullptr;  // keep threshold per user
+  const double* magnitudes = nullptr;    // c_eps * sqrt(m) per user
+};
+
+/// Portable batch encode; returns the number of keep == true decisions (the
+/// caller books n - keeps sign flips).
+size_t EncodeUsersScalar(const EncodeBatchArgs& args, size_t n,
+                         double* out_z);
+
+/// Portable keep decisions for users [index_base, index_base + n); writes
+/// keep[i] in {0, 1} and returns the number of keeps.
+size_t KeepDecisionsScalar(uint64_t seed_base, uint64_t seed_stride,
+                           uint64_t index_base, const uint64_t* thresholds,
+                           size_t n, uint8_t* keep);
+
+#ifdef PLDP_ENABLE_SIMD
+
+/// AVX2 batch encode, four users per step. Bit-identical to
+/// EncodeUsersScalar by the contract above.
+size_t EncodeUsersAvx2(const EncodeBatchArgs& args, size_t n, double* out_z);
+
+/// AVX2 keep decisions, bit-identical to KeepDecisionsScalar.
+size_t KeepDecisionsAvx2(uint64_t seed_base, uint64_t seed_stride,
+                         uint64_t index_base, const uint64_t* thresholds,
+                         size_t n, uint8_t* keep);
+
+#endif  // PLDP_ENABLE_SIMD
+
+}  // namespace internal_encode
+}  // namespace pldp
+
+#endif  // PLDP_CORE_PCEP_ENCODE_KERNELS_H_

@@ -7,6 +7,7 @@
 #include "core/user_group.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cpu.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -75,8 +76,13 @@ StatusOr<PsdaResult> RunPsdaWithOracle(const SpatialTaxonomy& taxonomy,
     }
 
     ThreadPool& pool = ThreadPool::Global();
+    // Round the fan-out to the topology group count so cluster work splits
+    // evenly across NUMA nodes / cache domains; per-cluster results merge in
+    // cluster order below, so the chunk count never changes the output
+    // (regression-tested in tests/core_psda_test.cc).
     const unsigned num_chunks = static_cast<unsigned>(std::min<size_t>(
-        options.num_threads == 0 ? pool.num_threads() : options.num_threads,
+        TopologyAlignedChunks(options.num_threads == 0 ? pool.num_threads()
+                                                       : options.num_threads),
         num_clusters));
     const int64_t estimate_span = obs::TraceCollector::Global().CurrentSpan();
     std::vector<Status> cluster_status(num_clusters, Status::OK());

@@ -45,6 +45,12 @@ class SignMatrix {
   /// loops instead of re-deriving it on every RowWord call.
   uint64_t RowStream(uint64_t row) const { return RowSeed(row); }
 
+  /// The raw matrix seed: RowStream(row) == SplitMix64(seed() ^ ((row + 1) *
+  /// 0x9E3779B97F4A7C15)). Exposed so the batched encode kernels
+  /// (core/pcep_encode.h) can regenerate row streams lane-wise for a block
+  /// of users instead of calling RowStream one row at a time.
+  uint64_t seed() const { return seed_; }
+
   /// Sign bit of entry (row, col); true means +1/sqrt(m).
   bool SignAt(uint64_t row, uint64_t col) const {
     PLDP_DCHECK(row < m_ && col < width_);

@@ -11,6 +11,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cpu.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -25,8 +26,13 @@ namespace {
 constexpr uint64_t kClusterSeedStride = 0x9E3779B97F4A7C15ULL;
 
 unsigned FoldChunks(const PsdaOptions& psda) {
-  return psda.num_threads != 0 ? psda.num_threads
-                               : ThreadPool::Global().num_threads();
+  // Rounded to the topology group count so per-cluster fold work splits
+  // evenly across NUMA nodes / cache domains; fold output is slot-per-
+  // cluster and merged in cluster order, so the chunk count never changes
+  // results.
+  return TopologyAlignedChunks(psda.num_threads != 0
+                                   ? psda.num_threads
+                                   : ThreadPool::Global().num_threads());
 }
 
 }  // namespace

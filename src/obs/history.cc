@@ -193,9 +193,12 @@ StatDirection ClassifyStatDirection(const std::string& name) {
                             "shed", "_ms", "overhead"}) {
     if (Contains(name, token)) return StatDirection::kLowerIsBetter;
   }
+  // "users_per_sec" (the forced-kernel encode A/B) is already covered by
+  // "per_sec" but spelled out so the encode-throughput gate never drifts;
+  // "speedup" covers the kernel cases' speedup_vs_scalar ratios.
   for (const char* token :
        {"recall", "precision", "coverage", "throughput", "responders",
-        "per_sec", "bit_identical"}) {
+        "users_per_sec", "per_sec", "bit_identical", "speedup"}) {
     if (Contains(name, token)) return StatDirection::kHigherIsBetter;
   }
   return StatDirection::kUnknown;

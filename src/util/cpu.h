@@ -16,8 +16,9 @@ namespace pldp {
 struct CpuFeatures {
   bool avx2 = false;
   bool fma = false;
-  /// AVX-512 is reported for observability but no kernel requires it; the
-  /// dispatch layer currently tops out at AVX2 (see core/pcep_decode.h).
+  /// The AVX-512 fields are only true when XCR0 reports opmask/ZMM state
+  /// enabled, so `avx512f` means the 512-bit decode kernel is safe to run
+  /// (see core/pcep_decode.h).
   bool avx512f = false;
   bool avx512bw = false;
   bool avx512dq = false;
@@ -33,15 +34,46 @@ std::string CpuFeaturesSummary();
 
 /// A SIMD kernel request: `kAuto` picks the best kernel the host supports,
 /// the others force a specific implementation (for A/B runs and tests).
-enum class SimdKernelChoice { kAuto, kScalar, kAvx2 };
+enum class SimdKernelChoice { kAuto, kScalar, kAvx2, kAvx512 };
 
-/// Parses "auto" / "scalar" / "avx2" (case-insensitive). nullptr and "" mean
-/// kAuto; an unrecognized token logs a warning and falls back to kAuto.
+/// Parses "auto" / "scalar" / "avx2" / "avx512" (case-insensitive). nullptr
+/// and "" mean kAuto; an unrecognized token logs a warning and falls back to
+/// kAuto.
 SimdKernelChoice ParseKernelChoice(const char* value);
 
 /// The PLDP_DECODE_KERNEL environment override, re-read on every call so
 /// tests and benchdiff A/B drivers can flip it between kernel selections.
 SimdKernelChoice DecodeKernelChoiceFromEnv();
+
+/// The PLDP_ENCODE_KERNEL environment override (same token set; the encode
+/// family tops out at AVX2, so "avx512" falls back with a warning there).
+SimdKernelChoice EncodeKernelChoiceFromEnv();
+
+/// Processor topology used to shard fan-out work so accumulator partials are
+/// touched (and thus allocated) near the cores that fill them. `num_groups`
+/// is the NUMA node count when /sys exposes one, else a cache-domain
+/// approximation derived from the core count. Always >= 1.
+struct CpuTopology {
+  unsigned num_groups = 1;
+  /// "numa" when read from /sys/devices/system/node, "cache" for the
+  /// core-count approximation, "env" when PLDP_TOPOLOGY_GROUPS forced it.
+  const char* source = "cache";
+};
+
+/// The host topology, detected once and cached. PLDP_TOPOLOGY_GROUPS
+/// overrides the group count (clamped to [1, 256]) for tests and A/B runs.
+const CpuTopology& GetCpuTopology();
+
+/// Drops the cached topology so the next GetCpuTopology() re-reads the
+/// environment. Test-only; not thread-safe against concurrent readers.
+void ResetCpuTopologyForTesting();
+
+/// Rounds `base_chunks` (>= 1 assumed meaningful; 0 is returned unchanged)
+/// up to a multiple of the topology group count so ordered-chunk fan-outs
+/// split evenly across NUMA nodes / cache domains. Chunk counts only affect
+/// scheduling, never results: every ParallelFor caller in this tree is
+/// bit-identical for any chunk count (see docs/performance.md).
+unsigned TopologyAlignedChunks(unsigned base_chunks);
 
 }  // namespace pldp
 

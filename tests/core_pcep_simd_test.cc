@@ -30,6 +30,10 @@ bool Avx2Available() {
   return DecodeKernelAvailable(DecodeKernel::kAvx2);
 }
 
+bool Avx512Available() {
+  return DecodeKernelAvailable(DecodeKernel::kAvx512);
+}
+
 /// Entry-by-entry reference decode straight off the matrix definition.
 std::vector<double> NaiveDecode(const SignMatrix& matrix,
                                 const std::vector<double>& z,
@@ -103,6 +107,12 @@ TEST_P(PcepSimdParityTest, KernelsBitIdenticalAndMatchReference) {
     EXPECT_EQ(avx2_live, scalar_live);
     // The determinism contract: exact ==, not tolerance.
     EXPECT_EQ(avx2, scalar) << "avx2 kernel diverged at stride " << stride;
+    if (!Avx512Available()) continue;
+    std::vector<double> avx512;
+    const size_t avx512_live =
+        RunKernel(DecodeKernel::kAvx512, c, tau_size, &avx512);
+    EXPECT_EQ(avx512_live, scalar_live);
+    EXPECT_EQ(avx512, scalar) << "avx512 kernel diverged at stride " << stride;
   }
 }
 
@@ -117,10 +127,15 @@ INSTANTIATE_TEST_SUITE_P(TauSizes, PcepSimdParityTest,
 TEST(PcepSimdKernelTest, NamesAndAvailability) {
   EXPECT_STREQ(DecodeKernelName(DecodeKernel::kScalar), "scalar");
   EXPECT_STREQ(DecodeKernelName(DecodeKernel::kAvx2), "avx2");
+  EXPECT_STREQ(DecodeKernelName(DecodeKernel::kAvx512), "avx512");
   EXPECT_TRUE(DecodeKernelAvailable(DecodeKernel::kScalar));
 #ifndef __x86_64__
   EXPECT_FALSE(DecodeKernelAvailable(DecodeKernel::kAvx2));
+  EXPECT_FALSE(DecodeKernelAvailable(DecodeKernel::kAvx512));
 #endif
+  // AVX-512 support implies the AVX2 kernel is runnable too (the dispatch
+  // fallback order relies on it).
+  if (Avx512Available()) EXPECT_TRUE(Avx2Available());
 }
 
 /// Restores the pre-test PLDP_DECODE_KERNEL value (and cached selection) no
@@ -153,21 +168,30 @@ class ScopedKernelEnv {
 
 TEST(PcepSimdKernelTest, EnvOverrideRoundTrip) {
   ScopedKernelEnv env;
-  const DecodeKernel best = Avx2Available() ? DecodeKernel::kAvx2
-                                            : DecodeKernel::kScalar;
+  const DecodeKernel best = Avx512Available() ? DecodeKernel::kAvx512
+                            : Avx2Available() ? DecodeKernel::kAvx2
+                                              : DecodeKernel::kScalar;
 
   env.Set("scalar");
   EXPECT_EQ(ActiveDecodeKernel(), DecodeKernel::kScalar);
 
-  // A forced avx2 falls back to scalar gracefully when unavailable.
+  // A forced avx2 runs avx2 where available (even if avx512 is better) and
+  // falls back to scalar gracefully where not.
   env.Set("avx2");
+  EXPECT_EQ(ActiveDecodeKernel(), Avx2Available() ? DecodeKernel::kAvx2
+                                                  : DecodeKernel::kScalar);
+
+  // A forced avx512 runs it where the host supports it and falls back to the
+  // best available kernel where it doesn't — never an error.
+  env.Set("avx512");
   EXPECT_EQ(ActiveDecodeKernel(), best);
 
   env.Set("auto");
   EXPECT_EQ(ActiveDecodeKernel(), best);
 
   env.Set("AVX2");  // tokens are case-insensitive
-  EXPECT_EQ(ActiveDecodeKernel(), best);
+  EXPECT_EQ(ActiveDecodeKernel(), Avx2Available() ? DecodeKernel::kAvx2
+                                                  : DecodeKernel::kScalar);
 
   env.Set("bogus");  // unknown tokens warn and mean auto
   EXPECT_EQ(ActiveDecodeKernel(), best);
@@ -193,6 +217,11 @@ TEST(PcepSimdKernelTest, EstimateBitIdenticalAcrossKernels) {
   // exact ==, for any thread count.
   EXPECT_EQ(server.Estimate(), scalar);
   EXPECT_EQ(server.EstimateParallel(4), scalar_par);
+  if (Avx512Available()) {
+    env.Set("avx512");
+    EXPECT_EQ(server.Estimate(), scalar);
+    EXPECT_EQ(server.EstimateParallel(4), scalar_par);
+  }
 }
 
 TEST(PcepSimdKernelTest, ScratchSteadyStateDoesNotReallocate) {

@@ -1,6 +1,7 @@
 #include "core/pcep.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <tuple>
 #include <vector>
@@ -8,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "core/error_model.h"
+#include "core/pcep_decode.h"
 #include "obs/metrics.h"
+#include "util/cpu.h"
 
 namespace pldp {
 namespace {
@@ -220,6 +223,53 @@ TEST(PcepServerTest, ParallelDecodeMatchesSequential) {
   PcepServer small = PcepServer::Create(10, 10, params).value();
   small.Accumulate(0, 1.0);
   EXPECT_EQ(small.EstimateParallel(8), small.Estimate());
+}
+
+TEST(PcepServerTest, ParallelCombineBitIdenticalToSerialCombine) {
+  // The column-sharded parallel combine must reproduce the old serial
+  // chunk-order combine exactly — for any thread count and any topology
+  // shard count. The reference below IS that old combine: per-chunk partials
+  // over the ParallelFor boundary formula (begin = size * chunk / threads),
+  // added column-wise in ascending chunk order.
+  std::vector<PcepUser> users;
+  for (int i = 0; i < 6000; ++i) {
+    users.push_back({static_cast<uint32_t>(i % 4500), 1.0});
+  }
+  PcepParams params;
+  params.seed = 0xC0B1DE;
+  const PcepServer server = RunPcepCollection(users, 4500, params).value();
+  const std::vector<uint64_t>& touched = server.touched_rows();
+  const uint64_t tau = server.tau_size();
+  // Wide enough that EstimateParallel takes the column-sharded combine, not
+  // the small-region serial fallback.
+  ASSERT_GE(tau, 4096u);
+
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    ASSERT_GE(touched.size(), 2 * threads);
+    std::vector<double> expected(tau, 0.0);
+    for (unsigned chunk = 0; chunk < threads; ++chunk) {
+      const size_t begin = touched.size() * chunk / threads;
+      const size_t end = touched.size() * (chunk + 1) / threads;
+      std::vector<double> partial(tau, 0.0);
+      DecodeRowsBlocked(server.sign_matrix(), server.accumulator(),
+                        touched.data() + begin, end - begin, tau,
+                        partial.data());
+      for (uint64_t k = 0; k < tau; ++k) expected[k] += partial[k];
+    }
+    EXPECT_EQ(server.EstimateParallel(threads), expected)
+        << threads << " threads";
+
+    // Shard-count invariance: forcing different topology group counts moves
+    // the combine's column boundaries but must not change a single bit.
+    for (const char* groups : {"1", "3", "7"}) {
+      setenv("PLDP_TOPOLOGY_GROUPS", groups, 1);
+      ResetCpuTopologyForTesting();
+      EXPECT_EQ(server.EstimateParallel(threads), expected)
+          << threads << " threads, " << groups << " topology groups";
+    }
+    unsetenv("PLDP_TOPOLOGY_GROUPS");
+    ResetCpuTopologyForTesting();
+  }
 }
 
 TEST(PcepServerTest, EstimateItemMatchesFullDecode) {

@@ -206,6 +206,13 @@ TEST(HistoryTest, ClassifyStatDirection) {
             StatDirection::kLowerIsBetter);
   EXPECT_EQ(ClassifyStatDirection("ingest.bit_identical"),
             StatDirection::kHigherIsBetter);
+
+  // Encode-kernel A/B stats (bench_micro_pcep): throughput and speedup
+  // ratios up, so a kernel regression shows as a regression, not noise.
+  EXPECT_EQ(ClassifyStatDirection("encode_users_per_sec"),
+            StatDirection::kHigherIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("speedup_vs_scalar"),
+            StatDirection::kHigherIsBetter);
 }
 
 std::vector<BenchRunRecord> StableHistory() {
