@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "common.h"
 #include "core/frequency_oracle.h"
@@ -108,6 +110,73 @@ int main() {
   }
   std::printf("\n(PCEP should dominate as the domain grows - the paper's "
               "rationale for building on [3].)\n");
+
+  // (3) The backend matrix: accuracy x communication x decode CPU for the
+  // four pluggable backends, published as its own BENCH_oracle_matrix.json
+  // so pldp_benchdiff gates the accuracy column (mae, lower-is-better) and
+  // the cost columns (bytes_per_report / decode_cpu_ms, lower-is-better)
+  // exactly like the perf stats. crossover_m is informational: the smallest
+  // measured |domain| where HR's one-FWHT decode undercuts PCEP's decode.
+  std::printf("\n(3) backend matrix, n = 10k skewed users, eps = 1\n");
+  BenchReport matrix("oracle_matrix");
+  matrix.AddParam("users", 10000);
+  matrix.AddParam("epsilon", 1.0);
+  const OlhOracle olh;
+  const OueOracle oue;
+  const HadamardOracle hr;
+  const FrequencyOracle* matrix_oracles[] = {&pcep, &olh, &oue, &hr};
+  std::map<int, std::map<std::string, double>> decode_seconds_by_width;
+  std::printf("%8s %8s %12s %14s %14s %14s\n", "|domain|", "oracle", "mae",
+              "bytes/report", "decode_ms", "encode_ms");
+  for (const int width : {256, 4096, 65536}) {
+    std::vector<double> truth;
+    const auto matrix_users = SkewedUsers(10000, width, 1.0, &truth, 4242);
+    for (const FrequencyOracle* oracle : matrix_oracles) {
+      const std::string case_name =
+          "width_" + std::to_string(width) + "/" + oracle->Name();
+      double mae = 0.0, decode = 0.0, encode = 0.0, bytes = 0.0;
+      for (int run = 0; run < profile.runs; ++run) {
+        OracleRunStats stats;
+        Stopwatch timer;
+        const auto counts =
+            oracle->EstimateCounts(matrix_users, width, 0.1, 500 + run, &stats);
+        matrix.AddSample(case_name, timer.ElapsedSeconds());
+        PLDP_CHECK(counts.ok()) << counts.status();
+        mae += MaxAbsoluteError(truth, counts.value()).value();
+        decode += stats.decode_seconds;
+        encode += stats.encode_seconds;
+        bytes = stats.bytes_per_report;
+      }
+      mae /= profile.runs;
+      decode /= profile.runs;
+      encode /= profile.runs;
+      matrix.AddCaseStat(case_name, "mae", mae);
+      matrix.AddCaseStat(case_name, "bytes_per_report", bytes);
+      matrix.AddCaseStat(case_name, "decode_cpu_ms", decode * 1e3);
+      matrix.AddCaseStat(case_name, "encode_cpu_ms", encode * 1e3);
+      decode_seconds_by_width[width][oracle->Name()] = decode;
+      std::printf("%8d %8s %12.1f %14.3f %14.3f %14.3f\n", width,
+                  oracle->Name().c_str(), mae, bytes, decode * 1e3,
+                  encode * 1e3);
+    }
+  }
+  // The crossover case carries HR's decode time at the largest domain as its
+  // sample so the case is well-formed; crossover_m = 0 means HR never won a
+  // measured width.
+  double crossover_m = 0.0;
+  for (const auto& [width, per_oracle] : decode_seconds_by_width) {
+    if (per_oracle.at("HR") < per_oracle.at("PCEP")) {
+      crossover_m = static_cast<double>(width);
+      break;
+    }
+  }
+  matrix.AddSample("hr_vs_pcep", decode_seconds_by_width[65536]["HR"]);
+  matrix.AddCaseStat("hr_vs_pcep", "crossover_m", crossover_m);
+  std::printf("\nHR decode undercuts PCEP decode from |domain| = %.0f on "
+              "(0 = never measured).\n", crossover_m);
+  const Status matrix_written = matrix.Write();
+  PLDP_CHECK(matrix_written.ok()) << matrix_written.ToString();
+
   const Status written = report.Write();
   PLDP_CHECK(written.ok()) << written.ToString();
   return 0;

@@ -1,14 +1,19 @@
 #include "core/frequency_oracle.h"
 
+#include <cctype>
+#include <chrono>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <string>
 
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace pldp {
-namespace {
+
+namespace internal_oracle {
 
 Status ValidateOracleUsers(const std::vector<PcepUser>& users,
                            uint64_t width) {
@@ -29,29 +34,58 @@ Status ValidateOracleUsers(const std::vector<PcepUser>& users,
   return Status::OK();
 }
 
+}  // namespace internal_oracle
+
+namespace {
+
+using internal_oracle::ValidateOracleUsers;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
 StatusOr<std::vector<double>> PcepOracle::EstimateCounts(
     const std::vector<PcepUser>& users, uint64_t width, double beta,
-    uint64_t seed) const {
+    uint64_t seed, OracleRunStats* stats) const {
   PcepParams params;
   params.beta = beta;
   params.seed = seed;
   params.max_reduced_dimension = max_reduced_dimension_;
+  const auto encode_start = std::chrono::steady_clock::now();
   PLDP_ASSIGN_OR_RETURN(const PcepServer server,
                         RunPcepCollection(users, width, params));
+  const double encode_seconds = SecondsSince(encode_start);
   // Decode on the shared pool. EstimateParallel is deterministic for a fixed
   // thread count, so results depend on PLDP_THREADS / hardware_concurrency
   // but never on scheduling; PLDP_THREADS=1 reproduces the sequential decode
   // exactly.
-  return server.EstimateParallel(ThreadPool::Global().num_threads());
+  const auto decode_start = std::chrono::steady_clock::now();
+  StatusOr<std::vector<double>> counts =
+      server.EstimateParallel(ThreadPool::Global().num_threads());
+  if (stats != nullptr) {
+    // One +-1 bit uplink per report; the row assignment is downlink.
+    stats->bytes_per_report = 1.0 / 8.0;
+    stats->encode_seconds = encode_seconds;
+    stats->decode_seconds = SecondsSince(decode_start);
+  }
+  return counts;
 }
 
 StatusOr<std::vector<double>> KrrOracle::EstimateCounts(
     const std::vector<PcepUser>& users, uint64_t width, double beta,
-    uint64_t seed) const {
+    uint64_t seed, OracleRunStats* stats) const {
   (void)beta;  // kRR has no tunable confidence parameter.
   PLDP_RETURN_IF_ERROR(ValidateOracleUsers(users, width));
+  if (stats != nullptr) {
+    // The report is one index out of width: ceil(log2(width)) bits.
+    double bits = 0.0;
+    while ((uint64_t{1} << static_cast<int>(bits)) < width) bits += 1.0;
+    stats->bytes_per_report = bits / 8.0;
+  }
   if (width == 1) {
     // Degenerate domain: the report is vacuous, the count is public.
     return std::vector<double>{static_cast<double>(users.size())};
@@ -61,6 +95,7 @@ StatusOr<std::vector<double>> KrrOracle::EstimateCounts(
   // Personalized epsilons debias per distinct epsilon value: for users at
   // epsilon e, E[reports of item v] = n_e*q_e + c_e(v)*(p_e - q_e) with
   // p_e = e^eps/(e^eps+k-1), q_e = 1/(e^eps+k-1).
+  const auto encode_start = std::chrono::steady_clock::now();
   std::map<double, std::vector<double>> reports_by_eps;
   std::map<double, uint64_t> n_by_eps;
   Rng rng(SplitMix64(seed ^ 0x6B5252));
@@ -79,7 +114,9 @@ StatusOr<std::vector<double>> KrrOracle::EstimateCounts(
     it->second[reported] += 1.0;
     ++n_by_eps[user.epsilon];
   }
+  const double encode_seconds = SecondsSince(encode_start);
 
+  const auto decode_start = std::chrono::steady_clock::now();
   std::vector<double> counts(width, 0.0);
   for (const auto& [epsilon, reports] : reports_by_eps) {
     const double e = std::exp(epsilon);
@@ -90,12 +127,16 @@ StatusOr<std::vector<double>> KrrOracle::EstimateCounts(
       counts[v] += (reports[v] - n * q) / (p - q);
     }
   }
+  if (stats != nullptr) {
+    stats->encode_seconds = encode_seconds;
+    stats->decode_seconds = SecondsSince(decode_start);
+  }
   return counts;
 }
 
 StatusOr<std::vector<double>> RapporOracle::EstimateCounts(
     const std::vector<PcepUser>& users, uint64_t width, double beta,
-    uint64_t seed) const {
+    uint64_t seed, OracleRunStats* stats) const {
   (void)beta;
   PLDP_RETURN_IF_ERROR(ValidateOracleUsers(users, width));
   if (num_bloom_bits_ == 0 || num_hashes_ == 0) {
@@ -112,6 +153,7 @@ StatusOr<std::vector<double>> RapporOracle::EstimateCounts(
   };
 
   // Per distinct epsilon: per-bit report counts.
+  const auto encode_start = std::chrono::steady_clock::now();
   std::map<double, std::vector<double>> ones_by_eps;
   std::map<double, uint64_t> n_by_eps;
   Rng rng(SplitMix64(seed ^ 0x4AB0B1));
@@ -136,10 +178,12 @@ StatusOr<std::vector<double>> RapporOracle::EstimateCounts(
     }
     ++n_by_eps[user.epsilon];
   }
+  const double encode_seconds = SecondsSince(encode_start);
 
   // Debias each bit position per epsilon: E[ones_j] = t_j*keep +
   // (n - t_j)*(1 - keep) where t_j is the true number of users whose filter
   // sets bit j.
+  const auto decode_start = std::chrono::steady_clock::now();
   std::vector<double> bit_counts(bits, 0.0);
   for (const auto& [epsilon, ones] : ones_by_eps) {
     const double e_bit = std::exp(epsilon / (2.0 * hashes));
@@ -160,7 +204,28 @@ StatusOr<std::vector<double>> RapporOracle::EstimateCounts(
     }
     counts[v] = total / hashes;
   }
+  if (stats != nullptr) {
+    stats->bytes_per_report = static_cast<double>(bits) / 8.0;
+    stats->encode_seconds = encode_seconds;
+    stats->decode_seconds = SecondsSince(decode_start);
+  }
   return counts;
+}
+
+std::unique_ptr<FrequencyOracle> MakeOracle(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "pcep") return std::make_unique<PcepOracle>();
+  if (lower == "krr") return std::make_unique<KrrOracle>();
+  if (lower == "rappor") return std::make_unique<RapporOracle>();
+  if (lower == "olh") return std::make_unique<OlhOracle>();
+  if (lower == "oue") return std::make_unique<OueOracle>();
+  if (lower == "hr" || lower == "hadamard") {
+    return std::make_unique<HadamardOracle>();
+  }
+  return nullptr;
 }
 
 }  // namespace pldp

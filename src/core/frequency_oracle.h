@@ -2,7 +2,9 @@
 #define PLDP_CORE_FREQUENCY_ORACLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pcep.h"
@@ -10,15 +12,34 @@
 
 namespace pldp {
 
+/// Per-run cost accounting for a frequency-oracle execution: what one report
+/// costs on the wire and where the server CPU went. Filled by EstimateCounts
+/// when the caller passes a stats out-param; the backend-matrix bench
+/// (bench_ext_oracles) turns these into the accuracy x bytes x decode-CPU
+/// comparison published as BENCH_oracle_matrix.json.
+struct OracleRunStats {
+  /// Uplink payload of one sanitized report, in bytes (fractional: a
+  /// single-bit report is 0.125). Excludes downlink (row assignments,
+  /// public hash seeds) which is shared broadcast state.
+  double bytes_per_report = 0.0;
+  /// Client-side sanitize CPU for the whole cohort, seconds.
+  double encode_seconds = 0.0;
+  /// Server-side estimation CPU for the whole cohort, seconds. This is the
+  /// number the HR-vs-PCEP crossover at large domains is about.
+  double decode_seconds = 0.0;
+};
+
 /// A local-differential-privacy frequency oracle: every client holds one
 /// item (an index into a width-sized domain) and a personal epsilon, sends
 /// one sanitized report, and the server estimates the count of every item.
 ///
 /// PCEP (the paper's building block, after Bassily-Smith) is one such
 /// oracle; RAPPOR [8] and generalized randomized response [14] are the
-/// alternatives the paper's related-work section weighs it against. The
-/// PSDA framework is parameterized over this interface
-/// (RunPsdaWithOracle), so the comparison can be made end-to-end.
+/// alternatives the paper's related-work section weighs it against, and the
+/// pure-LDP family (OLH / OUE / Hadamard response, after Wang et al.) fills
+/// out the backend menu. The PSDA framework is parameterized over this
+/// interface (RunPsdaWithOracle), so the comparison can be made end-to-end
+/// and the oracle can be picked per cluster by (|tau|, epsilon, n).
 ///
 /// Implementations must be deterministic in (users, width, seed) and
 /// (tau, epsilon_i)-PLDP for each user when run over a safe region tau of
@@ -27,15 +48,24 @@ class FrequencyOracle {
  public:
   virtual ~FrequencyOracle() = default;
 
-  /// Short human-readable name ("PCEP", "RAPPOR", "kRR").
+  /// Short human-readable name ("PCEP", "RAPPOR", "kRR", "OLH", ...).
   virtual std::string Name() const = 0;
 
   /// Runs the whole protocol over `users` (each holding `location_index` in
   /// [0, width)). `beta` is the confidence parameter (oracles without a
-  /// tunable confidence ignore it); `seed` drives all randomness.
+  /// tunable confidence ignore it); `seed` drives all randomness. When
+  /// `stats` is non-null it is filled with the run's cost accounting; the
+  /// estimate itself never depends on whether stats are collected.
   virtual StatusOr<std::vector<double>> EstimateCounts(
       const std::vector<PcepUser>& users, uint64_t width, double beta,
-      uint64_t seed) const = 0;
+      uint64_t seed, OracleRunStats* stats) const = 0;
+
+  /// Convenience overload without cost accounting.
+  StatusOr<std::vector<double>> EstimateCounts(
+      const std::vector<PcepUser>& users, uint64_t width, double beta,
+      uint64_t seed) const {
+    return EstimateCounts(users, width, beta, seed, nullptr);
+  }
 };
 
 /// The paper's oracle: Algorithm 1 (PCEP).
@@ -46,9 +76,10 @@ class PcepOracle final : public FrequencyOracle {
 
   std::string Name() const override { return "PCEP"; }
 
+  using FrequencyOracle::EstimateCounts;
   StatusOr<std::vector<double>> EstimateCounts(
       const std::vector<PcepUser>& users, uint64_t width, double beta,
-      uint64_t seed) const override;
+      uint64_t seed, OracleRunStats* stats) const override;
 
  private:
   uint64_t max_reduced_dimension_;
@@ -65,9 +96,10 @@ class KrrOracle final : public FrequencyOracle {
  public:
   std::string Name() const override { return "kRR"; }
 
+  using FrequencyOracle::EstimateCounts;
   StatusOr<std::vector<double>> EstimateCounts(
       const std::vector<PcepUser>& users, uint64_t width, double beta,
-      uint64_t seed) const override;
+      uint64_t seed, OracleRunStats* stats) const override;
 };
 
 /// Basic one-time RAPPOR [8]: each client hashes its item into a Bloom
@@ -90,9 +122,10 @@ class RapporOracle final : public FrequencyOracle {
 
   std::string Name() const override { return "RAPPOR"; }
 
+  using FrequencyOracle::EstimateCounts;
   StatusOr<std::vector<double>> EstimateCounts(
       const std::vector<PcepUser>& users, uint64_t width, double beta,
-      uint64_t seed) const override;
+      uint64_t seed, OracleRunStats* stats) const override;
 
   uint32_t num_bloom_bits() const { return num_bloom_bits_; }
   uint32_t num_hashes() const { return num_hashes_; }
@@ -101,6 +134,74 @@ class RapporOracle final : public FrequencyOracle {
   uint32_t num_bloom_bits_;
   uint32_t num_hashes_;
 };
+
+/// Optimized local hashing (OLH, Wang et al.): each user hashes the domain
+/// into g_u ~ e^eps_u + 1 buckets with a personal public hash function and
+/// runs g-ary randomized response on the hashed value. Reports are
+/// ~log2(g) bits regardless of the domain size and the variance matches the
+/// pure-LDP optimum, but the server pays O(n * width) decode work (every
+/// (user, item) pair is hashed during support counting) - the backend the
+/// matrix shows losing on decode CPU as either n or |tau| grows.
+/// Implemented in olh.cc.
+class OlhOracle final : public FrequencyOracle {
+ public:
+  std::string Name() const override { return "OLH"; }
+
+  using FrequencyOracle::EstimateCounts;
+  StatusOr<std::vector<double>> EstimateCounts(
+      const std::vector<PcepUser>& users, uint64_t width, double beta,
+      uint64_t seed, OracleRunStats* stats) const override;
+};
+
+/// Optimized unary encoding (OUE, Wang et al.): each user sends a
+/// width-long bit vector, transmitting its own bit truthfully with
+/// probability 1/2 and setting every other bit with probability
+/// 1/(e^eps+1). The asymmetric probabilities minimize the estimator
+/// variance at the cost of width/8 bytes per report - the backend the
+/// matrix shows losing on communication as |tau| grows. Implemented in
+/// oue.cc.
+class OueOracle final : public FrequencyOracle {
+ public:
+  std::string Name() const override { return "OUE"; }
+
+  using FrequencyOracle::EstimateCounts;
+  StatusOr<std::vector<double>> EstimateCounts(
+      const std::vector<PcepUser>& users, uint64_t width, double beta,
+      uint64_t seed, OracleRunStats* stats) const override;
+};
+
+/// Hadamard response (HR): the domain is padded to K = 2^ceil(log2 width);
+/// each user draws a uniform row index j of the K x K Hadamard matrix and
+/// reports the entry H[j, v_u] = (-1)^popcount(j & v_u) through a binary
+/// randomized response (keep probability e^eps/(e^eps+1)). The server
+/// accumulates each report into a K-long vector with per-user debias weight
+/// 1/(2p_u - 1) (personalized epsilons need no grouping) and recovers all K
+/// counts with ONE in-place fast Walsh-Hadamard transform (core/fwht.h):
+/// decode is O(n + K log K) instead of PCEP's per-report matrix work, which
+/// is why HR wins the decode-CPU column at large |tau|. Reports are
+/// log2(K) + 1 bits. Implemented in hadamard.cc.
+class HadamardOracle final : public FrequencyOracle {
+ public:
+  std::string Name() const override { return "HR"; }
+
+  using FrequencyOracle::EstimateCounts;
+  StatusOr<std::vector<double>> EstimateCounts(
+      const std::vector<PcepUser>& users, uint64_t width, double beta,
+      uint64_t seed, OracleRunStats* stats) const override;
+};
+
+/// Constructs a backend by name ("pcep", "krr", "rappor", "olh", "oue",
+/// "hr" / "hadamard"; case-insensitive), with each backend's default
+/// parameters. Returns nullptr for unknown names.
+std::unique_ptr<FrequencyOracle> MakeOracle(std::string_view name);
+
+namespace internal_oracle {
+
+/// Shared argument validation: non-empty cohort, non-empty domain, items in
+/// range, finite positive epsilons.
+Status ValidateOracleUsers(const std::vector<PcepUser>& users, uint64_t width);
+
+}  // namespace internal_oracle
 
 }  // namespace pldp
 

@@ -1,0 +1,99 @@
+#ifndef PLDP_CORE_FWHT_H_
+#define PLDP_CORE_FWHT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pldp {
+
+/// In-place fast Walsh–Hadamard transform over doubles — the decode kernel
+/// of the Hadamard-response frequency oracle (core/hadamard.cc). With H_n
+/// the n x n Hadamard matrix in natural (Sylvester) order,
+///
+///   Fwht(data, n):  data <- H_n * data     (unnormalized)
+///
+/// in O(n log n) butterfly passes instead of the O(n^2) matrix multiply.
+/// `n` must be a power of two (n = 1 is the identity and returns
+/// immediately); PadToPowerOfTwo below maps ragged domains onto the
+/// transform size.
+///
+/// Like the PCEP decode/encode families, the transform is implemented as a
+/// family of kernels behind a runtime CPU-dispatch layer:
+///
+///  - the **scalar** kernel is the textbook iterative butterfly: for each
+///    stage len = 1, 2, 4, ..., pairs (a, b) at distance len become
+///    (a + b, a - b), one pass over the array per stage;
+///  - the **avx2** kernel (x86-64 with AVX2, built under PLDP_ENABLE_SIMD)
+///    runs the same butterflies four doubles per vector lane and fuses
+///    consecutive stages into one pass over memory, halving the number of
+///    times the array streams through the cache.
+///
+/// Every output element is the same expression tree of adds/subtracts in
+/// both kernels — stage fusion reorders *memory traffic*, never the
+/// per-element operation order, and there are no multiplies to contract —
+/// so the kernels are **bit-identical** (exact ==, enforced by
+/// tests/core_fwht_test.cc).
+
+/// The available FWHT kernels. Values are stable (exported as the
+/// `fwht.kernel` gauge: 0 = scalar, 1 = avx2).
+enum class FwhtKernel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// "scalar" / "avx2" — matches the PLDP_FWHT_KERNEL override tokens.
+const char* FwhtKernelName(FwhtKernel kernel);
+
+/// Whether `kernel` can run in this process: kScalar always; kAvx2 only when
+/// the binary was built with PLDP_ENABLE_SIMD and the host CPU + OS support
+/// AVX2 and FMA (util/cpu.h).
+bool FwhtKernelAvailable(FwhtKernel kernel);
+
+/// The kernel Fwht() uses. Selected once (then cached): the
+/// PLDP_FWHT_KERNEL env override (`scalar` / `avx2` / `auto`) if set, else
+/// the best available kernel. A forced kernel that is unavailable (including
+/// `avx512`, which the FWHT family does not implement) logs a warning and
+/// falls back to the best available one. The selection is logged at info.
+FwhtKernel ActiveFwhtKernel();
+
+/// Publishes the active kernel as the `fwht.kernel` gauge (0 = scalar,
+/// 1 = avx2). Decode entry points call this once per decode, mirroring the
+/// `pcep.decode_kernel` gauge.
+void ExportFwhtKernelGauge();
+
+/// Drops the cached selection so the next ActiveFwhtKernel() re-reads
+/// PLDP_FWHT_KERNEL. For tests and in-process A/B benchmarks; call it from
+/// the thread that owns the env mutation, before any concurrent transform.
+void ResetFwhtKernelForTesting();
+
+/// In-place unnormalized Walsh–Hadamard transform of data[0..n), through the
+/// active kernel. `n` must be a power of two (checked).
+void Fwht(double* data, size_t n);
+
+/// Like Fwht but runs a specific kernel, bypassing the cached selection
+/// (parity tests, per-kernel benchmarks). `kernel` must be available
+/// (checked).
+void FwhtWithKernel(FwhtKernel kernel, double* data, size_t n);
+
+/// Smallest power of two >= max(width, 1): the Hadamard-response transform
+/// size for a ragged domain of `width` items (indices [width, K) are
+/// zero-padded slack that decodes to noise and is discarded).
+uint64_t PadToPowerOfTwo(uint64_t width);
+
+namespace internal_fwht {
+
+/// Scalar butterfly kernel (always compiled).
+void FwhtScalar(double* data, size_t n);
+
+#ifdef PLDP_ENABLE_SIMD
+/// AVX2 butterfly kernel with stage fusion (only built under
+/// PLDP_ENABLE_SIMD; reached exclusively through the dispatch table after a
+/// CPU check).
+void FwhtAvx2(double* data, size_t n);
+#endif
+
+}  // namespace internal_fwht
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_FWHT_H_

@@ -1,0 +1,484 @@
+/// AVX2 fast Walsh–Hadamard kernel.
+///
+/// The scalar kernel streams the whole array through the cache once per
+/// butterfly stage — log2(n) full passes. At the sizes the Hadamard-response
+/// decode cares about (m up to 2^20 doubles) those passes are memory-bound,
+/// so the win here comes from three places:
+///
+///  1. four butterflies per __m256d lane;
+///  2. **stage fusion**: an opening radix-32 pass does five stages per trip
+///     through memory (stages 1 and 2 in-register on each loaded quad, then
+///     stages 4/8/16 across the eight quads of a 32-double block), and
+///     radix-8 passes do three stages per trip after that;
+///  3. **cache tiling** for n beyond one L1 tile (4096 doubles = 32 KiB):
+///     phase A runs ALL in-tile stages (1 .. tile/2) tile by tile — the
+///     fused passes after the first hit L1 — and phase B runs the remaining
+///     cross-tile stages as a Walsh–Hadamard transform over the tile index,
+///     column-panel by column-panel, with each panel's working set
+///     (n/tile rows x 16 doubles) L1-resident. Phase-B rows sit a full tile
+///     (32 KiB) apart, so every row of a panel maps to the SAME L1 set:
+///     sweeps are conflict-miss-bound, and the row passes are fused as deep
+///     as the register file allows — radix-16 (four stages, sixteen rows
+///     live in sixteen ymm) first, then radix-8/4/2 remainders — so n = 2^16
+///     needs exactly ONE cross-tile sweep. The whole transform touches
+///     DRAM/L2 roughly twice instead of log2(n) times.
+///
+/// Bit-identity with the scalar kernel is a hard contract (the parity tests
+/// assert exact ==). It holds because fusion and tiling only reorder
+/// *memory traffic*: every output element is computed by the same
+/// adds/subtracts on the same operands in the same order as the scalar
+/// stage-by-stage schedule, there are no multiplies for FMA contraction to
+/// perturb, and IEEE-754 addition is commutative bit-for-bit on the finite
+/// values the decode accumulators hold.
+#ifdef PLDP_ENABLE_SIMD
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "core/fwht.h"
+
+namespace pldp {
+namespace internal_fwht {
+namespace {
+
+/// One L1-sized tile: 4096 doubles = 32 KiB.
+constexpr size_t kTileDoubles = 4096;
+/// Cross-tile panel width: 4 vectors = 16 doubles = 2 cache lines, so a
+/// panel's working set is (n / kTileDoubles) rows x 128 bytes.
+constexpr size_t kPanelDoubles = 16;
+
+/// Stages len=1 and len=2 of one contiguous quad [x0 x1 x2 x3], in-register:
+///   stage 1: (x0,x1) -> (x0+x1, x0-x1), (x2,x3) -> (x2+x3, x2-x3)
+///   stage 2: pairs at distance 2 over the stage-1 results.
+/// Every lane holds exactly the scalar expression.
+inline __m256d Stage12Reg(__m256d v) {
+  const __m256d even = _mm256_permute_pd(v, 0x0);  // [x0 x0 x2 x2]
+  const __m256d odd = _mm256_permute_pd(v, 0xF);   // [x1 x1 x3 x3]
+  const __m256d plus = _mm256_add_pd(even, odd);   // [x0+x1 . x2+x3 .]
+  const __m256d minus = _mm256_sub_pd(even, odd);  // [. x0-x1 . x2-x3]
+  // r1 = [A B C D] = [x0+x1, x0-x1, x2+x3, x2-x3]
+  const __m256d r1 = _mm256_blend_pd(plus, minus, 0xA);
+  const __m256d lo = _mm256_permute2f128_pd(r1, r1, 0x00);  // [A B A B]
+  const __m256d hi = _mm256_permute2f128_pd(r1, r1, 0x11);  // [C D C D]
+  const __m256d plus2 = _mm256_add_pd(lo, hi);              // [A+C B+D . .]
+  const __m256d minus2 = _mm256_sub_pd(lo, hi);             // [. . A-C B-D]
+  return _mm256_blend_pd(plus2, minus2, 0xC);
+}
+
+inline void Stage12Quad(double* x) {
+  _mm256_storeu_pd(x, Stage12Reg(_mm256_loadu_pd(x)));
+}
+
+/// Three-stage butterfly layering across eight __m256d values. The t* / u*
+/// temporaries are exactly the values the scalar schedule writes back after
+/// its first and second passes over the octet, so every output is the same
+/// expression tree.
+#define PLDP_FWHT_RADIX8_LAYERS(a, b, c, d, e, f, g, h)                      \
+  const __m256d t0 = _mm256_add_pd(a, b), t1 = _mm256_sub_pd(a, b);          \
+  const __m256d t2 = _mm256_add_pd(c, d), t3 = _mm256_sub_pd(c, d);          \
+  const __m256d t4 = _mm256_add_pd(e, f), t5 = _mm256_sub_pd(e, f);          \
+  const __m256d t6 = _mm256_add_pd(g, h), t7 = _mm256_sub_pd(g, h);          \
+  const __m256d u0 = _mm256_add_pd(t0, t2), u2 = _mm256_sub_pd(t0, t2);      \
+  const __m256d u1 = _mm256_add_pd(t1, t3), u3 = _mm256_sub_pd(t1, t3);      \
+  const __m256d u4 = _mm256_add_pd(t4, t6), u6 = _mm256_sub_pd(t4, t6);      \
+  const __m256d u5 = _mm256_add_pd(t5, t7), u7 = _mm256_sub_pd(t5, t7);      \
+  const __m256d y0 = _mm256_add_pd(u0, u4), y4 = _mm256_sub_pd(u0, u4);      \
+  const __m256d y1 = _mm256_add_pd(u1, u5), y5 = _mm256_sub_pd(u1, u5);      \
+  const __m256d y2 = _mm256_add_pd(u2, u6), y6 = _mm256_sub_pd(u2, u6);      \
+  const __m256d y3 = _mm256_add_pd(u3, u7), y7 = _mm256_sub_pd(u3, u7)
+
+/// Opening pass for tiles >= 32 doubles: stages 1 and 2 in-register on each
+/// loaded quad, then stages 4, 8, 16 across the eight quads of a 32-double
+/// block — five butterfly stages in a single trip through memory.
+inline void Radix32Block(double* p) {
+  const __m256d a = Stage12Reg(_mm256_loadu_pd(p));
+  const __m256d b = Stage12Reg(_mm256_loadu_pd(p + 4));
+  const __m256d c = Stage12Reg(_mm256_loadu_pd(p + 8));
+  const __m256d d = Stage12Reg(_mm256_loadu_pd(p + 12));
+  const __m256d e = Stage12Reg(_mm256_loadu_pd(p + 16));
+  const __m256d f = Stage12Reg(_mm256_loadu_pd(p + 20));
+  const __m256d g = Stage12Reg(_mm256_loadu_pd(p + 24));
+  const __m256d h = Stage12Reg(_mm256_loadu_pd(p + 28));
+  PLDP_FWHT_RADIX8_LAYERS(a, b, c, d, e, f, g, h);
+  _mm256_storeu_pd(p, y0);
+  _mm256_storeu_pd(p + 4, y1);
+  _mm256_storeu_pd(p + 8, y2);
+  _mm256_storeu_pd(p + 12, y3);
+  _mm256_storeu_pd(p + 16, y4);
+  _mm256_storeu_pd(p + 20, y5);
+  _mm256_storeu_pd(p + 24, y6);
+  _mm256_storeu_pd(p + 28, y7);
+}
+
+/// Fused stages (len, 2·len, 4·len) for len >= 4, one pass over each 8·len
+/// block.
+inline void Radix8Pass(double* data, size_t n, size_t len) {
+  for (size_t block = 0; block < n; block += len << 3) {
+    double* p = data + block;
+    for (size_t j = 0; j < len; j += 4) {
+      const __m256d a = _mm256_loadu_pd(p + j);
+      const __m256d b = _mm256_loadu_pd(p + j + len);
+      const __m256d c = _mm256_loadu_pd(p + j + 2 * len);
+      const __m256d d = _mm256_loadu_pd(p + j + 3 * len);
+      const __m256d e = _mm256_loadu_pd(p + j + 4 * len);
+      const __m256d f = _mm256_loadu_pd(p + j + 5 * len);
+      const __m256d g = _mm256_loadu_pd(p + j + 6 * len);
+      const __m256d h = _mm256_loadu_pd(p + j + 7 * len);
+      PLDP_FWHT_RADIX8_LAYERS(a, b, c, d, e, f, g, h);
+      _mm256_storeu_pd(p + j, y0);
+      _mm256_storeu_pd(p + j + len, y1);
+      _mm256_storeu_pd(p + j + 2 * len, y2);
+      _mm256_storeu_pd(p + j + 3 * len, y3);
+      _mm256_storeu_pd(p + j + 4 * len, y4);
+      _mm256_storeu_pd(p + j + 5 * len, y5);
+      _mm256_storeu_pd(p + j + 6 * len, y6);
+      _mm256_storeu_pd(p + j + 7 * len, y7);
+    }
+  }
+}
+
+/// Fused stages (len, 2·len) for len >= 4, one pass over each 4·len block.
+/// For the quad (a, b, c, d) = (x[q], x[q+len], x[q+2len], x[q+3len]) the
+/// scalar schedule produces
+///   x[q]        = (a+b) + (c+d)
+///   x[q+len]    = (a-b) + (c-d)
+///   x[q+2·len]  = (a+b) - (c+d)
+///   x[q+3·len]  = (a-b) - (c-d)
+/// which is exactly what the four stores below write.
+inline void FusedPass(double* data, size_t n, size_t len) {
+  for (size_t block = 0; block < n; block += len << 2) {
+    double* p0 = data + block;
+    double* p1 = p0 + len;
+    double* p2 = p1 + len;
+    double* p3 = p2 + len;
+    for (size_t j = 0; j < len; j += 4) {
+      const __m256d a = _mm256_loadu_pd(p0 + j);
+      const __m256d b = _mm256_loadu_pd(p1 + j);
+      const __m256d c = _mm256_loadu_pd(p2 + j);
+      const __m256d d = _mm256_loadu_pd(p3 + j);
+      const __m256d ab_p = _mm256_add_pd(a, b);
+      const __m256d ab_m = _mm256_sub_pd(a, b);
+      const __m256d cd_p = _mm256_add_pd(c, d);
+      const __m256d cd_m = _mm256_sub_pd(c, d);
+      _mm256_storeu_pd(p0 + j, _mm256_add_pd(ab_p, cd_p));
+      _mm256_storeu_pd(p1 + j, _mm256_add_pd(ab_m, cd_m));
+      _mm256_storeu_pd(p2 + j, _mm256_sub_pd(ab_p, cd_p));
+      _mm256_storeu_pd(p3 + j, _mm256_sub_pd(ab_m, cd_m));
+    }
+  }
+}
+
+/// Single unfused stage for len >= 4 (the last stage when the remaining
+/// stage count is not a multiple of the fused radices).
+inline void SinglePass(double* data, size_t n, size_t len) {
+  for (size_t block = 0; block < n; block += len << 1) {
+    double* p0 = data + block;
+    double* p1 = p0 + len;
+    for (size_t j = 0; j < len; j += 4) {
+      const __m256d a = _mm256_loadu_pd(p0 + j);
+      const __m256d b = _mm256_loadu_pd(p1 + j);
+      _mm256_storeu_pd(p0 + j, _mm256_add_pd(a, b));
+      _mm256_storeu_pd(p1 + j, _mm256_sub_pd(a, b));
+    }
+  }
+}
+
+/// Four-stage butterfly layering across sixteen __m256d values: the radix-8
+/// layering plus one more level (pairs at distance 8). Same bit-identity
+/// argument: every z* is the exact expression tree of the scalar schedule's
+/// four passes over the sixteen values.
+#define PLDP_FWHT_RADIX16_LAYERS(i0, i1, i2, i3, i4, i5, i6, i7, i8, i9,      \
+                                 i10, i11, i12, i13, i14, i15)                \
+  const __m256d s0 = _mm256_add_pd(i0, i1), s1 = _mm256_sub_pd(i0, i1);       \
+  const __m256d s2 = _mm256_add_pd(i2, i3), s3 = _mm256_sub_pd(i2, i3);       \
+  const __m256d s4 = _mm256_add_pd(i4, i5), s5 = _mm256_sub_pd(i4, i5);       \
+  const __m256d s6 = _mm256_add_pd(i6, i7), s7 = _mm256_sub_pd(i6, i7);       \
+  const __m256d s8 = _mm256_add_pd(i8, i9), s9 = _mm256_sub_pd(i8, i9);       \
+  const __m256d s10 = _mm256_add_pd(i10, i11),                                \
+                s11 = _mm256_sub_pd(i10, i11);                                \
+  const __m256d s12 = _mm256_add_pd(i12, i13),                                \
+                s13 = _mm256_sub_pd(i12, i13);                                \
+  const __m256d s14 = _mm256_add_pd(i14, i15),                                \
+                s15 = _mm256_sub_pd(i14, i15);                                \
+  const __m256d w0 = _mm256_add_pd(s0, s2), w2 = _mm256_sub_pd(s0, s2);       \
+  const __m256d w1 = _mm256_add_pd(s1, s3), w3 = _mm256_sub_pd(s1, s3);       \
+  const __m256d w4 = _mm256_add_pd(s4, s6), w6 = _mm256_sub_pd(s4, s6);       \
+  const __m256d w5 = _mm256_add_pd(s5, s7), w7 = _mm256_sub_pd(s5, s7);       \
+  const __m256d w8 = _mm256_add_pd(s8, s10), w10 = _mm256_sub_pd(s8, s10);    \
+  const __m256d w9 = _mm256_add_pd(s9, s11), w11 = _mm256_sub_pd(s9, s11);    \
+  const __m256d w12 = _mm256_add_pd(s12, s14),                                \
+                w14 = _mm256_sub_pd(s12, s14);                                \
+  const __m256d w13 = _mm256_add_pd(s13, s15),                                \
+                w15 = _mm256_sub_pd(s13, s15);                                \
+  const __m256d x0 = _mm256_add_pd(w0, w4), x4 = _mm256_sub_pd(w0, w4);       \
+  const __m256d x1 = _mm256_add_pd(w1, w5), x5 = _mm256_sub_pd(w1, w5);       \
+  const __m256d x2 = _mm256_add_pd(w2, w6), x6 = _mm256_sub_pd(w2, w6);       \
+  const __m256d x3 = _mm256_add_pd(w3, w7), x7 = _mm256_sub_pd(w3, w7);       \
+  const __m256d x8 = _mm256_add_pd(w8, w12), x12 = _mm256_sub_pd(w8, w12);    \
+  const __m256d x9 = _mm256_add_pd(w9, w13), x13 = _mm256_sub_pd(w9, w13);    \
+  const __m256d x10 = _mm256_add_pd(w10, w14),                                \
+                x14 = _mm256_sub_pd(w10, w14);                                \
+  const __m256d x11 = _mm256_add_pd(w11, w15),                                \
+                x15 = _mm256_sub_pd(w11, w15);                                \
+  const __m256d z0 = _mm256_add_pd(x0, x8), z8 = _mm256_sub_pd(x0, x8);       \
+  const __m256d z1 = _mm256_add_pd(x1, x9), z9 = _mm256_sub_pd(x1, x9);       \
+  const __m256d z2 = _mm256_add_pd(x2, x10), z10 = _mm256_sub_pd(x2, x10);    \
+  const __m256d z3 = _mm256_add_pd(x3, x11), z11 = _mm256_sub_pd(x3, x11);    \
+  const __m256d z4 = _mm256_add_pd(x4, x12), z12 = _mm256_sub_pd(x4, x12);    \
+  const __m256d z5 = _mm256_add_pd(x5, x13), z13 = _mm256_sub_pd(x5, x13);    \
+  const __m256d z6 = _mm256_add_pd(x6, x14), z14 = _mm256_sub_pd(x6, x14);    \
+  const __m256d z7 = _mm256_add_pd(x7, x15), z15 = _mm256_sub_pd(x7, x15)
+
+/// Fused stages (len, 2·len, 4·len, 8·len) for len >= 4, one pass over each
+/// 16·len block. Within a tile the sixteen loaded rows sit at most
+/// 16·len = kTileDoubles apart, so they spread across L1 sets instead of
+/// aliasing into one.
+inline void Radix16Pass(double* data, size_t n, size_t len) {
+  for (size_t block = 0; block < n; block += len << 4) {
+    double* p = data + block;
+    for (size_t j = 0; j < len; j += 4) {
+      const __m256d a0 = _mm256_loadu_pd(p + j);
+      const __m256d a1 = _mm256_loadu_pd(p + j + len);
+      const __m256d a2 = _mm256_loadu_pd(p + j + 2 * len);
+      const __m256d a3 = _mm256_loadu_pd(p + j + 3 * len);
+      const __m256d a4 = _mm256_loadu_pd(p + j + 4 * len);
+      const __m256d a5 = _mm256_loadu_pd(p + j + 5 * len);
+      const __m256d a6 = _mm256_loadu_pd(p + j + 6 * len);
+      const __m256d a7 = _mm256_loadu_pd(p + j + 7 * len);
+      const __m256d a8 = _mm256_loadu_pd(p + j + 8 * len);
+      const __m256d a9 = _mm256_loadu_pd(p + j + 9 * len);
+      const __m256d a10 = _mm256_loadu_pd(p + j + 10 * len);
+      const __m256d a11 = _mm256_loadu_pd(p + j + 11 * len);
+      const __m256d a12 = _mm256_loadu_pd(p + j + 12 * len);
+      const __m256d a13 = _mm256_loadu_pd(p + j + 13 * len);
+      const __m256d a14 = _mm256_loadu_pd(p + j + 14 * len);
+      const __m256d a15 = _mm256_loadu_pd(p + j + 15 * len);
+      PLDP_FWHT_RADIX16_LAYERS(a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10,
+                               a11, a12, a13, a14, a15);
+      _mm256_storeu_pd(p + j, z0);
+      _mm256_storeu_pd(p + j + len, z1);
+      _mm256_storeu_pd(p + j + 2 * len, z2);
+      _mm256_storeu_pd(p + j + 3 * len, z3);
+      _mm256_storeu_pd(p + j + 4 * len, z4);
+      _mm256_storeu_pd(p + j + 5 * len, z5);
+      _mm256_storeu_pd(p + j + 6 * len, z6);
+      _mm256_storeu_pd(p + j + 7 * len, z7);
+      _mm256_storeu_pd(p + j + 8 * len, z8);
+      _mm256_storeu_pd(p + j + 9 * len, z9);
+      _mm256_storeu_pd(p + j + 10 * len, z10);
+      _mm256_storeu_pd(p + j + 11 * len, z11);
+      _mm256_storeu_pd(p + j + 12 * len, z12);
+      _mm256_storeu_pd(p + j + 13 * len, z13);
+      _mm256_storeu_pd(p + j + 14 * len, z14);
+      _mm256_storeu_pd(p + j + 15 * len, z15);
+    }
+  }
+}
+
+/// Full transform of one contiguous region of n <= kTileDoubles elements
+/// (phase A). For region sizes past the opening pass the later fused passes
+/// re-stream the region, but it is L1-resident by construction. The full
+/// 4096-double tile runs radix-32 + radix-16 + radix-8: twelve stages in
+/// three trips through the tile.
+inline void TileTransform(double* data, size_t n) {
+  size_t len = 4;
+  if (n >= 32) {
+    for (size_t i = 0; i < n; i += 32) Radix32Block(data + i);
+    len = 32;
+  } else {
+    for (size_t i = 0; i < n; i += 4) Stage12Quad(data + i);
+  }
+  for (; (len << 4) <= n; len <<= 4) Radix16Pass(data, n, len);
+  for (; (len << 3) <= n; len <<= 3) Radix8Pass(data, n, len);
+  if ((len << 2) <= n) {
+    FusedPass(data, n, len);
+    len <<= 2;
+  }
+  if ((len << 1) <= n) SinglePass(data, n, len);
+}
+
+/// Phase B: the remaining stages (len = kTileDoubles, 2·kTileDoubles, ...)
+/// form a Walsh–Hadamard transform over the *tile index* — element
+/// q = r·tile + c pairs with (r ± 2^s)·tile + c, same column c. Runs column
+/// panel by column panel; the butterflies are the scalar schedule's exactly.
+///
+/// Phase-B rows sit whole tiles (multiples of 32 KiB) apart, so every row of
+/// a panel aliases into the SAME L1 set: sixteen live rows cannot stay
+/// resident in a 8- or 12-way L1. The radix-16 row pass therefore gathers
+/// each 16-row x 16-double panel block into a contiguous 2 KiB scratch block
+/// (each strided cache line is touched exactly once), butterflies entirely
+/// inside the scratch, and scatters back (again touching each line once).
+/// The copies move bits verbatim, so bit-identity is untouched.
+inline void Radix16RowPass(double* panel, size_t rows, size_t stride,
+                           size_t len) {
+  const size_t step = len * stride;
+  alignas(64) double scratch[16 * kPanelDoubles];
+  for (size_t block = 0; block < rows; block += len << 4) {
+    for (size_t r = block; r < block + len; ++r) {
+      double* p = panel + r * stride;
+      for (size_t k = 0; k < 16; ++k) {
+        const double* src = p + k * step;
+        double* dst = scratch + k * kPanelDoubles;
+        _mm256_store_pd(dst, _mm256_loadu_pd(src));
+        _mm256_store_pd(dst + 4, _mm256_loadu_pd(src + 4));
+        _mm256_store_pd(dst + 8, _mm256_loadu_pd(src + 8));
+        _mm256_store_pd(dst + 12, _mm256_loadu_pd(src + 12));
+      }
+      for (size_t v = 0; v < kPanelDoubles; v += 4) {
+        double* q = scratch + v;
+        const __m256d a0 = _mm256_load_pd(q);
+        const __m256d a1 = _mm256_load_pd(q + kPanelDoubles);
+        const __m256d a2 = _mm256_load_pd(q + 2 * kPanelDoubles);
+        const __m256d a3 = _mm256_load_pd(q + 3 * kPanelDoubles);
+        const __m256d a4 = _mm256_load_pd(q + 4 * kPanelDoubles);
+        const __m256d a5 = _mm256_load_pd(q + 5 * kPanelDoubles);
+        const __m256d a6 = _mm256_load_pd(q + 6 * kPanelDoubles);
+        const __m256d a7 = _mm256_load_pd(q + 7 * kPanelDoubles);
+        const __m256d a8 = _mm256_load_pd(q + 8 * kPanelDoubles);
+        const __m256d a9 = _mm256_load_pd(q + 9 * kPanelDoubles);
+        const __m256d a10 = _mm256_load_pd(q + 10 * kPanelDoubles);
+        const __m256d a11 = _mm256_load_pd(q + 11 * kPanelDoubles);
+        const __m256d a12 = _mm256_load_pd(q + 12 * kPanelDoubles);
+        const __m256d a13 = _mm256_load_pd(q + 13 * kPanelDoubles);
+        const __m256d a14 = _mm256_load_pd(q + 14 * kPanelDoubles);
+        const __m256d a15 = _mm256_load_pd(q + 15 * kPanelDoubles);
+        PLDP_FWHT_RADIX16_LAYERS(a0, a1, a2, a3, a4, a5, a6, a7, a8, a9,
+                                 a10, a11, a12, a13, a14, a15);
+        _mm256_store_pd(q, z0);
+        _mm256_store_pd(q + kPanelDoubles, z1);
+        _mm256_store_pd(q + 2 * kPanelDoubles, z2);
+        _mm256_store_pd(q + 3 * kPanelDoubles, z3);
+        _mm256_store_pd(q + 4 * kPanelDoubles, z4);
+        _mm256_store_pd(q + 5 * kPanelDoubles, z5);
+        _mm256_store_pd(q + 6 * kPanelDoubles, z6);
+        _mm256_store_pd(q + 7 * kPanelDoubles, z7);
+        _mm256_store_pd(q + 8 * kPanelDoubles, z8);
+        _mm256_store_pd(q + 9 * kPanelDoubles, z9);
+        _mm256_store_pd(q + 10 * kPanelDoubles, z10);
+        _mm256_store_pd(q + 11 * kPanelDoubles, z11);
+        _mm256_store_pd(q + 12 * kPanelDoubles, z12);
+        _mm256_store_pd(q + 13 * kPanelDoubles, z13);
+        _mm256_store_pd(q + 14 * kPanelDoubles, z14);
+        _mm256_store_pd(q + 15 * kPanelDoubles, z15);
+      }
+      for (size_t k = 0; k < 16; ++k) {
+        const double* src = scratch + k * kPanelDoubles;
+        double* dst = p + k * step;
+        _mm256_storeu_pd(dst, _mm256_load_pd(src));
+        _mm256_storeu_pd(dst + 4, _mm256_load_pd(src + 4));
+        _mm256_storeu_pd(dst + 8, _mm256_load_pd(src + 8));
+        _mm256_storeu_pd(dst + 12, _mm256_load_pd(src + 12));
+      }
+    }
+  }
+}
+
+/// Three fused row stages (len, 2len, 4len) over one column panel.
+inline void Radix8RowPass(double* panel, size_t rows, size_t stride,
+                          size_t len) {
+  const size_t step = len * stride;
+  for (size_t block = 0; block < rows; block += len << 3) {
+    for (size_t r = block; r < block + len; ++r) {
+      double* p = panel + r * stride;
+      for (size_t v = 0; v < kPanelDoubles; v += 4) {
+        const __m256d a = _mm256_loadu_pd(p + v);
+        const __m256d b = _mm256_loadu_pd(p + v + step);
+        const __m256d cc = _mm256_loadu_pd(p + v + 2 * step);
+        const __m256d d = _mm256_loadu_pd(p + v + 3 * step);
+        const __m256d e = _mm256_loadu_pd(p + v + 4 * step);
+        const __m256d f = _mm256_loadu_pd(p + v + 5 * step);
+        const __m256d g = _mm256_loadu_pd(p + v + 6 * step);
+        const __m256d h = _mm256_loadu_pd(p + v + 7 * step);
+        PLDP_FWHT_RADIX8_LAYERS(a, b, cc, d, e, f, g, h);
+        _mm256_storeu_pd(p + v, y0);
+        _mm256_storeu_pd(p + v + step, y1);
+        _mm256_storeu_pd(p + v + 2 * step, y2);
+        _mm256_storeu_pd(p + v + 3 * step, y3);
+        _mm256_storeu_pd(p + v + 4 * step, y4);
+        _mm256_storeu_pd(p + v + 5 * step, y5);
+        _mm256_storeu_pd(p + v + 6 * step, y6);
+        _mm256_storeu_pd(p + v + 7 * step, y7);
+      }
+    }
+  }
+}
+
+/// One or two trailing row stages over one column panel.
+inline void TailRowPass(double* panel, size_t rows, size_t stride, size_t len,
+                        size_t fused) {
+  const size_t step = len * stride;
+  for (size_t block = 0; block < rows; block += len << fused) {
+    for (size_t r = block; r < block + len; ++r) {
+      double* p = panel + r * stride;
+      for (size_t v = 0; v < kPanelDoubles; v += 4) {
+        if (fused == 2) {
+          const __m256d a = _mm256_loadu_pd(p + v);
+          const __m256d b = _mm256_loadu_pd(p + v + step);
+          const __m256d cc = _mm256_loadu_pd(p + v + 2 * step);
+          const __m256d d = _mm256_loadu_pd(p + v + 3 * step);
+          const __m256d ab_p = _mm256_add_pd(a, b);
+          const __m256d ab_m = _mm256_sub_pd(a, b);
+          const __m256d cd_p = _mm256_add_pd(cc, d);
+          const __m256d cd_m = _mm256_sub_pd(cc, d);
+          _mm256_storeu_pd(p + v, _mm256_add_pd(ab_p, cd_p));
+          _mm256_storeu_pd(p + v + step, _mm256_add_pd(ab_m, cd_m));
+          _mm256_storeu_pd(p + v + 2 * step, _mm256_sub_pd(ab_p, cd_p));
+          _mm256_storeu_pd(p + v + 3 * step, _mm256_sub_pd(ab_m, cd_m));
+        } else {
+          const __m256d a = _mm256_loadu_pd(p + v);
+          const __m256d b = _mm256_loadu_pd(p + v + step);
+          _mm256_storeu_pd(p + v, _mm256_add_pd(a, b));
+          _mm256_storeu_pd(p + v + step, _mm256_sub_pd(a, b));
+        }
+      }
+    }
+  }
+}
+
+inline void CrossTilePanels(double* data, size_t rows, size_t stride) {
+  for (size_t c = 0; c < stride; c += kPanelDoubles) {
+    double* panel = data + c;
+    size_t len = 1;  // in units of rows
+    for (; (len << 4) <= rows; len <<= 4) {
+      Radix16RowPass(panel, rows, stride, len);
+    }
+    if ((len << 3) <= rows) {
+      Radix8RowPass(panel, rows, stride, len);
+      len <<= 3;
+    }
+    if ((len << 1) <= rows) {
+      TailRowPass(panel, rows, stride, len, (len << 2) <= rows ? 2u : 1u);
+    }
+  }
+}
+
+}  // namespace
+
+void FwhtAvx2(double* data, size_t n) {
+  if (n < 4) {
+    // n == 2: one scalar butterfly (n == 1 never reaches the kernel).
+    if (n == 2) {
+      const double a = data[0];
+      const double b = data[1];
+      data[0] = a + b;
+      data[1] = a - b;
+    }
+    return;
+  }
+  if (n <= kTileDoubles) {
+    TileTransform(data, n);
+    return;
+  }
+  // Phase A: all in-tile stages (1 .. kTileDoubles/2), tile by tile.
+  for (size_t b = 0; b < n; b += kTileDoubles) {
+    TileTransform(data + b, kTileDoubles);
+  }
+  // Phase B: cross-tile stages (kTileDoubles .. n/2) over the tile index.
+  CrossTilePanels(data, n / kTileDoubles, kTileDoubles);
+}
+
+}  // namespace internal_fwht
+}  // namespace pldp
+
+#endif  // PLDP_ENABLE_SIMD

@@ -85,6 +85,14 @@ void ResetEncodeKernelForTesting();
 struct SeedSchedule {
   uint64_t base = 0;
   uint64_t stride = 1;
+
+  /// The closed form itself: user `index`'s RNG seed. The single definition
+  /// shared by the batched kernels, PcepSeeds::ClientSeed, and the
+  /// message-level fleet builders (protocol/client.h), so the device-side
+  /// and kernel-side transcripts cannot drift apart.
+  uint64_t SeedFor(uint64_t index) const {
+    return SplitMix64(base ^ ((index + 1) * stride));
+  }
 };
 
 /// Derived local-randomizer constants for one (m, epsilon) pair.

@@ -21,13 +21,9 @@ std::string FormatDouble(double value) { return std::to_string(value); }
 std::vector<DeviceClient> MakeClients(const SpatialTaxonomy& taxonomy,
                                       const std::vector<UserRecord>& users,
                                       uint64_t seed) {
-  std::vector<DeviceClient> clients;
-  clients.reserve(users.size());
-  for (size_t i = 0; i < users.size(); ++i) {
-    clients.emplace_back(&taxonomy, users[i].cell, users[i].spec,
-                         SplitMix64(seed ^ (i + 1)));
-  }
-  return clients;
+  // SeedSchedule{seed, 1} is the closed form of the SplitMix64(seed ^ (i+1))
+  // loop this helper used to hand-roll: transcripts are bit-identical.
+  return BuildScheduledFleet(taxonomy, users, SeedSchedule{seed, 1});
 }
 
 /// Worst per-cluster Theorem 4.5 bound of one run, rescaled to cohort scale

@@ -75,12 +75,10 @@ StatusOr<std::vector<DegradationPoint>> RunDegradationSweep(
       const uint64_t run_seed =
           SplitMix64(options.seed ^ ((run + 1) * 0xA24BAED4963EE407ULL));
 
-      std::vector<DeviceClient> clients;
-      clients.reserve(users.size());
-      for (size_t i = 0; i < users.size(); ++i) {
-        clients.emplace_back(&taxonomy, users[i].cell, users[i].spec,
-                             SplitMix64(run_seed ^ (i + 1)));
-      }
+      // The closed-form fleet schedule {run_seed, 1} reproduces the legacy
+      // per-site SplitMix64(run_seed ^ (i + 1)) loop bit-for-bit.
+      std::vector<DeviceClient> clients =
+          BuildScheduledFleet(taxonomy, users, SeedSchedule{run_seed, 1});
 
       PsdaOptions psda = options.psda;
       psda.seed = SplitMix64(run_seed ^ 0x9D5A1CEB00F5EEDULL);

@@ -183,14 +183,21 @@ bool Contains(const std::string& haystack, const char* needle) {
 }  // namespace
 
 StatDirection ClassifyStatDirection(const std::string& name) {
+  // Informational stats are neither-direction by design: the oracle matrix's
+  // crossover_m (smallest domain where HR decode undercuts PCEP) moves when
+  // either kernel improves, so a shift is a headline, not a regression.
+  if (Contains(name, "crossover")) return StatDirection::kUnknown;
   // Lower-is-better tokens first: "violation_rate" must not match the
   // higher-is-better "rate" family. "_ms" covers the net-service ingest
   // latency percentiles (ingest_p95_ms) and any other millisecond timing;
   // "shed" covers the daemon's shed_fraction; "overhead" covers the
-  // introspection bench's scrape_overhead_frac.
+  // introspection bench's scrape_overhead_frac. "bytes_per_report" and
+  // "decode_cpu_ms" (the oracle-matrix cost columns) are already covered by
+  // "bytes" / "_ms" but spelled out so the backend-matrix gate never drifts.
   for (const char* token : {"err", "kl", "mae", "loss", "violation", "bytes",
-                            "retries", "dropped", "timeout", "latency",
-                            "shed", "_ms", "overhead"}) {
+                            "bytes_per_report", "retries", "dropped",
+                            "timeout", "latency", "shed", "_ms",
+                            "decode_cpu_ms", "overhead"}) {
     if (Contains(name, token)) return StatDirection::kLowerIsBetter;
   }
   // "users_per_sec" (the forced-kernel encode A/B) is already covered by

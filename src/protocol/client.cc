@@ -68,4 +68,16 @@ StatusOr<std::vector<uint8_t>> DeviceClient::HandleRowAssignment(
   return cached_report_;
 }
 
+std::vector<DeviceClient> BuildScheduledFleet(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users,
+    const SeedSchedule& schedule) {
+  std::vector<DeviceClient> clients;
+  clients.reserve(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    clients.emplace_back(&taxonomy, users[i].cell, users[i].spec, schedule,
+                         static_cast<uint64_t>(i));
+  }
+  return clients;
+}
+
 }  // namespace pldp

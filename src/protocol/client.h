@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/pcep_encode.h"
 #include "core/privacy_spec.h"
 #include "geo/taxonomy.h"
 #include "util/random.h"
@@ -25,6 +26,14 @@ class DeviceClient {
   DeviceClient(const SpatialTaxonomy* taxonomy, CellId location,
                PrivacySpec spec, uint64_t seed)
       : taxonomy_(taxonomy), location_(location), spec_(spec), rng_(seed) {}
+
+  /// Device `index` of a fleet seeded by the closed-form affine schedule the
+  /// batched encode kernels regenerate lane-wise (SeedSchedule::SeedFor):
+  /// with schedule {base, 1} this is bit-identical, report for report, to
+  /// the legacy hand-rolled `SplitMix64(base ^ (i + 1))` seeding loops.
+  DeviceClient(const SpatialTaxonomy* taxonomy, CellId location,
+               PrivacySpec spec, const SeedSchedule& schedule, uint64_t index)
+      : DeviceClient(taxonomy, location, spec, schedule.SeedFor(index)) {}
 
   const PrivacySpec& spec() const { return spec_; }
 
@@ -71,6 +80,14 @@ class DeviceClient {
   std::vector<uint8_t> cached_report_;
   NodeId answered_region_ = kInvalidNode;
 };
+
+/// Builds the message-level cohort for `users` with per-device RNG seeds
+/// drawn from `schedule` — the protocol-layer twin of the batched encode
+/// kernels' seed regeneration, replacing the per-call-site SplitMix64 loops
+/// (eval/chaos.cc, eval/degradation.cc) with the one shared closed form.
+std::vector<DeviceClient> BuildScheduledFleet(
+    const SpatialTaxonomy& taxonomy, const std::vector<UserRecord>& users,
+    const SeedSchedule& schedule);
 
 }  // namespace pldp
 

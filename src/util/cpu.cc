@@ -123,6 +123,10 @@ SimdKernelChoice EncodeKernelChoiceFromEnv() {
   return ParseKernelChoice(std::getenv("PLDP_ENCODE_KERNEL"));
 }
 
+SimdKernelChoice FwhtKernelChoiceFromEnv() {
+  return ParseKernelChoice(std::getenv("PLDP_FWHT_KERNEL"));
+}
+
 namespace {
 
 /// NUMA node count from sysfs: the number of node<N> directories. 0 when the

@@ -49,6 +49,10 @@ SimdKernelChoice DecodeKernelChoiceFromEnv();
 /// family tops out at AVX2, so "avx512" falls back with a warning there).
 SimdKernelChoice EncodeKernelChoiceFromEnv();
 
+/// The PLDP_FWHT_KERNEL environment override for the fast Walsh–Hadamard
+/// decode kernels (core/fwht.h; same token set, tops out at AVX2).
+SimdKernelChoice FwhtKernelChoiceFromEnv();
+
 /// Processor topology used to shard fan-out work so accumulator partials are
 /// touched (and thus allocated) near the cores that fill them. `num_groups`
 /// is the NUMA node count when /sys exposes one, else a cache-domain

@@ -55,6 +55,9 @@ class OracleContractTest
 const PcepOracle kPcep;
 const KrrOracle kKrr;
 const RapporOracle kRappor;
+const OlhOracle kOlh;
+const OueOracle kOue;
+const HadamardOracle kHr;
 
 TEST_P(OracleContractTest, RejectsBadInputs) {
   const FrequencyOracle& oracle = *GetParam();
@@ -87,7 +90,8 @@ TEST_P(OracleContractTest, TracksSkewedCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOracles, OracleContractTest,
-                         ::testing::Values(&kPcep, &kKrr, &kRappor));
+                         ::testing::Values(&kPcep, &kKrr, &kRappor, &kOlh,
+                                           &kOue, &kHr));
 
 TEST(KrrOracleTest, UnbiasedAcrossMixedEpsilons) {
   // All users hold item 3; half report at eps .5, half at 1.5. The debiased
@@ -152,6 +156,106 @@ TEST(RapporOracleTest, PcepBeatsRapporOnLargeDomains) {
   EXPECT_LT(pcep_mae, rappor_mae);
 }
 
+TEST(NewBackendsTest, UnbiasedAcrossMixedEpsilons) {
+  // All users hold item 3; half report at eps .5, half at 1.5. Every
+  // personalized backend must debias per epsilon and land near n.
+  const int n = 60000;
+  std::vector<PcepUser> users;
+  for (int i = 0; i < n; ++i) {
+    users.push_back({3, i % 2 == 0 ? 0.5 : 1.5});
+  }
+  for (const FrequencyOracle* oracle :
+       {static_cast<const FrequencyOracle*>(&kOlh),
+        static_cast<const FrequencyOracle*>(&kOue),
+        static_cast<const FrequencyOracle*>(&kHr)}) {
+    const auto counts = oracle->EstimateCounts(users, 32, 0.1, 3).value();
+    EXPECT_NEAR(counts[3], n, 0.1 * n) << oracle->Name();
+    EXPECT_NEAR(counts[0], 0.0, 0.1 * n) << oracle->Name();
+  }
+}
+
+TEST(NewBackendsTest, SingletonDomainIsExact) {
+  const std::vector<PcepUser> users(100, PcepUser{0, 1.0});
+  for (const FrequencyOracle* oracle :
+       {static_cast<const FrequencyOracle*>(&kOlh),
+        static_cast<const FrequencyOracle*>(&kOue),
+        static_cast<const FrequencyOracle*>(&kHr)}) {
+    const auto counts = oracle->EstimateCounts(users, 1, 0.1, 3).value();
+    ASSERT_EQ(counts.size(), 1u) << oracle->Name();
+    EXPECT_DOUBLE_EQ(counts[0], 100.0) << oracle->Name();
+  }
+}
+
+TEST(HadamardOracleTest, RaggedDomainIsPaddedAndTruncated) {
+  // width 1000 pads to a 1024-point transform; the returned vector must be
+  // width-long and still track the head item.
+  std::vector<double> truth;
+  const int n = 60000;
+  const auto users = SkewedUsers(n, 1000, 2.0, &truth);
+  const auto counts = kHr.EstimateCounts(users, 1000, 0.1, 5).value();
+  ASSERT_EQ(counts.size(), 1000u);
+  EXPECT_NEAR(counts[0], truth[0], 0.5 * truth[0]);
+}
+
+TEST(HadamardOracleTest, ErrorInsensitiveToDomainSize) {
+  // The HR selling point vs kRR: same cohort, 64x wider domain, error grows
+  // only mildly (per-item noise is domain-size-free up to the padding).
+  std::vector<double> truth_small, truth_large;
+  const auto users_small = SkewedUsers(20000, 8, 0.5, &truth_small);
+  const auto users_large = SkewedUsers(20000, 512, 0.5, &truth_large);
+  double hr_small = 0.0, hr_large = 0.0;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    hr_small += Mae(truth_small,
+                    kHr.EstimateCounts(users_small, 8, 0.1, seed).value());
+    hr_large += Mae(truth_large,
+                    kHr.EstimateCounts(users_large, 512, 0.1, seed).value());
+  }
+  // kRR blows up ~sqrt(k)-fold here (see KrrOracleTest.VarianceGrowsWith
+  // Domain); HR must stay within a small constant factor.
+  EXPECT_LT(hr_large, 4.0 * hr_small);
+}
+
+TEST(OracleStatsTest, ReportsCommunicationAndDecodeCosts) {
+  std::vector<double> truth;
+  const auto users = SkewedUsers(5000, 64, 1.0, &truth);
+  OracleRunStats stats;
+
+  ASSERT_TRUE(kPcep.EstimateCounts(users, 64, 0.1, 1, &stats).ok());
+  EXPECT_DOUBLE_EQ(stats.bytes_per_report, 1.0 / 8.0);  // one sign bit
+
+  ASSERT_TRUE(kKrr.EstimateCounts(users, 64, 0.1, 1, &stats).ok());
+  EXPECT_DOUBLE_EQ(stats.bytes_per_report, 6.0 / 8.0);  // log2(64) bits
+
+  ASSERT_TRUE(kOue.EstimateCounts(users, 64, 0.1, 1, &stats).ok());
+  EXPECT_DOUBLE_EQ(stats.bytes_per_report, 8.0);  // width/8 bytes
+
+  ASSERT_TRUE(kHr.EstimateCounts(users, 64, 0.1, 1, &stats).ok());
+  EXPECT_DOUBLE_EQ(stats.bytes_per_report, 7.0 / 8.0);  // log2(64)+1 bits
+  EXPECT_GE(stats.decode_seconds, 0.0);
+  EXPECT_GE(stats.encode_seconds, 0.0);
+
+  ASSERT_TRUE(kOlh.EstimateCounts(users, 64, 0.1, 1, &stats).ok());
+  // g = round(e^1 + 1) = 4 buckets -> 2 bits.
+  EXPECT_DOUBLE_EQ(stats.bytes_per_report, 2.0 / 8.0);
+
+  // Stats collection must not perturb the estimate.
+  const auto with = kHr.EstimateCounts(users, 64, 0.1, 9, &stats).value();
+  const auto without = kHr.EstimateCounts(users, 64, 0.1, 9).value();
+  EXPECT_EQ(with, without);
+}
+
+TEST(MakeOracleTest, ConstructsEveryBackendByName) {
+  for (const char* name : {"pcep", "krr", "rappor", "olh", "oue", "hr"}) {
+    const auto oracle = MakeOracle(name);
+    ASSERT_NE(oracle, nullptr) << name;
+  }
+  EXPECT_EQ(MakeOracle("HR")->Name(), "HR");          // case-insensitive
+  EXPECT_EQ(MakeOracle("hadamard")->Name(), "HR");    // alias
+  EXPECT_EQ(MakeOracle("PCEP")->Name(), "PCEP");
+  EXPECT_EQ(MakeOracle("nope"), nullptr);
+  EXPECT_EQ(MakeOracle(""), nullptr);
+}
+
 TEST(PsdaWithOracleTest, RunsEndToEndWithEveryOracle) {
   const UniformGrid grid =
       UniformGrid::Create(BoundingBox{0, 0, 8, 8}, 1, 1).value();
@@ -170,7 +274,10 @@ TEST(PsdaWithOracleTest, RunsEndToEndWithEveryOracle) {
   for (const FrequencyOracle* oracle :
        {static_cast<const FrequencyOracle*>(&kPcep),
         static_cast<const FrequencyOracle*>(&kKrr),
-        static_cast<const FrequencyOracle*>(&kRappor)}) {
+        static_cast<const FrequencyOracle*>(&kRappor),
+        static_cast<const FrequencyOracle*>(&kOlh),
+        static_cast<const FrequencyOracle*>(&kOue),
+        static_cast<const FrequencyOracle*>(&kHr)}) {
     const auto result =
         RunPsdaWithOracle(tax, users, PsdaOptions(), *oracle);
     ASSERT_TRUE(result.ok()) << oracle->Name();

@@ -1,0 +1,238 @@
+#include "core/fwht.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/cpu.h"
+#include "util/random.h"
+
+namespace pldp {
+namespace {
+
+bool Avx2Available() { return FwhtKernelAvailable(FwhtKernel::kAvx2); }
+
+/// Random but reproducible accumulator-like input (mixed signs, varied
+/// magnitudes, exact dyadic values would hide rounding bugs, so use plain
+/// uniform doubles).
+std::vector<double> RandomInput(size_t n, uint64_t seed) {
+  std::vector<double> data(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) data[i] = rng.NextDouble() * 8.0 - 4.0;
+  return data;
+}
+
+/// O(n^2) Walsh-Hadamard multiply in natural (Sylvester) order: the ground
+/// truth the butterfly kernels must match exactly (every FWHT output is a
+/// +-sum of the inputs; the naive sum below adds in index order, which the
+/// butterfly does NOT, so compare with a tolerance here - the exact-==
+/// contract is *between kernels*, not against this reference).
+std::vector<double> NaiveHadamard(const std::vector<double>& x) {
+  const size_t n = x.size();
+  std::vector<double> y(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t j = 0; j < n; ++j) {
+      const int parity = __builtin_popcountll(v & j) & 1;
+      y[v] += parity ? -x[j] : x[j];
+    }
+  }
+  return y;
+}
+
+TEST(FwhtTest, SizeOneIsIdentity) {
+  std::vector<double> data = {42.5};
+  Fwht(data.data(), 1);
+  EXPECT_EQ(data[0], 42.5);
+  FwhtWithKernel(FwhtKernel::kScalar, data.data(), 1);
+  EXPECT_EQ(data[0], 42.5);
+}
+
+TEST(FwhtTest, SizeTwoButterfly) {
+  std::vector<double> data = {3.0, 1.25};
+  Fwht(data.data(), 2);
+  EXPECT_EQ(data[0], 4.25);
+  EXPECT_EQ(data[1], 1.75);
+}
+
+TEST(FwhtTest, PadToPowerOfTwoRaggedDomains) {
+  EXPECT_EQ(PadToPowerOfTwo(0), 1u);
+  EXPECT_EQ(PadToPowerOfTwo(1), 1u);
+  EXPECT_EQ(PadToPowerOfTwo(2), 2u);
+  EXPECT_EQ(PadToPowerOfTwo(3), 4u);
+  EXPECT_EQ(PadToPowerOfTwo(63), 64u);
+  EXPECT_EQ(PadToPowerOfTwo(64), 64u);
+  EXPECT_EQ(PadToPowerOfTwo(65), 128u);
+  EXPECT_EQ(PadToPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(PadToPowerOfTwo(16384), 16384u);
+  EXPECT_EQ(PadToPowerOfTwo(uint64_t{1} << 40), uint64_t{1} << 40);
+  EXPECT_EQ(PadToPowerOfTwo((uint64_t{1} << 40) + 1), uint64_t{1} << 41);
+}
+
+TEST(FwhtTest, MatchesNaiveHadamardMultiply) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{4}, size_t{8}, size_t{32},
+                   size_t{64}, size_t{256}}) {
+    const std::vector<double> input = RandomInput(n, 0x5EED + n);
+    const std::vector<double> expected = NaiveHadamard(input);
+    std::vector<double> data = input;
+    Fwht(data.data(), n);
+    for (size_t v = 0; v < n; ++v) {
+      // Different summation order than the naive reference: tolerance, not
+      // exact ==. Magnitudes here are O(n * 4).
+      EXPECT_NEAR(data[v], expected[v], 1e-9 * static_cast<double>(n) + 1e-12)
+          << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+TEST(FwhtTest, InvolutionUpToN) {
+  // H * H = n * I: transforming twice recovers the input scaled by n.
+  const size_t n = 512;
+  const std::vector<double> input = RandomInput(n, 99);
+  std::vector<double> data = input;
+  Fwht(data.data(), n);
+  Fwht(data.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i], input[i] * static_cast<double>(n), 1e-8);
+  }
+}
+
+TEST(FwhtTest, KernelsBitIdenticalOverTauSizes) {
+  if (!Avx2Available()) GTEST_SKIP() << "avx2 kernel unavailable";
+  // The padded transform sizes of the issue's tau set {1, 63, 64, 65, 1000,
+  // 16384}, plus every power of two through the tiled-path sizes so the
+  // radix-32 / radix-8 / radix-4 / single-stage tails and the phase-B panel
+  // schedule are all hit.
+  for (uint64_t tau : {uint64_t{1}, uint64_t{63}, uint64_t{64}, uint64_t{65},
+                       uint64_t{1000}, uint64_t{16384}}) {
+    const size_t n = PadToPowerOfTwo(tau);
+    const std::vector<double> input = RandomInput(n, tau);
+    std::vector<double> scalar = input;
+    std::vector<double> avx2 = input;
+    FwhtWithKernel(FwhtKernel::kScalar, scalar.data(), n);
+    FwhtWithKernel(FwhtKernel::kAvx2, avx2.data(), n);
+    EXPECT_EQ(scalar, avx2) << "tau=" << tau << " n=" << n;
+  }
+  // Through 2^20 so phase B sees 32/64/128/256 rows: every radix-16 +
+  // radix-8/4/2 remainder combination of the cross-tile row schedule.
+  for (size_t n = 1; n <= (size_t{1} << 20); n <<= 1) {
+    const std::vector<double> input = RandomInput(n, n * 31);
+    std::vector<double> scalar = input;
+    std::vector<double> avx2 = input;
+    FwhtWithKernel(FwhtKernel::kScalar, scalar.data(), n);
+    FwhtWithKernel(FwhtKernel::kAvx2, avx2.data(), n);
+    ASSERT_EQ(scalar, avx2) << "n=" << n;
+  }
+}
+
+TEST(FwhtTest, KernelNamesAndAvailability) {
+  EXPECT_STREQ(FwhtKernelName(FwhtKernel::kScalar), "scalar");
+  EXPECT_STREQ(FwhtKernelName(FwhtKernel::kAvx2), "avx2");
+  EXPECT_TRUE(FwhtKernelAvailable(FwhtKernel::kScalar));
+#ifndef __x86_64__
+  EXPECT_FALSE(FwhtKernelAvailable(FwhtKernel::kAvx2));
+#endif
+}
+
+/// Restores the pre-test PLDP_FWHT_KERNEL value (and cached selection) no
+/// matter how the test exits.
+class ScopedFwhtKernelEnv {
+ public:
+  ScopedFwhtKernelEnv() {
+    const char* old = std::getenv("PLDP_FWHT_KERNEL");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+  }
+  ~ScopedFwhtKernelEnv() {
+    if (had_old_) {
+      setenv("PLDP_FWHT_KERNEL", old_.c_str(), 1);
+    } else {
+      unsetenv("PLDP_FWHT_KERNEL");
+    }
+    ResetFwhtKernelForTesting();
+  }
+
+  void Set(const char* value) {
+    setenv("PLDP_FWHT_KERNEL", value, 1);
+    ResetFwhtKernelForTesting();
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(FwhtTest, EnvOverrideRoundTrip) {
+  ScopedFwhtKernelEnv env;
+  const FwhtKernel best =
+      Avx2Available() ? FwhtKernel::kAvx2 : FwhtKernel::kScalar;
+
+  env.Set("scalar");
+  EXPECT_EQ(ActiveFwhtKernel(), FwhtKernel::kScalar);
+
+  // A forced avx2 runs avx2 where available and falls back to scalar
+  // gracefully where not (non-AVX2 hosts skip nothing: the selection still
+  // succeeds).
+  env.Set("avx2");
+  EXPECT_EQ(ActiveFwhtKernel(), best);
+
+  // The FWHT family has no avx512 kernel: the request warns and falls back.
+  env.Set("avx512");
+  EXPECT_EQ(ActiveFwhtKernel(), best);
+
+  env.Set("auto");
+  EXPECT_EQ(ActiveFwhtKernel(), best);
+
+  env.Set("SCALAR");  // tokens are case-insensitive
+  EXPECT_EQ(ActiveFwhtKernel(), FwhtKernel::kScalar);
+
+  env.Set("bogus");  // unknown tokens warn and mean auto
+  EXPECT_EQ(ActiveFwhtKernel(), best);
+}
+
+TEST(FwhtTest, DispatchedTransformMatchesForcedKernels) {
+  ScopedFwhtKernelEnv env;
+  const size_t n = 2048;
+  const std::vector<double> input = RandomInput(n, 7);
+
+  env.Set("scalar");
+  std::vector<double> through_scalar = input;
+  Fwht(through_scalar.data(), n);
+  std::vector<double> forced = input;
+  FwhtWithKernel(FwhtKernel::kScalar, forced.data(), n);
+  EXPECT_EQ(through_scalar, forced);
+
+  if (Avx2Available()) {
+    env.Set("avx2");
+    std::vector<double> through_avx2 = input;
+    Fwht(through_avx2.data(), n);
+    EXPECT_EQ(through_avx2, through_scalar);  // bit-identical contract
+  }
+}
+
+TEST(FwhtTest, KernelGaugeExports) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  ScopedFwhtKernelEnv env;
+  env.Set("scalar");
+  ExportFwhtKernelGauge();
+  EXPECT_EQ(registry.GetGauge("fwht.kernel")->Value(), 0.0);
+  if (Avx2Available()) {
+    env.Set("avx2");
+    ExportFwhtKernelGauge();
+    EXPECT_EQ(registry.GetGauge("fwht.kernel")->Value(), 1.0);
+  }
+  registry.set_enabled(was_enabled);
+}
+
+TEST(FwhtDeathTest, RejectsNonPowerOfTwo) {
+  std::vector<double> data(3, 1.0);
+  EXPECT_DEATH(Fwht(data.data(), 3), "power of two");
+  EXPECT_DEATH(Fwht(data.data(), 0), "power of two");
+}
+
+}  // namespace
+}  // namespace pldp

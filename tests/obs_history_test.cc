@@ -213,6 +213,17 @@ TEST(HistoryTest, ClassifyStatDirection) {
             StatDirection::kHigherIsBetter);
   EXPECT_EQ(ClassifyStatDirection("speedup_vs_scalar"),
             StatDirection::kHigherIsBetter);
+
+  // Oracle-matrix stats (BENCH_oracle_matrix.json): communication and decode
+  // CPU down; crossover_m is informational — it moves whenever either
+  // kernel improves, so it must gate nothing even though it ends in "_m".
+  EXPECT_EQ(ClassifyStatDirection("bytes_per_report"),
+            StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("decode_cpu_ms"),
+            StatDirection::kLowerIsBetter);
+  EXPECT_EQ(ClassifyStatDirection("crossover_m"), StatDirection::kUnknown);
+  EXPECT_EQ(ClassifyStatDirection("hr_vs_pcep.crossover_m"),
+            StatDirection::kUnknown);
 }
 
 std::vector<BenchRunRecord> StableHistory() {

@@ -220,5 +220,64 @@ TEST(ProtocolEndToEndTest, EmptyCohortRejected) {
   EXPECT_FALSE(server.Collect(&none, nullptr).ok());
 }
 
+TEST(ScheduledFleetTest, SeedForMatchesLegacyClosedForms) {
+  // {base, 1} is the hand-rolled fleet loop; {client_base, kClientSeedStride}
+  // is PcepSeeds::ClientSeed. One definition, two historical spellings.
+  const uint64_t base = 0xFEEDFACE;
+  const SeedSchedule fleet{base, 1};
+  const PcepSeeds seeds(base);
+  const SeedSchedule kernel{seeds.client_base, PcepSeeds::kClientSeedStride};
+  for (uint64_t i : {uint64_t{0}, uint64_t{1}, uint64_t{7}, uint64_t{4096}}) {
+    EXPECT_EQ(fleet.SeedFor(i), SplitMix64(base ^ (i + 1)));
+    EXPECT_EQ(kernel.SeedFor(i), seeds.ClientSeed(i));
+  }
+}
+
+TEST(ScheduledFleetTest, TranscriptsBitIdenticalToLegacySeeding) {
+  // The regression the schedule must never break: a fleet built through
+  // BuildScheduledFleet produces byte-for-byte the reports (and therefore
+  // the exact end-to-end counts) of the legacy per-site seeding loop.
+  const SpatialTaxonomy tax = MakeTaxonomy();
+  const uint64_t seed = 2024;
+  const size_t n = 500;
+
+  Rng rng(seed);
+  std::vector<UserRecord> users;
+  users.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto cell =
+        static_cast<CellId>(rng.NextUint64(tax.grid().num_cells()));
+    PrivacySpec spec;
+    spec.safe_region = tax.AncestorAbove(
+        tax.LeafNodeOfCell(cell), static_cast<uint32_t>(rng.NextUint64(3)));
+    spec.epsilon = rng.Bernoulli(0.5) ? 0.5 : 1.0;
+    users.push_back({cell, spec});
+  }
+
+  std::vector<DeviceClient> legacy;
+  legacy.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    legacy.emplace_back(&tax, users[i].cell, users[i].spec,
+                        SplitMix64(seed ^ (i + 1)));
+  }
+  std::vector<DeviceClient> scheduled =
+      BuildScheduledFleet(tax, users, SeedSchedule{seed, 1});
+  ASSERT_EQ(scheduled.size(), legacy.size());
+
+  PsdaOptions options;
+  options.seed = 31337;
+  ProtocolStats legacy_stats, scheduled_stats;
+  AggregationServer server(&tax, options);
+  const PsdaResult legacy_result =
+      server.Collect(&legacy, &legacy_stats).value();
+  const PsdaResult scheduled_result =
+      server.Collect(&scheduled, &scheduled_stats).value();
+
+  EXPECT_EQ(legacy_result.counts, scheduled_result.counts);  // exact ==
+  EXPECT_EQ(legacy_stats.bytes_to_server, scheduled_stats.bytes_to_server);
+  EXPECT_EQ(legacy_stats.messages_to_server,
+            scheduled_stats.messages_to_server);
+}
+
 }  // namespace
 }  // namespace pldp
